@@ -1,0 +1,306 @@
+//! Bucket skip graphs (Aspnes, Kirsch, Krishnamurthy — PODC'04): Table 1's
+//! `H < n` row. Keys live in contiguous interval buckets (one per host);
+//! a skip graph over the bucket boundaries routes queries in `Õ(log H)`
+//! messages; `M = C = O(n/H + log H)`.
+
+use skipweb_net::sim::{MessageMeter, SimNetwork};
+use skipweb_net::HostId;
+
+use crate::common::OrderedDictionary;
+use crate::skipgraph::SkipGraph;
+
+/// A bucketed distributed dictionary: `H` hosts each holding a contiguous
+/// key interval, routed by a skip graph over bucket minima.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_baselines::{BucketSkipGraph, OrderedDictionary};
+/// use skipweb_net::MessageMeter;
+///
+/// let b = BucketSkipGraph::new((0..1000).map(|i| i * 2).collect(), 16, 3);
+/// assert_eq!(b.hosts(), 16);
+/// let mut meter = MessageMeter::new();
+/// assert_eq!(b.nearest(0, 501, &mut meter), 500);
+/// assert!(meter.messages() <= 14); // O(log H), not O(log n)
+/// ```
+#[derive(Debug, Clone)]
+pub struct BucketSkipGraph {
+    /// Sorted buckets of sorted keys; host `h` stores `buckets[h]`.
+    buckets: Vec<Vec<u64>>,
+    /// Skip graph over bucket minima; graph host `i` = bucket `i`.
+    router: SkipGraph,
+    /// Split threshold (2× the initial bucket capacity).
+    split_at: usize,
+    seed: u64,
+}
+
+impl BucketSkipGraph {
+    /// Distributes `keys` over `hosts` contiguous buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn new(mut keys: Vec<u64>, hosts: usize, seed: u64) -> Self {
+        assert!(hosts > 0, "need at least one bucket host");
+        keys.sort_unstable();
+        keys.dedup();
+        let per = keys.len().div_ceil(hosts).max(1);
+        let mut buckets: Vec<Vec<u64>> = keys.chunks(per).map(<[u64]>::to_vec).collect();
+        if buckets.is_empty() {
+            buckets.push(Vec::new());
+        }
+        while buckets.len() < hosts && !keys.is_empty() {
+            buckets.push(Vec::new()); // paper allows under-filled hosts
+        }
+        let mut b = BucketSkipGraph {
+            buckets,
+            router: SkipGraph::new(Vec::new(), seed),
+            split_at: 2 * per + 1,
+            seed,
+        };
+        b.rebuild_router();
+        b
+    }
+
+    /// Number of keys in each bucket (diagnostics / load balance tests).
+    #[allow(dead_code)]
+    pub fn bucket_loads(&self) -> Vec<usize> {
+        self.buckets.iter().map(Vec::len).collect()
+    }
+
+    fn rebuild_router(&mut self) {
+        // Route on bucket minima; empty buckets use *unique* sentinels above
+        // all real keys so they never attract queries (and never dedup away,
+        // keeping router index == bucket index for nonempty buckets).
+        let reps: Vec<u64> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| b.first().copied().unwrap_or(u64::MAX - i as u64))
+            .collect();
+        self.router = SkipGraph::new(reps, self.seed);
+    }
+
+    fn clamp_origin(&self, origin: usize) -> usize {
+        origin % self.router.keys().len().max(1)
+    }
+
+    /// The bucket whose interval contains `q` (the one with the greatest
+    /// minimum ≤ q, else bucket 0).
+    fn bucket_of(&self, q: u64) -> usize {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if let Some(&min) = b.first() {
+                if min <= q && best.is_none_or(|(m, _)| min >= m) {
+                    best = Some((min, i));
+                }
+            }
+        }
+        best.map_or(0, |(_, i)| i)
+    }
+
+    /// All stored keys, sorted — the oracle view used by tests.
+    pub fn all_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.buckets.iter().flatten().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+impl OrderedDictionary for BucketSkipGraph {
+    fn name(&self) -> &'static str {
+        "bucket-skip-graph"
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    fn hosts(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn nearest(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> u64 {
+        assert!(self.len() > 0, "cannot search an empty dictionary");
+        // Route over bucket minima (each router move = bucket-host hop).
+        let _ = self.router.nearest(self.clamp_origin(origin), q, meter);
+        let b = self.bucket_of(q);
+        meter.visit(HostId(b as u32));
+        // Local scan is free; the nearest may sit in an adjacent bucket.
+        let mut cands: Vec<u64> = Vec::new();
+        let bucket = &self.buckets[b];
+        match bucket.binary_search(&q) {
+            Ok(i) => cands.push(bucket[i]),
+            Err(i) => {
+                if i > 0 {
+                    cands.push(bucket[i - 1]);
+                }
+                if i < bucket.len() {
+                    cands.push(bucket[i]);
+                }
+            }
+        }
+        if cands.iter().all(|&k| k <= q) {
+            // Ceiling may live in the next nonempty bucket.
+            if let Some(nb) = (b + 1..self.buckets.len()).find(|&i| !self.buckets[i].is_empty()) {
+                meter.visit(HostId(nb as u32));
+                cands.push(self.buckets[nb][0]);
+            }
+        }
+        if cands.iter().all(|&k| k >= q) {
+            if let Some(pb) = (0..b).rev().find(|&i| !self.buckets[i].is_empty()) {
+                meter.visit(HostId(pb as u32));
+                cands.push(*self.buckets[pb].last().expect("nonempty"));
+            }
+        }
+        cands
+            .into_iter()
+            .min_by_key(|&k| (k.abs_diff(q), k))
+            .expect("nonempty dictionary yields candidates")
+    }
+
+    fn insert(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        let origin = self.clamp_origin(key as usize);
+        let _ = self.router.nearest(origin, key, meter);
+        let b = self.bucket_of(key);
+        meter.visit(HostId(b as u32));
+        match self.buckets[b].binary_search(&key) {
+            Ok(_) => false,
+            Err(i) => {
+                self.buckets[b].insert(i, key);
+                if self.buckets[b].len() >= self.split_at {
+                    // Split: second half moves to a fresh host; the router
+                    // relinks the new representative (O(log H) messages).
+                    let mid = self.buckets[b].len() / 2;
+                    let half = self.buckets[b].split_off(mid);
+                    let new_host = self.buckets.len();
+                    meter.visit(HostId(new_host as u32));
+                    meter.charge(2 * (usize::BITS - self.hosts().leading_zeros()) as u64);
+                    self.buckets.push(half);
+                    self.rebuild_router();
+                } else {
+                    self.rebuild_router(); // minima may have changed
+                }
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        let origin = self.clamp_origin(key as usize);
+        let _ = self.router.nearest(origin, key, meter);
+        let b = self.bucket_of(key);
+        meter.visit(HostId(b as u32));
+        match self.buckets[b].binary_search(&key) {
+            Ok(i) => {
+                self.buckets[b].remove(i);
+                self.rebuild_router();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn account(&self, net: &mut SimNetwork) {
+        net.set_items(self.len());
+        let mut router_net = SimNetwork::new(self.hosts());
+        self.router.account(&mut router_net);
+        for (i, b) in self.buckets.iter().enumerate() {
+            let host = HostId(i as u32);
+            // Bucket contents + the router tower this host carries.
+            net.add_storage(host, b.len() as u64 + router_net.storage(host));
+            net.add_refs(host, 0, router_net.storage(host).saturating_sub(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::oracle_nearest;
+
+    fn dict(n: u64, hosts: usize) -> BucketSkipGraph {
+        BucketSkipGraph::new((0..n).map(|i| i * 10).collect(), hosts, 3)
+    }
+
+    #[test]
+    fn nearest_matches_oracle() {
+        let d = dict(500, 16);
+        let keys = d.all_keys();
+        for s in 0..300u64 {
+            let q = (s * 77) % 5500;
+            let mut meter = MessageMeter::new();
+            let got = d.nearest(d.random_origin(s), q, &mut meter);
+            assert_eq!(got, oracle_nearest(&keys, q).unwrap(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn queries_cost_log_of_hosts_not_keys() {
+        let few_hosts = dict(4096, 8);
+        let many_hosts = dict(4096, 512);
+        let trials = 60u64;
+        let mean = |d: &BucketSkipGraph| -> f64 {
+            let total: u64 = (0..trials)
+                .map(|s| {
+                    let mut m = MessageMeter::new();
+                    d.nearest(d.random_origin(s), (s * 7919) % 41_000, &mut m);
+                    m.messages()
+                })
+                .sum();
+            total as f64 / trials as f64
+        };
+        assert!(
+            mean(&few_hosts) < mean(&many_hosts),
+            "fewer hosts must mean fewer messages"
+        );
+        assert!(mean(&few_hosts) < 10.0);
+    }
+
+    #[test]
+    fn memory_reflects_bucket_size_plus_router() {
+        let d = dict(1024, 16);
+        let net = d.network();
+        // n/H = 64 keys per bucket plus an O(log H) tower.
+        assert!(net.max_memory() >= 64);
+        assert!(net.max_memory() <= 64 + 30);
+    }
+
+    #[test]
+    fn inserts_split_overfull_buckets() {
+        let mut d = dict(64, 4); // 16 keys per bucket, split at 33
+        let before = d.hosts();
+        for i in 0..80u64 {
+            let mut m = MessageMeter::new();
+            d.insert(3 + i * 7, &mut m);
+        }
+        assert!(d.hosts() > before, "splits must add hosts");
+        let keys = d.all_keys();
+        let mut m = MessageMeter::new();
+        for q in (0..700).step_by(41) {
+            assert_eq!(d.nearest(0, q, &mut m), oracle_nearest(&keys, q).unwrap());
+        }
+    }
+
+    #[test]
+    fn removals_keep_routing_correct() {
+        let mut d = dict(100, 8);
+        for i in (0..100u64).step_by(2) {
+            assert!(d.remove(i * 10, &mut MessageMeter::new()));
+        }
+        let keys = d.all_keys();
+        assert_eq!(keys.len(), 50);
+        let mut m = MessageMeter::new();
+        assert_eq!(d.nearest(0, 0, &mut m), oracle_nearest(&keys, 0).unwrap());
+    }
+
+    #[test]
+    fn boundary_queries_check_adjacent_buckets() {
+        let d = dict(100, 10);
+        // Query just above one bucket's max: the ceiling lives next door.
+        let mut m = MessageMeter::new();
+        let got = d.nearest(0, 99, &mut m); // keys are multiples of 10
+        assert_eq!(got, 100);
+    }
+}

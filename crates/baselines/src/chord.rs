@@ -1,0 +1,277 @@
+//! Chord (Stoica et al., SIGCOMM'01) — the DHT contrast of §1.2.
+//!
+//! Chord hashes keys onto a ring and routes exact-match lookups through
+//! finger tables in `O(log H)` hops. But hashing destroys key order, so the
+//! paper's ordered queries (1-D nearest neighbour, ranges, prefixes) have no
+//! sublinear route: answering them requires visiting essentially every host.
+//! [`Chord::nearest`] implements that honestly as a full ring walk —
+//! the `Θ(H)` cost the introduction contrasts skip-webs against.
+
+use skipweb_net::sim::{MessageMeter, SimNetwork};
+use skipweb_net::HostId;
+
+use crate::common::OrderedDictionary;
+
+/// SplitMix64 — the consistent hash for ring positions.
+fn hash(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether ring position `x` lies in the half-open arc `(from, to]`.
+fn in_arc(from: u64, to: u64, x: u64) -> bool {
+    if from < to {
+        x > from && x <= to
+    } else {
+        x > from || x <= to
+    }
+}
+
+/// A Chord ring: `H` hosts with finger tables, keys stored at their hash's
+/// successor host.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_baselines::Chord;
+/// use skipweb_net::MessageMeter;
+///
+/// let c = Chord::new((0..500).map(|i| i * 2).collect(), 64);
+/// let mut meter = MessageMeter::new();
+/// assert!(c.lookup(0, 346, &mut meter)); // exact match: O(log H) hops
+/// assert!(meter.messages() <= 12);
+/// assert!(!c.lookup(0, 347, &mut meter)); // absent key
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chord {
+    /// Ring positions per host, sorted.
+    ring: Vec<u64>,
+    /// Keys stored at each host (by ring successor of their hash).
+    stored: Vec<Vec<u64>>,
+    /// `fingers[h][j]` = host index of `successor(ring[h] + 2^j)`.
+    fingers: Vec<Vec<u32>>,
+}
+
+impl Chord {
+    /// Builds a ring of `hosts` hosts storing `keys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn new(keys: Vec<u64>, hosts: usize) -> Self {
+        assert!(hosts > 0, "a Chord ring needs hosts");
+        let mut ring: Vec<u64> = (0..hosts as u64).map(|h| hash(h ^ 0x00C0_FFEE)).collect();
+        ring.sort_unstable();
+        ring.dedup();
+        let h = ring.len();
+        let successor = |pos: u64| -> usize {
+            match ring.binary_search(&pos) {
+                Ok(i) => i,
+                Err(i) => i % h,
+            }
+        };
+        let mut stored = vec![Vec::new(); h];
+        for key in keys {
+            stored[successor(hash(key))].push(key);
+        }
+        for bucket in &mut stored {
+            bucket.sort_unstable();
+            bucket.dedup();
+        }
+        let fingers = (0..h)
+            .map(|i| {
+                (0..64)
+                    .map(|j| successor(ring[i].wrapping_add(1u64 << j)) as u32)
+                    .collect()
+            })
+            .collect();
+        Chord { ring, stored, fingers }
+    }
+
+    /// Number of hosts on the ring.
+    pub fn ring_size(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Total stored keys.
+    pub fn key_count(&self) -> usize {
+        self.stored.iter().map(Vec::len).sum()
+    }
+
+    /// Routes to the host responsible for ring position `pos`, charging one
+    /// message per hop; returns the host index.
+    fn route(&self, origin: usize, pos: u64, meter: &mut MessageMeter) -> usize {
+        meter.visit(HostId(origin as u32));
+        let mut cur = origin;
+        loop {
+            let succ = (cur + 1) % self.ring.len();
+            if in_arc(self.ring[cur], self.ring[succ], pos) {
+                meter.visit(HostId(succ as u32));
+                return succ;
+            }
+            // Closest preceding finger.
+            let mut next = cur;
+            for j in (0..64).rev() {
+                let f = self.fingers[cur][j] as usize;
+                if f != cur && in_arc(self.ring[cur], pos, self.ring[f]) && self.ring[f] != pos {
+                    next = f;
+                    break;
+                }
+            }
+            if next == cur {
+                meter.visit(HostId(succ as u32));
+                return succ;
+            }
+            cur = next;
+            meter.visit(HostId(cur as u32));
+        }
+    }
+
+    /// Exact-match lookup: whether `key` is stored. `O(log H)` hops — the
+    /// query DHTs are built for.
+    pub fn lookup(&self, origin: usize, key: u64, meter: &mut MessageMeter) -> bool {
+        let host = self.route(origin, hash(key), meter);
+        self.stored[host].binary_search(&key).is_ok()
+    }
+}
+
+impl OrderedDictionary for Chord {
+    fn name(&self) -> &'static str {
+        "chord-dht"
+    }
+
+    fn len(&self) -> usize {
+        self.key_count()
+    }
+
+    fn hosts(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Ordered nearest-neighbour — the query Chord *cannot* route: hashing
+    /// scatters adjacent keys, so the honest cost is a full ring walk.
+    fn nearest(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> u64 {
+        assert!(self.key_count() > 0, "cannot search an empty ring");
+        meter.visit(HostId(origin as u32));
+        let mut best: Option<u64> = None;
+        let mut cur = origin;
+        for _ in 0..self.ring.len() {
+            if let Some(local) = crate::common::oracle_nearest(&self.stored[cur], q) {
+                best = match best {
+                    None => Some(local),
+                    Some(b) if q.abs_diff(local) < q.abs_diff(b)
+                        || (q.abs_diff(local) == q.abs_diff(b) && local < b) =>
+                    {
+                        Some(local)
+                    }
+                    keep => keep,
+                };
+            }
+            cur = (cur + 1) % self.ring.len();
+            meter.visit(HostId(cur as u32));
+        }
+        best.expect("nonempty ring")
+    }
+
+    fn insert(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        let host = self.route(key as usize % self.ring.len(), hash(key), meter);
+        match self.stored[host].binary_search(&key) {
+            Ok(_) => false,
+            Err(i) => {
+                self.stored[host].insert(i, key);
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        let host = self.route(key as usize % self.ring.len(), hash(key), meter);
+        match self.stored[host].binary_search(&key) {
+            Ok(i) => {
+                self.stored[host].remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn account(&self, net: &mut SimNetwork) {
+        net.set_items(self.key_count());
+        for (i, bucket) in self.stored.iter().enumerate() {
+            let host = HostId(i as u32);
+            // Distinct finger targets: O(log H).
+            let mut targets: Vec<u32> = self.fingers[i].clone();
+            targets.sort_unstable();
+            targets.dedup();
+            net.add_storage(host, bucket.len() as u64 + targets.len() as u64);
+            net.add_refs(host, 0, targets.len() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::oracle_nearest;
+
+    #[test]
+    fn exact_match_routes_in_log_hops() {
+        let c = Chord::new((0..2000u64).map(|i| i * 3).collect(), 256);
+        let mut worst = 0u64;
+        for s in 0..100u64 {
+            let mut m = MessageMeter::new();
+            assert!(c.lookup((s as usize * 37) % 256, (s * 60) % 6000, &mut m));
+            worst = worst.max(m.messages());
+        }
+        assert!(worst <= 2 * 8 + 4, "exact match hops {worst} not O(log H)");
+    }
+
+    #[test]
+    fn absent_keys_report_false() {
+        let c = Chord::new(vec![10, 20, 30], 16);
+        let mut m = MessageMeter::new();
+        assert!(!c.lookup(0, 11, &mut m));
+    }
+
+    #[test]
+    fn nearest_is_correct_but_costs_the_whole_ring() {
+        let keys: Vec<u64> = (0..500).map(|i| i * 7).collect();
+        let c = Chord::new(keys.clone(), 64);
+        let mut m = MessageMeter::new();
+        let got = c.nearest(0, 1234, &mut m);
+        assert_eq!(got, oracle_nearest(&keys, 1234).unwrap());
+        assert!(
+            m.messages() >= c.ring_size() as u64 - 1,
+            "ordered queries must walk the ring"
+        );
+    }
+
+    #[test]
+    fn keys_spread_over_hosts() {
+        let c = Chord::new((0..4096u64).collect(), 64);
+        let max = c.stored.iter().map(Vec::len).max().unwrap();
+        // Consistent hashing balances within a log factor.
+        assert!(max < 4096 / 64 * 6, "load {max} too skewed");
+    }
+
+    #[test]
+    fn insert_and_remove_round_trip() {
+        let mut c = Chord::new(vec![1, 2, 3], 8);
+        let mut m = MessageMeter::new();
+        assert!(c.insert(99, &mut m));
+        assert!(!c.insert(99, &mut m));
+        assert!(c.lookup(0, 99, &mut m));
+        assert!(c.remove(99, &mut m));
+        assert!(!c.remove(99, &mut m));
+        assert!(!c.lookup(0, 99, &mut m));
+    }
+
+    #[test]
+    fn finger_memory_is_logarithmic() {
+        let c = Chord::new(vec![], 1024);
+        let net = c.network();
+        assert!(net.max_memory() <= 2 * 10 + 6, "fingers {}", net.max_memory());
+    }
+}

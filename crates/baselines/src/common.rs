@@ -1,0 +1,80 @@
+//! The shared baseline interface the Table 1 experiments sweep over.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skipweb_net::sim::{MessageMeter, SimNetwork};
+
+/// A distributed ordered dictionary over `u64` keys supporting the paper's
+/// one-dimensional nearest-neighbour queries, with the §1.1 cost model.
+///
+/// Every Table 1 baseline implements this; the benchmark harness measures
+/// `M`, `C(n)`, `Q(n)`, `U(n)` uniformly through it.
+pub trait OrderedDictionary {
+    /// Short name used in experiment table rows.
+    fn name(&self) -> &'static str;
+
+    /// Number of stored keys `n`.
+    fn len(&self) -> usize;
+
+    /// Whether no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of hosts `H`.
+    fn hosts(&self) -> usize;
+
+    /// Nearest-neighbour query from the given origin host's root, charging
+    /// messages to `meter`; returns the nearest stored key (ties toward the
+    /// smaller key).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on an empty dictionary.
+    fn nearest(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> u64;
+
+    /// Inserts `key`; `false` if already present. Charges update messages.
+    fn insert(&mut self, key: u64, meter: &mut MessageMeter) -> bool;
+
+    /// Removes `key`; `false` if absent. Charges update messages.
+    fn remove(&mut self, key: u64, meter: &mut MessageMeter) -> bool;
+
+    /// Registers per-host storage and reference accounting.
+    fn account(&self, net: &mut SimNetwork);
+
+    /// A fresh network sized for this dictionary with accounting applied.
+    fn network(&self) -> SimNetwork {
+        let mut net = SimNetwork::new(self.hosts().max(1));
+        self.account(&mut net);
+        net
+    }
+
+    /// Deterministic pseudo-random query origin in `0..hosts()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no hosts.
+    fn random_origin(&self, seed: u64) -> usize {
+        assert!(self.hosts() > 0, "no hosts to originate queries from");
+        StdRng::seed_from_u64(seed).gen_range(0..self.hosts())
+    }
+}
+
+/// Brute-force nearest key (ties toward the smaller key) — the oracle the
+/// baseline tests compare against.
+pub fn oracle_nearest(keys: &[u64], q: u64) -> Option<u64> {
+    keys.iter().copied().min_by_key(|&k| (k.abs_diff(q), k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_prefers_closer_then_smaller() {
+        assert_eq!(oracle_nearest(&[10, 20], 14), Some(10));
+        assert_eq!(oracle_nearest(&[10, 20], 15), Some(10));
+        assert_eq!(oracle_nearest(&[10, 20], 16), Some(20));
+        assert_eq!(oracle_nearest(&[], 5), None);
+    }
+}

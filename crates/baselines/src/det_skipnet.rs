@@ -1,0 +1,449 @@
+//! Deterministic SkipNet (Harvey–Munro, PODC'03) — Table 1's deterministic
+//! row: `M = O(log n)`, worst-case `Q(n) = O(log n)`, `U(n) = O(log² n)`.
+//!
+//! Reproduction note (recorded in `DESIGN.md`): Harvey–Munro build a
+//! distributed *deterministic skip list*; we implement the classic 1-2-3
+//! deterministic skip list (Munro–Papadakis–Sedgewick promotion discipline):
+//! between two consecutive level-`ℓ+1`-promoted elements there are always
+//! 1–3 level-`ℓ` elements, so searches take at most a constant number of
+//! moves per level *in the worst case*, and inserts repair violations with
+//! promotion cascades.
+
+use skipweb_net::sim::{MessageMeter, SimNetwork};
+use skipweb_net::HostId;
+
+use crate::common::OrderedDictionary;
+
+/// A distributed deterministic 1-2-3 skip list, one host per key, towers
+/// stored with their key's host.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_baselines::{DeterministicSkipNet, OrderedDictionary};
+/// use skipweb_net::MessageMeter;
+///
+/// let d = DeterministicSkipNet::new((0..64).map(|i| i * 3).collect());
+/// let mut meter = MessageMeter::new();
+/// assert_eq!(d.nearest(0, 50, &mut meter), 51);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeterministicSkipNet {
+    /// `levels[0]` = all keys sorted; `levels[ℓ+1]` ⊂ `levels[ℓ]` with
+    /// 1..=3 unpromoted elements between consecutive promoted ones.
+    levels: Vec<Vec<u64>>,
+}
+
+impl DeterministicSkipNet {
+    /// Builds the canonical structure: every second element promotes.
+    pub fn new(mut keys: Vec<u64>) -> Self {
+        keys.sort_unstable();
+        keys.dedup();
+        let mut levels = vec![keys];
+        loop {
+            let last = levels.last().expect("at least level 0");
+            if last.len() <= 3 {
+                break;
+            }
+            // Promote every second element starting at index 1: interior
+            // gaps of exactly 1, boundary gaps of 1 — a valid 1-2-3 state.
+            let next: Vec<u64> = last.iter().copied().skip(1).step_by(2).collect();
+            levels.push(next);
+        }
+        DeterministicSkipNet { levels }
+    }
+
+    /// Stored keys in order.
+    pub fn keys(&self) -> &[u64] {
+        &self.levels[0]
+    }
+
+    /// Number of levels.
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    fn host_of(&self, key: u64) -> HostId {
+        let i = self.levels[0].binary_search(&key).expect("stored key");
+        HostId(i as u32)
+    }
+
+    /// Verifies the 1-2-3 invariant (used by tests and debug assertions):
+    /// between consecutive promoted elements lie 1..=3 lower elements;
+    /// boundary segments hold 0..=3.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for l in 1..self.levels.len() {
+            let lower = &self.levels[l - 1];
+            let upper = &self.levels[l];
+            if upper.is_empty() {
+                return Err(format!("level {l} is empty"));
+            }
+            let mut prev_pos = None;
+            for &k in upper {
+                let pos = lower
+                    .binary_search(&k)
+                    .map_err(|_| format!("level {l} key {k} missing below"))?;
+                let gap = match prev_pos {
+                    None => pos,
+                    Some(p) => pos - p - 1,
+                };
+                let (min_gap, max_gap) = if prev_pos.is_none() { (0, 3) } else { (1, 3) };
+                if gap < min_gap || gap > max_gap {
+                    return Err(format!("level {l} gap {gap} before key {k}"));
+                }
+                prev_pos = Some(pos);
+            }
+            let tail = lower.len() - 1 - prev_pos.expect("nonempty upper");
+            if tail > 3 {
+                return Err(format!("level {l} tail gap {tail}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Top-down search; returns the floor index in level 0 (or 0).
+    fn route(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> usize {
+        meter.visit(HostId(origin as u32));
+        // The origin's root points at the top level's first element (§1.1
+        // gives every host a search root).
+        let mut cur: Option<u64> = None;
+        for level in (0..self.levels.len()).rev() {
+            let row = &self.levels[level];
+            let start = match cur {
+                None => 0,
+                Some(k) => row.binary_search(&k).expect("promoted key"),
+            };
+            let mut i = start;
+            if cur.is_none() {
+                if row.is_empty() || row[0] > q {
+                    continue; // enter from the next level down
+                }
+                meter.visit(self.host_of(row[0]));
+            }
+            while i + 1 < row.len() && row[i + 1] <= q {
+                i += 1;
+                meter.visit(self.host_of(row[i]));
+            }
+            cur = Some(row[i]);
+        }
+        match cur {
+            Some(k) => self.levels[0].binary_search(&k).expect("stored"),
+            None => 0, // q precedes every key
+        }
+    }
+
+    /// Promotion repair after inserting `key` at level 0: walks up splitting
+    /// any over-full gap; charges the hosts it relinks.
+    fn repair_insert(&mut self, key: u64, meter: &mut MessageMeter) {
+        let mut level = 0usize;
+        let mut focus = key;
+        loop {
+            if level + 1 >= self.levels.len() {
+                if self.levels[level].len() > 3 {
+                    // Grow a new top level from the middle element.
+                    let mid = self.levels[level][self.levels[level].len() / 2];
+                    self.levels.push(vec![mid]);
+                    meter.visit(self.host_of(mid));
+                }
+                return;
+            }
+            let lower_idx = self.levels[level]
+                .binary_search(&focus)
+                .expect("focus exists");
+            let upper = &self.levels[level + 1];
+            // Gap boundaries around focus in the upper level.
+            let right_pos = upper.partition_point(|&k| {
+                self.levels[level].binary_search(&k).expect("promoted") <= lower_idx
+            });
+            let left_bound = right_pos
+                .checked_sub(1)
+                .map(|p| self.levels[level].binary_search(&upper[p]).expect("promoted"));
+            let right_bound = upper
+                .get(right_pos)
+                .map(|&k| self.levels[level].binary_search(&k).expect("promoted"));
+            let lo = left_bound.map_or(0, |p| p + 1);
+            let hi = right_bound.unwrap_or(self.levels[level].len());
+            let gap = hi - lo;
+            if gap <= 3 {
+                return;
+            }
+            // Split: promote the middle of the gap.
+            let mid_key = self.levels[level][lo + gap / 2];
+            let ins = self.levels[level + 1]
+                .binary_search(&mid_key)
+                .expect_err("not yet promoted");
+            self.levels[level + 1].insert(ins, mid_key);
+            meter.visit(self.host_of(mid_key));
+            if let Some(p) = left_bound {
+                meter.visit(self.host_of(self.levels[level][p]));
+            }
+            if let Some(p) = right_bound {
+                meter.visit(self.host_of(self.levels[level][p]));
+            }
+            focus = mid_key;
+            level += 1;
+        }
+    }
+
+    /// Demotion repair after removing `key`: fixes under-full gaps by
+    /// demoting a separator (recursively) and re-splitting when the merged
+    /// gap overflows.
+    fn repair_remove(&mut self, meter: &mut MessageMeter) {
+        // Bottom-up scan: cheap at simulation scale and guaranteed to
+        // restore the invariant everywhere.
+        for level in 1..self.levels.len() {
+            loop {
+                let mut action: Option<(usize, bool)> = None; // (upper idx, demote?)
+                {
+                    let lower = &self.levels[level - 1];
+                    let upper = &self.levels[level];
+                    let mut prev: Option<usize> = None;
+                    for (ui, &k) in upper.iter().enumerate() {
+                        let pos = lower.binary_search(&k).expect("promoted");
+                        let gap = match prev {
+                            None => pos, // boundary may be 0
+                            Some(p) => pos - p - 1,
+                        };
+                        if prev.is_some() && gap < 1 {
+                            action = Some((ui, true));
+                            break;
+                        }
+                        if gap > 3 {
+                            action = Some((ui, false));
+                            break;
+                        }
+                        prev = Some(pos);
+                    }
+                    if action.is_none() {
+                        if let Some(p) = prev {
+                            if lower.len() - 1 - p > 3 {
+                                action = Some((upper.len(), false));
+                            }
+                        }
+                    }
+                }
+                match action {
+                    None => break,
+                    Some((ui, true)) => {
+                        // Demote the separator closing the empty gap — its
+                        // whole tower above this level must vanish too, or
+                        // upper levels would reference a missing element.
+                        let k = self.levels[level].remove(ui);
+                        for upper_level in &mut self.levels[level + 1..] {
+                            if let Ok(p) = upper_level.binary_search(&k) {
+                                upper_level.remove(p);
+                            }
+                        }
+                        meter.visit(self.host_of(k));
+                    }
+                    Some((ui, false)) => {
+                        // Split the oversized gap before upper[ui].
+                        let lower = &self.levels[level - 1];
+                        let upper = &self.levels[level];
+                        let hi = upper
+                            .get(ui)
+                            .map(|&k| lower.binary_search(&k).expect("promoted"))
+                            .unwrap_or(lower.len());
+                        let lo = ui
+                            .checked_sub(1)
+                            .map(|p| lower.binary_search(&upper[p]).expect("promoted") + 1)
+                            .unwrap_or(0);
+                        let mid_key = lower[lo + (hi - lo) / 2];
+                        let ins = self.levels[level]
+                            .binary_search(&mid_key)
+                            .expect_err("not promoted");
+                        self.levels[level].insert(ins, mid_key);
+                        meter.visit(self.host_of(mid_key));
+                    }
+                }
+            }
+        }
+        // Shrink trivial top levels.
+        while self.levels.len() > 1 && self.levels.last().expect("nonempty").is_empty() {
+            self.levels.pop();
+        }
+        while self.levels.len() > 1
+            && self.levels[self.levels.len() - 2].len() <= 3
+        {
+            self.levels.pop();
+        }
+    }
+}
+
+impl OrderedDictionary for DeterministicSkipNet {
+    fn name(&self) -> &'static str {
+        "det-skipnet"
+    }
+
+    fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    fn hosts(&self) -> usize {
+        self.len().max(1)
+    }
+
+    fn nearest(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> u64 {
+        assert!(!self.levels[0].is_empty(), "cannot search an empty structure");
+        let floor = self.route(origin, q, meter);
+        let keys = &self.levels[0];
+        let mut best = keys[floor];
+        for cand in [floor.checked_sub(1), (floor + 1 < keys.len()).then_some(floor + 1)]
+            .into_iter()
+            .flatten()
+        {
+            let k = keys[cand];
+            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best)
+            {
+                best = k;
+            }
+        }
+        best
+    }
+
+    fn insert(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        if !self.levels[0].is_empty() {
+            let origin = key as usize % self.len();
+            let _ = self.route(origin, key, meter);
+        }
+        let pos = match self.levels[0].binary_search(&key) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        self.levels[0].insert(pos, key);
+        meter.visit(self.host_of(key));
+        self.repair_insert(key, meter);
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        true
+    }
+
+    fn remove(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        let Ok(_pos) = self.levels[0].binary_search(&key) else {
+            return false;
+        };
+        if self.len() > 1 {
+            let origin = key as usize % self.len();
+            let _ = self.route(origin, key, meter);
+        }
+        for level in &mut self.levels {
+            if let Ok(p) = level.binary_search(&key) {
+                level.remove(p);
+            }
+        }
+        if self.levels[0].is_empty() {
+            self.levels = vec![Vec::new()];
+            return true;
+        }
+        self.repair_remove(meter);
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        true
+    }
+
+    fn account(&self, net: &mut SimNetwork) {
+        net.set_items(self.len());
+        for (i, &k) in self.levels[0].iter().enumerate() {
+            let host = HostId(i as u32);
+            // Tower: one node (with 2 pointers) per level containing k.
+            let tower = self
+                .levels
+                .iter()
+                .filter(|row| row.binary_search(&k).is_ok())
+                .count() as u64;
+            net.add_storage(host, 1 + 2 * tower);
+            net.add_refs(host, 0, 2 * tower);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::oracle_nearest;
+
+    fn net(n: u64) -> DeterministicSkipNet {
+        DeterministicSkipNet::new((0..n).map(|i| i * 10).collect())
+    }
+
+    #[test]
+    fn canonical_build_satisfies_invariants() {
+        for n in [0u64, 1, 2, 3, 4, 5, 10, 100, 1000] {
+            let d = net(n);
+            assert_eq!(d.check_invariants(), Ok(()), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_oracle() {
+        let d = net(300);
+        for s in 0..200u64 {
+            let q = (s * 89) % 3300;
+            let mut meter = MessageMeter::new();
+            let got = d.nearest(d.random_origin(s), q, &mut meter);
+            assert_eq!(got, oracle_nearest(d.keys(), q).unwrap(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn worst_case_search_is_logarithmic() {
+        let d = net(4096);
+        let mut worst = 0u64;
+        for s in 0..200u64 {
+            let mut m = MessageMeter::new();
+            d.nearest(d.random_origin(s), (s * 7919) % 41_000, &mut m);
+            worst = worst.max(m.messages());
+        }
+        // ≤ ~4 moves per level, 12 levels, deterministic.
+        assert!(worst <= 4 * 14, "worst-case messages {worst}");
+    }
+
+    #[test]
+    fn inserts_maintain_invariants_under_stress() {
+        let mut d = DeterministicSkipNet::new(vec![]);
+        for i in 0..500u64 {
+            let key = (i * 2654435761) % 100_000;
+            let mut m = MessageMeter::new();
+            d.insert(key, &mut m);
+            assert_eq!(d.check_invariants(), Ok(()), "after insert {key}");
+        }
+        assert!(d.len() > 400);
+    }
+
+    #[test]
+    fn removes_maintain_invariants_under_stress() {
+        let keys: Vec<u64> = (0..300).map(|i| i * 7).collect();
+        let mut d = DeterministicSkipNet::new(keys.clone());
+        for (j, &key) in keys.iter().enumerate().step_by(2) {
+            let mut m = MessageMeter::new();
+            assert!(d.remove(key, &mut m), "remove {key}");
+            assert_eq!(d.check_invariants(), Ok(()), "after remove #{j}");
+        }
+        assert_eq!(d.len(), 150);
+        let mut m = MessageMeter::new();
+        assert_eq!(d.nearest(0, 7, &mut m), 7); // odd-index keys remain
+    }
+
+    #[test]
+    fn memory_is_logarithmic() {
+        let d = net(2048);
+        let m = d.network().max_memory();
+        assert!(m <= 1 + 2 * (d.height() as u64 + 1), "memory {m}");
+    }
+
+    #[test]
+    fn mixed_workload_stays_correct() {
+        let mut d = net(64);
+        for i in 0..64u64 {
+            let mut m = MessageMeter::new();
+            d.insert(i * 10 + 5, &mut m);
+            if i % 3 == 0 {
+                d.remove(i * 10, &mut MessageMeter::new());
+            }
+        }
+        assert_eq!(d.check_invariants(), Ok(()));
+        let keys = d.keys().to_vec();
+        let mut m = MessageMeter::new();
+        for q in (0..700).step_by(37) {
+            assert_eq!(d.nearest(0, q, &mut m), oracle_nearest(&keys, q).unwrap());
+        }
+    }
+}

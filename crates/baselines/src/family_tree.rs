@@ -1,0 +1,357 @@
+//! Family trees (Zatloukal–Harvey, SODA'04) — the `M = O(1)` row of
+//! Table 1: constant pointers per host, `Õ(log n)` search and update.
+//!
+//! Reproduction note (recorded in `DESIGN.md`): we implement the same
+//! cost profile with the same search style — an `O(1)`-degree randomized
+//! ordered overlay. Each host stores its key, base-list predecessor and
+//! successor, a parent and two children of a canonical treap (priorities
+//! are a hash of the key, so the tree is *unique* for a key set), and its
+//! subtree's key interval. A search ascends from the origin only while the
+//! target lies outside the current subtree interval — preserving the family
+//! trees' locality (nearby targets never route through the root) — then
+//! descends by order. Expected depth `O(log n)` gives the Table 1 bounds.
+
+use skipweb_net::sim::{MessageMeter, SimNetwork};
+use skipweb_net::HostId;
+
+use crate::common::OrderedDictionary;
+
+/// SplitMix64: a deterministic hash giving each key its treap priority.
+fn priority(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A constant-degree ordered overlay in the family-trees cost regime.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_baselines::{FamilyTree, OrderedDictionary};
+/// use skipweb_net::MessageMeter;
+///
+/// let t = FamilyTree::new((0..100).map(|i| i * 2).collect());
+/// let mut meter = MessageMeter::new();
+/// assert_eq!(t.nearest(0, 33, &mut meter), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FamilyTree {
+    keys: Vec<u64>,
+    parent: Vec<Option<u32>>,
+    left: Vec<Option<u32>>,
+    right: Vec<Option<u32>>,
+    /// Subtree key interval (for the "does my subtree span q" test the
+    /// ascent uses — two extra words, still O(1) per host).
+    lo: Vec<u64>,
+    hi: Vec<u64>,
+    root: Option<u32>,
+}
+
+impl FamilyTree {
+    /// Builds the canonical overlay for `keys`.
+    pub fn new(mut keys: Vec<u64>) -> Self {
+        keys.sort_unstable();
+        keys.dedup();
+        let n = keys.len();
+        let mut t = FamilyTree {
+            keys,
+            parent: vec![None; n],
+            left: vec![None; n],
+            right: vec![None; n],
+            lo: vec![0; n],
+            hi: vec![0; n],
+            root: None,
+        };
+        t.rebuild();
+        t
+    }
+
+    /// Stored keys in order (host `i` owns `keys[i]`).
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    fn rebuild(&mut self) {
+        let n = self.keys.len();
+        self.parent = vec![None; n];
+        self.left = vec![None; n];
+        self.right = vec![None; n];
+        self.lo = vec![0; n];
+        self.hi = vec![0; n];
+        self.root = None;
+        // Canonical treap from sorted keys: right-spine stack construction.
+        let mut spine: Vec<u32> = Vec::new();
+        for i in 0..n as u32 {
+            let p = priority(self.keys[i as usize]);
+            let mut last: Option<u32> = None;
+            while let Some(&top) = spine.last() {
+                if priority(self.keys[top as usize]) < p {
+                    last = spine.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(l) = last {
+                self.left[i as usize] = Some(l);
+                self.parent[l as usize] = Some(i);
+            }
+            if let Some(&top) = spine.last() {
+                self.right[top as usize] = Some(i);
+                self.parent[i as usize] = Some(top);
+            }
+            spine.push(i);
+        }
+        self.root = spine.first().copied();
+        // Subtree intervals, children before parents (reverse spine order is
+        // not sufficient; do an explicit post-order).
+        if let Some(root) = self.root {
+            let mut stack = vec![(root, false)];
+            while let Some((v, expanded)) = stack.pop() {
+                if expanded {
+                    let vi = v as usize;
+                    let mut lo = self.keys[vi];
+                    let mut hi = self.keys[vi];
+                    if let Some(l) = self.left[vi] {
+                        lo = lo.min(self.lo[l as usize]);
+                        hi = hi.max(self.hi[l as usize]);
+                    }
+                    if let Some(r) = self.right[vi] {
+                        lo = lo.min(self.lo[r as usize]);
+                        hi = hi.max(self.hi[r as usize]);
+                    }
+                    self.lo[vi] = lo;
+                    self.hi[vi] = hi;
+                } else {
+                    stack.push((v, true));
+                    if let Some(l) = self.left[v as usize] {
+                        stack.push((l, false));
+                    }
+                    if let Some(r) = self.right[v as usize] {
+                        stack.push((r, false));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ascend-then-descend search; returns the index where the descent
+    /// stops (the floor or ceiling of `q`).
+    fn route(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> usize {
+        meter.visit(HostId(origin as u32));
+        let mut cur = origin;
+        // Ascend while the current subtree does not span q.
+        while (q < self.lo[cur] || q > self.hi[cur]) && self.parent[cur].is_some() {
+            cur = self.parent[cur].expect("checked") as usize;
+            meter.visit(HostId(cur as u32));
+        }
+        // Descend by order.
+        loop {
+            let k = self.keys[cur];
+            let next = if q < k { self.left[cur] } else if q > k { self.right[cur] } else { None };
+            match next {
+                Some(c) => {
+                    cur = c as usize;
+                    meter.visit(HostId(cur as u32));
+                }
+                None => return cur,
+            }
+        }
+    }
+}
+
+impl OrderedDictionary for FamilyTree {
+    fn name(&self) -> &'static str {
+        "family-tree"
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn hosts(&self) -> usize {
+        self.keys.len().max(1)
+    }
+
+    fn nearest(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> u64 {
+        assert!(!self.keys.is_empty(), "cannot search an empty family tree");
+        let cur = self.route(origin, q, meter);
+        // The landing host plus its base-list neighbours (their keys are in
+        // the local pointer records) bracket q.
+        let mut best = self.keys[cur];
+        for cand in [cur.checked_sub(1), (cur + 1 < self.keys.len()).then_some(cur + 1)]
+            .into_iter()
+            .flatten()
+        {
+            let k = self.keys[cand];
+            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best)
+            {
+                best = k;
+            }
+        }
+        best
+    }
+
+    fn insert(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        if !self.keys.is_empty() {
+            let origin = key as usize % self.keys.len();
+            let _ = self.route(origin, key, meter);
+        }
+        let pos = match self.keys.binary_search(&key) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        // Charge the hosts whose links the (canonical) insertion rewires:
+        // base neighbours plus the rotation cascade — found by diffing
+        // parents before/after, which is exactly the set of relinked nodes.
+        let old_parent: Vec<(u64, Option<u64>)> = self
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, self.parent[i].map(|p| self.keys[p as usize])))
+            .collect();
+        self.keys.insert(pos, key);
+        self.rebuild();
+        for (k, op) in old_parent {
+            let i = self.keys.binary_search(&k).expect("retained key");
+            let np = self.parent[i].map(|p| self.keys[p as usize]);
+            if op != np {
+                meter.visit(HostId(i as u32));
+            }
+        }
+        meter.visit(HostId(pos as u32));
+        true
+    }
+
+    fn remove(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        let Ok(pos) = self.keys.binary_search(&key) else {
+            return false;
+        };
+        if self.keys.len() > 1 {
+            let origin = key as usize % self.keys.len();
+            let _ = self.route(origin, key, meter);
+        }
+        let old_parent: Vec<(u64, Option<u64>)> = self
+            .keys
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pos)
+            .map(|(i, &k)| (k, self.parent[i].map(|p| self.keys[p as usize])))
+            .collect();
+        self.keys.remove(pos);
+        self.rebuild();
+        for (k, op) in old_parent {
+            let i = self.keys.binary_search(&k).expect("retained key");
+            let np = self.parent[i].map(|p| self.keys[p as usize]);
+            if op != np {
+                meter.visit(HostId(i as u32));
+            }
+        }
+        true
+    }
+
+    fn account(&self, net: &mut SimNetwork) {
+        net.set_items(self.keys.len());
+        for i in 0..self.keys.len() {
+            let host = HostId(i as u32);
+            // key + parent + 2 children + 2 base neighbours + interval: O(1).
+            let pointers = [
+                self.parent[i].is_some(),
+                self.left[i].is_some(),
+                self.right[i].is_some(),
+                i > 0,
+                i + 1 < self.keys.len(),
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count() as u64;
+            net.add_storage(host, 3 + pointers);
+            net.add_refs(host, 0, pointers);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::oracle_nearest;
+
+    fn tree(n: u64) -> FamilyTree {
+        FamilyTree::new((0..n).map(|i| i * 10).collect())
+    }
+
+    #[test]
+    fn nearest_matches_oracle() {
+        let t = tree(300);
+        for s in 0..200u64 {
+            let q = (s * 97) % 3300;
+            let mut meter = MessageMeter::new();
+            let got = t.nearest(t.random_origin(s), q, &mut meter);
+            assert_eq!(got, oracle_nearest(t.keys(), q).unwrap(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn memory_per_host_is_constant() {
+        let small = tree(64);
+        let big = tree(4096);
+        assert_eq!(small.network().max_memory(), big.network().max_memory());
+        assert!(big.network().max_memory() <= 8);
+    }
+
+    #[test]
+    fn search_is_logarithmic() {
+        let mut means = Vec::new();
+        for exp in [8u32, 12] {
+            let t = tree(1 << exp);
+            let trials = 100u64;
+            let total: u64 = (0..trials)
+                .map(|s| {
+                    let mut m = MessageMeter::new();
+                    t.nearest(t.random_origin(s), (s * 7919) % ((1u64 << exp) * 10), &mut m);
+                    m.messages()
+                })
+                .sum();
+            means.push(total as f64 / trials as f64);
+        }
+        // 16x the keys: additive growth, far from 16x.
+        assert!(means[1] < means[0] * 2.5, "means {means:?}");
+    }
+
+    #[test]
+    fn nearby_targets_do_not_route_through_the_root() {
+        let t = tree(4096);
+        // Query a key adjacent to the origin: ascent stops immediately.
+        let origin = 2000usize;
+        let q = t.keys()[origin] + 5;
+        let mut m = MessageMeter::new();
+        t.nearest(origin, q, &mut m);
+        assert!(m.messages() <= 20, "local query cost {} too high", m.messages());
+    }
+
+    #[test]
+    fn updates_apply_and_stay_cheap() {
+        let mut t = tree(512);
+        let mut worst = 0u64;
+        for i in 0..20u64 {
+            let mut meter = MessageMeter::new();
+            assert!(t.insert(5 + i * 32, &mut meter));
+            worst = worst.max(meter.messages());
+        }
+        let mut m = MessageMeter::new();
+        assert_eq!(t.nearest(0, 4, &mut m), 5);
+        assert!(worst < 120, "update cost {worst}");
+        assert!(t.remove(5, &mut MessageMeter::new()));
+        let mut m = MessageMeter::new();
+        assert_eq!(t.nearest(0, 4, &mut m), 0);
+    }
+
+    #[test]
+    fn canonical_tree_is_insertion_order_independent() {
+        let a = FamilyTree::new(vec![5, 1, 9, 3]);
+        let b = FamilyTree::new(vec![9, 3, 5, 1]);
+        assert_eq!(a.parent, b.parent);
+        assert_eq!(a.root, b.root);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Baselines from Table 1 of the skip-webs paper, plus the Chord DHT
+//! contrast from §1.2 — every system the paper compares against,
+//! implemented clean-room on the same cost model ([`skipweb_net`]).
+//!
+//! | Module | Table 1 row | M | Q(n) | U(n) |
+//! |---|---|---|---|---|
+//! | [`skipgraph`] | skip graphs / SkipNet | O(log n) | Õ(log n) | Õ(log n) |
+//! | [`non_skipgraph`] | NoN skip graphs | O(log² n) | Õ(log n/log log n) | Õ(log² n) |
+//! | [`family_tree`] | family trees | O(1) | Õ(log n) | Õ(log n) |
+//! | [`det_skipnet`] | deterministic SkipNet | O(log n) | O(log n) | O(log² n) |
+//! | [`bucket_skipgraph`] | bucket skip graphs | O(n/H + log H) | Õ(log H) | Õ(log H) |
+//! | [`chord`] | §1.2 DHT contrast | O(log n) | O(log n) exact-match only | — |
+//!
+//! [`skiplist`] is the classic single-machine skip list of Figure 1 (Pugh),
+//! used to reproduce that figure and as the conceptual base of the rest.
+//!
+//! All distributed baselines implement [`common::OrderedDictionary`], the
+//! shared harness interface the Table 1 experiment sweeps over.
+
+pub mod bucket_skipgraph;
+pub mod chord;
+pub mod common;
+pub mod det_skipnet;
+pub mod family_tree;
+pub mod non_skipgraph;
+pub mod skipgraph;
+pub mod skiplist;
+
+pub use bucket_skipgraph::BucketSkipGraph;
+pub use chord::Chord;
+pub use common::OrderedDictionary;
+pub use det_skipnet::DeterministicSkipNet;
+pub use family_tree::FamilyTree;
+pub use non_skipgraph::NonSkipGraph;
+pub use skipgraph::SkipGraph;
+pub use skiplist::SkipList;

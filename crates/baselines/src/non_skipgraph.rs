@@ -1,0 +1,259 @@
+//! NoN ("neighbour-of-neighbour") skip graphs — Manku, Naor, Wieder
+//! (STOC'04) / Naor–Wieder: the second row of Table 1.
+//!
+//! Each host additionally stores, for every one of its `O(log n)` skip-graph
+//! neighbours, that neighbour's own full neighbour list — `O(log² n)`
+//! memory — and routes greedily over the combined candidate set, which cuts
+//! the expected query cost to `O(log n / log log n)` at the price of
+//! `O(log² n)` memory, congestion, and update cost. This is the trade-off
+//! that motivates skip-webs, which reach the same query bound with
+//! `O(log n)` memory.
+
+use skipweb_net::sim::{MessageMeter, SimNetwork};
+use skipweb_net::HostId;
+
+use crate::common::OrderedDictionary;
+use crate::skipgraph::SkipGraph;
+
+/// A skip graph augmented with neighbour-of-neighbour routing tables.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_baselines::{NonSkipGraph, OrderedDictionary};
+/// use skipweb_net::MessageMeter;
+///
+/// let g = NonSkipGraph::new((0..200).map(|i| i * 3).collect(), 5);
+/// let mut meter = MessageMeter::new();
+/// assert_eq!(g.nearest(3, 100, &mut meter), 99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NonSkipGraph {
+    inner: SkipGraph,
+}
+
+impl NonSkipGraph {
+    /// Builds the augmented graph with seeded membership vectors.
+    pub fn new(keys: Vec<u64>, seed: u64) -> Self {
+        NonSkipGraph {
+            inner: SkipGraph::new(keys, seed),
+        }
+    }
+
+    /// Stored keys in order.
+    pub fn keys(&self) -> &[u64] {
+        self.inner.keys()
+    }
+
+    /// The candidate set host `i` can jump to in one message: its own
+    /// neighbours at every level plus each such neighbour's neighbours at
+    /// every level (all addresses present in the local NoN table).
+    fn candidates(&self, i: usize) -> Vec<u32> {
+        let levels = self.inner.levels();
+        let mut out: Vec<u32> = Vec::with_capacity(4 * levels * levels);
+        let mut direct: Vec<u32> = Vec::with_capacity(2 * levels);
+        for level in 0..levels {
+            let (l, r) = self.inner.neighbors_at(level, i);
+            direct.extend(l);
+            direct.extend(r);
+        }
+        for &y in &direct {
+            out.push(y);
+            for level in 0..levels {
+                let (l, r) = self.inner.neighbors_at(level, y as usize);
+                out.extend(l);
+                out.extend(r);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl OrderedDictionary for NonSkipGraph {
+    fn name(&self) -> &'static str {
+        "non-skip-graph"
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn hosts(&self) -> usize {
+        self.inner.hosts()
+    }
+
+    fn nearest(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> u64 {
+        let keys = self.inner.keys();
+        assert!(!keys.is_empty(), "cannot search an empty NoN skip graph");
+        meter.visit(HostId(origin as u32));
+        let mut cur = origin;
+        // Greedy lookahead routing: jump to the known address closest to q.
+        // Level-0 neighbours are always candidates, so every non-final step
+        // strictly improves and the walk terminates at the floor/ceil of q.
+        loop {
+            let mut best: Option<u32> = None;
+            let cur_dist = q.abs_diff(keys[cur]);
+            for cand in self.candidates(cur) {
+                let d = q.abs_diff(keys[cand as usize]);
+                if d < cur_dist
+                    && best.is_none_or(|b| {
+                        let bd = q.abs_diff(keys[b as usize]);
+                        d < bd || (d == bd && keys[cand as usize] < keys[b as usize])
+                    })
+                {
+                    best = Some(cand);
+                }
+            }
+            match best {
+                Some(next) => {
+                    cur = next as usize;
+                    meter.visit(HostId(cur as u32));
+                }
+                None => break,
+            }
+        }
+        // The landing host's level-0 neighbours (keys known locally) settle
+        // equidistant ties toward the smaller key.
+        let (l, r) = self.inner.neighbors_at(0, cur);
+        let mut best = keys[cur];
+        for cand in [l, r].into_iter().flatten() {
+            let k = keys[cand as usize];
+            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best)
+            {
+                best = k;
+            }
+        }
+        best
+    }
+
+    fn insert(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        let changed = self.inner.insert(key, meter);
+        if changed {
+            // Each of the O(log n) new neighbours must push its refreshed
+            // neighbour list to the nodes that store it in their NoN tables:
+            // O(log n) recipients each — the O(log² n) update column.
+            let levels = self.inner.levels() as u64;
+            meter.charge(2 * levels * levels);
+        }
+        changed
+    }
+
+    fn remove(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        let changed = self.inner.remove(key, meter);
+        if changed {
+            let levels = self.inner.levels() as u64;
+            meter.charge(2 * levels * levels);
+        }
+        changed
+    }
+
+    fn account(&self, net: &mut SimNetwork) {
+        net.set_items(self.len());
+        for i in 0..self.len() {
+            let host = HostId(i as u32);
+            // Own tower plus a copy of each neighbour's neighbour list.
+            let mut units = 1u64;
+            let mut remote = 0u64;
+            let levels = self.inner.levels();
+            let mut direct: Vec<u32> = Vec::new();
+            for level in 0..levels {
+                let (l, r) = self.inner.neighbors_at(level, i);
+                direct.extend(l);
+                direct.extend(r);
+            }
+            units += direct.len() as u64;
+            remote += direct.len() as u64;
+            for &y in &direct {
+                for level in 0..levels {
+                    let (l, r) = self.inner.neighbors_at(level, y as usize);
+                    let c = l.iter().count() as u64 + r.iter().count() as u64;
+                    units += c;
+                    remote += c;
+                }
+            }
+            net.add_storage(host, units);
+            net.add_refs(host, 0, remote);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::oracle_nearest;
+
+    fn graph(n: u64, seed: u64) -> NonSkipGraph {
+        NonSkipGraph::new((0..n).map(|i| i * 10).collect(), seed)
+    }
+
+    #[test]
+    fn nearest_matches_oracle() {
+        let g = graph(300, 1);
+        for s in 0..200u64 {
+            let q = (s * 101) % 3300;
+            let mut meter = MessageMeter::new();
+            let got = g.nearest(g.random_origin(s), q, &mut meter);
+            assert_eq!(got, oracle_nearest(g.keys(), q).unwrap(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn lookahead_beats_plain_skip_graph_on_messages() {
+        let n = 4096u64;
+        let keys: Vec<u64> = (0..n).map(|i| i * 10).collect();
+        let plain = SkipGraph::new(keys.clone(), 7);
+        let non = NonSkipGraph::new(keys, 7);
+        let trials = 60u64;
+        let (mut m_plain, mut m_non) = (0u64, 0u64);
+        for s in 0..trials {
+            let q = (s * 7919) % (n * 10);
+            let mut a = MessageMeter::new();
+            plain.nearest(plain.random_origin(s), q, &mut a);
+            m_plain += a.messages();
+            let mut b = MessageMeter::new();
+            non.nearest(non.random_origin(s), q, &mut b);
+            m_non += b.messages();
+        }
+        assert!(
+            m_non < m_plain,
+            "NoN routing ({m_non}) should beat plain skip graph ({m_plain})"
+        );
+    }
+
+    #[test]
+    fn memory_is_log_squared_not_linear() {
+        let small = graph(256, 2);
+        let big = graph(1024, 2);
+        let m_small = small.network().max_memory();
+        let m_big = big.network().max_memory();
+        // log² growth: 4x the keys → (10/8)² ≈ 1.6x memory, far below 4x.
+        assert!(m_big > m_small, "NoN tables must grow with n");
+        assert!(
+            (m_big as f64) < (m_small as f64) * 3.0,
+            "memory {m_small} -> {m_big} grows too fast"
+        );
+        // And it clearly exceeds the plain skip graph's O(log n).
+        let plain = SkipGraph::new((0..1024u64).map(|i| i * 10).collect(), 2);
+        assert!(m_big > 3 * plain.network().max_memory());
+    }
+
+    #[test]
+    fn updates_charge_the_non_table_refresh() {
+        let mut g = graph(512, 3);
+        let mut meter = MessageMeter::new();
+        assert!(g.insert(11, &mut meter));
+        let levels = 10u64; // ceil(log2 513)
+        assert!(meter.messages() >= 2 * levels * levels / 2, "table refresh undercharged");
+    }
+
+    #[test]
+    fn routing_from_either_side_terminates() {
+        let g = graph(128, 4);
+        let mut m = MessageMeter::new();
+        assert_eq!(g.nearest(127, 0, &mut m), 0);
+        let mut m = MessageMeter::new();
+        assert_eq!(g.nearest(0, u64::MAX, &mut m), 1270);
+    }
+}

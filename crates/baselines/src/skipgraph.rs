@@ -1,0 +1,329 @@
+//! Skip graphs (Aspnes–Shah, SODA'03) / SkipNet (Harvey et al.) — the first
+//! row of Table 1: `M = O(log n)`, `Q(n) = Õ(log n)`, `U(n) = Õ(log n)`.
+//!
+//! Every key draws a random *membership vector*; the level-`ℓ` lists group
+//! keys sharing the first `ℓ` membership bits, each group a sorted doubly
+//! linked list. Each key's host stores its whole tower (its node in every
+//! level's list). A search starts at the origin's tower top and repeatedly
+//! runs toward the target as far as it can on the current level, then drops
+//! a level — the distributed skip-list search of Figure 1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skipweb_net::sim::{MessageMeter, SimNetwork};
+use skipweb_net::HostId;
+
+use crate::common::OrderedDictionary;
+
+/// Number of levels for `n` keys: `⌈log₂ n⌉` (expected `O(1)` keys share a
+/// full prefix at the top).
+fn level_count(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// A skip graph over `u64` keys, one host per key.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_baselines::{OrderedDictionary, SkipGraph};
+/// use skipweb_net::MessageMeter;
+///
+/// let g = SkipGraph::new((0..100).map(|i| i * 5).collect(), 11);
+/// let mut meter = MessageMeter::new();
+/// assert_eq!(g.nearest(0, 52, &mut meter), 50);
+/// assert!(meter.messages() <= 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkipGraph {
+    keys: Vec<u64>,
+    mvec: Vec<u64>,
+    /// `nbrs[level][i]` = (left, right) key indices within `i`'s level group.
+    nbrs: Vec<Vec<(Option<u32>, Option<u32>)>>,
+    rng: StdRng,
+}
+
+impl SkipGraph {
+    /// Builds a skip graph with seeded membership vectors.
+    pub fn new(keys: Vec<u64>, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = SkipGraph {
+            keys: Vec::new(),
+            mvec: Vec::new(),
+            nbrs: Vec::new(),
+            rng: StdRng::seed_from_u64(seed.wrapping_add(1)),
+        };
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mvec = sorted.iter().map(|_| rng.gen()).collect();
+        g.keys = sorted;
+        g.mvec = mvec;
+        g.rebuild();
+        g
+    }
+
+    /// Stored keys in order (host `i` owns `keys[i]`).
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Number of levels in the graph.
+    pub fn levels(&self) -> usize {
+        self.nbrs.len()
+    }
+
+    pub(crate) fn rebuild(&mut self) {
+        let n = self.keys.len();
+        let top = level_count(n);
+        self.nbrs = (0..=top)
+            .map(|level| {
+                let mut row = vec![(None, None); n];
+                let mask = if level == 0 { 0 } else { (1u64 << level) - 1 };
+                let mut last: std::collections::HashMap<u64, u32> =
+                    std::collections::HashMap::new();
+                for i in 0..n {
+                    let g = self.mvec[i] & mask;
+                    if let Some(&p) = last.get(&g) {
+                        row[i].0 = Some(p);
+                        row[p as usize].1 = Some(i as u32);
+                    }
+                    last.insert(g, i as u32);
+                }
+                row
+            })
+            .collect();
+    }
+
+    /// Floor-style search: returns the index the search settles on (the
+    /// greatest key ≤ q, or the least key when q precedes everything),
+    /// charging one message per tower-to-tower move.
+    fn route(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> usize {
+        meter.visit(HostId(origin as u32));
+        let mut cur = origin;
+        let go_right = self.keys[cur] <= q;
+        for level in (0..self.nbrs.len()).rev() {
+            loop {
+                let (l, r) = self.nbrs[level][cur];
+                let step = if go_right {
+                    r.filter(|&j| self.keys[j as usize] <= q)
+                } else {
+                    l.filter(|&j| self.keys[j as usize] >= q)
+                };
+                match step {
+                    Some(j) => {
+                        cur = j as usize;
+                        meter.visit(HostId(cur as u32));
+                    }
+                    None => break,
+                }
+            }
+        }
+        cur
+    }
+
+    /// Neighbour indices of key `i` at `level` (left, right).
+    pub(crate) fn neighbors_at(&self, level: usize, i: usize) -> (Option<u32>, Option<u32>) {
+        self.nbrs[level][i]
+    }
+
+    /// Charges the §4-style per-level relinking messages for (re)linking
+    /// `key` with the given membership vector, without modifying the graph.
+    fn meter_relink(&self, key: u64, mvec: u64, meter: &mut MessageMeter) {
+        let top = level_count(self.keys.len() + 1);
+        for level in 0..=top {
+            let mask = if level == 0 { 0 } else { (1u64 << level) - 1 };
+            let group = mvec & mask;
+            // Predecessor and successor within the level group.
+            let pos = self.keys.partition_point(|&k| k < key);
+            let pred = (0..pos)
+                .rev()
+                .find(|&i| self.mvec[i] & mask == group);
+            let succ = (pos..self.keys.len()).find(|&i| self.mvec[i] & mask == group);
+            if let Some(p) = pred {
+                meter.visit(HostId(p as u32));
+            }
+            if let Some(s) = succ {
+                meter.visit(HostId(s as u32));
+            }
+            if pred.is_none() && succ.is_none() {
+                break; // empty group: higher levels are empty too
+            }
+        }
+    }
+}
+
+impl OrderedDictionary for SkipGraph {
+    fn name(&self) -> &'static str {
+        "skip-graph"
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn hosts(&self) -> usize {
+        self.keys.len().max(1)
+    }
+
+    fn nearest(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> u64 {
+        assert!(!self.keys.is_empty(), "cannot search an empty skip graph");
+        let cur = self.route(origin, q, meter);
+        // The settled node knows its level-0 neighbours' keys locally.
+        let (l, r) = self.nbrs[0][cur];
+        let mut best = self.keys[cur];
+        for cand in [l, r].into_iter().flatten() {
+            let k = self.keys[cand as usize];
+            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best)
+            {
+                best = k;
+            }
+        }
+        best
+    }
+
+    fn insert(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        if !self.keys.is_empty() {
+            let origin = self.rng.gen_range(0..self.keys.len());
+            let _ = self.route(origin, key, meter);
+        }
+        if self.keys.binary_search(&key).is_ok() {
+            return false;
+        }
+        let mvec: u64 = self.rng.gen();
+        self.meter_relink(key, mvec, meter);
+        let pos = self.keys.partition_point(|&k| k < key);
+        self.keys.insert(pos, key);
+        self.mvec.insert(pos, mvec);
+        self.rebuild();
+        true
+    }
+
+    fn remove(&mut self, key: u64, meter: &mut MessageMeter) -> bool {
+        let Ok(pos) = self.keys.binary_search(&key) else {
+            return false;
+        };
+        if self.keys.len() > 1 {
+            let origin = self.rng.gen_range(0..self.keys.len());
+            let _ = self.route(origin, key, meter);
+        }
+        self.meter_relink(key, self.mvec[pos], meter);
+        self.keys.remove(pos);
+        self.mvec.remove(pos);
+        self.rebuild();
+        true
+    }
+
+    fn account(&self, net: &mut SimNetwork) {
+        net.set_items(self.keys.len());
+        for i in 0..self.keys.len() {
+            let host = HostId(i as u32);
+            let mut units = 1u64; // the key
+            let mut remote = 0u64;
+            for level in &self.nbrs {
+                for nb in [level[i].0, level[i].1].into_iter().flatten() {
+                    units += 1;
+                    let _ = nb;
+                    remote += 1;
+                }
+            }
+            net.add_storage(host, units);
+            net.add_refs(host, 0, remote);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::oracle_nearest;
+
+    fn graph(n: u64, seed: u64) -> SkipGraph {
+        SkipGraph::new((0..n).map(|i| i * 10).collect(), seed)
+    }
+
+    #[test]
+    fn nearest_matches_oracle_from_any_origin() {
+        let g = graph(200, 1);
+        for s in 0..200u64 {
+            let q = (s * 83) % 2200;
+            let origin = (s as usize * 7) % g.len();
+            let mut meter = MessageMeter::new();
+            let got = g.nearest(origin, q, &mut meter);
+            assert_eq!(got, oracle_nearest(g.keys(), q).unwrap(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn query_messages_are_logarithmic() {
+        let mut means = Vec::new();
+        for exp in [7u32, 10] {
+            let g = graph(1 << exp, 2);
+            let trials = 100u64;
+            let total: u64 = (0..trials)
+                .map(|s| {
+                    let mut meter = MessageMeter::new();
+                    g.nearest(
+                        g.random_origin(s),
+                        (s * 7919) % ((1u64 << exp) * 10),
+                        &mut meter,
+                    );
+                    meter.messages()
+                })
+                .sum();
+            means.push(total as f64 / trials as f64);
+        }
+        // 8x the keys should cost ~3 extra levels, not 8x the messages.
+        assert!(means[1] < means[0] + 12.0, "means {means:?}");
+    }
+
+    #[test]
+    fn memory_per_host_is_logarithmic() {
+        let g = graph(1024, 3);
+        let net = g.network();
+        // tower = key + 2 pointers per level
+        assert!(net.max_memory() <= 1 + 2 * (g.levels() as u64 + 1));
+        assert_eq!(net.hosts(), 1024);
+    }
+
+    #[test]
+    fn insert_and_remove_keep_answers_correct() {
+        let mut g = graph(64, 4);
+        let mut meter = MessageMeter::new();
+        assert!(g.insert(555, &mut meter));
+        assert!(!g.insert(555, &mut MessageMeter::new()));
+        assert!(meter.messages() > 0);
+        let mut m2 = MessageMeter::new();
+        assert_eq!(g.nearest(0, 554, &mut m2), 555);
+        assert!(g.remove(555, &mut MessageMeter::new()));
+        assert!(!g.remove(555, &mut MessageMeter::new()));
+        let mut m3 = MessageMeter::new();
+        let near = g.nearest(0, 554, &mut m3);
+        assert!(near == 550 || near == 560);
+    }
+
+    #[test]
+    fn update_messages_are_logarithmic() {
+        let mut g = graph(1024, 5);
+        let mut worst = 0u64;
+        for i in 0..20u64 {
+            let mut meter = MessageMeter::new();
+            assert!(g.insert(7 + i * 32, &mut meter));
+            worst = worst.max(meter.messages());
+        }
+        assert!(worst < 80, "update cost {worst}");
+    }
+
+    #[test]
+    fn searches_toward_both_directions_work() {
+        let g = graph(100, 6);
+        let mut m = MessageMeter::new();
+        assert_eq!(g.nearest(99, 0, &mut m), 0); // leftward from the right end
+        let mut m = MessageMeter::new();
+        assert_eq!(g.nearest(0, 10_000, &mut m), 990); // rightward
+    }
+}

@@ -1,0 +1,211 @@
+//! The classic randomized skip list (Pugh 1990) — Figure 1 of the paper.
+//!
+//! Single-machine: each element joins level `i+1` with probability 1/2; a
+//! search starts at the top, runs right as far as it can, then drops down.
+//! Expected query time `O(log n)`, expected space `O(n)`. The figure-1
+//! reproduction measures exactly those two series.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized skip list over `u64` keys with instrumented searches.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_baselines::SkipList;
+///
+/// let sl = SkipList::new((0..100).map(|i| i * 3).collect(), 7);
+/// let (nearest, steps) = sl.nearest_counted(100);
+/// assert_eq!(nearest, 99);
+/// assert!(steps > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkipList {
+    keys: Vec<u64>,
+    /// `towers[i]` = number of levels key `i` participates in (≥ 1).
+    towers: Vec<u32>,
+    /// `next[level][i]` = index of the next key at `level`, or `None`.
+    next: Vec<Vec<Option<u32>>>,
+}
+
+impl SkipList {
+    /// Builds a skip list over `keys` (sorted + deduped) with seeded coins.
+    pub fn new(mut keys: Vec<u64>, seed: u64) -> Self {
+        keys.sort_unstable();
+        keys.dedup();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let towers: Vec<u32> = keys
+            .iter()
+            .map(|_| {
+                let mut h = 1u32;
+                while rng.gen_bool(0.5) && h < 64 {
+                    h += 1;
+                }
+                h
+            })
+            .collect();
+        let max_level = towers.iter().copied().max().unwrap_or(1);
+        let mut next = vec![vec![None; keys.len()]; max_level as usize];
+        for (level, row) in next.iter_mut().enumerate() {
+            let mut prev: Option<usize> = None;
+            for (i, &tower) in towers.iter().enumerate() {
+                if tower > level as u32 {
+                    if let Some(p) = prev {
+                        row[p] = Some(i as u32);
+                    }
+                    prev = Some(i);
+                }
+            }
+        }
+        SkipList { keys, towers, next }
+    }
+
+    /// Stored keys in order.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Number of levels (Figure 1's stack height).
+    pub fn levels(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Total node count across levels — the `O(n)` expected-space series.
+    pub fn total_nodes(&self) -> u64 {
+        self.towers.iter().map(|&t| t as u64).sum()
+    }
+
+    /// Number of elements present at `level`.
+    pub fn level_population(&self, level: usize) -> usize {
+        self.towers.iter().filter(|&&t| t > level as u32).count()
+    }
+
+    /// Nearest stored key to `q` plus the number of search steps taken
+    /// (node visits, the cost Figure 1's caption describes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty.
+    pub fn nearest_counted(&self, q: u64) -> (u64, u64) {
+        assert!(!self.is_empty(), "cannot search an empty skip list");
+        let mut steps = 0u64;
+        // Start before the first element at the top level.
+        let mut level = self.levels();
+        let mut at: Option<usize> = None; // None = head sentinel
+        while level > 0 {
+            level -= 1;
+            loop {
+                let next = match at {
+                    None => self
+                        .towers
+                        .iter()
+                        .position(|&t| t > level as u32)
+                        .map(|i| i as u32),
+                    Some(i) => self.next[level][i],
+                };
+                match next {
+                    Some(j) if self.keys[j as usize] <= q => {
+                        at = Some(j as usize);
+                        steps += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let floor = at;
+        let ceil = match floor {
+            None => Some(0),
+            Some(i) => self.next[0][i].map(|j| j as usize),
+        };
+        let best = match (floor, ceil) {
+            (Some(f), Some(c)) => {
+                let (kf, kc) = (self.keys[f], self.keys[c]);
+                if q.abs_diff(kf) <= q.abs_diff(kc) {
+                    kf
+                } else {
+                    kc
+                }
+            }
+            (Some(f), None) => self.keys[f],
+            (None, Some(c)) => self.keys[c],
+            (None, None) => unreachable!("nonempty list"),
+        };
+        (best, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_nearest_like_the_oracle() {
+        let keys: Vec<u64> = (0..500).map(|i| i * 7 + 1).collect();
+        let sl = SkipList::new(keys.clone(), 3);
+        for q in (0..3700).step_by(17) {
+            let (got, _) = sl.nearest_counted(q);
+            let want = crate::common::oracle_nearest(&keys, q).unwrap();
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn space_is_linear_in_expectation() {
+        let sl = SkipList::new((0..4096).collect(), 4);
+        // E[total nodes] = 2n; allow generous slack.
+        let total = sl.total_nodes();
+        assert!(total > 4096 && total < 3 * 4096, "total nodes {total}");
+    }
+
+    #[test]
+    fn level_populations_halve() {
+        let sl = SkipList::new((0..8192).collect(), 5);
+        let l0 = sl.level_population(0);
+        let l1 = sl.level_population(1);
+        let l2 = sl.level_population(2);
+        assert_eq!(l0, 8192);
+        assert!((l1 as f64 - 4096.0).abs() < 450.0);
+        assert!((l2 as f64 - 2048.0).abs() < 350.0);
+    }
+
+    #[test]
+    fn search_steps_grow_logarithmically() {
+        let mut means = Vec::new();
+        for exp in [8u32, 12] {
+            let n = 1u64 << exp;
+            let sl = SkipList::new((0..n).collect(), 6);
+            let trials = 200;
+            let total: u64 = (0..trials)
+                .map(|s| sl.nearest_counted((s * 911) % n).1)
+                .sum();
+            means.push(total as f64 / trials as f64);
+        }
+        // 16x more keys should add ~constant work per doubling, not 16x.
+        assert!(means[1] < means[0] * 3.0, "steps {means:?} not logarithmic");
+    }
+
+    #[test]
+    fn duplicate_keys_are_removed() {
+        let sl = SkipList::new(vec![5, 5, 5, 9], 7);
+        assert_eq!(sl.len(), 2);
+        assert_eq!(sl.nearest_counted(6).0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty skip list")]
+    fn empty_search_panics() {
+        let sl = SkipList::new(vec![], 8);
+        let _ = sl.nearest_counted(1);
+    }
+}

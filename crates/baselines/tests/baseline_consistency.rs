@@ -1,0 +1,172 @@
+//! Crate-level integration for the baselines: determinism, churn stress,
+//! and proptest agreement with a reference BTreeSet under arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+use skipweb_baselines::{
+    BucketSkipGraph, DeterministicSkipNet, FamilyTree, NonSkipGraph, OrderedDictionary, SkipGraph,
+};
+use skipweb_net::MessageMeter;
+
+fn oracle(keys: &[u64], q: u64) -> u64 {
+    *keys.iter().min_by_key(|&&k| (k.abs_diff(q), k)).unwrap()
+}
+
+#[test]
+fn same_seed_builds_identical_skip_graphs() {
+    let keys: Vec<u64> = (0..200).map(|i| i * 7).collect();
+    let a = SkipGraph::new(keys.clone(), 77);
+    let b = SkipGraph::new(keys, 77);
+    for s in 0..40u64 {
+        let q = s * 33;
+        let mut ma = MessageMeter::new();
+        let mut mb = MessageMeter::new();
+        assert_eq!(a.nearest(3, q, &mut ma), b.nearest(3, q, &mut mb));
+        assert_eq!(ma.messages(), mb.messages(), "routing must be deterministic");
+    }
+}
+
+#[test]
+fn deterministic_skipnet_is_seed_free() {
+    // No randomness at all: two builds are structurally identical.
+    let keys: Vec<u64> = (0..300).map(|i| i * 11).collect();
+    let a = DeterministicSkipNet::new(keys.clone());
+    let b = DeterministicSkipNet::new(keys);
+    assert_eq!(a.height(), b.height());
+    let mut ma = MessageMeter::new();
+    let mut mb = MessageMeter::new();
+    assert_eq!(a.nearest(5, 1234, &mut ma), b.nearest(5, 1234, &mut mb));
+    assert_eq!(ma.messages(), mb.messages());
+}
+
+#[test]
+fn heavy_churn_keeps_all_methods_in_sync() {
+    let base: Vec<u64> = (0..150).map(|i| i * 20).collect();
+    let mut methods: Vec<Box<dyn OrderedDictionary>> = vec![
+        Box::new(SkipGraph::new(base.clone(), 1)),
+        Box::new(NonSkipGraph::new(base.clone(), 2)),
+        Box::new(FamilyTree::new(base.clone())),
+        Box::new(DeterministicSkipNet::new(base.clone())),
+        Box::new(BucketSkipGraph::new(base.clone(), 12, 3)),
+    ];
+    let mut reference = base;
+    // 120 mixed operations.
+    for i in 0..120u64 {
+        let key = (i * 2654435761) % 10_000;
+        let op_insert = i % 3 != 0;
+        if op_insert {
+            let fresh = !reference.contains(&key);
+            for m in &mut methods {
+                let got = m.insert(key, &mut MessageMeter::new());
+                assert_eq!(got, fresh, "{} insert {key}", m.name());
+            }
+            if fresh {
+                reference.push(key);
+            }
+        } else {
+            let present = reference.contains(&key);
+            for m in &mut methods {
+                let got = m.remove(key, &mut MessageMeter::new());
+                assert_eq!(got, present, "{} remove {key}", m.name());
+            }
+            if present {
+                reference.retain(|&k| k != key);
+            }
+        }
+    }
+    reference.sort_unstable();
+    for s in 0..40u64 {
+        let q = (s * 257) % 11_000;
+        let want = oracle(&reference, q);
+        for m in &methods {
+            let mut meter = MessageMeter::new();
+            assert_eq!(m.nearest(m.random_origin(s), q, &mut meter), want, "{}", m.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn skip_graph_agrees_with_oracle_on_arbitrary_sets(
+        mut keys in proptest::collection::vec(0u64..50_000, 1..100),
+        queries in proptest::collection::vec(0u64..55_000, 1..16),
+        seed in 0u64..100,
+    ) {
+        keys.sort_unstable();
+        keys.dedup();
+        let g = SkipGraph::new(keys.clone(), seed);
+        for q in queries {
+            let mut m = MessageMeter::new();
+            prop_assert_eq!(g.nearest(g.random_origin(q), q, &mut m), oracle(&keys, q));
+        }
+    }
+
+    #[test]
+    fn det_skipnet_invariants_survive_arbitrary_op_sequences(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..2_000), 1..80),
+    ) {
+        let mut d = DeterministicSkipNet::new(vec![]);
+        let mut reference: Vec<u64> = Vec::new();
+        for (insert, key) in ops {
+            if insert {
+                let fresh = !reference.contains(&key);
+                prop_assert_eq!(d.insert(key, &mut MessageMeter::new()), fresh);
+                if fresh {
+                    reference.push(key);
+                }
+            } else {
+                let present = reference.contains(&key);
+                prop_assert_eq!(d.remove(key, &mut MessageMeter::new()), present);
+                reference.retain(|&k| k != key);
+            }
+            prop_assert_eq!(d.check_invariants(), Ok(()));
+        }
+        if !reference.is_empty() {
+            reference.sort_unstable();
+            let q = reference[reference.len() / 2] + 1;
+            let mut m = MessageMeter::new();
+            prop_assert_eq!(d.nearest(0, q, &mut m), oracle(&reference, q));
+        }
+    }
+
+    #[test]
+    fn family_tree_is_canonical_for_any_key_set(
+        mut keys in proptest::collection::vec(0u64..100_000, 1..60),
+    ) {
+        keys.sort_unstable();
+        keys.dedup();
+        let mut shuffled = keys.clone();
+        shuffled.reverse();
+        let a = FamilyTree::new(keys.clone());
+        let b = FamilyTree::new(shuffled);
+        // Canonicity: identical answers and costs from identical origins.
+        for s in 0..6u64 {
+            let q = (s * 17_389) % 110_000;
+            let o = (s as usize) % keys.len();
+            let mut ma = MessageMeter::new();
+            let mut mb = MessageMeter::new();
+            prop_assert_eq!(a.nearest(o, q, &mut ma), b.nearest(o, q, &mut mb));
+            prop_assert_eq!(ma.messages(), mb.messages());
+        }
+    }
+
+    #[test]
+    fn bucket_splits_never_lose_keys(
+        inserts in proptest::collection::vec(0u64..10_000, 1..150),
+    ) {
+        let mut d = BucketSkipGraph::new((0..40u64).map(|i| i * 250).collect(), 4, 9);
+        let mut reference: Vec<u64> = (0..40u64).map(|i| i * 250).collect();
+        for k in inserts {
+            if d.insert(k, &mut MessageMeter::new()) {
+                reference.push(k);
+            }
+        }
+        reference.sort_unstable();
+        reference.dedup();
+        let mut all = d.all_keys();
+        all.sort_unstable();
+        prop_assert_eq!(all, reference);
+    }
+}

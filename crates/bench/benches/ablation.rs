@@ -1,0 +1,39 @@
+//! Criterion bench for the ablation: skip graph vs NoN skip graph vs
+//! skip-web query latency (the memory/query trade-off of Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipweb_baselines::{NonSkipGraph, OrderedDictionary, SkipGraph};
+use skipweb_bench::adapters::SkipWebDict;
+use skipweb_bench::workloads;
+use skipweb_net::MessageMeter;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    let n = 4096;
+    let keys = workloads::uniform_keys(n, 29);
+    let qs = workloads::query_keys(64, 29);
+    let dicts: Vec<Box<dyn OrderedDictionary>> = vec![
+        Box::new(SkipGraph::new(keys.clone(), 29)),
+        Box::new(NonSkipGraph::new(keys.clone(), 29)),
+        Box::new(SkipWebDict::owner_hosted(keys, 29)),
+    ];
+    for dict in &dicts {
+        group.bench_function(BenchmarkId::from_parameter(dict.name()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                let mut meter = MessageMeter::new();
+                std::hint::black_box(dict.nearest(
+                    dict.random_origin(i as u64),
+                    qs[i % qs.len()],
+                    &mut meter,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

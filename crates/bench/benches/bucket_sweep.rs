@@ -1,0 +1,28 @@
+//! Criterion bench for the bucket sweep: bucketed skip-web query latency as
+//! the per-host memory budget M varies (message counts: `repro buckets`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipweb_bench::workloads;
+use skipweb_core::onedim::OneDimSkipWeb;
+
+fn bench_buckets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_sweep");
+    group.sample_size(20);
+    let n = 4096;
+    let keys = workloads::uniform_keys(n, 23);
+    let qs = workloads::query_keys(64, 23);
+    for m in [16usize, 64, 256] {
+        let web = OneDimSkipWeb::builder(keys.clone()).seed(23).bucketed(m).build();
+        group.bench_function(BenchmarkId::from_parameter(m), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(web.nearest(web.random_origin(i as u64), qs[i % qs.len()]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buckets);
+criterion_main!(benches);

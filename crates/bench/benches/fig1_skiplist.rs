@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 1: skip list construction and search across
+//! sizes (the O(log n) search / O(n) space series).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipweb_baselines::SkipList;
+use skipweb_bench::workloads;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_skiplist");
+    group.sample_size(20);
+    for n in [1024usize, 4096, 16_384] {
+        let keys = workloads::uniform_keys(n, 7);
+        group.bench_function(BenchmarkId::new("build", n), |b| {
+            b.iter(|| std::hint::black_box(SkipList::new(keys.clone(), 7)));
+        });
+        let sl = SkipList::new(keys, 7);
+        let qs = workloads::query_keys(64, 7);
+        group.bench_function(BenchmarkId::new("search", n), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(sl.nearest_counted(qs[i % qs.len()]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

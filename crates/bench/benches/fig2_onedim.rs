@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 2: 1-D skip-web build and query, owner-hosted
+//! vs bucketed placement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipweb_bench::workloads;
+use skipweb_core::onedim::OneDimSkipWeb;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_onedim");
+    group.sample_size(10);
+    for n in [1024usize, 4096] {
+        let keys = workloads::uniform_keys(n, 9);
+        group.bench_function(BenchmarkId::new("build_owner", n), |b| {
+            b.iter(|| {
+                std::hint::black_box(OneDimSkipWeb::builder(keys.clone()).seed(9).build())
+            });
+        });
+        group.bench_function(BenchmarkId::new("build_bucket", n), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    OneDimSkipWeb::builder(keys.clone()).seed(9).bucketed(64).build(),
+                )
+            });
+        });
+        let owner = OneDimSkipWeb::builder(keys.clone()).seed(9).build();
+        let bucket = OneDimSkipWeb::builder(keys).seed(9).bucketed(64).build();
+        let qs = workloads::query_keys(64, 9);
+        group.bench_function(BenchmarkId::new("query_owner", n), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(owner.nearest(owner.random_origin(i as u64), qs[i % qs.len()]))
+            });
+        });
+        group.bench_function(BenchmarkId::new("query_bucket", n), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(
+                    bucket.nearest(bucket.random_origin(i as u64), qs[i % qs.len()]),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Figure 3: compressed quadtree build, set-halving
+//! conflict measurement, and quadtree skip-web point location.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skipweb_bench::workloads;
+use skipweb_core::multidim::QuadtreeSkipWeb;
+use skipweb_structures::properties::measure_halving;
+use skipweb_structures::quadtree::CompressedQuadtree;
+use skipweb_structures::traits::RangeDetermined;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_quadtree");
+    group.sample_size(10);
+    for n in [1024usize, 4096] {
+        let pts = workloads::uniform_points(n, 11);
+        group.bench_function(BenchmarkId::new("build_tree", n), |b| {
+            b.iter(|| std::hint::black_box(CompressedQuadtree::<2>::build(pts.clone())));
+        });
+        let queries = workloads::query_points(32, 11);
+        group.bench_function(BenchmarkId::new("halving", n), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(11);
+                std::hint::black_box(measure_halving::<CompressedQuadtree<2>, _>(
+                    &pts, &queries, &mut rng,
+                ))
+            });
+        });
+        let web = QuadtreeSkipWeb::builder(pts.clone()).seed(11).build();
+        group.bench_function(BenchmarkId::new("locate_point", n), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(
+                    web.locate_point(web.random_origin(i as u64), queries[i % queries.len()]),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Figure 4: trapezoidal-map construction, set-halving,
+//! and trapezoid skip-web point location.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skipweb_bench::workloads;
+use skipweb_core::multidim::TrapezoidSkipWeb;
+use skipweb_structures::properties::measure_halving;
+use skipweb_structures::traits::RangeDetermined;
+use skipweb_structures::TrapezoidalMap;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_trapezoid");
+    group.sample_size(10);
+    for n in [32usize, 128] {
+        let segments = workloads::disjoint_segments(n, 13);
+        group.bench_function(BenchmarkId::new("build_map", n), |b| {
+            b.iter(|| std::hint::black_box(TrapezoidalMap::build(segments.clone())));
+        });
+        let queries = workloads::trapezoid_queries(n, 32, 13);
+        group.bench_function(BenchmarkId::new("halving", n), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(13);
+                std::hint::black_box(measure_halving::<TrapezoidalMap, _>(
+                    &segments, &queries, &mut rng,
+                ))
+            });
+        });
+        let web = TrapezoidSkipWeb::builder(segments.clone()).seed(13).build();
+        group.bench_function(BenchmarkId::new("locate_point", n), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(
+                    web.locate_point(web.random_origin(i as u64), queries[i % queries.len()]),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Table 1: wall time of one nearest-neighbour query on
+//! every method at a fixed size (message counts come from `repro table1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipweb_baselines::{
+    BucketSkipGraph, DeterministicSkipNet, FamilyTree, NonSkipGraph, OrderedDictionary, SkipGraph,
+};
+use skipweb_bench::adapters::SkipWebDict;
+use skipweb_bench::workloads;
+use skipweb_net::MessageMeter;
+
+fn bench_table1(c: &mut Criterion) {
+    let n = 4096;
+    let keys = workloads::uniform_keys(n, 42);
+    let qs = workloads::query_keys(64, 42);
+    let methods: Vec<Box<dyn OrderedDictionary>> = vec![
+        Box::new(SkipGraph::new(keys.clone(), 42)),
+        Box::new(NonSkipGraph::new(keys.clone(), 42)),
+        Box::new(FamilyTree::new(keys.clone())),
+        Box::new(DeterministicSkipNet::new(keys.clone())),
+        Box::new(BucketSkipGraph::new(keys.clone(), 256, 42)),
+        Box::new(SkipWebDict::owner_hosted(keys.clone(), 42)),
+        Box::new(SkipWebDict::bucketed(keys, 64, 42)),
+    ];
+    let mut group = c.benchmark_group("table1_query");
+    group.sample_size(20);
+    for dict in &methods {
+        group.bench_function(BenchmarkId::from_parameter(dict.name()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = qs[i % qs.len()];
+                i += 1;
+                let mut meter = MessageMeter::new();
+                std::hint::black_box(dict.nearest(dict.random_origin(i as u64), q, &mut meter))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

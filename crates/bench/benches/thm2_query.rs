@@ -1,0 +1,55 @@
+//! Criterion bench for Theorem 2: query latency of each skip-web
+//! instantiation (1-D, quadtree, trie; trapezoid under `fig4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipweb_bench::workloads;
+use skipweb_core::multidim::{QuadtreeSkipWeb, TrieSkipWeb};
+use skipweb_core::onedim::OneDimSkipWeb;
+
+fn bench_thm2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2_query");
+    group.sample_size(20);
+    let n = 4096;
+
+    let keys = workloads::uniform_keys(n, 17);
+    let web1 = OneDimSkipWeb::builder(keys).seed(17).build();
+    let qs = workloads::query_keys(64, 17);
+    group.bench_function(BenchmarkId::from_parameter("1d"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(web1.nearest(web1.random_origin(i as u64), qs[i % qs.len()]))
+        });
+    });
+
+    let pts = workloads::uniform_points(n, 17);
+    let web2 = QuadtreeSkipWeb::builder(pts).seed(17).build();
+    let qpts = workloads::query_points(64, 17);
+    group.bench_function(BenchmarkId::from_parameter("quadtree"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(
+                web2.locate_point(web2.random_origin(i as u64), qpts[i % qpts.len()]),
+            )
+        });
+    });
+
+    let strings = workloads::random_strings(n, 17);
+    let web3 = TrieSkipWeb::builder(strings).seed(17).build();
+    let qstr = workloads::query_strings(64, 17);
+    group.bench_function(BenchmarkId::from_parameter("trie"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(
+                web3.prefix_search(web3.random_origin(i as u64), &qstr[i % qstr.len()]),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_thm2);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for §4: insert/remove wall time on the 1-D skip-web and
+//! the skip graph baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipweb_baselines::{OrderedDictionary, SkipGraph};
+use skipweb_bench::workloads;
+use skipweb_core::onedim::OneDimSkipWeb;
+use skipweb_net::MessageMeter;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec4_updates");
+    group.sample_size(10);
+    let n = 1024;
+    let keys: Vec<u64> = workloads::uniform_keys(n, 19).iter().map(|k| k * 2).collect();
+
+    group.bench_function(BenchmarkId::new("skipweb_insert_remove", n), |b| {
+        let mut web = OneDimSkipWeb::builder(keys.clone()).seed(19).build();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = (i * 7919) | 1;
+            web.insert(key);
+            web.remove(key);
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("skipgraph_insert_remove", n), |b| {
+        let mut g = SkipGraph::new(keys.clone(), 19);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = (i * 7919) | 1;
+            let mut meter = MessageMeter::new();
+            g.insert(key, &mut meter);
+            g.remove(key, &mut meter);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Reproduction harness: prints the measured version of every table and
+//! figure in the skip-webs paper as TSV.
+//!
+//! ```text
+//! repro [experiment] [--full]
+//!
+//! experiments: table1 fig1 fig2 fig3 fig4 lemma1 lemma4 thm2 updates
+//!              buckets ablation chord congestion all   (default: all)
+//! --full: larger size sweeps (slower; used to fill EXPERIMENTS.md)
+//! ```
+
+use skipweb_bench::experiments;
+
+struct Config {
+    sizes: Vec<usize>,
+    trap_sizes: Vec<usize>,
+    queries: usize,
+    updates: usize,
+    bucket_n: usize,
+    memories: Vec<usize>,
+    seed: u64,
+}
+
+impl Config {
+    fn quick() -> Self {
+        Config {
+            sizes: vec![256, 1024, 4096],
+            trap_sizes: vec![32, 64, 128],
+            queries: 100,
+            updates: 20,
+            bucket_n: 4096,
+            memories: vec![8, 16, 32, 64, 128, 256],
+            seed: 42,
+        }
+    }
+
+    fn full() -> Self {
+        Config {
+            sizes: vec![256, 1024, 4096, 16_384, 65_536],
+            trap_sizes: vec![32, 64, 128, 256],
+            queries: 200,
+            updates: 40,
+            bucket_n: 16_384,
+            memories: vec![8, 16, 32, 64, 128, 256, 1024, 4096],
+            seed: 42,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let cfg = if full { Config::full() } else { Config::quick() };
+
+    const KNOWN: [&str; 14] = [
+        "all", "table1", "fig1", "fig2", "fig3", "fig4", "lemma1", "lemma4", "thm2",
+        "updates", "buckets", "ablation", "chord", "congestion",
+    ];
+    if !KNOWN.contains(&which.as_str()) {
+        eprintln!("unknown experiment {which:?}");
+        eprintln!("usage: repro [{}] [--full]", KNOWN.join("|"));
+        std::process::exit(2);
+    }
+
+    let run = |name: &str| -> bool { which == "all" || which == name };
+
+    if run("table1") {
+        println!(
+            "{}",
+            experiments::table1(&cfg.sizes, cfg.queries, cfg.updates, cfg.seed)
+        );
+    }
+    if run("fig1") {
+        println!("{}", experiments::fig1(&cfg.sizes, cfg.seed));
+    }
+    if run("fig2") {
+        println!("{}", experiments::fig2(&cfg.sizes, cfg.seed));
+    }
+    if run("fig3") {
+        println!("{}", experiments::fig3(&cfg.sizes, cfg.seed));
+    }
+    if run("fig4") {
+        println!("{}", experiments::fig4(&cfg.trap_sizes, cfg.seed));
+    }
+    if run("lemma1") {
+        println!("{}", experiments::lemma1(&cfg.sizes, cfg.seed));
+    }
+    if run("lemma4") {
+        println!("{}", experiments::lemma4(&cfg.sizes, cfg.seed));
+    }
+    if run("thm2") {
+        println!(
+            "{}",
+            experiments::thm2(&cfg.sizes, *cfg.trap_sizes.last().unwrap_or(&128), cfg.seed)
+        );
+    }
+    if run("updates") {
+        println!("{}", experiments::updates(&cfg.sizes, cfg.updates, cfg.seed));
+    }
+    if run("buckets") {
+        println!(
+            "{}",
+            experiments::buckets(cfg.bucket_n, &cfg.memories, cfg.seed)
+        );
+    }
+    if run("ablation") {
+        println!("{}", experiments::ablation(&cfg.sizes, cfg.seed));
+    }
+    if run("chord") {
+        println!("{}", experiments::chord(&cfg.sizes, cfg.seed));
+    }
+    if run("congestion") {
+        println!(
+            "{}",
+            experiments::congestion(&cfg.sizes, cfg.queries, cfg.seed)
+        );
+    }
+}

@@ -1,0 +1,834 @@
+//! Experiment runners: one per table/figure/lemma/theorem of the paper.
+//!
+//! Each runner returns a [`Table`] (TSV-renderable); `EXPERIMENTS.md`
+//! records the measured outputs next to the paper's claims.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use skipweb_baselines::{
+    BucketSkipGraph, Chord, DeterministicSkipNet, FamilyTree, NonSkipGraph, OrderedDictionary,
+    SkipGraph, SkipList,
+};
+use skipweb_core::multidim::{QuadtreeSkipWeb, TrapezoidSkipWeb, TrieSkipWeb};
+use skipweb_core::onedim::OneDimSkipWeb;
+use skipweb_net::sim::MessageMeter;
+use skipweb_net::SeriesStats;
+use skipweb_structures::properties::measure_halving;
+use skipweb_structures::quadtree::CompressedQuadtree;
+use skipweb_structures::trapezoid::TrapezoidalMap;
+use skipweb_structures::trie::CompressedTrie;
+use skipweb_structures::SortedLinkedList;
+
+use crate::adapters::SkipWebDict;
+use crate::workloads;
+
+/// A rendered experiment result.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment title (paper artifact it reproduces).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Row cells, stringified.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len());
+        self.rows.push(row);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.title)?;
+        writeln!(f, "{}", self.header.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// The per-method measurement batch shared by Table 1 and the sweeps:
+/// `queries` nearest-neighbour queries plus `updates` insert/remove pairs.
+fn measure_dict(
+    dict: &mut dyn OrderedDictionary,
+    queries: usize,
+    updates: usize,
+    seed: u64,
+) -> (u64, f64, f64, SeriesStats, SeriesStats) {
+    // Updates can add hosts (bucket splits, skip-web growth), so size the
+    // network past the current host count before absorbing update meters.
+    let mut net = skipweb_net::SimNetwork::new(dict.hosts() + 64 * updates + 64);
+    dict.account(&mut net);
+    let qs = workloads::query_keys(queries, seed);
+    for (i, &q) in qs.iter().enumerate() {
+        let mut meter = MessageMeter::new();
+        let origin = dict.random_origin(seed ^ i as u64);
+        let _ = dict.nearest(origin, q, &mut meter);
+        net.absorb_query(&meter);
+    }
+    // Updates: insert odd keys (stored keys are even), then remove them.
+    let fresh: Vec<u64> = workloads::query_keys(updates, seed ^ 0x5EED)
+        .iter()
+        .map(|k| k | 1)
+        .collect();
+    for &k in &fresh {
+        let mut meter = MessageMeter::new();
+        dict.insert(k, &mut meter);
+        net.absorb_update(&meter);
+    }
+    for &k in &fresh {
+        let mut meter = MessageMeter::new();
+        dict.remove(k, &mut meter);
+        net.absorb_update(&meter);
+    }
+    let report = net.metrics();
+    (
+        report.max_memory,
+        report.mean_memory,
+        report.max_congestion,
+        report.query_messages,
+        report.update_messages,
+    )
+}
+
+/// **Table 1** — the seven-method cost comparison: `H`, `M`, `C(n)`,
+/// `Q(n)`, `U(n)` for every row of the paper's table.
+pub fn table1(sizes: &[usize], queries: usize, updates: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Table 1: 1-D nearest-neighbour structures (measured)",
+        &[
+            "method", "n", "H", "M_max", "M_mean", "C_max", "Q_mean", "Q_p95", "U_mean", "U_p95",
+        ],
+    );
+    for &n in sizes {
+        // Even keys so updates can use odd ones.
+        let keys: Vec<u64> = workloads::uniform_keys(n, seed)
+            .into_iter()
+            .map(|k| k * 2)
+            .collect();
+        let log_n = (usize::BITS - n.leading_zeros()) as usize;
+        let mut methods: Vec<Box<dyn OrderedDictionary>> = vec![
+            Box::new(SkipGraph::new(keys.clone(), seed)),
+            Box::new(NonSkipGraph::new(keys.clone(), seed)),
+            Box::new(FamilyTree::new(keys.clone())),
+            Box::new(DeterministicSkipNet::new(keys.clone())),
+            Box::new(BucketSkipGraph::new(keys.clone(), (n / log_n).max(2), seed)),
+            Box::new(SkipWebDict::owner_hosted(keys.clone(), seed)),
+            Box::new(SkipWebDict::bucketed(keys.clone(), 4 * log_n, seed)),
+        ];
+        for dict in &mut methods {
+            let (m_max, m_mean, c_max, q, u) =
+                measure_dict(dict.as_mut(), queries, updates, seed);
+            t.push(vec![
+                dict.name().to_string(),
+                n.to_string(),
+                dict.hosts().to_string(),
+                m_max.to_string(),
+                f2(m_mean),
+                f2(c_max),
+                f2(q.mean),
+                q.p95.to_string(),
+                f2(u.mean),
+                u.p95.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// **Figure 1** — the classic skip list: expected `O(log n)` search and
+/// `O(n)` space, level populations halving.
+pub fn fig1(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Figure 1: skip list search cost and space",
+        &["n", "levels", "total_nodes", "nodes_per_key", "steps_mean", "steps_p95"],
+    );
+    for &n in sizes {
+        let keys = workloads::uniform_keys(n, seed);
+        let sl = SkipList::new(keys, seed);
+        let qs = workloads::query_keys(400, seed);
+        let steps: Vec<u64> = qs.iter().map(|&q| sl.nearest_counted(q).1).collect();
+        let stats = SeriesStats::from_samples(&steps);
+        t.push(vec![
+            n.to_string(),
+            sl.levels().to_string(),
+            sl.total_nodes().to_string(),
+            f2(sl.total_nodes() as f64 / n as f64),
+            f2(stats.mean),
+            stats.p95.to_string(),
+        ]);
+    }
+    t
+}
+
+/// **Figure 2** — the 1-D skip-web hierarchy: halving levels, per-host
+/// storage, and query messages for owner-hosted vs bucketed placement.
+pub fn fig2(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Figure 2: one-dimensional skip-web structure",
+        &[
+            "n",
+            "levels",
+            "level1_split",
+            "M_max_owner",
+            "Q_owner_mean",
+            "Q_bucket_mean",
+            "per_level_touches",
+            "H_bucket",
+        ],
+    );
+    for &n in sizes {
+        let keys = workloads::uniform_keys(n, seed);
+        let log_n = (usize::BITS - n.leading_zeros()) as usize;
+        let owner = OneDimSkipWeb::builder(keys.clone()).seed(seed).build();
+        let bucket = OneDimSkipWeb::builder(keys)
+            .seed(seed)
+            .bucketed(4 * log_n)
+            .build();
+        let qs = workloads::query_keys(200, seed);
+        let mut q_owner = Vec::new();
+        let mut q_bucket = Vec::new();
+        let mut touches = 0f64;
+        let mut touch_count = 0f64;
+        for (i, &q) in qs.iter().enumerate() {
+            let o = owner.nearest(owner.random_origin(i as u64), q);
+            touches += o.per_level_touches.iter().map(|&x| x as f64).sum::<f64>();
+            touch_count += o.per_level_touches.len() as f64;
+            q_owner.push(o.messages);
+            q_bucket.push(bucket.nearest(bucket.random_origin(i as u64), q).messages);
+        }
+        let split = owner.level_set_sizes(1);
+        let split_str = if split.len() == 2 {
+            format!("{}/{}", split[0], split[1])
+        } else {
+            format!("{split:?}")
+        };
+        t.push(vec![
+            n.to_string(),
+            (owner.top_level() + 1).to_string(),
+            split_str,
+            owner.network().max_memory().to_string(),
+            f2(SeriesStats::from_samples(&q_owner).mean),
+            f2(SeriesStats::from_samples(&q_bucket).mean),
+            f2(touches / touch_count),
+            bucket.hosts().to_string(),
+        ]);
+    }
+    t
+}
+
+/// **Figure 3 / Lemma 3** — quadtree set-halving: the conflict list of the
+/// half-sample cell containing a random point stays `O(1)` as `n` grows,
+/// and quadtree skip-web point location stays `O(log n)` messages.
+pub fn fig3(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Figure 3: quadtree set-halving and point location",
+        &[
+            "n",
+            "distribution",
+            "conflicts_mean",
+            "conflicts_max",
+            "descent_walk_mean",
+            "Q_messages_mean",
+        ],
+    );
+    for &n in sizes {
+        for (dist, pts) in [
+            ("uniform", workloads::uniform_points(n, seed)),
+            ("clustered", workloads::clustered_points(n, 16, seed)),
+        ] {
+            let queries = workloads::query_points(200, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stats =
+                measure_halving::<CompressedQuadtree<2>, _>(&pts, &queries, &mut rng);
+            let web = QuadtreeSkipWeb::builder(pts).seed(seed).build();
+            let msgs: Vec<u64> = queries
+                .iter()
+                .take(100)
+                .enumerate()
+                .map(|(i, q)| web.locate_point(web.random_origin(i as u64), *q).messages)
+                .collect();
+            t.push(vec![
+                n.to_string(),
+                dist.to_string(),
+                f2(stats.mean_conflicts),
+                stats.max_conflicts.to_string(),
+                f2(stats.mean_descent_walk),
+                f2(SeriesStats::from_samples(&msgs).mean),
+            ]);
+        }
+    }
+    t
+}
+
+/// **Figure 4 / Lemma 5** — trapezoidal maps: half-sample conflict lists
+/// stay `O(1)` (the `1 + a + 2b + 3c` identity is property-tested), and
+/// trapezoid skip-web point location stays `O(log n)` messages.
+pub fn fig4(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Figure 4: trapezoidal-map set-halving and point location",
+        &[
+            "n",
+            "trapezoids",
+            "conflicts_mean",
+            "conflicts_max",
+            "Q_messages_mean",
+            "Q_messages_p95",
+        ],
+    );
+    for &n in sizes {
+        let segments = workloads::disjoint_segments(n, seed);
+        let queries = workloads::trapezoid_queries(n, 100, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = measure_halving::<TrapezoidalMap, _>(&segments, &queries, &mut rng);
+        let web = TrapezoidSkipWeb::builder(segments.clone()).seed(seed).build();
+        let msgs: Vec<u64> = queries
+            .iter()
+            .take(60)
+            .enumerate()
+            .map(|(i, q)| web.locate_point(web.random_origin(i as u64), *q).messages)
+            .collect();
+        use skipweb_structures::traits::RangeDetermined;
+        let map = TrapezoidalMap::build(segments);
+        let s = SeriesStats::from_samples(&msgs);
+        t.push(vec![
+            n.to_string(),
+            map.num_trapezoids().to_string(),
+            f2(stats.mean_conflicts),
+            stats.max_conflicts.to_string(),
+            f2(s.mean),
+            s.p95.to_string(),
+        ]);
+    }
+    t
+}
+
+/// **Lemma 1** — sorted-list set-halving: `E[|C(Q,S)|]` flat in `n`
+/// (≤ 9 with closed intervals; the paper's `2k−1` form gives ≤ 7).
+pub fn lemma1(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Lemma 1: 1-D set-halving conflict lists",
+        &["n", "conflicts_mean", "conflicts_max", "descent_walk_mean"],
+    );
+    for &n in sizes {
+        let keys = workloads::uniform_keys(n, seed);
+        let queries = workloads::query_keys(500, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = measure_halving::<SortedLinkedList, _>(&keys, &queries, &mut rng);
+        t.push(vec![
+            n.to_string(),
+            f2(stats.mean_conflicts),
+            stats.max_conflicts.to_string(),
+            f2(stats.mean_descent_walk),
+        ]);
+    }
+    t
+}
+
+/// **Lemma 4** — trie set-halving: conflict lists flat in `n` for fixed
+/// alphabets.
+pub fn lemma4(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Lemma 4: trie set-halving conflict lists",
+        &["n", "corpus", "conflicts_mean", "conflicts_max", "descent_walk_mean"],
+    );
+    for &n in sizes {
+        for (corpus, items) in [
+            ("random", workloads::random_strings(n, seed)),
+            ("isbn", workloads::isbn_strings(n, seed)),
+        ] {
+            let queries = workloads::query_strings(300, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stats = measure_halving::<CompressedTrie, _>(&items, &queries, &mut rng);
+            t.push(vec![
+                n.to_string(),
+                corpus.to_string(),
+                f2(stats.mean_conflicts),
+                stats.max_conflicts.to_string(),
+                f2(stats.mean_descent_walk),
+            ]);
+        }
+    }
+    t
+}
+
+/// **Theorem 2** — skip-web query complexity across all four
+/// instantiations: `O(log n)` generally, `O(log n / log log n)` for 1-D
+/// bucketed, with `O(log n)` memory.
+pub fn thm2(sizes: &[usize], trap_cap: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Theorem 2: skip-web query complexity by instantiation",
+        &["structure", "n", "H", "Q_mean", "Q_p95", "M_max"],
+    );
+    for &n in sizes {
+        // 1-D owner-hosted and bucketed.
+        let keys = workloads::uniform_keys(n, seed);
+        let log_n = (usize::BITS - n.leading_zeros()) as usize;
+        let qs = workloads::query_keys(150, seed);
+        let owner = OneDimSkipWeb::builder(keys.clone()).seed(seed).build();
+        let bucket = OneDimSkipWeb::builder(keys).seed(seed).bucketed(4 * log_n).build();
+        for (name, web) in [("1d-owner", &owner), ("1d-bucket", &bucket)] {
+            let msgs: Vec<u64> = qs
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| web.nearest(web.random_origin(i as u64), q).messages)
+                .collect();
+            let s = SeriesStats::from_samples(&msgs);
+            t.push(vec![
+                name.to_string(),
+                n.to_string(),
+                web.hosts().to_string(),
+                f2(s.mean),
+                s.p95.to_string(),
+                web.network().max_memory().to_string(),
+            ]);
+        }
+        // Quadtree.
+        let pts = workloads::uniform_points(n, seed);
+        let qweb = QuadtreeSkipWeb::builder(pts).seed(seed).build();
+        let qpts = workloads::query_points(150, seed);
+        let msgs: Vec<u64> = qpts
+            .iter()
+            .enumerate()
+            .map(|(i, q)| qweb.locate_point(qweb.random_origin(i as u64), *q).messages)
+            .collect();
+        let s = SeriesStats::from_samples(&msgs);
+        t.push(vec![
+            "quadtree".into(),
+            n.to_string(),
+            qweb.hosts().to_string(),
+            f2(s.mean),
+            s.p95.to_string(),
+            qweb.network().max_memory().to_string(),
+        ]);
+        // Trie.
+        let strings = workloads::random_strings(n, seed);
+        let tweb = TrieSkipWeb::builder(strings).seed(seed).build();
+        let tqs = workloads::query_strings(150, seed);
+        let msgs: Vec<u64> = tqs
+            .iter()
+            .enumerate()
+            .map(|(i, q)| tweb.prefix_search(tweb.random_origin(i as u64), q).messages)
+            .collect();
+        let s = SeriesStats::from_samples(&msgs);
+        t.push(vec![
+            "trie".into(),
+            n.to_string(),
+            tweb.hosts().to_string(),
+            f2(s.mean),
+            s.p95.to_string(),
+            tweb.network().max_memory().to_string(),
+        ]);
+        // Trapezoidal map (capped: conflict enumeration is quadratic).
+        if n <= trap_cap {
+            let segments = workloads::disjoint_segments(n, seed);
+            let zweb = TrapezoidSkipWeb::builder(segments).seed(seed).build();
+            let zqs = workloads::trapezoid_queries(n, 60, seed);
+            let msgs: Vec<u64> = zqs
+                .iter()
+                .enumerate()
+                .map(|(i, q)| zweb.locate_point(zweb.random_origin(i as u64), *q).messages)
+                .collect();
+            let s = SeriesStats::from_samples(&msgs);
+            t.push(vec![
+                "trapezoid".into(),
+                n.to_string(),
+                zweb.hosts().to_string(),
+                f2(s.mean),
+                s.p95.to_string(),
+                zweb.network().max_memory().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// **§4** — update costs: `O(log n)` messages for skip-web inserts and
+/// removals (`O(log n / log log n)` bucketed), across instantiations.
+pub fn updates(sizes: &[usize], count: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Section 4: update message costs",
+        &["structure", "n", "insert_mean", "insert_p95", "remove_mean"],
+    );
+    for &n in sizes {
+        let keys: Vec<u64> = workloads::uniform_keys(n, seed)
+            .into_iter()
+            .map(|k| k * 2)
+            .collect();
+        let fresh: Vec<u64> = workloads::query_keys(count, seed ^ 1)
+            .iter()
+            .map(|k| k | 1)
+            .collect();
+        let log_n = (usize::BITS - n.leading_zeros()) as usize;
+        // 1-D owner + bucket.
+        for (name, mut web) in [
+            (
+                "1d-owner",
+                OneDimSkipWeb::builder(keys.clone()).seed(seed).build(),
+            ),
+            (
+                "1d-bucket",
+                OneDimSkipWeb::builder(keys.clone())
+                    .seed(seed)
+                    .bucketed(4 * log_n)
+                    .build(),
+            ),
+        ] {
+            let ins: Vec<u64> = fresh.iter().map(|&k| web.insert(k).expect("fresh")).collect();
+            let rem: Vec<u64> = fresh
+                .iter()
+                .map(|&k| web.remove(k).expect("present"))
+                .collect();
+            let si = SeriesStats::from_samples(&ins);
+            let sr = SeriesStats::from_samples(&rem);
+            t.push(vec![
+                name.to_string(),
+                n.to_string(),
+                f2(si.mean),
+                si.p95.to_string(),
+                f2(sr.mean),
+            ]);
+        }
+        // Quadtree skip-web updates.
+        let pts = workloads::uniform_points(n, seed);
+        let mut qweb = QuadtreeSkipWeb::builder(pts).seed(seed).build();
+        let fresh_pts = workloads::query_points(count, seed ^ 2);
+        let ins: Vec<u64> = fresh_pts
+            .iter()
+            .filter_map(|p| qweb.insert(*p))
+            .collect();
+        let rem: Vec<u64> = fresh_pts
+            .iter()
+            .filter_map(|p| qweb.remove(p))
+            .collect();
+        let si = SeriesStats::from_samples(&ins);
+        let sr = SeriesStats::from_samples(&rem);
+        t.push(vec![
+            "quadtree".into(),
+            n.to_string(),
+            f2(si.mean),
+            si.p95.to_string(),
+            f2(sr.mean),
+        ]);
+        // Trie skip-web updates.
+        let strings = workloads::random_strings(n, seed);
+        let mut tweb = TrieSkipWeb::builder(strings).seed(seed).build();
+        let fresh_strs: Vec<String> = (0..count).map(|i| format!("zz{i:04}x")).collect();
+        let ins: Vec<u64> = fresh_strs
+            .iter()
+            .filter_map(|s| tweb.insert(s.clone()))
+            .collect();
+        let rem: Vec<u64> = fresh_strs
+            .iter()
+            .filter_map(|s| tweb.remove(s))
+            .collect();
+        let si = SeriesStats::from_samples(&ins);
+        let sr = SeriesStats::from_samples(&rem);
+        t.push(vec![
+            "trie".into(),
+            n.to_string(),
+            f2(si.mean),
+            si.p95.to_string(),
+            f2(sr.mean),
+        ]);
+    }
+    t
+}
+
+/// **Bucket sweep** — Table 1's `M`-parameterized rows: query cost vs
+/// per-host memory for bucket skip-webs and bucket skip graphs at fixed `n`.
+/// The paper's claim: `Q = Õ(log_M H)`, constant once `M = n^ε`.
+pub fn buckets(n: usize, memories: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Bucket sweep: query cost vs per-host memory (fixed n)",
+        &["method", "n", "M_budget", "H", "Q_mean", "Q_p95", "M_max_measured"],
+    );
+    let keys = workloads::uniform_keys(n, seed);
+    let qs = workloads::query_keys(150, seed);
+    for &m in memories {
+        let web = OneDimSkipWeb::builder(keys.clone()).seed(seed).bucketed(m).build();
+        let msgs: Vec<u64> = qs
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| web.nearest(web.random_origin(i as u64), q).messages)
+            .collect();
+        let s = SeriesStats::from_samples(&msgs);
+        t.push(vec![
+            "bucket-skip-web".into(),
+            n.to_string(),
+            m.to_string(),
+            web.hosts().to_string(),
+            f2(s.mean),
+            s.p95.to_string(),
+            web.network().max_memory().to_string(),
+        ]);
+        let hosts = (n / m).max(2);
+        let bg = BucketSkipGraph::new(keys.clone(), hosts, seed);
+        let msgs: Vec<u64> = qs
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let mut meter = MessageMeter::new();
+                let _ = bg.nearest(bg.random_origin(i as u64), q, &mut meter);
+                meter.messages()
+            })
+            .collect();
+        let s = SeriesStats::from_samples(&msgs);
+        t.push(vec![
+            "bucket-skip-graph".into(),
+            n.to_string(),
+            m.to_string(),
+            bg.hosts().to_string(),
+            f2(s.mean),
+            s.p95.to_string(),
+            bg.network().max_memory().to_string(),
+        ]);
+    }
+    t
+}
+
+/// **Ablation** — the design trade-off the paper highlights: NoN skip
+/// graphs buy `O(log n / log log n)` queries with `O(log² n)` memory;
+/// skip-webs match the query bound at `O(log n)` memory.
+pub fn ablation(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Ablation: query cost vs memory across designs",
+        &["method", "n", "Q_mean", "M_max"],
+    );
+    for &n in sizes {
+        let keys = workloads::uniform_keys(n, seed);
+        let qs = workloads::query_keys(120, seed);
+        let log_n = (usize::BITS - n.leading_zeros()) as usize;
+        let mut run = |name: &str, dict: &dyn OrderedDictionary| {
+            let msgs: Vec<u64> = qs
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| {
+                    let mut meter = MessageMeter::new();
+                    let _ = dict.nearest(dict.random_origin(i as u64), q, &mut meter);
+                    meter.messages()
+                })
+                .collect();
+            let s = SeriesStats::from_samples(&msgs);
+            t.push(vec![
+                name.to_string(),
+                n.to_string(),
+                f2(s.mean),
+                dict.network().max_memory().to_string(),
+            ]);
+        };
+        run("skip-graph", &SkipGraph::new(keys.clone(), seed));
+        run("non-skip-graph", &NonSkipGraph::new(keys.clone(), seed));
+        run("skip-web", &SkipWebDict::owner_hosted(keys.clone(), seed));
+        run(
+            "bucket-skip-web",
+            &SkipWebDict::bucketed(keys, 4 * log_n, seed),
+        );
+    }
+    t
+}
+
+/// **§1.2 contrast** — DHTs support exact match only: Chord's exact lookups
+/// are `O(log H)` hops, but its ordered nearest-neighbour degenerates to a
+/// ring walk, while the skip-web stays logarithmic.
+pub fn chord(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Section 1.2: Chord DHT vs skip-web on ordered queries",
+        &["n", "H", "chord_exact_mean", "chord_nn_mean", "skipweb_nn_mean"],
+    );
+    for &n in sizes {
+        let keys = workloads::uniform_keys(n, seed);
+        let hosts = (n / 8).max(8);
+        let c = Chord::new(keys.clone(), hosts);
+        let web = OneDimSkipWeb::builder(keys.clone()).seed(seed).build();
+        let mut exact = Vec::new();
+        let mut nn = Vec::new();
+        let mut webnn = Vec::new();
+        for (i, &k) in keys.iter().take(40).enumerate() {
+            let mut m = MessageMeter::new();
+            let _ = c.lookup(c.random_origin(i as u64), k, &mut m);
+            exact.push(m.messages());
+            let mut m = MessageMeter::new();
+            let _ = c.nearest(c.random_origin(i as u64), k + 1, &mut m);
+            nn.push(m.messages());
+            webnn.push(web.nearest(web.random_origin(i as u64), k + 1).messages);
+        }
+        t.push(vec![
+            n.to_string(),
+            c.ring_size().to_string(),
+            f2(SeriesStats::from_samples(&exact).mean),
+            f2(SeriesStats::from_samples(&nn).mean),
+            f2(SeriesStats::from_samples(&webnn).mean),
+        ]);
+    }
+    t
+}
+
+/// **Congestion** — the §1.1 motivation "query-processing load … spread as
+/// uniformly as possible": run a query mix and compare the hottest host's
+/// touch count against a perfectly even spread. A centralized design (e.g. a
+/// search tree routed through its root) would score ~`H`; the skip-web and
+/// skip graphs stay near `O(log n)`.
+pub fn congestion(sizes: &[usize], queries: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Congestion: operational load balance under a query mix",
+        &["method", "n", "H", "hottest_touches", "mean_touches", "imbalance"],
+    );
+    for &n in sizes {
+        let keys = workloads::uniform_keys(n, seed);
+        let qs = workloads::query_keys(queries, seed);
+        let methods: Vec<Box<dyn OrderedDictionary>> = vec![
+            Box::new(SkipGraph::new(keys.clone(), seed)),
+            Box::new(NonSkipGraph::new(keys.clone(), seed)),
+            Box::new(FamilyTree::new(keys.clone())),
+            Box::new(DeterministicSkipNet::new(keys.clone())),
+            Box::new(SkipWebDict::owner_hosted(keys.clone(), seed)),
+        ];
+        for dict in methods {
+            let mut net = dict.network();
+            for (i, &q) in qs.iter().enumerate() {
+                let mut meter = MessageMeter::new();
+                let _ = dict.nearest(dict.random_origin(seed ^ i as u64), q, &mut meter);
+                net.absorb_query(&meter);
+            }
+            let hottest = net.max_touch_count();
+            let total: u64 = (0..net.hosts())
+                .map(|h| net.touch_count(skipweb_net::HostId(h as u32)))
+                .sum();
+            let mean = total as f64 / net.hosts() as f64;
+            t.push(vec![
+                dict.name().to_string(),
+                n.to_string(),
+                dict.hosts().to_string(),
+                hottest.to_string(),
+                f2(mean),
+                f2(hottest as f64 / mean.max(f64::MIN_POSITIVE)),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_produces_a_row_per_method_per_size() {
+        let t = table1(&[64, 128], 10, 4, 1);
+        assert_eq!(t.rows.len(), 7 * 2);
+        assert!(t.to_string().contains("skip-web"));
+    }
+
+    #[test]
+    fn fig1_rows_show_linear_space() {
+        let t = fig1(&[256], 1);
+        assert_eq!(t.rows.len(), 1);
+        let nodes_per_key: f64 = t.rows[0][3].parse().unwrap();
+        assert!(nodes_per_key > 1.0 && nodes_per_key < 3.0);
+    }
+
+    #[test]
+    fn fig3_covers_both_distributions() {
+        let t = fig3(&[128], 2);
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn thm2_caps_trapezoid_sizes() {
+        let t = thm2(&[64, 256], 128, 3);
+        let traps: Vec<_> = t.rows.iter().filter(|r| r[0] == "trapezoid").collect();
+        assert_eq!(traps.len(), 1); // only n=64 fits under the cap
+    }
+
+    #[test]
+    fn buckets_sweep_reports_both_methods() {
+        let t = buckets(512, &[16, 64], 4);
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn fig2_reports_placement_comparison() {
+        let t = fig2(&[128], 6);
+        assert_eq!(t.rows.len(), 1);
+        let q_owner: f64 = t.rows[0][4].parse().unwrap();
+        let q_bucket: f64 = t.rows[0][5].parse().unwrap();
+        assert!(q_bucket <= q_owner + 0.5, "bucketing must not cost more");
+    }
+
+    #[test]
+    fn fig4_counts_trapezoids_exactly() {
+        let t = fig4(&[16], 7);
+        let traps: usize = t.rows[0][1].parse().unwrap();
+        assert_eq!(traps, 3 * 16 + 1);
+    }
+
+    #[test]
+    fn updates_experiment_covers_all_structures() {
+        let t = updates(&[64], 4, 8);
+        let names: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(names, ["1d-owner", "1d-bucket", "quadtree", "trie"]);
+    }
+
+    #[test]
+    fn ablation_orders_methods_as_the_paper_claims() {
+        let t = ablation(&[1024], 9);
+        let q = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .expect("method present")[2]
+                .parse()
+                .unwrap()
+        };
+        assert!(q("non-skip-graph") < q("skip-graph"));
+        assert!(q("skip-web") < q("skip-graph"));
+    }
+
+    #[test]
+    fn chord_experiment_shows_the_ring_walk() {
+        let t = chord(&[128], 10);
+        let h: f64 = t.rows[0][1].parse().unwrap();
+        let nn: f64 = t.rows[0][3].parse().unwrap();
+        assert!((nn - h).abs() < 1.5, "Chord NN must walk the whole ring");
+    }
+
+    #[test]
+    fn congestion_experiment_shows_balanced_methods() {
+        let t = congestion(&[256], 60, 11);
+        assert_eq!(t.rows.len(), 5);
+        // Every method's hottest host stays far below the total touch mass.
+        for row in &t.rows {
+            let hottest: f64 = row[3].parse().unwrap();
+            let mean: f64 = row[4].parse().unwrap();
+            assert!(hottest < mean * 256.0, "{} routes everything via one host", row[0]);
+        }
+    }
+
+    #[test]
+    fn tables_render_as_tsv() {
+        let t = lemma1(&[128], 5);
+        let s = t.to_string();
+        assert!(s.starts_with("# Lemma 1"));
+        assert!(s.lines().count() >= 3);
+    }
+}

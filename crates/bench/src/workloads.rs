@@ -1,0 +1,210 @@
+//! Synthetic workload generators for the experiments.
+//!
+//! The paper proves distribution-free expected bounds (the randomness is in
+//! the structure's own coins), so any input of size `n` is a valid test
+//! vector; these generators supply the motivating shapes from the paper's
+//! introduction — numeric keys, planar points (kiosks/parking), ISBN-like
+//! strings, and campus-map segments — plus adversarial variants (clustered
+//! points that make uncompressed quadtrees deep).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skipweb_structures::quadtree::PointKey;
+use skipweb_structures::trapezoid::Segment;
+
+/// `n` distinct pseudo-random keys below `2^40`.
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 40)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut next = keys.last().copied().unwrap_or(0);
+    while keys.len() < n {
+        next += 1 + rng.gen_range(0..1000);
+        keys.push(next);
+    }
+    keys
+}
+
+/// Query keys spread over (and beyond) the stored key range.
+pub fn query_keys(count: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    (0..count).map(|_| rng.gen_range(0..1u64 << 40)).collect()
+}
+
+/// `n` distinct uniform points in the full 2-D grid.
+pub fn uniform_points(n: usize, seed: u64) -> Vec<PointKey<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts: Vec<PointKey<2>> = (0..n * 2)
+        .map(|_| PointKey::new([rng.gen(), rng.gen()]))
+        .collect();
+    pts.sort_by_key(PointKey::morton);
+    pts.dedup();
+    pts.truncate(n);
+    pts
+}
+
+/// `n` points in tight clusters — the adversarial case where the
+/// *uncompressed* quadtree is deep; the compressed one stays `O(n)`.
+pub fn clustered_points(n: usize, clusters: usize, seed: u64) -> Vec<PointKey<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<[u32; 2]> = (0..clusters.max(1))
+        .map(|_| [rng.gen(), rng.gen()])
+        .collect();
+    let mut pts: Vec<PointKey<2>> = (0..n * 2)
+        .map(|i| {
+            let c = centers[i % centers.len()];
+            PointKey::new([
+                c[0].wrapping_add(rng.gen_range(0..64)),
+                c[1].wrapping_add(rng.gen_range(0..64)),
+            ])
+        })
+        .collect();
+    pts.sort_by_key(PointKey::morton);
+    pts.dedup();
+    pts.truncate(n);
+    pts
+}
+
+/// Query points for the planar experiments.
+pub fn query_points(count: usize, seed: u64) -> Vec<PointKey<2>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+    (0..count)
+        .map(|_| PointKey::new([rng.gen(), rng.gen()]))
+        .collect()
+}
+
+/// `n` ISBN-like strings: a realistic prefix-heavy distribution
+/// (`978` + publisher block + title digits), as in the paper's motivating
+/// book-database example.
+pub fn isbn_strings(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<String> = (0..n * 2)
+        .map(|_| {
+            let publisher = rng.gen_range(0..50u32);
+            let title = rng.gen_range(0..100_000u32);
+            format!("978{publisher:03}{title:06}")
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out.truncate(n);
+    out
+}
+
+/// `n` random strings over a small fixed alphabet with varied lengths —
+/// exercises deep compressed-trie paths.
+pub fn random_strings(n: usize, seed: u64) -> Vec<String> {
+    let alphabet = b"abcd";
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<String> = (0..n * 2)
+        .map(|_| {
+            let len = rng.gen_range(2..16);
+            (0..len)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out.truncate(n);
+    out
+}
+
+/// Query strings over the same alphabet as [`random_strings`].
+pub fn query_strings(count: usize, seed: u64) -> Vec<String> {
+    let alphabet = b"abcd";
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D);
+    (0..count)
+        .map(|_| {
+            let len = rng.gen_range(1..16);
+            (0..len)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+                .collect()
+        })
+        .collect()
+}
+
+/// `n` pairwise-disjoint segments in general position: one nearly-horizontal
+/// segment per vertical band, globally distinct endpoint x-coordinates —
+/// the "campus map" shape of the introduction.
+pub fn disjoint_segments(n: usize, seed: u64) -> Vec<Segment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Globally unique x values: a shuffled pool of even integers.
+    let mut xs: Vec<i64> = (0..(2 * n) as i64).map(|i| i * 4 + 1).collect();
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+    (0..n)
+        .map(|i| {
+            let band = (i as i64) * 100;
+            let (mut x1, mut x2) = (xs[2 * i], xs[2 * i + 1]);
+            if x1 > x2 {
+                std::mem::swap(&mut x1, &mut x2);
+            }
+            // Stay within ±20 of the band: bands are 100 apart, so segments
+            // in different bands can never touch.
+            let y1 = band + rng.gen_range(-20..=20);
+            let y2 = band + rng.gen_range(-20..=20);
+            Segment::new((x1, y1), (x2, y2))
+        })
+        .collect()
+}
+
+/// Query points for the trapezoid experiments (off the segment bands).
+pub fn trapezoid_queries(n_segments: usize, count: usize, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+    let x_max = (2 * n_segments as i64) * 4 + 10;
+    let y_max = n_segments as i64 * 100 + 100;
+    (0..count)
+        .map(|_| {
+            // Odd y-offsets avoid landing exactly on a (nearly flat) segment.
+            (rng.gen_range(-10..x_max), rng.gen_range(-100..y_max) * 2 + 49)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipweb_structures::traits::RangeDetermined;
+    use skipweb_structures::TrapezoidalMap;
+
+    #[test]
+    fn uniform_keys_are_distinct_and_sized() {
+        let keys = uniform_keys(1000, 1);
+        assert_eq!(keys.len(), 1000);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1000);
+    }
+
+    #[test]
+    fn point_generators_hit_requested_sizes() {
+        assert_eq!(uniform_points(500, 2).len(), 500);
+        assert_eq!(clustered_points(500, 8, 3).len(), 500);
+    }
+
+    #[test]
+    fn isbn_strings_share_prefixes() {
+        let strings = isbn_strings(200, 4);
+        assert_eq!(strings.len(), 200);
+        assert!(strings.iter().all(|s| s.starts_with("978")));
+    }
+
+    #[test]
+    fn disjoint_segments_build_a_valid_trapezoid_map() {
+        // TrapezoidalMap::build panics on invalid input, so building is the test.
+        let segments = disjoint_segments(64, 5);
+        let map = TrapezoidalMap::build(segments);
+        assert_eq!(map.len(), 64);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(uniform_keys(100, 7), uniform_keys(100, 7));
+        assert_ne!(uniform_keys(100, 7), uniform_keys(100, 8));
+    }
+}

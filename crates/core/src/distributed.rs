@@ -1,0 +1,323 @@
+//! The 1-D skip-web running on the threaded actor runtime.
+//!
+//! The simulator (`SkipWeb::query`) measures message costs; this module
+//! demonstrates the same routing decisions executing under real concurrent
+//! message passing: every host holds only its own shard (ranges with their
+//! intervals, list neighbours, and down-hyperlinks — each tagged with the
+//! owning host, exactly the `(host, address)` pairs of §2.3), processes a
+//! query "as far as it can internally" (§2.5), and forwards it otherwise.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use skipweb_net::runtime::{Actor, Client, ClientId, Context, Runtime, RuntimeError, Sender};
+use skipweb_net::HostId;
+use skipweb_structures::interval::Endpoint;
+use skipweb_structures::traits::RangeDetermined;
+use skipweb_structures::KeyInterval;
+
+use crate::levels::parent_key;
+use crate::onedim::{nearest_from_locus, OneDimSkipWeb};
+
+/// Globally unique address of a range: level, set index, range index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalRef {
+    /// Level in the hierarchy (0 = ground).
+    pub level: u16,
+    /// Set index within the level.
+    pub set: u32,
+    /// Range id within the set's structure.
+    pub range: u32,
+}
+
+#[derive(Debug, Clone)]
+struct RangeRec {
+    interval: KeyInterval,
+    left: Option<(GlobalRef, HostId)>,
+    right: Option<(GlobalRef, HostId)>,
+    down: Vec<(GlobalRef, HostId, KeyInterval)>,
+}
+
+/// Host-to-host query message.
+#[derive(Debug, Clone)]
+pub struct Lookup {
+    /// The key being searched.
+    pub q: u64,
+    /// Where to resume processing.
+    pub at: GlobalRef,
+    /// Client awaiting the answer.
+    pub client: ClientId,
+}
+
+/// Per-host actor holding one shard of the skip-web.
+pub struct ShardActor {
+    shard: HashMap<GlobalRef, RangeRec>,
+}
+
+impl Actor for ShardActor {
+    type Msg = Lookup;
+    type Reply = Option<u64>;
+
+    fn on_message(&mut self, _from: Sender, msg: Lookup, ctx: &mut Context<'_, Lookup, Option<u64>>) {
+        let mut at = msg.at;
+        let q = msg.q;
+        loop {
+            let Some(rec) = self.shard.get(&at) else {
+                // Shouldn't happen with consistent shards; fail soft.
+                ctx.reply(msg.client, None);
+                return;
+            };
+            if rec.interval.contains(q) {
+                if at.level == 0 {
+                    ctx.reply(msg.client, nearest_from_locus(&rec.interval, q));
+                    return;
+                }
+                // Descend: prefer the node range spelling q exactly, then
+                // any containing range.
+                let choice = rec
+                    .down
+                    .iter()
+                    .filter(|(_, _, iv)| iv.contains(q))
+                    .min_by_key(|(_, _, iv)| if iv.is_singleton() { 0 } else { 1 })
+                    .or_else(|| rec.down.first());
+                let Some(&(target, host, _)) = choice else {
+                    ctx.reply(msg.client, None);
+                    return;
+                };
+                if host == ctx.host() {
+                    at = target;
+                } else {
+                    ctx.send(host, Lookup { q, at: target, client: msg.client });
+                    return;
+                }
+            } else {
+                // Walk along the level's list toward q.
+                let step = if Endpoint::Key(q) < rec.interval.lo() {
+                    rec.left
+                } else {
+                    rec.right
+                };
+                let Some((target, host)) = step else {
+                    ctx.reply(msg.client, None);
+                    return;
+                };
+                if host == ctx.host() {
+                    at = target;
+                } else {
+                    ctx.send(host, Lookup { q, at: target, client: msg.client });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A running distributed 1-D skip-web: one actor thread per host.
+pub struct DistributedOneDim {
+    runtime: Runtime<ShardActor>,
+    /// Per ground item: the host and address where its queries start (the
+    /// "root node for that host" of §1.1).
+    origins: Vec<(HostId, GlobalRef)>,
+}
+
+impl DistributedOneDim {
+    /// Shards a built skip-web across actor threads and starts them.
+    pub fn spawn(web: &OneDimSkipWeb) -> Self {
+        let inner = web.inner();
+        let hosts = inner.hosts().max(1);
+        let mut shards: Vec<HashMap<GlobalRef, RangeRec>> =
+            (0..hosts).map(|_| HashMap::new()).collect();
+        let levels = inner.level_structs();
+        // Resolve a pointer from the perspective of the replica on `me`:
+        // prefer the co-located copy (free to chase), else the first copy.
+        let pick = |hosts: &[HostId], me: HostId| -> HostId {
+            if hosts.contains(&me) {
+                me
+            } else {
+                hosts[0]
+            }
+        };
+        for (lvl, level) in levels.iter().enumerate() {
+            for (set_idx, set) in level.sets.iter().enumerate() {
+                let parent = (lvl > 0).then(|| {
+                    let pkey = parent_key(set.key, lvl as u32);
+                    let pidx = levels[lvl - 1].set_by_key[&pkey] as usize;
+                    (pidx, &levels[lvl - 1].sets[pidx])
+                });
+                for r in set.structure.range_ids() {
+                    let gref = GlobalRef {
+                        level: lvl as u16,
+                        set: set_idx as u32,
+                        range: r.0,
+                    };
+                    let (left, right) = set.structure.adjacent(r);
+                    for &me in &set.range_host[r.index()] {
+                        let to_ref = |rid: skipweb_structures::RangeId| {
+                            (
+                                GlobalRef { level: lvl as u16, set: set_idx as u32, range: rid.0 },
+                                pick(&set.range_host[rid.index()], me),
+                            )
+                        };
+                        let down: Vec<(GlobalRef, HostId, KeyInterval)> = parent
+                            .as_ref()
+                            .map(|(pidx, pset)| {
+                                set.down[r.index()]
+                                    .iter()
+                                    .map(|t| {
+                                        (
+                                            GlobalRef {
+                                                level: (lvl - 1) as u16,
+                                                set: *pidx as u32,
+                                                range: t.0,
+                                            },
+                                            pick(&pset.range_host[t.index()], me),
+                                            pset.structure.range(*t),
+                                        )
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        let rec = RangeRec {
+                            interval: set.structure.range(r),
+                            left: left.map(to_ref),
+                            right: right.map(to_ref),
+                            down,
+                        };
+                        shards[me.index()].insert(gref, rec);
+                    }
+                }
+            }
+        }
+        let top = inner.top_level() as usize;
+        let origins = (0..inner.len())
+            .map(|g| {
+                let level = &levels[top];
+                let set = &level.sets[level.set_of_item[g] as usize];
+                let entry = set.structure.entry_of_item(level.local_of_item[g] as usize);
+                (
+                    set.range_host[entry.index()][0],
+                    GlobalRef {
+                        level: top as u16,
+                        set: level.set_of_item[g],
+                        range: entry.0,
+                    },
+                )
+            })
+            .collect();
+        let runtime = Runtime::spawn(hosts, move |h| ShardActor {
+            shard: std::mem::take(&mut shards[h.index()]),
+        });
+        DistributedOneDim { runtime, origins }
+    }
+
+    /// Registers a client.
+    pub fn client(&self) -> Client<Lookup, Option<u64>> {
+        self.runtime.client()
+    }
+
+    /// Runs one nearest-neighbour query end to end, blocking up to 10 s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down, timeout, disconnect).
+    pub fn nearest(
+        &self,
+        client: &Client<Lookup, Option<u64>>,
+        origin_item: usize,
+        q: u64,
+    ) -> Result<Option<u64>, RuntimeError> {
+        let (host, at) = self.origins[origin_item];
+        client.send(host, Lookup { q, at, client: client.id() })?;
+        client.recv_timeout(Duration::from_secs(10))
+    }
+
+    /// Total host-to-host messages since spawn.
+    pub fn message_count(&self) -> u64 {
+        self.runtime.message_count()
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.runtime.hosts()
+    }
+
+    /// Stops all host threads.
+    pub fn shutdown(self) {
+        self.runtime.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_answers_match_the_simulator() {
+        let keys: Vec<u64> = (0..256).map(|i| i * 9 + 1).collect();
+        let web = OneDimSkipWeb::builder(keys).seed(13).build();
+        let dist = DistributedOneDim::spawn(&web);
+        let client = dist.client();
+        for s in 0..60u64 {
+            let q = (s * 131) % 2400;
+            let sim = web.nearest(web.random_origin(s), q).answer.nearest;
+            let got = dist
+                .nearest(&client, web.random_origin(s), q)
+                .expect("runtime alive")
+                .expect("nonempty web");
+            assert_eq!(got, sim, "query {q}");
+        }
+        dist.shutdown();
+    }
+
+    #[test]
+    fn distributed_message_counts_are_logarithmic() {
+        let keys: Vec<u64> = (0..512).map(|i| i * 5).collect();
+        let web = OneDimSkipWeb::builder(keys).seed(14).build();
+        let dist = DistributedOneDim::spawn(&web);
+        let client = dist.client();
+        let trials = 40u64;
+        for s in 0..trials {
+            let q = (s * 401) % 2560;
+            dist.nearest(&client, web.random_origin(s), q).unwrap();
+        }
+        let per_query = dist.message_count() as f64 / trials as f64;
+        // k = 9 levels; expected O(1) messages per level.
+        assert!(per_query < 40.0, "per-query messages {per_query}");
+        dist.shutdown();
+    }
+
+    #[test]
+    fn distributed_bucketed_web_also_routes_correctly() {
+        let keys: Vec<u64> = (0..300).map(|i| i * 7 + 3).collect();
+        let web = OneDimSkipWeb::builder(keys).seed(15).bucketed(32).build();
+        let dist = DistributedOneDim::spawn(&web);
+        let client = dist.client();
+        for s in 0..30u64 {
+            let q = (s * 211) % 2200;
+            let sim = web.nearest(web.random_origin(s), q).answer.nearest;
+            let got = dist
+                .nearest(&client, web.random_origin(s), q)
+                .unwrap()
+                .unwrap();
+            assert_eq!(got, sim, "query {q}");
+        }
+        dist.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_get_independent_answers() {
+        let keys: Vec<u64> = (0..128).map(|i| i * 11).collect();
+        let web = OneDimSkipWeb::builder(keys).seed(16).build();
+        let dist = DistributedOneDim::spawn(&web);
+        let a = dist.client();
+        let b = dist.client();
+        let (ha, ra) = (dist.origins[0], dist.origins[1]);
+        a.send(ha.0, Lookup { q: 55, at: ha.1, client: a.id() }).unwrap();
+        b.send(ra.0, Lookup { q: 1100, at: ra.1, client: b.id() }).unwrap();
+        let ans_a = a.recv_timeout(Duration::from_secs(10)).unwrap().unwrap();
+        let ans_b = b.recv_timeout(Duration::from_secs(10)).unwrap().unwrap();
+        assert_eq!(ans_a, 55);
+        assert_eq!(ans_b, 1100);
+        dist.shutdown();
+    }
+}

@@ -1,0 +1,162 @@
+//! The randomized level hierarchy of §2.3.
+//!
+//! Every ground item draws an infinite random bit string (here: 64 bits,
+//! far more than the `⌈log n⌉` levels ever used). The level-`ℓ` set
+//! containing an item is identified by the first `ℓ` bits of its string:
+//! `S_b` for the `ℓ`-bit string `b`. Level 0 is the whole ground set; each
+//! level splits every set into two expected halves, which is exactly the
+//! sampling process the set-halving lemmas (§2.2) analyze.
+
+use rand::Rng;
+
+/// Number of random bits drawn per item — an effective "infinite" supply
+/// for any practical ground-set size (`2^64` items would be needed to
+/// exhaust it).
+pub const MAX_LEVEL_BITS: u32 = 64;
+
+/// The number of levels *above* level 0 for a ground set of `n` items:
+/// `⌈log₂ n⌉`, so the expected top-level set size is `O(1)`.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_core::levels::level_count;
+/// assert_eq!(level_count(0), 0);
+/// assert_eq!(level_count(1), 0);
+/// assert_eq!(level_count(2), 1);
+/// assert_eq!(level_count(3), 2);
+/// assert_eq!(level_count(1024), 10);
+/// ```
+pub fn level_count(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Draws the per-item membership bit strings.
+pub fn draw_bits<R: Rng>(n: usize, rng: &mut R) -> Vec<u64> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// The level-`level` set key of an item with bit string `bits`: its first
+/// `level` bits (level 0 maps everything to the single key 0).
+///
+/// # Panics
+///
+/// Panics if `level > MAX_LEVEL_BITS`.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_core::levels::set_key;
+/// assert_eq!(set_key(0b1011, 0), 0);
+/// assert_eq!(set_key(0b1011, 1), 0b1);
+/// assert_eq!(set_key(0b1011, 3), 0b011);
+/// ```
+pub fn set_key(bits: u64, level: u32) -> u64 {
+    assert!(level <= MAX_LEVEL_BITS, "level exceeds available bits");
+    if level == 0 {
+        0
+    } else if level == MAX_LEVEL_BITS {
+        bits
+    } else {
+        bits & ((1u64 << level) - 1)
+    }
+}
+
+/// The key of the parent set (one level down the hierarchy, i.e. the set
+/// this one was sampled from): drop the highest of the `level` bits.
+///
+/// # Panics
+///
+/// Panics if `level == 0` (level 0 has no parent).
+pub fn parent_key(key: u64, level: u32) -> u64 {
+    assert!(level > 0, "level 0 is the ground structure");
+    set_key(key, level - 1)
+}
+
+/// Groups item indices by their level-`level` set key, returning
+/// `(key, member item indices)` pairs sorted by key. Members keep their
+/// input order.
+pub fn group_by_key(item_bits: &[u64], level: u32) -> Vec<(u64, Vec<u32>)> {
+    let mut groups: std::collections::BTreeMap<u64, Vec<u32>> = std::collections::BTreeMap::new();
+    for (i, &bits) in item_bits.iter().enumerate() {
+        groups.entry(set_key(bits, level)).or_default().push(i as u32);
+    }
+    groups.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn level_count_is_ceil_log2() {
+        assert_eq!(level_count(2), 1);
+        assert_eq!(level_count(4), 2);
+        assert_eq!(level_count(5), 3);
+        assert_eq!(level_count(65_536), 16);
+        assert_eq!(level_count(65_537), 17);
+    }
+
+    #[test]
+    fn set_keys_nest_under_parents() {
+        let bits = 0b1101_0110u64;
+        for level in 1..=8u32 {
+            let key = set_key(bits, level);
+            assert_eq!(parent_key(key, level), set_key(bits, level - 1));
+        }
+    }
+
+    #[test]
+    fn level_zero_is_a_single_group() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bits = draw_bits(100, &mut rng);
+        let groups = group_by_key(&bits, 0);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1.len(), 100);
+    }
+
+    #[test]
+    fn groups_partition_the_items() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bits = draw_bits(257, &mut rng);
+        for level in 0..=level_count(257) {
+            let groups = group_by_key(&bits, level);
+            let total: usize = groups.iter().map(|(_, m)| m.len()).sum();
+            assert_eq!(total, 257, "level {level} must partition the set");
+            // Each member's key matches its group.
+            for (key, members) in &groups {
+                for &m in members {
+                    assert_eq!(set_key(bits[m as usize], level), *key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halving_is_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bits = draw_bits(4096, &mut rng);
+        let groups = group_by_key(&bits, 1);
+        assert_eq!(groups.len(), 2);
+        let a = groups[0].1.len() as f64;
+        // Chernoff: a fair split of 4096 stays within ±10% whp.
+        assert!((a - 2048.0).abs() < 205.0, "unbalanced split: {a}");
+    }
+
+    #[test]
+    fn full_width_key_is_identity() {
+        assert_eq!(set_key(u64::MAX, MAX_LEVEL_BITS), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground structure")]
+    fn parent_of_level_zero_panics() {
+        let _ = parent_key(0, 0);
+    }
+}

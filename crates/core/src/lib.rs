@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! The skip-web framework (Arge, Eppstein, Goodrich — PODC 2005).
+//!
+//! A **skip-web** turns any *range-determined link structure* with a
+//! *set-halving lemma* (see [`skipweb_structures`]) into a distributed data
+//! structure: a hierarchy of `⌈log₂ n⌉` levels where each level randomly
+//! halves the previous one's sets (§2.3), with *hyperlinks* from every range
+//! to its conflict list one level down (§2.2), placed onto hosts either
+//! owner-hosted (`H = n`) or bucketed (§2.4.1). Queries descend from a tiny
+//! top-level structure, doing expected `O(1)` work per level (§2.5); updates
+//! repair the hierarchy bottom-up (§4).
+//!
+//! * [`skipweb::SkipWeb`] — the generic structure.
+//! * [`onedim`] — one-dimensional nearest-neighbour skip-webs and the
+//!   bucketed variant (Table 1's last two rows).
+//! * [`multidim`] — quadtree/octree point location and approximate nearest
+//!   neighbour, trie prefix search, trapezoidal-map point location (§3).
+//! * [`distributed`] — the same 1-D routing logic running on the threaded
+//!   actor runtime with real message passing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use skipweb_core::onedim::OneDimSkipWeb;
+//!
+//! let keys: Vec<u64> = (0..100).map(|i| i * 7).collect();
+//! let web = OneDimSkipWeb::builder(keys).seed(1).build();
+//! let outcome = web.nearest(web.random_origin(3), 40);
+//! assert_eq!(outcome.answer.nearest, 42);
+//! assert!(outcome.messages <= 40); // O(log n) expected
+//! ```
+
+pub mod distributed;
+pub mod levels;
+pub mod multidim;
+pub mod onedim;
+pub mod placement;
+pub mod skipweb;
+
+pub use placement::Blocking;
+pub use skipweb::{QueryOutcome, SkipWeb, SkipWebBuilder};

@@ -1,0 +1,653 @@
+//! Multi-dimensional skip-webs (§3): quadtree/octree point location and
+//! approximate nearest neighbour, trie prefix search, and trapezoidal-map
+//! point location — each `O(log n)` messages even when the underlying
+//! structure has `O(n)` depth.
+
+use skipweb_net::sim::{MessageMeter, SimNetwork};
+use skipweb_structures::geometry::Cell;
+use skipweb_structures::quadtree::{CompressedQuadtree, PointKey};
+use skipweb_structures::traits::RangeDetermined;
+use skipweb_structures::trapezoid::{Segment, Trapezoid, TrapezoidalMap};
+use skipweb_structures::trie::CompressedTrie;
+
+use crate::placement::Blocking;
+use crate::skipweb::{SkipWeb, SkipWebBuilder};
+
+/// Builder that produces a typed wrapper around a generic skip-web.
+#[derive(Debug, Clone)]
+pub struct WrappedBuilder<D: RangeDetermined, W> {
+    inner: SkipWebBuilder<D>,
+    wrap: fn(SkipWeb<D>) -> W,
+}
+
+impl<D: RangeDetermined, W> WrappedBuilder<D, W> {
+    /// Seeds the level randomization.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner = self.inner.seed(seed);
+        self
+    }
+
+    /// Uses bucketed placement with per-host memory `memory` (§2.4.1).
+    pub fn bucketed(mut self, memory: usize) -> Self {
+        self.inner = self.inner.bucketed(memory);
+        self
+    }
+
+    /// Uses an explicit blocking strategy.
+    pub fn blocking(mut self, blocking: Blocking) -> Self {
+        self.inner = self.inner.blocking(blocking);
+        self
+    }
+
+    /// Builds the wrapped skip-web.
+    pub fn build(self) -> W {
+        (self.wrap)(self.inner.build())
+    }
+}
+
+/// Outcome of a point-location query in a quadtree skip-web.
+#[derive(Debug, Clone)]
+pub struct CellOutcome<const D: usize> {
+    /// The deepest quadtree cell containing the query point.
+    pub cell: Cell<D>,
+    /// The stored point nearest the query within that cell's subtree (and
+    /// its parent's subtree) — the approximate nearest neighbour that §3.1
+    /// derives from point location.
+    pub approx_nearest: Option<PointKey<D>>,
+    /// Messages spent.
+    pub messages: u64,
+    /// Ranges touched per level, top first.
+    pub per_level_touches: Vec<u32>,
+}
+
+/// A distributed skip-web over a compressed quadtree (`D = 2`) or octree
+/// (`D = 3`), supporting point location and approximate nearest neighbour
+/// with `O(log n)` messages (§3.1).
+///
+/// # Example
+///
+/// ```
+/// use skipweb_core::multidim::QuadtreeSkipWeb;
+/// use skipweb_structures::PointKey;
+///
+/// let pts: Vec<PointKey<2>> = (0..64).map(|i| PointKey::new([i * 13, i * 29])).collect();
+/// let web = QuadtreeSkipWeb::builder(pts).seed(2).build();
+/// let out = web.locate_point(web.random_origin(0), PointKey::new([100, 230]));
+/// assert!(out.cell.contains_point(&PointKey::new([100, 230])));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadtreeSkipWeb<const D: usize> {
+    web: SkipWeb<CompressedQuadtree<D>>,
+}
+
+impl<const D: usize> QuadtreeSkipWeb<D> {
+    /// Starts building over a point set.
+    pub fn builder(points: Vec<PointKey<D>>) -> WrappedBuilder<CompressedQuadtree<D>, Self> {
+        WrappedBuilder {
+            inner: SkipWeb::builder(points),
+            wrap: Self::from_web,
+        }
+    }
+
+    /// Wraps a built generic web.
+    pub fn from_web(web: SkipWeb<CompressedQuadtree<D>>) -> Self {
+        QuadtreeSkipWeb { web }
+    }
+
+    /// The stored points (Morton order).
+    pub fn points(&self) -> &[PointKey<D>] {
+        self.web.ground()
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.web.len()
+    }
+
+    /// Whether the web is empty.
+    pub fn is_empty(&self) -> bool {
+        self.web.is_empty()
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.web.hosts()
+    }
+
+    /// Deterministic pseudo-random origin item.
+    pub fn random_origin(&self, seed: u64) -> usize {
+        self.web.random_origin(seed)
+    }
+
+    /// Point location: routes to the deepest level-0 cell containing `q`
+    /// and extracts the approximate nearest neighbour (§3.1).
+    pub fn locate_point(&self, origin_item: usize, q: PointKey<D>) -> CellOutcome<D> {
+        let mut meter = MessageMeter::new();
+        let outcome = self.web.query(origin_item, &q, &mut meter);
+        let base = self.web.base();
+        let cell = base.range(outcome.locus);
+        // The located range is a node (search terminates on nodes); widen to
+        // its parent subtree for the approximate-NN candidate set.
+        let node = outcome.locus;
+        let around = base.parent_of(node).unwrap_or(node);
+        let approx_nearest = base.nearest_in_subtree(around, &q);
+        CellOutcome {
+            cell,
+            approx_nearest,
+            messages: outcome.messages,
+            per_level_touches: outcome.per_level_touches,
+        }
+    }
+
+    /// Reports every stored point in the axis-aligned box `[lo, hi]`
+    /// (inclusive corners) — the approximate range searching §3.1 derives
+    /// from point location. Routes to the box's covering cell in
+    /// `O(log n)` messages, then scans output-sensitively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the web is empty or `lo` exceeds `hi` on any axis.
+    pub fn points_in_box(
+        &self,
+        origin_item: usize,
+        lo: [u32; D],
+        hi: [u32; D],
+    ) -> BoxOutcome<D> {
+        assert!(
+            (0..D).all(|a| lo[a] <= hi[a]),
+            "box corners out of order"
+        );
+        // Route toward the box centre.
+        let mut centre = [0u32; D];
+        for a in 0..D {
+            centre[a] = lo[a] + (hi[a] - lo[a]) / 2;
+        }
+        let mut meter = MessageMeter::new();
+        let outcome = self.web.query(origin_item, &PointKey::new(centre), &mut meter);
+        let levels = self.web.level_structs();
+        let set = &levels[0].sets[0];
+        let base = &set.structure;
+        // Ascend to the smallest node whose cell covers the whole box.
+        let mut node = outcome.locus;
+        let lo_pt = PointKey::new(lo);
+        let hi_pt = PointKey::new(hi);
+        while !(base.node_cell(node).contains_point(&lo_pt)
+            && base.node_cell(node).contains_point(&hi_pt))
+        {
+            match base.parent_of(node) {
+                Some(p) => {
+                    node = p;
+                    meter.visit(set.range_host[node.index()][0]);
+                }
+                None => break, // the universe root covers everything
+            }
+        }
+        // Output-sensitive DFS, pruning subtrees outside the box.
+        let mut points = Vec::new();
+        let mut stack = vec![node];
+        while let Some(v) = stack.pop() {
+            if !base.node_cell(v).intersects_box(&lo, &hi) {
+                continue;
+            }
+            meter.visit(set.range_host[v.index()][0]);
+            if let Some(p) = base.leaf_point(v) {
+                if p.in_box(&lo, &hi) {
+                    points.push(p);
+                }
+            }
+            for nb in base.neighbors(v) {
+                // children sit behind the node's child links
+                if nb.index() >= base.num_nodes() {
+                    let cell = base.range(nb);
+                    if cell.depth() > base.node_cell(v).depth()
+                        && cell.intersects_box(&lo, &hi)
+                    {
+                        // link target = child node; resolve through link id
+                        let child = base
+                            .neighbors(nb)
+                            .into_iter()
+                            .find(|c| *c != v)
+                            .expect("links join two nodes");
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        points.sort_by_key(PointKey::morton);
+        BoxOutcome { points, messages: meter.messages() }
+    }
+
+    /// Inserts a point, returning the update's message cost (`None` for
+    /// duplicates).
+    pub fn insert(&mut self, p: PointKey<D>) -> Option<u64> {
+        let mut meter = MessageMeter::new();
+        self.web.insert(p, &mut meter).then(|| meter.messages())
+    }
+
+    /// Removes a point, returning the update's message cost (`None` when
+    /// absent).
+    pub fn remove(&mut self, p: &PointKey<D>) -> Option<u64> {
+        let mut meter = MessageMeter::new();
+        self.web.remove(p, &mut meter).then(|| meter.messages())
+    }
+
+    /// A simulated network with accounting applied.
+    pub fn network(&self) -> SimNetwork {
+        self.web.network()
+    }
+
+    /// The underlying generic skip-web.
+    pub fn inner(&self) -> &SkipWeb<CompressedQuadtree<D>> {
+        &self.web
+    }
+}
+
+/// Outcome of a box-reporting query in a quadtree skip-web.
+#[derive(Debug, Clone)]
+pub struct BoxOutcome<const D: usize> {
+    /// Stored points inside the box, in Morton order.
+    pub points: Vec<PointKey<D>>,
+    /// Messages spent: descent + ascent to the box's covering cell + the
+    /// output-sensitive subtree scan.
+    pub messages: u64,
+}
+
+/// Outcome of a prefix query in a trie skip-web.
+#[derive(Debug, Clone)]
+pub struct PrefixOutcome {
+    /// How many bytes of the query lie on the stored-set trie.
+    pub matched_len: usize,
+    /// Stored strings extending the full query prefix (empty when the query
+    /// diverges before its end), sorted.
+    pub matches: Vec<String>,
+    /// Messages spent routing to the locus.
+    pub messages: u64,
+    /// Ranges touched per level, top first.
+    pub per_level_touches: Vec<u32>,
+}
+
+/// A distributed skip-web over a compressed trie: string prefix search with
+/// `O(log n)` messages even for `O(n)`-depth tries (§3.2).
+///
+/// # Example
+///
+/// ```
+/// use skipweb_core::multidim::TrieSkipWeb;
+///
+/// let web = TrieSkipWeb::builder(vec![
+///     "9780201demo".into(),
+///     "9780201rust".into(),
+///     "9781492next".into(),
+/// ]).build();
+/// let out = web.prefix_search(web.random_origin(1), "9780201");
+/// assert_eq!(out.matches.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrieSkipWeb {
+    web: SkipWeb<CompressedTrie>,
+}
+
+impl TrieSkipWeb {
+    /// Starts building over a string set.
+    pub fn builder(strings: Vec<String>) -> WrappedBuilder<CompressedTrie, Self> {
+        WrappedBuilder {
+            inner: SkipWeb::builder(strings),
+            wrap: Self::from_web,
+        }
+    }
+
+    /// Wraps a built generic web.
+    pub fn from_web(web: SkipWeb<CompressedTrie>) -> Self {
+        TrieSkipWeb { web }
+    }
+
+    /// The stored strings (sorted).
+    pub fn strings(&self) -> &[String] {
+        self.web.ground()
+    }
+
+    /// Number of stored strings.
+    pub fn len(&self) -> usize {
+        self.web.len()
+    }
+
+    /// Whether the web is empty.
+    pub fn is_empty(&self) -> bool {
+        self.web.is_empty()
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.web.hosts()
+    }
+
+    /// Deterministic pseudo-random origin item.
+    pub fn random_origin(&self, seed: u64) -> usize {
+        self.web.random_origin(seed)
+    }
+
+    /// Prefix search: routes to the trie locus of `prefix` and collects the
+    /// stored strings extending it.
+    pub fn prefix_search(&self, origin_item: usize, prefix: &str) -> PrefixOutcome {
+        let mut meter = MessageMeter::new();
+        let q = prefix.to_string();
+        let outcome = self.web.query(origin_item, &q, &mut meter);
+        let base = self.web.base();
+        let matched_len = base.matched_len(prefix.as_bytes());
+        let matches = if matched_len == prefix.len() {
+            base.strings_with_prefix(prefix.as_bytes())
+                .into_iter()
+                .map(str::to_owned)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        PrefixOutcome {
+            matched_len,
+            matches,
+            messages: outcome.messages,
+            per_level_touches: outcome.per_level_touches,
+        }
+    }
+
+    /// Inserts a string, returning the update's message cost (`None` for
+    /// duplicates).
+    pub fn insert(&mut self, s: String) -> Option<u64> {
+        let mut meter = MessageMeter::new();
+        self.web.insert(s, &mut meter).then(|| meter.messages())
+    }
+
+    /// Removes a string, returning the update's message cost (`None` when
+    /// absent).
+    pub fn remove(&mut self, s: &str) -> Option<u64> {
+        let mut meter = MessageMeter::new();
+        self.web
+            .remove(&s.to_string(), &mut meter)
+            .then(|| meter.messages())
+    }
+
+    /// A simulated network with accounting applied.
+    pub fn network(&self) -> SimNetwork {
+        self.web.network()
+    }
+
+    /// The underlying generic skip-web.
+    pub fn inner(&self) -> &SkipWeb<CompressedTrie> {
+        &self.web
+    }
+}
+
+/// Outcome of a point-location query in a trapezoidal-map skip-web.
+#[derive(Debug, Clone)]
+pub struct TrapezoidOutcome {
+    /// The trapezoid containing the query point.
+    pub trapezoid: Trapezoid,
+    /// Messages spent.
+    pub messages: u64,
+    /// Ranges touched per level, top first.
+    pub per_level_touches: Vec<u32>,
+}
+
+/// A distributed skip-web over a trapezoidal map: planar point location in a
+/// subdivision by non-crossing segments (§3.3), e.g. a campus or city map.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_core::multidim::TrapezoidSkipWeb;
+/// use skipweb_structures::Segment;
+///
+/// let web = TrapezoidSkipWeb::builder(vec![
+///     Segment::new((0, 0), (11, 1)),
+///     Segment::new((2, 6), (15, 7)),
+/// ]).build();
+/// let out = web.locate_point(0, (5, 3));
+/// assert!(out.trapezoid.contains((5, 3)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrapezoidSkipWeb {
+    web: SkipWeb<TrapezoidalMap>,
+}
+
+impl TrapezoidSkipWeb {
+    /// Starts building over a segment set.
+    pub fn builder(segments: Vec<Segment>) -> WrappedBuilder<TrapezoidalMap, Self> {
+        WrappedBuilder {
+            inner: SkipWeb::builder(segments),
+            wrap: Self::from_web,
+        }
+    }
+
+    /// Wraps a built generic web.
+    pub fn from_web(web: SkipWeb<TrapezoidalMap>) -> Self {
+        TrapezoidSkipWeb { web }
+    }
+
+    /// The stored segments (sorted).
+    pub fn segments(&self) -> &[Segment] {
+        self.web.ground()
+    }
+
+    /// Number of stored segments.
+    pub fn len(&self) -> usize {
+        self.web.len()
+    }
+
+    /// Whether the web is empty.
+    pub fn is_empty(&self) -> bool {
+        self.web.is_empty()
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.web.hosts()
+    }
+
+    /// Deterministic pseudo-random origin item.
+    pub fn random_origin(&self, seed: u64) -> usize {
+        self.web.random_origin(seed)
+    }
+
+    /// Point location: routes to the trapezoid containing `q`.
+    pub fn locate_point(&self, origin_item: usize, q: (i64, i64)) -> TrapezoidOutcome {
+        let mut meter = MessageMeter::new();
+        let outcome = self.web.query(origin_item, &q, &mut meter);
+        TrapezoidOutcome {
+            trapezoid: self.web.base().range(outcome.locus),
+            messages: outcome.messages,
+            per_level_touches: outcome.per_level_touches,
+        }
+    }
+
+    /// Inserts a segment, returning the update's message cost (`None` for
+    /// duplicates). The paper amortizes trapezoid-map insertions against
+    /// their output-sensitive fan-out (§4); the meter charges the conflict
+    /// neighbourhoods the new segment's trapezoids replace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment violates general position against the stored
+    /// set (crossings, shared endpoint x-coordinates).
+    pub fn insert(&mut self, s: Segment) -> Option<u64> {
+        let mut meter = MessageMeter::new();
+        self.web.insert(s, &mut meter).then(|| meter.messages())
+    }
+
+    /// Removes a segment, returning the update's message cost (`None` when
+    /// absent).
+    pub fn remove(&mut self, s: &Segment) -> Option<u64> {
+        let mut meter = MessageMeter::new();
+        self.web.remove(s, &mut meter).then(|| meter.messages())
+    }
+
+    /// A simulated network with accounting applied.
+    pub fn network(&self) -> SimNetwork {
+        self.web.network()
+    }
+
+    /// The underlying generic skip-web.
+    pub fn inner(&self) -> &SkipWeb<TrapezoidalMap> {
+        &self.web
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<PointKey<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PointKey::new([rng.gen(), rng.gen()]))
+            .collect()
+    }
+
+    #[test]
+    fn quadtree_point_location_matches_oracle() {
+        let pts = random_points(128, 1);
+        let web = QuadtreeSkipWeb::builder(pts).seed(1).build();
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in 0..40u64 {
+            let q = PointKey::new([rng.gen(), rng.gen()]);
+            let out = web.locate_point(web.random_origin(s), q);
+            let oracle = web.inner().base().range(web.inner().base().locate(&q));
+            assert_eq!(out.cell, oracle);
+        }
+    }
+
+    #[test]
+    fn quadtree_approx_nearest_is_reasonable() {
+        // A grid of points: the approximate NN must land within the located
+        // neighbourhood — for member queries it is exact.
+        let pts: Vec<PointKey<2>> = (0..8)
+            .flat_map(|x| (0..8).map(move |y| PointKey::new([x * 1000, y * 1000])))
+            .collect();
+        let web = QuadtreeSkipWeb::builder(pts.clone()).seed(3).build();
+        for p in pts.iter().step_by(7) {
+            let out = web.locate_point(0, *p);
+            assert_eq!(out.approx_nearest, Some(*p), "member point is its own NN");
+        }
+    }
+
+    #[test]
+    fn quadtree_messages_logarithmic_even_for_deep_trees() {
+        // A clustered set that makes the uncompressed quadtree very deep.
+        let mut pts = vec![PointKey::new([0u32, 0]), PointKey::new([1, 1])];
+        pts.extend((0..126).map(|i| PointKey::new([i * 33_000_000 + 7, i * 17_000_000 + 3])));
+        let web = QuadtreeSkipWeb::builder(pts).seed(4).build();
+        let out = web.locate_point(web.random_origin(1), PointKey::new([2, 2]));
+        assert!(out.messages < 60, "messages {} not O(log n)", out.messages);
+    }
+
+    #[test]
+    fn box_reporting_matches_filter_oracle() {
+        let pts = random_points(300, 31);
+        let web = QuadtreeSkipWeb::builder(pts.clone()).seed(31).build();
+        let boxes: [([u32; 2], [u32; 2]); 3] = [
+            ([0, 0], [u32::MAX / 2, u32::MAX / 2]),
+            ([1 << 30, 1 << 29], [3 << 30, 3 << 29]),
+            ([5, 5], [6, 6]),
+        ];
+        for (lo, hi) in boxes {
+            let out = web.points_in_box(web.random_origin(1), lo, hi);
+            let mut want: Vec<PointKey<2>> = web
+                .points()
+                .iter()
+                .copied()
+                .filter(|p| p.in_box(&lo, &hi))
+                .collect();
+            want.sort_by_key(PointKey::morton);
+            assert_eq!(out.points, want, "box {lo:?}..{hi:?}");
+        }
+    }
+
+    #[test]
+    fn box_reporting_is_output_sensitive() {
+        let pts = random_points(512, 33);
+        let web = QuadtreeSkipWeb::builder(pts).seed(33).build();
+        let tiny = web.points_in_box(0, [0, 0], [1000, 1000]);
+        assert!(tiny.messages < 80, "empty box cost {}", tiny.messages);
+        let huge = web.points_in_box(0, [0, 0], [u32::MAX, u32::MAX]);
+        assert_eq!(huge.points.len(), 512);
+    }
+
+    #[test]
+    fn trie_prefix_search_returns_all_matches() {
+        let mut strings: Vec<String> = (0..60).map(|i| format!("978020{i:02}rest")).collect();
+        strings.push("9799999zzz".into());
+        let web = TrieSkipWeb::builder(strings).seed(5).build();
+        let out = web.prefix_search(web.random_origin(1), "97802");
+        assert_eq!(out.matches.len(), 60);
+        assert_eq!(out.matched_len, 5);
+        let none = web.prefix_search(web.random_origin(2), "000");
+        assert!(none.matches.is_empty());
+    }
+
+    #[test]
+    fn trie_updates_route_and_apply() {
+        let strings: Vec<String> = (0..32).map(|i| format!("w{i:03}")).collect();
+        let mut web = TrieSkipWeb::builder(strings).seed(6).build();
+        assert!(web.insert("w999x".into()).is_some());
+        let out = web.prefix_search(0, "w999");
+        assert_eq!(out.matches, vec!["w999x".to_string()]);
+        assert!(web.remove("w999x").is_some());
+        assert!(web.prefix_search(0, "w999").matches.is_empty());
+    }
+
+    #[test]
+    fn trapezoid_point_location_matches_oracle() {
+        let segments: Vec<Segment> = (0..24)
+            .map(|i| {
+                let x = i * 100;
+                Segment::new((x, i * 5), (x + 60, i * 5 + 3))
+            })
+            .collect();
+        let web = TrapezoidSkipWeb::builder(segments).seed(7).build();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..30 {
+            let q = (rng.gen_range(-200..2600), rng.gen_range(-50..200));
+            let out = web.locate_point(web.random_origin(3), q);
+            let base = web.inner().base();
+            let oracle = base.trapezoid(base.locate(&q));
+            assert_eq!(out.trapezoid, oracle, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn trapezoid_updates_route_and_apply() {
+        let segments: Vec<Segment> = (0..16)
+            .map(|i| Segment::new((i * 100, i * 50), (i * 100 + 60, i * 50 + 3)))
+            .collect();
+        let mut web = TrapezoidSkipWeb::builder(segments).seed(11).build();
+        let fresh = Segment::new((41, 2_000), (83, 2_001)); // above all bands
+        let cost = web.insert(fresh).expect("new segment");
+        assert!(cost > 0);
+        assert!(web.insert(fresh).is_none(), "duplicate rejected");
+        // The new segment's trapezoids are now locatable.
+        let probe = (60i64, 2_005i64);
+        let out = web.locate_point(0, probe);
+        assert_eq!(out.trapezoid.bottom, Some(fresh));
+        assert!(web.remove(&fresh).is_some());
+        assert!(web.remove(&fresh).is_none());
+        let out = web.locate_point(0, probe);
+        assert_ne!(out.trapezoid.bottom, Some(fresh));
+    }
+
+    #[test]
+    fn trapezoid_queries_touch_constant_per_level() {
+        let segments: Vec<Segment> = (0..32)
+            .map(|i| Segment::new((i * 50, (i % 7) * 9), (i * 50 + 30, (i % 7) * 9 + 2)))
+            .collect();
+        let web = TrapezoidSkipWeb::builder(segments).seed(9).build();
+        let out = web.locate_point(0, (777, 33));
+        let mean = out
+            .per_level_touches
+            .iter()
+            .map(|&t| t as f64)
+            .sum::<f64>()
+            / out.per_level_touches.len() as f64;
+        assert!(mean < 8.0, "per-level touches {mean} should be constant-ish");
+    }
+}

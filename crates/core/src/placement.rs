@@ -1,0 +1,121 @@
+//! Distributed blocking: assigning structure ranges to hosts (§2.4).
+//!
+//! Two strategies from the paper:
+//!
+//! * [`Blocking::OwnerHosted`] — `H = n`: every ground item owns a host and
+//!   every range lives with its owning item, so an item's "tower" of ranges
+//!   across levels is co-located (Figure 2's gray nodes). This is the
+//!   arbitrary-assignment regime of §2.4 with skip-graph-style ownership.
+//! * [`Blocking::Bucketed { memory }`] — §2.4.1: levels are stratified with
+//!   *basic* levels every `L = ⌈log₂ M⌉` levels; each basic-level structure
+//!   is cut into blocks of `~M/L` contiguous ranges, one block per host, and
+//!   every non-basic range is stored with the basic block it projects onto
+//!   (following its hyperlink chain downward). A query then pays messages
+//!   only when crossing basic levels: `O(log n / log M)` in expectation.
+
+use std::fmt;
+
+/// Strategy for assigning ranges to hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Blocking {
+    /// One host per ground item; ranges live with their owner item.
+    OwnerHosted,
+    /// Bucketed placement of §2.4.1 with per-host memory budget `memory`
+    /// (the paper's `M`).
+    Bucketed {
+        /// Per-host memory budget `M ≥ 2` (items + pointers + host IDs).
+        memory: usize,
+    },
+}
+
+impl Blocking {
+    /// The stratification width `L = ⌈log₂ M⌉` for bucketed placement
+    /// (1 for owner-hosted placement, where every level is "basic").
+    pub fn stratum_width(&self) -> u32 {
+        match self {
+            Blocking::OwnerHosted => 1,
+            Blocking::Bucketed { memory } => {
+                let m = (*memory).max(2);
+                (usize::BITS - (m - 1).leading_zeros()).max(1)
+            }
+        }
+    }
+
+    /// Whether `level` is a basic level under this strategy.
+    pub fn is_basic(&self, level: u32) -> bool {
+        level.is_multiple_of(self.stratum_width())
+    }
+
+    /// The basic level at or below `level`.
+    pub fn basic_below(&self, level: u32) -> u32 {
+        level - (level % self.stratum_width())
+    }
+
+    /// Block size in ranges for basic levels (`max(1, M / L)`); meaningless
+    /// for owner-hosted placement.
+    pub fn block_size(&self) -> usize {
+        match self {
+            Blocking::OwnerHosted => 1,
+            Blocking::Bucketed { memory } => {
+                let l = self.stratum_width() as usize;
+                (memory / l).max(1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Blocking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Blocking::OwnerHosted => write!(f, "owner-hosted (H = n)"),
+            Blocking::Bucketed { memory } => write!(f, "bucketed (M = {memory})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_hosted_treats_every_level_as_basic() {
+        let b = Blocking::OwnerHosted;
+        assert_eq!(b.stratum_width(), 1);
+        assert!(b.is_basic(0));
+        assert!(b.is_basic(7));
+        assert_eq!(b.basic_below(7), 7);
+    }
+
+    #[test]
+    fn bucketed_stratum_width_is_ceil_log2_memory() {
+        assert_eq!(Blocking::Bucketed { memory: 2 }.stratum_width(), 1);
+        assert_eq!(Blocking::Bucketed { memory: 4 }.stratum_width(), 2);
+        assert_eq!(Blocking::Bucketed { memory: 5 }.stratum_width(), 3);
+        assert_eq!(Blocking::Bucketed { memory: 1024 }.stratum_width(), 10);
+    }
+
+    #[test]
+    fn basic_levels_are_multiples_of_the_width() {
+        let b = Blocking::Bucketed { memory: 16 }; // L = 4
+        assert!(b.is_basic(0));
+        assert!(b.is_basic(4));
+        assert!(!b.is_basic(5));
+        assert_eq!(b.basic_below(5), 4);
+        assert_eq!(b.basic_below(7), 4);
+        assert_eq!(b.basic_below(8), 8);
+    }
+
+    #[test]
+    fn block_size_splits_memory_over_the_stratum() {
+        let b = Blocking::Bucketed { memory: 64 }; // L = 6
+        assert_eq!(b.block_size(), 64 / 6);
+        let tiny = Blocking::Bucketed { memory: 2 };
+        assert!(tiny.block_size() >= 1);
+    }
+
+    #[test]
+    fn display_names_the_strategy() {
+        assert!(Blocking::OwnerHosted.to_string().contains("H = n"));
+        assert!(Blocking::Bucketed { memory: 8 }.to_string().contains("M = 8"));
+    }
+}

@@ -1,0 +1,882 @@
+//! The skip-web structure: levels, hyperlinks, placement, queries (§2.3–2.5)
+//! and updates (§4), generic over any range-determined link structure.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use skipweb_net::sim::{MessageMeter, SimNetwork};
+use skipweb_net::HostId;
+use skipweb_structures::traits::{RangeDetermined, RangeId};
+
+use crate::levels::{draw_bits, group_by_key, level_count, parent_key, set_key};
+use crate::placement::Blocking;
+
+/// One level-`ℓ` set `S_b` with its structure `D(S_b)`, hyperlinks, and
+/// host placement.
+#[derive(Debug, Clone)]
+pub(crate) struct LevelSet<D: RangeDetermined> {
+    /// The `ℓ`-bit key `b` of this set.
+    pub key: u64,
+    /// The structure `D(S_b)`.
+    pub structure: D,
+    /// Structure item index → ground item index.
+    pub ground: Vec<u32>,
+    /// Per range: hyperlinks to the conflicting ranges `C(Q, S_{b'})` in the
+    /// parent set one level down (§2.3). Empty at level 0.
+    pub down: Vec<Vec<RangeId>>,
+    /// Per range: the hosts storing a copy of it. Owner-hosted placement
+    /// keeps a single copy; bucketed placement replicates non-basic ranges
+    /// onto every block host whose cone they belong to (§2.4.1 notes that
+    /// "copies of some of these ranges may be stored on multiple hosts").
+    pub range_host: Vec<Vec<HostId>>,
+}
+
+/// All sets of one level.
+#[derive(Debug, Clone)]
+pub(crate) struct Level<D: RangeDetermined> {
+    pub sets: Vec<LevelSet<D>>,
+    /// Ground item index → set index within this level.
+    pub set_of_item: Vec<u32>,
+    /// Ground item index → item index inside its set's structure.
+    pub local_of_item: Vec<u32>,
+    /// Set key → set index.
+    pub set_by_key: HashMap<u64, u32>,
+}
+
+/// Result of a skip-web query descent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The maximal level-0 range containing the query — the answer locus.
+    pub locus: RangeId,
+    /// Messages spent by this query (also recorded in the meter).
+    pub messages: u64,
+    /// Ranges touched per level (top level first) — the per-level work that
+    /// the set-halving lemmas bound by `O(1)`.
+    pub per_level_touches: Vec<u32>,
+}
+
+/// A distributed skip-web over structure `D` (§2).
+///
+/// Build one with [`SkipWeb::builder`]; run queries with
+/// [`SkipWeb::query`]; apply updates with [`SkipWeb::insert`] /
+/// [`SkipWeb::remove`]. Domain-specific wrappers with typed answers live in
+/// [`crate::onedim`] and [`crate::multidim`].
+#[derive(Debug, Clone)]
+pub struct SkipWeb<D: RangeDetermined> {
+    ground: Vec<D::Item>,
+    item_bits: Vec<u64>,
+    levels: Vec<Level<D>>,
+    host_of_item: Vec<HostId>,
+    hosts: usize,
+    blocking: Blocking,
+    rng: StdRng,
+}
+
+/// Configures and builds a [`SkipWeb`].
+#[derive(Debug, Clone)]
+pub struct SkipWebBuilder<D: RangeDetermined> {
+    items: Vec<D::Item>,
+    seed: u64,
+    blocking: Blocking,
+}
+
+impl<D: RangeDetermined> SkipWebBuilder<D> {
+    /// Seeds the randomized level assignment (default 0). Two webs built
+    /// with the same items and seed are identical.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Chooses the blocking strategy (default [`Blocking::OwnerHosted`]).
+    pub fn blocking(mut self, blocking: Blocking) -> Self {
+        self.blocking = blocking;
+        self
+    }
+
+    /// Bucketed placement with per-host memory `memory` (§2.4.1).
+    pub fn bucketed(self, memory: usize) -> Self {
+        self.blocking(Blocking::Bucketed { memory })
+    }
+
+    /// Builds the skip-web.
+    pub fn build(self) -> SkipWeb<D> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Canonicalize the ground set through the structure's own builder.
+        let ground = D::build(self.items).items().to_vec();
+        let item_bits = draw_bits(ground.len(), &mut rng);
+        let mut web = SkipWeb {
+            ground,
+            item_bits,
+            levels: Vec::new(),
+            host_of_item: Vec::new(),
+            hosts: 0,
+            blocking: self.blocking,
+            rng,
+        };
+        web.rebuild();
+        web
+    }
+}
+
+impl<D: RangeDetermined> SkipWeb<D> {
+    /// Starts building a skip-web over `items`.
+    pub fn builder(items: Vec<D::Item>) -> SkipWebBuilder<D> {
+        SkipWebBuilder {
+            items,
+            seed: 0,
+            blocking: Blocking::OwnerHosted,
+        }
+    }
+
+    /// The canonical ground set.
+    pub fn ground(&self) -> &[D::Item] {
+        &self.ground
+    }
+
+    /// Number of stored items `n`.
+    pub fn len(&self) -> usize {
+        self.ground.len()
+    }
+
+    /// Whether the web stores no items.
+    pub fn is_empty(&self) -> bool {
+        self.ground.is_empty()
+    }
+
+    /// Number of hosts `H`.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// The top level index `k = ⌈log₂ n⌉`.
+    pub fn top_level(&self) -> u32 {
+        (self.levels.len() - 1) as u32
+    }
+
+    /// The blocking strategy in effect.
+    pub fn blocking(&self) -> Blocking {
+        self.blocking
+    }
+
+    /// Sizes of the sets at `level` (for the Figure 2 reproduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds [`top_level`](Self::top_level).
+    pub fn level_set_sizes(&self, level: u32) -> Vec<usize> {
+        self.levels[level as usize]
+            .sets
+            .iter()
+            .map(|s| s.ground.len())
+            .collect()
+    }
+
+    /// Total ranges stored across all levels (structure nodes + links).
+    pub fn total_ranges(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|l| &l.sets)
+            .map(|s| s.structure.num_ranges())
+            .sum()
+    }
+
+    /// The level-0 structure `D(S)`.
+    pub fn base(&self) -> &D {
+        &self.levels[0].sets[0].structure
+    }
+
+    /// The host owning ground item `item` (query origins start here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item >= self.len()`.
+    pub fn host_of_item(&self, item: usize) -> HostId {
+        self.host_of_item[item]
+    }
+
+    /// A deterministic pseudo-random query origin (ground item index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the web is empty.
+    pub fn random_origin(&self, seed: u64) -> usize {
+        assert!(!self.is_empty(), "an empty web has no query origins");
+        let mut rng = StdRng::seed_from_u64(seed);
+        rng.gen_range(0..self.len())
+    }
+
+    /// Routes a query from the root of `origin_item`'s host down to the
+    /// maximal level-0 range containing `q` (§2.5), charging every touched
+    /// range's host to `meter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the web is empty or `origin_item` is out of bounds.
+    pub fn query(
+        &self,
+        origin_item: usize,
+        q: &D::Query,
+        meter: &mut MessageMeter,
+    ) -> QueryOutcome {
+        assert!(!self.is_empty(), "cannot query an empty skip-web");
+        assert!(origin_item < self.len(), "origin item out of bounds");
+        let start_messages = meter.messages();
+        let top = self.top_level() as usize;
+        let mut level = top;
+        let mut set_idx = self.levels[top].set_of_item[origin_item] as usize;
+        let mut entry = self.levels[top].sets[set_idx]
+            .structure
+            .entry_of_item(self.levels[top].local_of_item[origin_item] as usize);
+        let mut per_level_touches = Vec::with_capacity(top + 1);
+        // Non-basic ranges are replicated across block hosts; which copy the
+        // walk reads is only determined once the descent reaches the basic
+        // level below (the block holding the query's cone stores the whole
+        // stratum, §2.4.1). Defer their host resolution until that anchor is
+        // known, then charge the co-located copy when one exists.
+        let mut pending: Vec<Vec<HostId>> = Vec::new();
+        loop {
+            let set = &self.levels[level].sets[set_idx];
+            let path = set.structure.search_path(entry, q);
+            if self.blocking.is_basic(level as u32) {
+                for (i, r) in path.iter().enumerate() {
+                    let host = set.range_host[r.index()][0];
+                    if i == 0 {
+                        for replicas in pending.drain(..) {
+                            let copy = if replicas.contains(&host) { host } else { replicas[0] };
+                            meter.visit(copy);
+                        }
+                    }
+                    meter.visit(host);
+                }
+            } else {
+                for r in &path {
+                    pending.push(set.range_host[r.index()].clone());
+                }
+            }
+            per_level_touches.push(path.len() as u32);
+            let locus = *path.last().expect("search paths include their start");
+            if level == 0 {
+                debug_assert!(pending.is_empty(), "level 0 is always basic");
+                return QueryOutcome {
+                    locus,
+                    messages: meter.messages() - start_messages,
+                    per_level_touches,
+                };
+            }
+            let candidates = &set.down[locus.index()];
+            assert!(
+                !candidates.is_empty(),
+                "hyperlinks of a subset range into its superset cannot be empty"
+            );
+            let parent_idx = self.parent_set_index(level as u32, set.key);
+            let parent = &self.levels[level - 1].sets[parent_idx];
+            entry = parent.structure.best_entry(candidates, q);
+            level -= 1;
+            set_idx = parent_idx;
+        }
+    }
+
+    fn parent_set_index(&self, level: u32, key: u64) -> usize {
+        let pkey = parent_key(key, level);
+        self.levels[(level - 1) as usize].set_by_key[&pkey] as usize
+    }
+
+    /// Inserts `item`, charging the §4 bottom-up repair messages to `meter`.
+    /// Returns `false` (and charges only the lookup) when the item is
+    /// already present.
+    pub fn insert(&mut self, item: D::Item, meter: &mut MessageMeter) -> bool {
+        // Route to the item's level-0 locus first (the paper's step 1).
+        if !self.is_empty() {
+            let q = D::item_query(&item);
+            let origin = self.rng.gen_range(0..self.len());
+            let _ = self.query(origin, &q, meter);
+        }
+        if self.ground.contains(&item) {
+            return false;
+        }
+        let bits: u64 = self.rng.gen();
+        // Charge the per-level conflict neighbourhoods that the insertion
+        // rewires, bottom-up (§4): the ranges conflicting with the item's
+        // new node range at every level it joins.
+        self.meter_update_neighbourhood(&item, bits, meter);
+        self.ground.push(item);
+        self.item_bits.push(bits);
+        self.rebuild();
+        true
+    }
+
+    /// Removes `item`, charging the symmetric §4 repair messages. Returns
+    /// `false` when the item was not present.
+    pub fn remove(&mut self, item: &D::Item, meter: &mut MessageMeter) -> bool {
+        let Some(pos) = self.ground.iter().position(|g| g == item) else {
+            return false;
+        };
+        if self.len() > 1 {
+            let q = D::item_query(item);
+            let origin = self.rng.gen_range(0..self.len());
+            let _ = self.query(origin, &q, meter);
+        }
+        let bits = self.item_bits[pos];
+        self.meter_update_neighbourhood(item, bits, meter);
+        self.ground.remove(pos);
+        self.item_bits.remove(pos);
+        self.rebuild();
+        true
+    }
+
+    /// Visits the hosts of the ranges conflicting with `item`'s entry
+    /// neighbourhood at every level the item belongs to — the message cost
+    /// of the bottom-up repair of §4. Uses the item's singleton structure to
+    /// materialize its node range.
+    fn meter_update_neighbourhood(&self, item: &D::Item, bits: u64, meter: &mut MessageMeter) {
+        let probe = D::build(vec![item.clone()]);
+        let probe_range = probe.range(probe.entry_of_item(0));
+        // Bottom-up (§4). Within a stratum, the non-basic neighbourhoods are
+        // co-located with the basic block just repaired, so charge that
+        // anchor's copy when one exists.
+        let mut anchor: Option<HostId> = None;
+        for level in 0..self.levels.len() as u32 {
+            let key = set_key(bits, level);
+            let Some(&set_idx) = self.levels[level as usize].set_by_key.get(&key) else {
+                continue; // the item opens a brand-new set at this level
+            };
+            let set = &self.levels[level as usize].sets[set_idx as usize];
+            let basic = self.blocking.is_basic(level);
+            for (i, r) in set.structure.conflicts(&probe_range).into_iter().enumerate() {
+                let replicas = &set.range_host[r.index()];
+                let host = match anchor {
+                    Some(a) if replicas.contains(&a) => a,
+                    _ => replicas[0],
+                };
+                meter.visit(host);
+                if basic && i == 0 {
+                    anchor = Some(host);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds levels, hyperlinks and placement from the current ground
+    /// set and bit assignment. Deterministic: bit strings fully determine
+    /// the hierarchy, so queries and accounting are reproducible.
+    fn rebuild(&mut self) {
+        let n = self.ground.len();
+        let k = level_count(n);
+        // Canonical order may have changed after an update: reorder ground
+        // (and bits) through the structure builder once.
+        let canonical = D::build(self.ground.clone());
+        let order: Vec<usize> = {
+            let mut index: BTreeMap<&D::Item, usize> = BTreeMap::new();
+            for (i, it) in self.ground.iter().enumerate() {
+                index.insert(it, i);
+            }
+            canonical.items().iter().map(|it| index[it]).collect()
+        };
+        let bits: Vec<u64> = order.iter().map(|&i| self.item_bits[i]).collect();
+        self.ground = canonical.items().to_vec();
+        self.item_bits = bits;
+
+        let item_index: BTreeMap<&D::Item, u32> = self
+            .ground
+            .iter()
+            .enumerate()
+            .map(|(i, it)| (it, i as u32))
+            .collect();
+
+        // --- Levels ---------------------------------------------------------
+        let mut levels: Vec<Level<D>> = Vec::with_capacity(k as usize + 1);
+        for level in 0..=k {
+            let groups = group_by_key(&self.item_bits, level);
+            let mut sets = Vec::with_capacity(groups.len());
+            let mut set_of_item = vec![0u32; n];
+            let mut local_of_item = vec![0u32; n];
+            let mut set_by_key = HashMap::with_capacity(groups.len());
+            for (key, members) in groups {
+                let items: Vec<D::Item> = members
+                    .iter()
+                    .map(|&g| self.ground[g as usize].clone())
+                    .collect();
+                let structure = D::build(items);
+                let ground: Vec<u32> = structure
+                    .items()
+                    .iter()
+                    .map(|it| item_index[it])
+                    .collect();
+                let set_idx = sets.len() as u32;
+                for (local, &g) in ground.iter().enumerate() {
+                    set_of_item[g as usize] = set_idx;
+                    local_of_item[g as usize] = local as u32;
+                }
+                set_by_key.insert(key, set_idx);
+                let num_ranges = structure.num_ranges();
+                sets.push(LevelSet {
+                    key,
+                    structure,
+                    ground,
+                    down: vec![Vec::new(); num_ranges],
+                    range_host: vec![Vec::new(); num_ranges],
+                });
+            }
+            if n == 0 {
+                // Keep a single empty level-0 set for uniformity.
+                let structure = D::build(Vec::new());
+                let num_ranges = structure.num_ranges();
+                sets.push(LevelSet {
+                    key: 0,
+                    structure,
+                    ground: Vec::new(),
+                    down: vec![Vec::new(); num_ranges],
+                    range_host: vec![Vec::new(); num_ranges],
+                });
+                set_by_key.insert(0, 0);
+            }
+            levels.push(Level { sets, set_of_item, local_of_item, set_by_key });
+        }
+
+        // --- Hyperlinks (§2.3) ----------------------------------------------
+        for level in 1..=k {
+            let (lower, upper) = levels.split_at_mut(level as usize);
+            let parent_level = &lower[level as usize - 1];
+            for set in &mut upper[0].sets {
+                let pkey = parent_key(set.key, level);
+                let parent = &parent_level.sets[parent_level.set_by_key[&pkey] as usize];
+                for r in set.structure.range_ids() {
+                    set.down[r.index()] = parent.structure.conflicts(&set.structure.range(r));
+                }
+            }
+        }
+
+        self.levels = levels;
+        self.assign_hosts();
+    }
+
+    /// Computes `range_host` for every set per the blocking strategy, plus
+    /// per-item home hosts.
+    fn assign_hosts(&mut self) {
+        let n = self.ground.len();
+        match self.blocking {
+            Blocking::OwnerHosted => {
+                self.hosts = n.max(1);
+                self.host_of_item = (0..n).map(|i| HostId(i as u32)).collect();
+                for level in &mut self.levels {
+                    for set in &mut level.sets {
+                        for r in set.structure.range_ids() {
+                            let owner_local = set.structure.owner(r);
+                            let owner_ground = set
+                                .ground
+                                .get(owner_local)
+                                .copied()
+                                .unwrap_or(0);
+                            set.range_host[r.index()] = vec![HostId(owner_ground)];
+                        }
+                    }
+                }
+                if n == 0 {
+                    self.host_of_item.clear();
+                }
+            }
+            Blocking::Bucketed { .. } => self.assign_bucketed(),
+        }
+    }
+
+    /// The bucketed placement of §2.4.1: basic levels are chopped into
+    /// blocks of contiguous ranges (one host each); non-basic ranges follow
+    /// their hyperlink chain down to the basic level and live with the block
+    /// they land on.
+    fn assign_bucketed(&mut self) {
+        let block_size = self.blocking.block_size();
+        let mut next_host: u32 = 0;
+        // Pass 1: basic levels, blocks of contiguous ranges. Blocks fill
+        // across set boundaries (sets visited in key order) so that the many
+        // tiny sets of high levels share hosts instead of each burning one —
+        // keeping H within the paper's O(n log n / M).
+        for (level_idx, level) in self.levels.iter_mut().enumerate() {
+            if !self.blocking.is_basic(level_idx as u32) {
+                continue;
+            }
+            let mut fill = 0usize;
+            let mut started = false;
+            for set in &mut level.sets {
+                // Contiguity: order ranges by (owning item, id) — owner order
+                // follows the structure's canonical layout.
+                let mut order: Vec<RangeId> = set.structure.range_ids().collect();
+                order.sort_by_key(|r| (set.structure.owner(*r), r.index()));
+                for r in order {
+                    if fill == block_size || !started {
+                        if started {
+                            next_host += 1;
+                        }
+                        started = true;
+                        fill = 0;
+                    }
+                    set.range_host[r.index()] = vec![HostId(next_host)];
+                    fill += 1;
+                }
+            }
+            if started {
+                next_host += 1; // close the level's last open block
+            }
+        }
+        // Pass 2: non-basic ranges are replicated onto every host holding a
+        // copy of a range they hyperlink to one level down (so each block's
+        // whole non-basic cone is co-located with it, as §2.4.1 describes).
+        // Ascending level order guarantees the level below is already placed.
+        for level_idx in 1..self.levels.len() {
+            if self.blocking.is_basic(level_idx as u32) {
+                continue;
+            }
+            for set_idx in 0..self.levels[level_idx].sets.len() {
+                let key = self.levels[level_idx].sets[set_idx].key;
+                let parent_idx = self.parent_set_index(level_idx as u32, key);
+                for r_idx in 0..self.levels[level_idx].sets[set_idx].range_host.len() {
+                    let mut hosts: Vec<HostId> = Vec::new();
+                    for t in &self.levels[level_idx].sets[set_idx].down[r_idx] {
+                        hosts.extend(
+                            self.levels[level_idx - 1].sets[parent_idx].range_host
+                                [t.index()]
+                            .iter()
+                            .copied(),
+                        );
+                    }
+                    hosts.sort_unstable();
+                    hosts.dedup();
+                    debug_assert!(!hosts.is_empty(), "non-basic range must have a cone");
+                    self.levels[level_idx].sets[set_idx].range_host[r_idx] = hosts;
+                }
+            }
+        }
+        self.hosts = (next_host as usize).max(1);
+        // Item homes: the host of the item's top-level entry range.
+        let top = self.top_level() as usize;
+        self.host_of_item = (0..self.ground.len())
+            .map(|g| {
+                let set = &self.levels[top].sets[self.levels[top].set_of_item[g] as usize];
+                let entry = set
+                    .structure
+                    .entry_of_item(self.levels[top].local_of_item[g] as usize);
+                set.range_host[entry.index()][0]
+            })
+            .collect();
+    }
+
+    /// Registers the web's storage and reference footprint with a simulated
+    /// network (the `M` and `C(n)` accounting of §1.1). The network must
+    /// have at least [`hosts`](Self::hosts) hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` has fewer hosts than the web requires.
+    pub fn account(&self, net: &mut SimNetwork) {
+        assert!(
+            net.hosts() >= self.hosts,
+            "network too small: {} hosts < {} required",
+            net.hosts(),
+            self.hosts
+        );
+        net.set_items(self.len());
+        for level in &self.levels {
+            for set in &level.sets {
+                for r in set.structure.range_ids() {
+                    let neighbors = set.structure.neighbors(r);
+                    let down = &set.down[r.index()];
+                    let copies = &set.range_host[r.index()];
+                    for (c, &host) in copies.iter().enumerate() {
+                        let mut local = 0u64;
+                        let mut remote = 0u64;
+                        for nb in &neighbors {
+                            if set.range_host[nb.index()].contains(&host) {
+                                local += 1;
+                            } else {
+                                remote += 1;
+                            }
+                        }
+                        if c == 0 {
+                            // The primary copy stores the range plus every
+                            // pointer (each a (host, addr) pair).
+                            net.add_storage(
+                                host,
+                                1 + neighbors.len() as u64 + down.len() as u64,
+                            );
+                            net.add_refs(host, local, remote);
+                        } else {
+                            // Replicas serve the intra-block descent: the
+                            // range, its co-located pointers, and a single
+                            // fallback pointer to the primary.
+                            net.add_storage(host, 2 + local);
+                            net.add_refs(host, local, 1);
+                        }
+                    }
+                }
+            }
+        }
+        // Hyperlink references point across levels.
+        for level_idx in 1..self.levels.len() {
+            for set in &self.levels[level_idx].sets {
+                let parent_idx = self.parent_set_index(level_idx as u32, set.key);
+                let parent = &self.levels[level_idx - 1].sets[parent_idx];
+                for r in set.structure.range_ids() {
+                    for (c, &host) in set.range_host[r.index()].iter().enumerate() {
+                        let mut local = 0u64;
+                        let mut remote = 0u64;
+                        for t in &set.down[r.index()] {
+                            if parent.range_host[t.index()].contains(&host) {
+                                local += 1;
+                            } else {
+                                remote += 1;
+                            }
+                        }
+                        if c == 0 {
+                            net.add_refs(host, local, remote);
+                        } else {
+                            // Replicas keep co-located hyperlinks only.
+                            net.add_refs(host, local, 0);
+                            net.add_storage(host, local);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fresh simulated network sized for this web with accounting applied.
+    pub fn network(&self) -> SimNetwork {
+        let mut net = SimNetwork::new(self.hosts.max(1));
+        self.account(&mut net);
+        net
+    }
+
+    pub(crate) fn level_structs(&self) -> &[Level<D>] {
+        &self.levels
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipweb_structures::linked_list::SortedLinkedList;
+
+    fn web(n: u64, seed: u64) -> SkipWeb<SortedLinkedList> {
+        SkipWeb::builder((0..n).map(|i| i * 10).collect()).seed(seed).build()
+    }
+
+    #[test]
+    fn builder_canonicalizes_ground_set() {
+        let w = SkipWeb::<SortedLinkedList>::builder(vec![30, 10, 20, 10]).build();
+        assert_eq!(w.ground(), &[10, 20, 30]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.top_level(), 2);
+    }
+
+    #[test]
+    fn level_sets_partition_items_and_halve() {
+        let w = web(256, 1);
+        for level in 0..=w.top_level() {
+            let sizes = w.level_set_sizes(level);
+            assert_eq!(sizes.iter().sum::<usize>(), 256);
+        }
+        // Level 1 splits into two roughly even halves.
+        let l1 = w.level_set_sizes(1);
+        assert_eq!(l1.len(), 2);
+        assert!(l1.iter().all(|&s| s > 80 && s < 176), "split {l1:?}");
+    }
+
+    #[test]
+    fn owner_hosted_uses_one_host_per_item() {
+        let w = web(64, 2);
+        assert_eq!(w.hosts(), 64);
+        for i in 0..64 {
+            assert_eq!(w.host_of_item(i), HostId(i as u32));
+        }
+    }
+
+    #[test]
+    fn query_finds_the_correct_level0_locus() {
+        let w = web(128, 3);
+        for q in [0u64, 5, 321, 635, 1270, 9999] {
+            let mut meter = MessageMeter::new();
+            let outcome = w.query(w.random_origin(q), &q, &mut meter);
+            let want = w.base().locate(&q);
+            assert_eq!(outcome.locus, want, "locus mismatch for {q}");
+            assert_eq!(outcome.messages, meter.messages());
+        }
+    }
+
+    #[test]
+    fn query_touches_constant_work_per_level() {
+        let w = web(512, 4);
+        let mut total = 0f64;
+        let mut count = 0f64;
+        for s in 0..50u64 {
+            let mut meter = MessageMeter::new();
+            let q = s * 101 + 7;
+            let outcome = w.query(w.random_origin(s), &q, &mut meter);
+            total += outcome
+                .per_level_touches
+                .iter()
+                .map(|&t| t as f64)
+                .sum::<f64>();
+            count += outcome.per_level_touches.len() as f64;
+        }
+        let per_level = total / count;
+        assert!(per_level < 6.0, "per-level work too high: {per_level}");
+    }
+
+    #[test]
+    fn query_messages_scale_logarithmically() {
+        let w = web(1024, 5);
+        let mut worst = 0u64;
+        for s in 0..100u64 {
+            let mut meter = MessageMeter::new();
+            let q = s * 103;
+            let outcome = w.query(w.random_origin(s), &q, &mut meter);
+            worst = worst.max(outcome.messages);
+        }
+        // k = 10 levels; expected O(1) messages per level with slack.
+        assert!(worst < 60, "query messages {worst} not O(log n)-like");
+    }
+
+    #[test]
+    fn same_seed_same_web() {
+        let a = web(100, 9);
+        let b = web(100, 9);
+        let mut m1 = MessageMeter::new();
+        let mut m2 = MessageMeter::new();
+        let o1 = a.query(3, &555, &mut m1);
+        let o2 = b.query(3, &555, &mut m2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn bucketed_placement_uses_fewer_hosts_and_scale_free_memory() {
+        let memory = 64usize;
+        let build = |n: u64| {
+            SkipWeb::<SortedLinkedList>::builder((0..n).map(|i| i * 3).collect())
+                .seed(6)
+                .bucketed(memory)
+                .build()
+        };
+        let small = build(512);
+        let big = build(4096);
+        assert!(small.hosts() < 512, "bucketing must reduce host count");
+        let m_small = small.network().max_memory();
+        let m_big = big.network().max_memory();
+        // The paper's claim is per-host memory O(M) *independent of n*: an
+        // 8x larger ground set must not grow the per-host maximum much
+        // (constants cover conflict-list tails and replication).
+        assert!(
+            (m_big as f64) < (m_small as f64) * 2.5,
+            "per-host memory grew with n: {m_small} -> {m_big}"
+        );
+        // Linear in M with a constant covering pointer fan-out (~12 units
+        // per range with closed-interval conflict lists) and stratum overlap.
+        assert!(
+            m_big <= 50 * memory as u64,
+            "per-host memory {m_big} beyond O(M) constants"
+        );
+        // Doubling M should not blow memory up super-linearly.
+        let double = SkipWeb::<SortedLinkedList>::builder((0..4096u64).map(|i| i * 3).collect())
+            .seed(6)
+            .bucketed(2 * memory)
+            .build();
+        let m_double = double.network().max_memory();
+        assert!(
+            (m_double as f64) < (m_big as f64) * 3.0,
+            "memory not O(M)-linear: {m_big} -> {m_double}"
+        );
+    }
+
+    #[test]
+    fn bucketed_queries_cross_fewer_hosts() {
+        let n: u64 = 4096;
+        let items: Vec<u64> = (0..n).map(|i| i * 7).collect();
+        let owner = SkipWeb::<SortedLinkedList>::builder(items.clone()).seed(7).build();
+        let bucket = SkipWeb::<SortedLinkedList>::builder(items).seed(7).bucketed(64).build();
+        let mut owner_total = 0u64;
+        let mut bucket_total = 0u64;
+        for s in 0..60u64 {
+            let q = s * 397 + 11;
+            let mut m1 = MessageMeter::new();
+            owner.query(owner.random_origin(s), &q, &mut m1);
+            owner_total += m1.messages();
+            let mut m2 = MessageMeter::new();
+            bucket.query(bucket.random_origin(s), &q, &mut m2);
+            bucket_total += m2.messages();
+        }
+        assert!(
+            bucket_total * 2 < owner_total * 3,
+            "bucketed ({bucket_total}) should beat owner-hosted ({owner_total}) on messages"
+        );
+    }
+
+    #[test]
+    fn insert_makes_item_queryable() {
+        let mut w = web(32, 8);
+        let mut meter = MessageMeter::new();
+        assert!(w.insert(155, &mut meter));
+        assert!(meter.messages() > 0 || w.hosts() == 1);
+        assert!(w.ground().contains(&155));
+        let mut m2 = MessageMeter::new();
+        let out = w.query(w.random_origin(1), &155, &mut m2);
+        assert_eq!(out.locus, w.base().locate(&155));
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let mut w = web(16, 8);
+        let mut meter = MessageMeter::new();
+        assert!(!w.insert(10, &mut meter)); // 10 already present
+        assert_eq!(w.len(), 16);
+    }
+
+    #[test]
+    fn remove_deletes_item_and_keeps_web_consistent() {
+        let mut w = web(32, 10);
+        let mut meter = MessageMeter::new();
+        assert!(w.remove(&100, &mut meter));
+        assert!(!w.ground().contains(&100));
+        assert_eq!(w.len(), 31);
+        // Still queryable, and 100's locus is now a link.
+        let mut m2 = MessageMeter::new();
+        let out = w.query(w.random_origin(0), &100, &mut m2);
+        assert_eq!(out.locus, w.base().locate(&100));
+        assert!(!w.remove(&100, &mut MessageMeter::new()));
+    }
+
+    #[test]
+    fn growth_adds_levels() {
+        let mut w = web(2, 11);
+        assert_eq!(w.top_level(), 1);
+        for i in 0..30u64 {
+            w.insert(1000 + i, &mut MessageMeter::new());
+        }
+        assert_eq!(w.len(), 32);
+        assert_eq!(w.top_level(), 5);
+    }
+
+    #[test]
+    fn accounting_reports_logarithmic_memory_for_owner_hosting() {
+        let w = web(256, 12);
+        let net = w.network();
+        assert_eq!(net.hosts(), 256);
+        // Each host stores O(log n) ranges (its tower) with constant-degree
+        // pointers; generous constant.
+        assert!(
+            net.max_memory() <= 40 * 8,
+            "owner-hosted max memory {} not O(log n)",
+            net.max_memory()
+        );
+        assert!(net.max_congestion() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty skip-web")]
+    fn querying_empty_web_panics() {
+        let w = SkipWeb::<SortedLinkedList>::builder(vec![]).build();
+        let mut meter = MessageMeter::new();
+        let _ = w.query(0, &5, &mut meter);
+    }
+}

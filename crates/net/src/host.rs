@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Identifier of a host in the peer-to-peer network.
+///
+/// The paper's model (§1.1) assumes every host has a unique ID and that any
+/// host can send a message to any other host. Hosts are dense integers here
+/// so that per-host accounting can live in flat vectors.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_net::HostId;
+/// let h = HostId(3);
+/// assert_eq!(h.index(), 3);
+/// assert_eq!(format!("{h}"), "host#3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// Returns the host ID as a `usize` index into per-host tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host#{}", self.0)
+    }
+}
+
+impl From<u32> for HostId {
+    fn from(v: u32) -> Self {
+        HostId(v)
+    }
+}
+
+impl From<HostId> for u32 {
+    fn from(h: HostId) -> Self {
+        h.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(HostId(7).index(), 7);
+        assert_eq!(u32::from(HostId(9)), 9);
+        assert_eq!(HostId::from(5u32), HostId(5));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_stable() {
+        assert_eq!(HostId(0).to_string(), "host#0");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_id() {
+        assert!(HostId(1) < HostId(2));
+        assert_eq!(HostId::default(), HostId(0));
+    }
+}

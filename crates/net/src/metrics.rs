@@ -1,0 +1,275 @@
+//! Cost accounting matching §1.1 of the paper.
+//!
+//! The quantities tracked here are the columns of Table 1: `H`, `M`, `C(n)`,
+//! `Q(n)`, and `U(n)`. [`CostReport`] is the summary every experiment prints.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics over a set of observed per-operation costs
+/// (e.g. messages per query).
+///
+/// # Example
+///
+/// ```
+/// use skipweb_net::SeriesStats;
+/// let s = SeriesStats::from_samples(&[1, 2, 3, 4, 5]);
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.max, 5);
+/// assert!((s.mean - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SeriesStats {
+    /// Number of samples observed.
+    pub count: usize,
+    /// Arithmetic mean of the samples (0 when empty).
+    pub mean: f64,
+    /// Median (50th percentile, lower-nearest-rank; 0 when empty).
+    pub p50: u64,
+    /// 95th percentile (lower-nearest-rank; 0 when empty).
+    pub p95: u64,
+    /// Maximum sample (0 when empty).
+    pub max: u64,
+    /// Minimum sample (0 when empty).
+    pub min: u64,
+}
+
+impl SeriesStats {
+    /// Computes statistics from raw samples.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use skipweb_net::SeriesStats;
+    /// assert_eq!(SeriesStats::from_samples(&[]).count, 0);
+    /// ```
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        let pct = |p: f64| -> u64 {
+            let idx = ((count as f64 - 1.0) * p).floor() as usize;
+            sorted[idx]
+        };
+        SeriesStats {
+            count,
+            mean: sum as f64 / count as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            max: *sorted.last().expect("nonempty"),
+            min: sorted[0],
+        }
+    }
+}
+
+impl fmt::Display for SeriesStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean={:.2} p50={} p95={} max={} (n={})",
+            self.mean, self.p50, self.p95, self.max, self.count
+        )
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations, used for query-path and
+/// storage distributions in the figure reproductions.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_net::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(3);
+/// h.record(3);
+/// h.record(9);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.count_at(3), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations exactly equal to `value`.
+    pub fn count_at(&self, value: u64) -> u64 {
+        self.buckets.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u128 = self.buckets.iter().map(|(&v, &c)| v as u128 * c as u128).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.buckets.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            *self.buckets.entry(v).or_insert(0) += c;
+            self.total += c;
+        }
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+/// The full cost report for one structure at one size — a row of Table 1.
+///
+/// `H`, `M`, `C(n)` are properties of the built structure; `Q(n)`/`U(n)` are
+/// statistics over a batch of operations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostReport {
+    /// Number of hosts `H`.
+    pub hosts: usize,
+    /// Number of stored items `n`.
+    pub items: usize,
+    /// Maximum memory (items + pointers + host IDs) on any host — the `M` column.
+    pub max_memory: u64,
+    /// Mean memory across hosts.
+    pub mean_memory: f64,
+    /// Maximum congestion over hosts — the `C(n)` column (see
+    /// [`SimNetwork::congestion`](crate::sim::SimNetwork::congestion)).
+    pub max_congestion: f64,
+    /// Messages per query — the `Q(n)` column.
+    pub query_messages: SeriesStats,
+    /// Messages per update — the `U(n)` column.
+    pub update_messages: SeriesStats,
+    /// Total messages absorbed by the network over the experiment.
+    pub total_messages: u64,
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "H={} n={} M={} C={:.1} Q[{}] U[{}]",
+            self.hosts,
+            self.items,
+            self.max_memory,
+            self.max_congestion,
+            self.query_messages,
+            self.update_messages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_stats_of_empty_is_zeroed() {
+        let s = SeriesStats::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn series_stats_single_sample() {
+        let s = SeriesStats::from_samples(&[42]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.p50, 42);
+        assert_eq!(s.p95, 42);
+        assert_eq!(s.min, 42);
+        assert_eq!(s.max, 42);
+    }
+
+    #[test]
+    fn series_stats_percentiles_are_order_insensitive() {
+        let a = SeriesStats::from_samples(&[5, 1, 4, 2, 3]);
+        let b = SeriesStats::from_samples(&[1, 2, 3, 4, 5]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 3);
+    }
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let h: Histogram = [1u64, 1, 2, 4].into_iter().collect();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.count_at(1), 2);
+        assert_eq!(h.max(), 4);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a: Histogram = [1u64, 2].into_iter().collect();
+        let b: Histogram = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.count_at(2), 2);
+        assert_eq!(a.count_at(3), 1);
+    }
+
+    #[test]
+    fn histogram_iter_is_sorted() {
+        let h: Histogram = [9u64, 1, 5].into_iter().collect();
+        let values: Vec<u64> = h.iter().map(|(v, _)| v).collect();
+        assert_eq!(values, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn cost_report_display_mentions_all_columns() {
+        let r = CostReport {
+            hosts: 8,
+            items: 64,
+            max_memory: 12,
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("H=8"));
+        assert!(s.contains("n=64"));
+        assert!(s.contains("M=12"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Host-assignment strategies.
+//!
+//! §2.4 of the paper assigns the `O(n log n)` structure nodes and links to
+//! hosts. The framework allows an *arbitrary* assignment for general
+//! structures and a *blocked* assignment for one-dimensional data. The
+//! assignment mechanics (who stores datum *k*) live here; the skip-web core
+//! decides *what* to co-locate.
+
+use crate::host::HostId;
+
+/// A mapping from datum indices to hosts.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_net::topology::Assignment;
+/// use skipweb_net::HostId;
+///
+/// let a = Assignment::round_robin(5, 2);
+/// assert_eq!(a.host_of(0), HostId(0));
+/// assert_eq!(a.host_of(1), HostId(1));
+/// assert_eq!(a.host_of(4), HostId(0));
+/// assert_eq!(a.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    map: Vec<HostId>,
+    hosts: usize,
+}
+
+impl Assignment {
+    /// Creates an assignment from an explicit map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero or any entry points past `hosts`.
+    pub fn from_map(map: Vec<HostId>, hosts: usize) -> Self {
+        assert!(hosts > 0, "a peer-to-peer network needs at least one host");
+        assert!(
+            map.iter().all(|h| h.index() < hosts),
+            "assignment references a host outside the network"
+        );
+        Assignment { map, hosts }
+    }
+
+    /// Spreads `count` data round-robin over `hosts` hosts — the "arbitrary"
+    /// blocking of §2.4, which balances storage to within one unit.
+    pub fn round_robin(count: usize, hosts: usize) -> Self {
+        assert!(hosts > 0, "a peer-to-peer network needs at least one host");
+        let map = (0..count).map(|i| HostId((i % hosts) as u32)).collect();
+        Assignment { map, hosts }
+    }
+
+    /// Assigns contiguous blocks of `block_size` data to consecutive hosts —
+    /// the building block of the bucketed structures (§2.4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn blocked(count: usize, block_size: usize, hosts: usize) -> Self {
+        assert!(hosts > 0, "a peer-to-peer network needs at least one host");
+        assert!(block_size > 0, "blocks must hold at least one datum");
+        let map = (0..count)
+            .map(|i| HostId(((i / block_size) % hosts) as u32))
+            .collect();
+        Assignment { map, hosts }
+    }
+
+    /// The host storing datum `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn host_of(&self, index: usize) -> HostId {
+        self.map[index]
+    }
+
+    /// Number of data assigned.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no data are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of hosts in the network this assignment targets.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Per-host load (how many data each host stores).
+    pub fn load(&self) -> Vec<u64> {
+        let mut load = vec![0u64; self.hosts];
+        for h in &self.map {
+            load[h.index()] += 1;
+        }
+        load
+    }
+
+    /// Maximum per-host load.
+    pub fn max_load(&self) -> u64 {
+        self.load().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_balances_within_one() {
+        let a = Assignment::round_robin(10, 3);
+        let load = a.load();
+        assert_eq!(load.iter().sum::<u64>(), 10);
+        assert!(load.iter().max().unwrap() - load.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn blocked_keeps_runs_together() {
+        let a = Assignment::blocked(8, 3, 4);
+        assert_eq!(a.host_of(0), a.host_of(2));
+        assert_ne!(a.host_of(2), a.host_of(3));
+        assert_eq!(a.host_of(3), a.host_of(5));
+    }
+
+    #[test]
+    fn blocked_wraps_around_hosts() {
+        let a = Assignment::blocked(10, 2, 2);
+        // blocks: [0,1]->h0 [2,3]->h1 [4,5]->h0 ...
+        assert_eq!(a.host_of(4), HostId(0));
+        assert_eq!(a.host_of(7), HostId(1));
+    }
+
+    #[test]
+    fn from_map_validates_host_range() {
+        let a = Assignment::from_map(vec![HostId(0), HostId(1)], 2);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.hosts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the network")]
+    fn from_map_rejects_out_of_range_host() {
+        let _ = Assignment::from_map(vec![HostId(5)], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one datum")]
+    fn blocked_rejects_zero_block() {
+        let _ = Assignment::blocked(4, 0, 2);
+    }
+
+    #[test]
+    fn empty_assignment_has_zero_load() {
+        let a = Assignment::round_robin(0, 4);
+        assert!(a.is_empty());
+        assert_eq!(a.max_load(), 0);
+    }
+}

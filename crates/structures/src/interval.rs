@@ -1,0 +1,218 @@
+//! One-dimensional ranges: closed key intervals with infinite sentinels.
+//!
+//! For the sorted linked list of §2.1, the range of a node storing `x` is the
+//! singleton `[x, x]` and the range of a link joining `x` and `y` is the
+//! closed interval `[x, y]`. The list carries sentinel links to `±∞` so that
+//! every query point of the universe lies in some range.
+
+use std::fmt;
+
+/// An endpoint of a one-dimensional range: a key or an infinity sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// Below every key.
+    NegInf,
+    /// A concrete key.
+    Key(u64),
+    /// Above every key.
+    PosInf,
+}
+
+impl Endpoint {
+    fn rank(self) -> (u8, u64) {
+        match self {
+            Endpoint::NegInf => (0, 0),
+            Endpoint::Key(k) => (1, k),
+            Endpoint::PosInf => (2, 0),
+        }
+    }
+}
+
+impl PartialOrd for Endpoint {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Endpoint {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::NegInf => write!(f, "-inf"),
+            Endpoint::Key(k) => write!(f, "{k}"),
+            Endpoint::PosInf => write!(f, "+inf"),
+        }
+    }
+}
+
+/// A closed interval `[lo, hi]` of the one-dimensional key universe.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_structures::KeyInterval;
+///
+/// let link = KeyInterval::between(10, 20);
+/// assert!(link.contains(15));
+/// assert!(link.contains(10));
+/// assert!(!link.contains(21));
+/// assert!(link.intersects(&KeyInterval::singleton(20)));
+/// assert!(!link.intersects(&KeyInterval::between(30, 40)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyInterval {
+    lo: Endpoint,
+    hi: Endpoint,
+}
+
+impl KeyInterval {
+    /// Creates an interval from explicit endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: Endpoint, hi: Endpoint) -> Self {
+        assert!(lo <= hi, "interval endpoints out of order: {lo} > {hi}");
+        KeyInterval { lo, hi }
+    }
+
+    /// The singleton range `[k, k]` of a node storing `k`.
+    pub fn singleton(k: u64) -> Self {
+        KeyInterval {
+            lo: Endpoint::Key(k),
+            hi: Endpoint::Key(k),
+        }
+    }
+
+    /// The range `[x, y]` of a link joining keys `x ≤ y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x > y`.
+    pub fn between(x: u64, y: u64) -> Self {
+        Self::new(Endpoint::Key(x), Endpoint::Key(y))
+    }
+
+    /// The whole universe `[-∞, +∞]` (range of the sole link of an empty list).
+    pub fn everything() -> Self {
+        KeyInterval {
+            lo: Endpoint::NegInf,
+            hi: Endpoint::PosInf,
+        }
+    }
+
+    /// `[-∞, k]` — the left sentinel link of a list whose minimum is `k`.
+    pub fn below(k: u64) -> Self {
+        KeyInterval {
+            lo: Endpoint::NegInf,
+            hi: Endpoint::Key(k),
+        }
+    }
+
+    /// `[k, +∞]` — the right sentinel link of a list whose maximum is `k`.
+    pub fn above(k: u64) -> Self {
+        KeyInterval {
+            lo: Endpoint::Key(k),
+            hi: Endpoint::PosInf,
+        }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> Endpoint {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> Endpoint {
+        self.hi
+    }
+
+    /// Whether the interval is a single key.
+    pub fn is_singleton(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether key `q` lies in the closed interval.
+    pub fn contains(&self, q: u64) -> bool {
+        self.lo <= Endpoint::Key(q) && Endpoint::Key(q) <= self.hi
+    }
+
+    /// Whether two closed intervals intersect — the conflict relation of §2.2.
+    pub fn intersects(&self, other: &KeyInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+impl fmt::Display for KeyInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_order_puts_infinities_outside() {
+        assert!(Endpoint::NegInf < Endpoint::Key(0));
+        assert!(Endpoint::Key(u64::MAX) < Endpoint::PosInf);
+        assert!(Endpoint::Key(1) < Endpoint::Key(2));
+    }
+
+    #[test]
+    fn singleton_contains_only_its_key() {
+        let s = KeyInterval::singleton(5);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(!s.contains(6));
+        assert!(s.is_singleton());
+    }
+
+    #[test]
+    fn sentinels_cover_the_universe_edges() {
+        assert!(KeyInterval::below(10).contains(0));
+        assert!(KeyInterval::below(10).contains(10));
+        assert!(!KeyInterval::below(10).contains(11));
+        assert!(KeyInterval::above(10).contains(u64::MAX));
+        assert!(KeyInterval::everything().contains(42));
+    }
+
+    #[test]
+    fn intersection_is_symmetric_and_touching_counts() {
+        let a = KeyInterval::between(0, 10);
+        let b = KeyInterval::between(10, 20);
+        let c = KeyInterval::between(11, 20);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!c.intersects(&a));
+    }
+
+    #[test]
+    fn node_conflicts_with_incident_links_only() {
+        // Incidence iff intersection: node {10} vs the three links of list [5, 10, 15].
+        let node = KeyInterval::singleton(10);
+        assert!(node.intersects(&KeyInterval::between(5, 10)));
+        assert!(node.intersects(&KeyInterval::between(10, 15)));
+        assert!(!node.intersects(&KeyInterval::below(5)));
+        assert!(!node.intersects(&KeyInterval::above(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn reversed_interval_is_rejected() {
+        let _ = KeyInterval::between(7, 3);
+    }
+
+    #[test]
+    fn display_shows_both_endpoints() {
+        assert_eq!(KeyInterval::below(3).to_string(), "[-inf, 3]");
+        assert_eq!(KeyInterval::between(1, 2).to_string(), "[1, 2]");
+    }
+}

@@ -1,0 +1,205 @@
+//! Statistical validators for the set-halving lemmas (§2.2, Lemmas 1/3/4/5).
+//!
+//! The template lemma says: sample `T ⊆ S` by keeping each item with
+//! probability 1/2; for any query point `q`, the maximal range `Q` of `D(T)`
+//! containing `q` has `E[|C(Q, S)|] ≤ c` for a constant `c`. These helpers
+//! measure that expectation empirically — they power the `fig3`, `fig4`,
+//! `lemma1`, and `lemma4` experiment reproductions as well as the property
+//! tests.
+
+use rand::Rng;
+
+use crate::traits::RangeDetermined;
+
+/// Empirical set-halving measurements for one `(S, query set)` draw.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HalvingStats {
+    /// Number of query samples measured.
+    pub samples: usize,
+    /// Mean `|C(Q, S)|` over samples — the lemma bounds its expectation.
+    pub mean_conflicts: f64,
+    /// Largest observed conflict list.
+    pub max_conflicts: usize,
+    /// Mean length of the local walk in `D(S)` from the best conflicting
+    /// entry to the maximal range containing `q` — the per-level work a
+    /// skip-web descent performs (§2.5).
+    pub mean_descent_walk: f64,
+    /// Largest observed walk.
+    pub max_descent_walk: usize,
+}
+
+/// Measures the set-halving behaviour of structure `D` on ground set `items`
+/// with the given `queries`, using `rng` for the half-sampling coins.
+///
+/// Returns [`HalvingStats`] over all queries. Items are halved once; callers
+/// wanting tighter estimates average over seeds.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use skipweb_structures::linked_list::SortedLinkedList;
+/// use skipweb_structures::properties::measure_halving;
+///
+/// let items: Vec<u64> = (0..256).map(|i| i * 10).collect();
+/// let queries: Vec<u64> = (0..100).map(|i| i * 17 + 3).collect();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let stats = measure_halving::<SortedLinkedList, _>(&items, &queries, &mut rng);
+/// // Lemma 1: E[|C(Q,S)|] ≤ 2·E[|Q ∩ S|] + 1 ≤ 9 with closed intervals
+/// // (the paper's 2k−1 form excludes the two boundary-touching links);
+/// // generous slack for a single draw.
+/// assert!(stats.mean_conflicts <= 12.0);
+/// ```
+pub fn measure_halving<D: RangeDetermined, R: Rng>(
+    items: &[D::Item],
+    queries: &[D::Query],
+    rng: &mut R,
+) -> HalvingStats {
+    let full = D::build(items.to_vec());
+    let half: Vec<D::Item> = items
+        .iter()
+        .filter(|_| rng.gen_bool(0.5))
+        .cloned()
+        .collect();
+    let sub = D::build(half);
+    measure_conflicts(&sub, &full, queries)
+}
+
+/// Measures conflict lists and descent walks between an explicit pair of
+/// structures `D(T)` (coarse) and `D(S)` (fine), `T ⊆ S`.
+pub fn measure_conflicts<D: RangeDetermined>(
+    coarse: &D,
+    fine: &D,
+    queries: &[D::Query],
+) -> HalvingStats {
+    let mut total_conflicts = 0usize;
+    let mut max_conflicts = 0usize;
+    let mut total_walk = 0usize;
+    let mut max_walk = 0usize;
+    let mut samples = 0usize;
+    for q in queries {
+        let locus = coarse.locate(q);
+        let external = coarse.range(locus);
+        let conflicts = fine.conflicts(&external);
+        if conflicts.is_empty() {
+            continue;
+        }
+        samples += 1;
+        total_conflicts += conflicts.len();
+        max_conflicts = max_conflicts.max(conflicts.len());
+        let entry = fine.best_entry(&conflicts, q);
+        let walk = fine.search_path(entry, q).len();
+        total_walk += walk;
+        max_walk = max_walk.max(walk);
+    }
+    if samples == 0 {
+        return HalvingStats::default();
+    }
+    HalvingStats {
+        samples,
+        mean_conflicts: total_conflicts as f64 / samples as f64,
+        max_conflicts,
+        mean_descent_walk: total_walk as f64 / samples as f64,
+        max_descent_walk: max_walk,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linked_list::SortedLinkedList;
+    use crate::quadtree::CompressedQuadtree;
+    use crate::trie::CompressedTrie;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lemma1_linked_list_halving_is_constant() {
+        // Lemma 1 proves E[|Q ∩ S|] ≤ 4; with closed-interval conflicts the
+        // list count is 2k + 1, so E[|C(Q,S)|] ≤ 9 (the paper's 2k − 1 form
+        // excludes the two boundary-touching links). Average several draws
+        // and allow sampling slack.
+        let items: Vec<u64> = (0..512).map(|i| i * 97 + 13).collect();
+        let queries: Vec<u64> = (0..200).map(|i| (i * 241 + 5) % (511 * 97)).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut mean = 0.0;
+        let draws = 8;
+        for _ in 0..draws {
+            mean += measure_halving::<SortedLinkedList, _>(&items, &queries, &mut rng)
+                .mean_conflicts;
+        }
+        mean /= draws as f64;
+        assert!(mean <= 10.5, "Lemma 1 violated: mean conflicts {mean}");
+        assert!(mean >= 1.0);
+    }
+
+    #[test]
+    fn lemma3_quadtree_halving_is_constant() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items: Vec<_> = (0..512)
+            .map(|_| crate::geometry::GridPoint::new([rng.gen(), rng.gen()]))
+            .collect();
+        let queries: Vec<_> = (0..100)
+            .map(|_| crate::geometry::GridPoint::new([rng.gen(), rng.gen()]))
+            .collect();
+        let stats = measure_halving::<CompressedQuadtree<2>, _>(&items, &queries, &mut rng);
+        // Operative conflict list is ≤ 1 + 2·2^D by construction; the walk
+        // is the quantity the skip-web descent pays per level.
+        assert!(stats.max_conflicts <= 9);
+        assert!(
+            stats.mean_descent_walk <= 16.0,
+            "descent walk should be short: {}",
+            stats.mean_descent_walk
+        );
+    }
+
+    #[test]
+    fn lemma4_trie_halving_is_constant() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let alphabet = b"abcd";
+        let items: Vec<String> = (0..400)
+            .map(|_| {
+                let len = rng.gen_range(3..12);
+                (0..len)
+                    .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+                    .collect()
+            })
+            .collect();
+        let queries: Vec<String> = (0..100)
+            .map(|_| {
+                let len = rng.gen_range(1..12);
+                (0..len)
+                    .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+                    .collect()
+            })
+            .collect();
+        let stats = measure_halving::<CompressedTrie, _>(&items, &queries, &mut rng);
+        assert!(
+            stats.mean_conflicts <= 4.0 * alphabet.len() as f64,
+            "Lemma 4 violated: {}",
+            stats.mean_conflicts
+        );
+    }
+
+    #[test]
+    fn identical_structures_have_unit_walks() {
+        let items: Vec<u64> = (0..64).collect();
+        let d = SortedLinkedList::build(items);
+        let queries: Vec<u64> = vec![3, 17, 40];
+        let stats = measure_conflicts(&d, &d, &queries);
+        assert_eq!(stats.samples, 3);
+        // Entering at the already-located range walks a single step.
+        assert_eq!(stats.max_descent_walk, 1);
+    }
+
+    #[test]
+    fn empty_conflicts_are_skipped_not_counted() {
+        let coarse = CompressedTrie::build(vec!["zebra".into()]);
+        let fine = CompressedTrie::build(vec!["apple".into()]);
+        // The exact-match locus {"zebra"} is a vertex that does not lie on
+        // the fine trie at all, so its conflict list is empty.
+        let stats = measure_conflicts(&coarse, &fine, &["zebra".to_string()]);
+        assert_eq!(stats.samples, 0);
+        assert_eq!(stats.mean_conflicts, 0.0);
+    }
+}

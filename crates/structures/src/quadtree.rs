@@ -1,0 +1,630 @@
+//! Compressed quadtrees/octrees for `D`-dimensional point sets (§3.1).
+//!
+//! The tree subdivides the bounding hypercube into `2^D` subcubes and
+//! compresses single-child chains into edges, giving `O(n)` nodes and links
+//! regardless of point distribution (the uncompressed tree can be `O(n)`
+//! deep). The range of a node is its hypercube; the range of a link is the
+//! hypercube of its child node, exactly as §3.1 defines.
+//!
+//! # Conflict lists
+//!
+//! Quadtree cells **nest**, so the literal "every intersecting range" reading
+//! of §2.2 would include the whole ancestor chain of a cell (the root cube
+//! intersects everything) — under which no `O(1)` bound can hold. The
+//! operative conflict list — the one the skip-web descent and Lemma 3's
+//! `O(1)` bound (via the skip-quadtree results of Eppstein, Goodrich, Sun)
+//! actually use — is the *minimal relevant set* of `D(S)` for a cell `C` of
+//! `D(T)`:
+//!
+//! * the deepest node of `D(S)` whose cell contains `C` (the location of `C`
+//!   in the finer tree), and
+//! * the maximal nodes of `D(S)` strictly inside `C` (at most `2^D` of them,
+//!   all children of that deepest node), with the links joining them.
+//!
+//! [`CompressedQuadtree::conflicts`] implements that set; `EXPERIMENTS.md`
+//! records the distinction.
+
+use crate::geometry::{Cell, GridPoint, MAX_DEPTH};
+use crate::traits::{RangeDetermined, RangeId};
+
+/// Point type stored in quadtrees — re-exported grid points.
+pub type PointKey<const D: usize> = GridPoint<D>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node<const D: usize> {
+    cell: Cell<D>,
+    parent: Option<u32>,
+    parent_link: Option<u32>,
+    children: Vec<u32>,
+    child_links: Vec<u32>,
+    /// Index of the stored point for leaves.
+    point: Option<u32>,
+    /// Representative item (minimum Morton code in the subtree); owns the
+    /// node for host placement.
+    owner: u32,
+}
+
+/// A compressed quadtree (`D = 2`) / octree (`D = 3`) over grid points,
+/// exposed as a range-determined link structure.
+///
+/// Range ids `0..num_nodes` are nodes (root first); the rest are links in
+/// parent-before-child discovery order.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_structures::{CompressedQuadtree, PointKey, RangeDetermined};
+///
+/// let pts = vec![
+///     PointKey::new([1, 1]),
+///     PointKey::new([2, 3]),
+///     PointKey::new([1_000_000, 2_000_000]),
+/// ];
+/// let qt = CompressedQuadtree::<2>::build(pts);
+/// assert_eq!(qt.len(), 3);
+/// let hit = qt.locate(&PointKey::new([1, 1]));
+/// assert!(qt.is_leaf(hit));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedQuadtree<const D: usize> {
+    points: Vec<GridPoint<D>>,
+    codes: Vec<u128>,
+    nodes: Vec<Node<D>>,
+    /// Link `l` joins `link_ends[l].0` (parent) to `link_ends[l].1` (child).
+    link_ends: Vec<(u32, u32)>,
+    /// Leaf node of each item.
+    item_leaf: Vec<u32>,
+}
+
+impl<const D: usize> CompressedQuadtree<D> {
+    /// Number of tree nodes (internal + leaves + the universe root).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of tree links.
+    pub fn num_links(&self) -> usize {
+        self.link_ends.len()
+    }
+
+    /// Whether `id` denotes a leaf node holding a point.
+    pub fn is_leaf(&self, id: RangeId) -> bool {
+        id.index() < self.nodes.len() && self.nodes[id.index()].point.is_some()
+    }
+
+    /// The point stored at a leaf node, if `id` is a leaf.
+    pub fn leaf_point(&self, id: RangeId) -> Option<GridPoint<D>> {
+        if id.index() < self.nodes.len() {
+            self.nodes[id.index()].point.map(|p| self.points[p as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The cell of a node id (not a link id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node.
+    pub fn node_cell(&self, id: RangeId) -> Cell<D> {
+        self.nodes[id.index()].cell
+    }
+
+    /// Depth of a range's cell — deeper is more specific.
+    pub fn depth_of(&self, id: RangeId) -> u32 {
+        self.range_cell(id).depth()
+    }
+
+    fn range_cell(&self, id: RangeId) -> Cell<D> {
+        let n = self.nodes.len();
+        let idx = id.index();
+        if idx < n {
+            self.nodes[idx].cell
+        } else {
+            let (_, child) = self.link_ends[idx - n];
+            self.nodes[child as usize].cell
+        }
+    }
+
+    /// Item indices of all points in the subtree rooted at node `id`,
+    /// capped at `cap` results (breadth-first).
+    pub fn subtree_points(&self, id: RangeId, cap: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut queue = std::collections::VecDeque::from([id.index()]);
+        while let Some(i) = queue.pop_front() {
+            if out.len() >= cap {
+                break;
+            }
+            let node = &self.nodes[i];
+            if let Some(p) = node.point {
+                out.push(p as usize);
+            }
+            queue.extend(node.children.iter().map(|&c| c as usize));
+        }
+        out
+    }
+
+    /// The stored point nearest to `q` among the subtree of `node`, used by
+    /// the approximate-nearest-neighbour example flows of §3.1.
+    pub fn nearest_in_subtree(&self, node: RangeId, q: &GridPoint<D>) -> Option<GridPoint<D>> {
+        self.subtree_points(node, usize::MAX)
+            .into_iter()
+            .map(|i| self.points[i])
+            .min_by_key(|p| p.distance_sq(q))
+    }
+
+    /// Parent node id of a node, if any.
+    pub fn parent_of(&self, id: RangeId) -> Option<RangeId> {
+        self.nodes[id.index()].parent.map(RangeId)
+    }
+
+    fn build_rec(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        parent: Option<u32>,
+    ) -> u32 {
+        debug_assert!(lo < hi);
+        let node_idx = self.nodes.len() as u32;
+        if hi - lo == 1 {
+            self.nodes.push(Node {
+                cell: Cell::of_point(&self.points[lo]),
+                parent,
+                parent_link: None,
+                children: Vec::new(),
+                child_links: Vec::new(),
+                point: Some(lo as u32),
+                owner: lo as u32,
+            });
+            self.item_leaf[lo] = node_idx;
+            return node_idx;
+        }
+        // Longest common Morton prefix of the (sorted) slice = LCP of ends.
+        let diff = self.codes[lo] ^ self.codes[hi - 1];
+        let used_bits = (MAX_DEPTH as usize) * D;
+        let lead = (diff.leading_zeros() as usize).saturating_sub(128 - used_bits);
+        let depth = (lead / D) as u32;
+        debug_assert!(depth < MAX_DEPTH, "distinct points must split above unit depth");
+        let cell = Cell::at_depth(self.codes[lo], depth);
+        self.nodes.push(Node {
+            cell,
+            parent,
+            parent_link: None,
+            children: Vec::new(),
+            child_links: Vec::new(),
+            point: None,
+            owner: lo as u32,
+        });
+        // Partition by the D-bit digit at `depth` and recurse per group.
+        let mut start = lo;
+        while start < hi {
+            let digit = cell.child_digit(self.codes[start]);
+            let mut end = start + 1;
+            while end < hi && cell.child_digit(self.codes[end]) == digit {
+                end += 1;
+            }
+            let child = self.build_rec(start, end, Some(node_idx));
+            let link_idx = self.link_ends.len() as u32;
+            self.link_ends.push((node_idx, child));
+            self.nodes[child as usize].parent_link = Some(link_idx);
+            self.nodes[node_idx as usize].children.push(child);
+            self.nodes[node_idx as usize].child_links.push(link_idx);
+            start = end;
+        }
+        debug_assert!(self.nodes[node_idx as usize].children.len() >= 2);
+        node_idx
+    }
+
+    /// The child of node `idx` whose cell contains `q`, if any.
+    fn child_containing(&self, idx: usize, q: &GridPoint<D>) -> Option<u32> {
+        self.nodes[idx]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c as usize].cell.contains_point(q))
+    }
+
+    /// Deepest node whose cell contains (or equals) `target`.
+    fn deepest_containing(&self, target: &Cell<D>) -> usize {
+        let mut cur = 0usize;
+        'descend: loop {
+            for &c in &self.nodes[cur].children {
+                if self.nodes[c as usize].cell.contains_cell(target) {
+                    cur = c as usize;
+                    continue 'descend;
+                }
+            }
+            return cur;
+        }
+    }
+}
+
+impl<const D: usize> RangeDetermined for CompressedQuadtree<D> {
+    type Item = GridPoint<D>;
+    type Query = GridPoint<D>;
+    type Range = Cell<D>;
+
+    fn build(mut items: Vec<GridPoint<D>>) -> Self {
+        items.sort_by_key(GridPoint::morton);
+        items.dedup();
+        let codes: Vec<u128> = items.iter().map(GridPoint::morton).collect();
+        let n = items.len();
+        let mut tree = CompressedQuadtree {
+            points: items,
+            codes,
+            nodes: Vec::with_capacity(2 * n + 1),
+            link_ends: Vec::new(),
+            item_leaf: vec![0; n],
+        };
+        if n == 0 {
+            tree.nodes.push(Node {
+                cell: Cell::universe(),
+                parent: None,
+                parent_link: None,
+                children: Vec::new(),
+                child_links: Vec::new(),
+                point: None,
+                owner: 0,
+            });
+            return tree;
+        }
+        // The root is always the universe cell so that every query point has
+        // a location; the compressed top cell hangs below it when smaller.
+        tree.nodes.push(Node {
+            cell: Cell::universe(),
+            parent: None,
+            parent_link: None,
+            children: Vec::new(),
+            child_links: Vec::new(),
+            point: None,
+            owner: 0,
+        });
+        let top = tree.build_rec(0, n, Some(0));
+        if tree.nodes[top as usize].cell == Cell::universe() {
+            // The compressed top cell *is* the universe: splice out the
+            // redundant root by re-rooting (keep ids dense: swap contents).
+            // Simplest: make the universe root adopt top's children/point.
+            let top_node = tree.nodes[top as usize].clone();
+            tree.nodes[0].children = top_node.children.clone();
+            tree.nodes[0].child_links = top_node.child_links.clone();
+            tree.nodes[0].point = top_node.point;
+            tree.nodes[0].owner = top_node.owner;
+            for &c in &top_node.children {
+                tree.nodes[c as usize].parent = Some(0);
+            }
+            for &l in &top_node.child_links {
+                tree.link_ends[l as usize].0 = 0;
+            }
+            if let Some(p) = top_node.point {
+                tree.item_leaf[p as usize] = 0;
+            }
+            // Orphan the old top node (unreachable; keep ids stable).
+            tree.nodes[top as usize].children.clear();
+            tree.nodes[top as usize].child_links.clear();
+            tree.nodes[top as usize].point = None;
+            tree.nodes[top as usize].parent = None;
+        } else {
+            let link_idx = tree.link_ends.len() as u32;
+            tree.link_ends.push((0, top));
+            tree.nodes[top as usize].parent_link = Some(link_idx);
+            tree.nodes[0].children.push(top);
+            tree.nodes[0].child_links.push(link_idx);
+            tree.nodes[0].owner = tree.nodes[top as usize].owner;
+        }
+        tree
+    }
+
+    fn items(&self) -> &[GridPoint<D>] {
+        &self.points
+    }
+
+    fn num_ranges(&self) -> usize {
+        self.nodes.len() + self.link_ends.len()
+    }
+
+    fn range(&self, id: RangeId) -> Cell<D> {
+        assert!(id.index() < self.num_ranges(), "range id out of bounds: {id}");
+        self.range_cell(id)
+    }
+
+    fn owner(&self, id: RangeId) -> usize {
+        let n = self.nodes.len();
+        let idx = id.index();
+        if idx < n {
+            self.nodes[idx].owner as usize
+        } else {
+            let (_, child) = self.link_ends[idx - n];
+            self.nodes[child as usize].owner as usize
+        }
+    }
+
+    fn entry_of_item(&self, item: usize) -> RangeId {
+        assert!(item < self.points.len(), "item index out of bounds");
+        RangeId(self.item_leaf[item])
+    }
+
+    fn neighbors(&self, id: RangeId) -> Vec<RangeId> {
+        let n = self.nodes.len();
+        let idx = id.index();
+        if idx < n {
+            let node = &self.nodes[idx];
+            let mut out: Vec<RangeId> = Vec::with_capacity(node.children.len() + 1);
+            if let Some(pl) = node.parent_link {
+                out.push(RangeId(n as u32 + pl));
+            }
+            out.extend(node.child_links.iter().map(|&l| RangeId(n as u32 + l)));
+            out
+        } else {
+            let (parent, child) = self.link_ends[idx - n];
+            vec![RangeId(parent), RangeId(child)]
+        }
+    }
+
+    fn locate(&self, q: &GridPoint<D>) -> RangeId {
+        let mut cur = 0usize;
+        while let Some(c) = self.child_containing(cur, q) {
+            cur = c as usize;
+        }
+        RangeId(cur as u32)
+    }
+
+    fn search_path(&self, from: RangeId, q: &GridPoint<D>) -> Vec<RangeId> {
+        let n = self.nodes.len() as u32;
+        let mut path = vec![from];
+        // Normalize to a node: a link walks to its child endpoint first.
+        let mut cur = if from.index() < n as usize {
+            from.index()
+        } else {
+            let (_, child) = self.link_ends[from.index() - n as usize];
+            path.push(RangeId(child));
+            child as usize
+        };
+        // Ascend until the current cell contains q.
+        while !self.nodes[cur].cell.contains_point(q) {
+            let node = &self.nodes[cur];
+            let parent = node
+                .parent
+                .expect("the universe root contains every query point");
+            if let Some(pl) = node.parent_link {
+                path.push(RangeId(n + pl));
+            }
+            path.push(RangeId(parent));
+            cur = parent as usize;
+        }
+        // Descend while a child contains q.
+        while let Some(c) = self.child_containing(cur, q) {
+            if let Some(pl) = self.nodes[c as usize].parent_link {
+                path.push(RangeId(n + pl));
+            }
+            path.push(RangeId(c));
+            cur = c as usize;
+        }
+        path
+    }
+
+    fn best_entry(&self, candidates: &[RangeId], q: &GridPoint<D>) -> RangeId {
+        assert!(!candidates.is_empty(), "conflict list may not be empty");
+        candidates
+            .iter()
+            .copied()
+            .filter(|id| self.range_cell(*id).contains_point(q))
+            // Deepest containing cell; on ties prefer the node over its
+            // incoming link (both carry the same cell).
+            .max_by_key(|id| (self.range_cell(*id).depth(), id.index() < self.nodes.len()))
+            .unwrap_or(candidates[0])
+    }
+
+    fn item_query(item: &GridPoint<D>) -> GridPoint<D> {
+        *item
+    }
+
+    fn conflicts(&self, external: &Cell<D>) -> Vec<RangeId> {
+        let n = self.nodes.len() as u32;
+        let u = self.deepest_containing(external);
+        let mut out = vec![RangeId(u as u32)];
+        for (&c, &l) in self.nodes[u]
+            .children
+            .iter()
+            .zip(&self.nodes[u].child_links)
+        {
+            if external.contains_cell(&self.nodes[c as usize].cell) {
+                out.push(RangeId(n + l));
+                out.push(RangeId(c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts2(v: &[[u32; 2]]) -> Vec<GridPoint<2>> {
+        v.iter().map(|&c| GridPoint::new(c)).collect()
+    }
+
+    #[test]
+    fn build_dedups_and_sorts_by_morton() {
+        let qt = CompressedQuadtree::<2>::build(pts2(&[[5, 5], [1, 1], [5, 5]]));
+        assert_eq!(qt.len(), 2);
+        assert!(qt.items()[0].morton() < qt.items()[1].morton());
+    }
+
+    #[test]
+    fn empty_tree_is_just_the_universe() {
+        let qt = CompressedQuadtree::<2>::build(vec![]);
+        assert_eq!(qt.num_nodes(), 1);
+        assert_eq!(qt.num_links(), 0);
+        assert_eq!(qt.locate(&GridPoint::new([9, 9])), RangeId(0));
+        assert!(qt.is_empty());
+    }
+
+    #[test]
+    fn single_point_hangs_under_universe_root() {
+        let qt = CompressedQuadtree::<2>::build(pts2(&[[7, 7]]));
+        assert_eq!(qt.num_nodes(), 2);
+        assert_eq!(qt.num_links(), 1);
+        let leaf = qt.entry_of_item(0);
+        assert!(qt.is_leaf(leaf));
+        assert_eq!(qt.leaf_point(leaf), Some(GridPoint::new([7, 7])));
+        assert_eq!(qt.parent_of(leaf), Some(RangeId(0)));
+    }
+
+    #[test]
+    fn internal_nodes_have_at_least_two_children_below_root() {
+        let qt = CompressedQuadtree::<2>::build(pts2(&[
+            [0, 0],
+            [1, 0],
+            [0, 1],
+            [1 << 30, 1 << 30],
+            [3 << 29, 5],
+        ]));
+        for (i, node) in qt.nodes.iter().enumerate() {
+            if i == 0 || node.point.is_some() || node.parent.is_none() {
+                continue; // root, leaves, or the orphaned splice slot
+            }
+            assert!(
+                node.children.len() >= 2,
+                "compressed internal node {i} must branch"
+            );
+        }
+    }
+
+    #[test]
+    fn locate_finds_the_leaf_for_member_points() {
+        let points = pts2(&[[3, 3], [100, 100], [3, 100], [1 << 31, 1 << 20]]);
+        let qt = CompressedQuadtree::<2>::build(points.clone());
+        for (i, p) in qt.items().iter().enumerate() {
+            let hit = qt.locate(p);
+            assert!(qt.is_leaf(hit), "member point must land on its leaf");
+            assert_eq!(qt.leaf_point(hit), Some(*p));
+            assert_eq!(qt.entry_of_item(i), hit);
+        }
+        let _ = points;
+    }
+
+    #[test]
+    fn locate_nonmember_lands_on_deepest_containing_cell() {
+        let qt = CompressedQuadtree::<2>::build(pts2(&[[0, 0], [0, 2], [1 << 31, 1 << 31]]));
+        let q = GridPoint::new([5, 5]);
+        let hit = qt.locate(&q);
+        assert!(qt.node_cell(hit).contains_point(&q));
+        // Every child of the hit must exclude q (deepest).
+        for nb in qt.neighbors(hit) {
+            if nb.index() >= qt.num_nodes() {
+                let cell = qt.range(nb);
+                if cell.depth() > qt.node_cell(hit).depth() {
+                    assert!(!cell.contains_point(&q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_path_ascends_then_descends() {
+        let qt = CompressedQuadtree::<2>::build(pts2(&[[0, 0], [3, 3], [1 << 31, 1 << 31]]));
+        let from = qt.entry_of_item(0); // leaf at (0,0)
+        let q = GridPoint::new([1 << 31, 1 << 31]);
+        let path = qt.search_path(from, &q);
+        assert_eq!(path[0], from);
+        let last = *path.last().unwrap();
+        assert_eq!(last, qt.locate(&q));
+        // Consecutive path entries are incident ranges.
+        for pair in path.windows(2) {
+            assert!(
+                qt.neighbors(pair[0]).contains(&pair[1]) || qt.neighbors(pair[1]).contains(&pair[0]),
+                "path must follow structure links"
+            );
+        }
+    }
+
+    #[test]
+    fn conflicts_contain_a_range_holding_any_point_of_the_cell() {
+        let coarse = CompressedQuadtree::<2>::build(pts2(&[[0, 0], [1 << 31, 1 << 31]]));
+        let fine = CompressedQuadtree::<2>::build(pts2(&[
+            [0, 0],
+            [4, 4],
+            [9, 1],
+            [1 << 31, 1 << 31],
+            [(1 << 31) + 5, 1 << 31],
+        ]));
+        let q = GridPoint::new([5, 5]);
+        let coarse_range = coarse.range(coarse.locate(&q));
+        let conflicts = fine.conflicts(&coarse_range);
+        assert!(!conflicts.is_empty());
+        // The descent invariant: some conflicting range contains q.
+        assert!(conflicts
+            .iter()
+            .any(|id| fine.range(*id).contains_point(&q)));
+    }
+
+    #[test]
+    fn conflicts_of_universe_are_constant_size() {
+        let fine = CompressedQuadtree::<2>::build(pts2(&[
+            [0, 0],
+            [1, 1],
+            [2, 2],
+            [3, 3],
+            [1 << 31, 1],
+        ]));
+        let conflicts = fine.conflicts(&Cell::universe());
+        // root + at most 2^D children and their links
+        assert!(conflicts.len() <= 1 + 2 * 4);
+    }
+
+    #[test]
+    fn best_entry_prefers_deepest_containing_cell() {
+        let qt = CompressedQuadtree::<2>::build(pts2(&[[0, 0], [6, 6], [1 << 31, 0]]));
+        let q = GridPoint::new([6, 6]);
+        let all: Vec<RangeId> = qt.range_ids().collect();
+        let best = qt.best_entry(&all, &q);
+        assert_eq!(best, qt.locate(&q));
+    }
+
+    #[test]
+    fn owner_is_a_subtree_member() {
+        let qt = CompressedQuadtree::<2>::build(pts2(&[[0, 0], [9, 9], [1 << 31, 1 << 31]]));
+        for id in qt.range_ids() {
+            let owner = qt.owner(id);
+            assert!(owner < qt.len());
+        }
+    }
+
+    #[test]
+    fn octree_3d_builds_and_locates() {
+        let pts = vec![
+            GridPoint::new([0u32, 0, 0]),
+            GridPoint::new([5, 5, 5]),
+            GridPoint::new([1 << 31, 0, 1 << 20]),
+        ];
+        let qt = CompressedQuadtree::<3>::build(pts);
+        for (i, p) in qt.items().iter().enumerate() {
+            assert_eq!(qt.locate(p), qt.entry_of_item(i));
+        }
+    }
+
+    #[test]
+    fn nearest_in_subtree_returns_closest_point() {
+        let qt = CompressedQuadtree::<2>::build(pts2(&[[0, 0], [10, 10], [200, 200]]));
+        let q = GridPoint::new([11, 11]);
+        let best = qt.nearest_in_subtree(RangeId(0), &q).unwrap();
+        assert_eq!(best, GridPoint::new([10, 10]));
+    }
+
+    #[test]
+    fn build_is_canonical_under_input_order() {
+        let a = CompressedQuadtree::<2>::build(pts2(&[[9, 9], [1, 1], [5, 0]]));
+        let b = CompressedQuadtree::<2>::build(pts2(&[[5, 0], [9, 9], [1, 1]]));
+        assert_eq!(a, b, "same point set must yield the same structure");
+    }
+
+    #[test]
+    fn deep_cluster_stays_shallow_via_compression() {
+        // A tight cluster that would be ~30 deep uncompressed.
+        let pts = pts2(&[[0, 0], [0, 1], [1, 0], [1, 1], [1 << 31, 1 << 31]]);
+        let qt = CompressedQuadtree::<2>::build(pts);
+        // Nodes: universe root + top split + cluster cell(s) + 5 leaves.
+        assert!(qt.num_nodes() <= 11, "compression bounds node count");
+    }
+}

@@ -1,0 +1,65 @@
+//! Churn: keys join and leave a live 1-D skip-web (§4's updates), and the
+//! same structure is then served by real actor threads — one per host,
+//! crossbeam channels as the network — answering concurrent queries.
+//!
+//! Run with: `cargo run --example churn`
+
+use skipwebs::core::distributed::DistributedOneDim;
+use skipwebs::core::onedim::OneDimSkipWeb;
+
+fn main() {
+    let mut web = OneDimSkipWeb::builder((0..300u64).map(|i| i * 20).collect())
+        .seed(3)
+        .build();
+    println!("initial web: n = {}, hosts = {}", web.len(), web.hosts());
+
+    // A churn burst: 60 joins and 30 departures, costs per §4.
+    let mut join_costs = Vec::new();
+    let mut leave_costs = Vec::new();
+    for i in 0..60u64 {
+        if let Some(c) = web.insert(i * 97 + 7) {
+            join_costs.push(c);
+        }
+    }
+    for i in 0..30u64 {
+        if let Some(c) = web.remove(i * 20) {
+            leave_costs.push(c);
+        }
+    }
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
+    println!(
+        "churn applied: {} joins (mean {:.1} msgs), {} departures (mean {:.1} msgs), n = {}",
+        join_costs.len(),
+        mean(&join_costs),
+        leave_costs.len(),
+        mean(&leave_costs),
+        web.len()
+    );
+
+    // Serve the post-churn structure with real message passing.
+    let dist = DistributedOneDim::spawn(&web);
+    println!("spawned {} host threads", dist.hosts());
+    let clients: Vec<_> = (0..4).map(|_| dist.client()).collect();
+    let queries: Vec<u64> = (0..40).map(|i| i * 157 + 3).collect();
+    let mut answered = 0;
+    for (i, &q) in queries.iter().enumerate() {
+        let client = &clients[i % clients.len()];
+        let origin = web.random_origin(i as u64);
+        let got = dist
+            .nearest(client, origin, q)
+            .expect("runtime alive")
+            .expect("nonempty web");
+        let sim = web.nearest(origin, q).answer.nearest;
+        assert_eq!(got, sim, "distributed answer must match the simulator");
+        answered += 1;
+    }
+    println!(
+        "{} concurrent queries answered identically to the simulator; \
+         {} total messages ({:.1} per query)",
+        answered,
+        dist.message_count(),
+        dist.message_count() as f64 / answered as f64
+    );
+    dist.shutdown();
+    println!("all host threads joined cleanly");
+}

@@ -1,0 +1,45 @@
+//! GIS point location: the paper's trapezoidal-map application — locating a
+//! position in "a campus or city map in a geographic information system"
+//! (§1.3, §3.3). A trapezoid skip-web answers planar point-location queries
+//! in O(log n) messages.
+//!
+//! Run with: `cargo run --example gis_point_location`
+
+use skipwebs::core::multidim::TrapezoidSkipWeb;
+use skipwebs::structures::Segment;
+
+fn main() {
+    // A stylized campus map: walkway segments in horizontal bands
+    // (pairwise disjoint, distinct endpoint x's — general position).
+    let mut walkways = Vec::new();
+    for i in 0..24i64 {
+        let y = i * 120;
+        let x0 = (i * 61) % 300;
+        walkways.push(Segment::new(
+            (x0 * 4 + 1, y + (i % 5) - 2),
+            (x0 * 4 + 801 + 2 * i, y + ((i + 3) % 5) - 2),
+        ));
+    }
+    let web = TrapezoidSkipWeb::builder(walkways).seed(13).build();
+    println!(
+        "campus-map skip-web: {} walkways, {} trapezoids at level 0, {} hosts",
+        web.len(),
+        web.inner().base().num_trapezoids(),
+        web.hosts()
+    );
+
+    // Where is each visitor standing?
+    let visitors = [
+        ("north gate", (500i64, 2_899i64)),
+        ("center", (700, 1_393)),
+        ("south lawn", (150, -77)),
+    ];
+    for (name, pos) in visitors {
+        let out = web.locate_point(web.random_origin(pos.0 as u64), pos);
+        println!(
+            "visitor at {name:<11} {pos:?} -> {} [{} messages]",
+            out.trapezoid, out.messages
+        );
+        assert!(out.trapezoid.contains(pos));
+    }
+}

@@ -1,0 +1,48 @@
+//! ISBN prefix search: the paper's motivating string example — "a prefix
+//! query for ISBN numbers in a book database could return all titles by a
+//! certain publisher" (§1). A trie skip-web routes prefix queries in
+//! O(log n) messages even though the underlying trie can be deep.
+//!
+//! Run with: `cargo run --example isbn_prefix`
+
+use skipwebs::core::multidim::TrieSkipWeb;
+
+fn main() {
+    // A book database: ISBNs are 978 + publisher block + title digits.
+    let mut isbns = Vec::new();
+    for publisher in [201u32, 201, 201, 312, 312, 440, 596, 596, 596, 596] {
+        for title in 0..25u32 {
+            isbns.push(format!("978{publisher:03}{title:06}"));
+        }
+    }
+    let mut web = TrieSkipWeb::builder(isbns).seed(11).build();
+    println!(
+        "book-database skip-web: {} ISBNs across {} hosts",
+        web.len(),
+        web.hosts()
+    );
+
+    // "All titles by publisher 596":
+    let out = web.prefix_search(web.random_origin(1), "978596");
+    println!(
+        "prefix 978596 -> {} titles [{} messages, matched {} bytes]",
+        out.matches.len(),
+        out.messages,
+        out.matched_len
+    );
+    assert_eq!(out.matches.len(), 25); // publisher 596's titles (dedup'd)
+
+    // A publisher with no books in the database:
+    let none = web.prefix_search(web.random_origin(2), "978999");
+    println!(
+        "prefix 978999 -> {} titles (query diverged after {} bytes)",
+        none.matches.len(),
+        none.matched_len
+    );
+
+    // New books appear: O(log n) update messages (§4).
+    let cost = web.insert("978999000001".into()).expect("new ISBN");
+    println!("registered 978999000001 in {cost} messages");
+    let found = web.prefix_search(0, "978999");
+    println!("prefix 978999 now matches {:?}", found.matches);
+}

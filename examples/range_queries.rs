@@ -1,0 +1,46 @@
+//! Range queries: the remaining query types from the paper's introduction —
+//! 1-D range reporting ("a range query over various numerical attributes")
+//! and 2-D box reporting (the approximate range searching of §3.1).
+//!
+//! Run with: `cargo run --example range_queries`
+
+use skipwebs::core::multidim::QuadtreeSkipWeb;
+use skipwebs::core::onedim::OneDimSkipWeb;
+use skipwebs::structures::PointKey;
+
+fn main() {
+    // --- 1-D: price range over a catalogue ------------------------------
+    let prices: Vec<u64> = (0..500).map(|i| (i * i) % 10_007).collect();
+    let web = OneDimSkipWeb::builder(prices).seed(5).build();
+    let out = web.range(web.random_origin(1), 1_000, 1_200);
+    println!(
+        "prices in [1000, 1200]: {} results in {} messages (O(log n + k))",
+        out.keys.len(),
+        out.messages
+    );
+    println!("  first few: {:?}", &out.keys[..out.keys.len().min(6)]);
+
+    // --- 2-D: parking spaces inside a map viewport ----------------------
+    let spaces: Vec<PointKey<2>> = (0..400)
+        .map(|i| PointKey::new([(i * 2_654_435_761u64 % (1 << 24)) as u32, (i * 40_503 % (1 << 24)) as u32]))
+        .collect();
+    let lot = QuadtreeSkipWeb::builder(spaces).seed(6).build();
+    let viewport_lo = [1 << 20, 1 << 20];
+    let viewport_hi = [1 << 23, 1 << 23];
+    let found = lot.points_in_box(lot.random_origin(2), viewport_lo, viewport_hi);
+    println!(
+        "parking spaces in viewport: {} results in {} messages",
+        found.points.len(),
+        found.messages
+    );
+    if let Some(p) = found.points.first() {
+        println!("  e.g. {p}");
+    }
+
+    // Narrow viewports cost near a point query; wide ones pay per result.
+    let tiny = lot.points_in_box(0, [0, 0], [1000, 1000]);
+    println!(
+        "empty viewport probes cost only {} messages (pure routing)",
+        tiny.messages
+    );
+}

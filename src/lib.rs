@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # skip-webs
+//!
+//! A production-quality Rust reproduction of *"Skip-Webs: Efficient
+//! Distributed Data Structures for Multi-Dimensional Data Sets"* (Arge,
+//! Eppstein, Goodrich — PODC 2005).
+//!
+//! This facade crate re-exports the workspace members so that examples and
+//! integration tests can exercise the whole system through one dependency:
+//!
+//! * [`net`] — simulated + threaded message-passing network substrate with
+//!   the paper's cost model (messages, memory per host, congestion).
+//! * [`structures`] — the range-determined link structures of §2–3: sorted
+//!   linked lists, compressed quadtrees/octrees, compressed tries, and
+//!   trapezoidal maps, each with its set-halving lemma machinery.
+//! * [`core`] — the skip-web framework itself: randomized level hierarchy,
+//!   conflict hyperlinks, distributed blocking (including the 1-D bucket
+//!   blocking of §2.4.1), queries (§2.5) and updates (§4).
+//! * [`baselines`] — every comparison row of Table 1: skip graphs / SkipNet,
+//!   NoN skip graphs, family trees, deterministic SkipNet, bucket skip
+//!   graphs, plus Chord as the DHT contrast from §1.2.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use skipwebs::core::onedim::OneDimSkipWeb;
+//!
+//! // 64 keys spread over 64 hosts, one-dimensional nearest-neighbour search.
+//! let keys: Vec<u64> = (0..64).map(|i| i * 10).collect();
+//! let web = OneDimSkipWeb::builder(keys).seed(7).build();
+//! let outcome = web.nearest(web.random_origin(7), 137);
+//! assert_eq!(outcome.answer.nearest, 140); // 137 is closer to 140 than to 130
+//! ```
+
+pub use skipweb_baselines as baselines;
+pub use skipweb_core as core;
+pub use skipweb_net as net;
+pub use skipweb_structures as structures;

@@ -1,0 +1,140 @@
+//! The paper's sharpest multi-dimensional claim (§3.1, §3.2): skip-web
+//! queries take `O(log n)` messages **even when the underlying structure
+//! has `O(n)` depth**. These tests build exactly those adversarial inputs —
+//! chain tries and nested point clusters — and check that message costs
+//! stay logarithmic where a naive root-to-leaf traversal would pay `Θ(n)`.
+
+use skipwebs::core::multidim::{QuadtreeSkipWeb, TrieSkipWeb};
+use skipwebs::core::onedim::OneDimSkipWeb;
+use skipwebs::structures::{PointKey, RangeDetermined};
+
+/// "a", "aa", "aaa", ... — a trie that is a single chain of depth n.
+fn chain_strings(n: usize) -> Vec<String> {
+    (1..=n).map(|i| "a".repeat(i)).collect()
+}
+
+#[test]
+fn chain_trie_queries_stay_logarithmic() {
+    let n = 512;
+    let web = TrieSkipWeb::builder(chain_strings(n)).seed(41).build();
+    // Deep exact-match queries against the chain.
+    let mut worst = 0u64;
+    for depth in [1usize, n / 4, n / 2, n - 1, n] {
+        let q: String = "a".repeat(depth);
+        let out = web.prefix_search(web.random_origin(depth as u64), &q);
+        assert_eq!(out.matched_len, depth);
+        assert_eq!(out.matches.len(), n - depth + 1, "suffix chain count");
+        worst = worst.max(out.messages);
+    }
+    // A naive distributed trie walk would pay ~depth = up to 512 messages.
+    assert!(
+        worst < 60,
+        "chain-trie query cost {worst} must be O(log n), not O(n)"
+    );
+}
+
+#[test]
+fn chain_trie_stores_all_prefix_terminals() {
+    // Every string is a prefix of the next: terminal marks must coexist
+    // with single-child chains (compression never merges terminals away).
+    let web = TrieSkipWeb::builder(chain_strings(64)).seed(42).build();
+    let base = web.inner().base();
+    assert_eq!(base.len(), 64);
+    for i in 1..=64 {
+        let q = "a".repeat(i);
+        let out = web.prefix_search(0, &q);
+        assert!(out.matches.contains(&q), "missing terminal at depth {i}");
+    }
+}
+
+/// Points nested geometrically toward a corner: the *uncompressed* quadtree
+/// would be ~2 levels deeper per point pair; compression keeps O(n) nodes
+/// but the interesting-cube chain is still deep.
+fn nested_cluster(n: usize) -> Vec<PointKey<2>> {
+    let mut pts = Vec::with_capacity(n);
+    let mut scale = 1u64 << 31;
+    for i in 0..n {
+        // Pairs of points separated by a shrinking scale: forces a long
+        // chain of interesting cubes.
+        let base = (1u64 << 31) - scale;
+        pts.push(PointKey::new([base as u32, base as u32]));
+        pts.push(PointKey::new([(base + scale / 2) as u32, base as u32]));
+        if scale > 4 {
+            scale /= 2;
+        } else {
+            scale = (1 << 31) >> (i % 28);
+        }
+    }
+    pts.sort_by_key(PointKey::morton);
+    pts.dedup();
+    pts
+}
+
+#[test]
+fn nested_cluster_point_location_stays_logarithmic() {
+    let pts = nested_cluster(40);
+    let n = pts.len();
+    let web = QuadtreeSkipWeb::builder(pts.clone()).seed(43).build();
+    let mut worst = 0u64;
+    for (i, p) in pts.iter().enumerate() {
+        let out = web.locate_point(web.random_origin(i as u64), *p);
+        assert_eq!(out.approx_nearest, Some(*p));
+        worst = worst.max(out.messages);
+    }
+    assert!(
+        worst < 50,
+        "nested-cluster location cost {worst} must be O(log {n}), not O(depth)"
+    );
+}
+
+#[test]
+fn sequential_keys_do_not_degrade_one_dim_queries() {
+    // Adversarially regular inputs: dense sequential keys.
+    let web = OneDimSkipWeb::builder((0..4096u64).collect()).seed(44).build();
+    let trials = 80u64;
+    let total: u64 = (0..trials)
+        .map(|s| web.nearest(web.random_origin(s), (s * 53) % 4200).messages)
+        .sum();
+    let mean = total as f64 / trials as f64;
+    assert!(mean < 12.0, "sequential keys: mean {mean} messages");
+}
+
+#[test]
+fn clustered_keys_do_not_degrade_one_dim_queries() {
+    // Heavy clustering: half the keys in a tiny interval, half spread wide.
+    let mut keys: Vec<u64> = (0..2048u64).map(|i| 1_000_000 + i).collect();
+    keys.extend((0..2048u64).map(|i| i * 1_000_003));
+    let web = OneDimSkipWeb::builder(keys).seed(45).build();
+    let trials = 80u64;
+    let total: u64 = (0..trials)
+        .map(|s| {
+            let q = if s % 2 == 0 { 1_000_000 + s * 13 } else { s * 999_999 };
+            web.nearest(web.random_origin(s), q).messages
+        })
+        .sum();
+    let mean = total as f64 / trials as f64;
+    assert!(mean < 14.0, "clustered keys: mean {mean} messages");
+}
+
+#[test]
+fn query_cost_is_insensitive_to_key_distribution() {
+    // The paper's bounds are distribution-free (randomness is in the coin
+    // flips): uniform and adversarial inputs should cost about the same.
+    let n = 2048u64;
+    let uniform: Vec<u64> = (0..n).map(|i| i * 48_611 % (1 << 30)).collect();
+    let adversarial: Vec<u64> = (0..n).map(|i| i * i % (1 << 30)).collect();
+    let mean_cost = |keys: Vec<u64>| {
+        let web = OneDimSkipWeb::builder(keys).seed(46).build();
+        let trials = 80u64;
+        (0..trials)
+            .map(|s| web.nearest(web.random_origin(s), (s * 104_729) % (1 << 30)).messages)
+            .sum::<u64>() as f64
+            / trials as f64
+    };
+    let u = mean_cost(uniform);
+    let a = mean_cost(adversarial);
+    assert!(
+        (u - a).abs() < u.max(a) * 0.6,
+        "distribution sensitivity: uniform {u:.1} vs adversarial {a:.1}"
+    );
+}

@@ -1,0 +1,139 @@
+//! Integration: the Table 1 cost *shapes* hold — memory classes separate
+//! the methods exactly as the paper's table claims, and query costs scale
+//! with the predicted growth rates.
+
+use skipwebs::baselines::{
+    FamilyTree, NonSkipGraph, OrderedDictionary, SkipGraph,
+};
+use skipwebs::core::onedim::OneDimSkipWeb;
+use skipwebs::net::MessageMeter;
+
+fn keys(n: u64) -> Vec<u64> {
+    (0..n).map(|i| i * 17 + 3).collect()
+}
+
+#[test]
+fn memory_classes_separate_like_table1() {
+    let n = 2048u64;
+    let ks = keys(n);
+    // M columns: family tree O(1) < skip graph O(log n) < NoN O(log² n).
+    let ft = FamilyTree::new(ks.clone()).network().max_memory();
+    let sg = SkipGraph::new(ks.clone(), 1).network().max_memory();
+    let non = NonSkipGraph::new(ks.clone(), 1).network().max_memory();
+    assert!(ft < sg, "family tree ({ft}) must use less memory than skip graph ({sg})");
+    assert!(sg < non / 3, "skip graph ({sg}) must use far less than NoN ({non})");
+    // Owner-hosted skip-web: O(log n) — the same class as the skip graph,
+    // a constant factor above it (explicit conflict lists), far below NoN's
+    // O(log² n) per-level-squared growth at scale.
+    let sw = OneDimSkipWeb::builder(ks).seed(1).build().network().max_memory();
+    assert!(sw > sg, "skip-web stores hyperlinks on top of towers");
+    // Growth class check: quadruple n, compare growth factors.
+    let big = keys(4 * n);
+    let sw_big = OneDimSkipWeb::builder(big.clone()).seed(1).build().network().max_memory();
+    let non_big = NonSkipGraph::new(big, 1).network().max_memory();
+    let sw_growth = sw_big as f64 / sw as f64;
+    let non_growth = non_big as f64 / non as f64;
+    assert!(
+        sw_growth < non_growth * 1.2,
+        "skip-web memory growth {sw_growth:.2} must not exceed NoN growth {non_growth:.2}"
+    );
+}
+
+#[test]
+fn query_costs_grow_logarithmically_for_skip_web() {
+    let mut means = Vec::new();
+    for exp in [8u32, 10, 12] {
+        let n = 1u64 << exp;
+        let web = OneDimSkipWeb::builder(keys(n)).seed(2).build();
+        let trials = 60u64;
+        let total: u64 = (0..trials)
+            .map(|s| web.nearest(web.random_origin(s), (s * 6151) % (n * 17)).messages)
+            .sum();
+        means.push(total as f64 / trials as f64);
+    }
+    // Each 4x in n adds roughly a constant number of messages.
+    let d1 = means[1] - means[0];
+    let d2 = means[2] - means[1];
+    assert!(d1 > 0.0 && d2 > 0.0, "means must increase: {means:?}");
+    assert!(
+        d2 < d1 * 3.0 + 3.0,
+        "increments should be near-constant (log growth): {means:?}"
+    );
+    assert!(means[2] < means[0] * 3.0, "not linear: {means:?}");
+}
+
+#[test]
+fn bucketed_query_cost_drops_as_memory_grows() {
+    let n = 4096u64;
+    let ks = keys(n);
+    let mut prev = f64::MAX;
+    let mut decreasing_pairs = 0;
+    let mut total_pairs = 0;
+    for m in [8usize, 32, 128, 512] {
+        let web = OneDimSkipWeb::builder(ks.clone()).seed(3).bucketed(m).build();
+        let trials = 50u64;
+        let mean = (0..trials)
+            .map(|s| web.nearest(web.random_origin(s), (s * 9973) % (n * 17)).messages)
+            .sum::<u64>() as f64
+            / trials as f64;
+        total_pairs += 1;
+        if mean <= prev + 0.5 {
+            decreasing_pairs += 1;
+        }
+        prev = mean;
+    }
+    assert!(
+        decreasing_pairs >= total_pairs - 1,
+        "query cost should fall (or hold) as M grows"
+    );
+}
+
+#[test]
+fn skip_web_update_cost_is_within_log_factor_of_query_cost() {
+    let n = 2048u64;
+    let mut web = OneDimSkipWeb::builder(keys(n).iter().map(|k| k * 2).collect()).seed(4).build();
+    let queries: f64 = {
+        let trials = 40u64;
+        (0..trials)
+            .map(|s| web.nearest(web.random_origin(s), (s * 6151) % (n * 34)).messages)
+            .sum::<u64>() as f64
+            / trials as f64
+    };
+    let mut update_total = 0u64;
+    let count = 15u64;
+    for i in 0..count {
+        update_total += web.insert(i * 64 + 1).expect("fresh odd key");
+    }
+    let updates = update_total as f64 / count as f64;
+    // §4: updates are O(log n), like queries (within a small factor).
+    assert!(
+        updates < queries * 8.0 + 20.0,
+        "updates ({updates:.1}) should stay within a small factor of queries ({queries:.1})"
+    );
+}
+
+#[test]
+fn non_lookahead_buys_queries_with_memory() {
+    // The trade Table 1 shows between rows 1 and 2.
+    let n = 4096u64;
+    let ks = keys(n);
+    let plain = SkipGraph::new(ks.clone(), 5);
+    let non = NonSkipGraph::new(ks, 5);
+    let trials = 50u64;
+    let mean = |d: &dyn OrderedDictionary| {
+        (0..trials)
+            .map(|s| {
+                let mut m = MessageMeter::new();
+                d.nearest(d.random_origin(s), (s * 7919) % (n * 17), &mut m);
+                m.messages()
+            })
+            .sum::<u64>() as f64
+            / trials as f64
+    };
+    let q_plain = mean(&plain);
+    let q_non = mean(&non);
+    assert!(q_non < q_plain, "NoN ({q_non}) must beat plain ({q_plain}) on queries");
+    let m_plain = plain.network().max_memory();
+    let m_non = non.network().max_memory();
+    assert!(m_non > 3 * m_plain, "NoN pays in memory: {m_non} vs {m_plain}");
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration: every 1-D method (skip-web and all Table 1
+//! baselines) answers nearest-neighbour queries identically, on shared
+//! workloads, under the same cost model.
+
+use skipwebs::baselines::{
+    BucketSkipGraph, Chord, DeterministicSkipNet, FamilyTree, NonSkipGraph, OrderedDictionary,
+    SkipGraph,
+};
+use skipwebs::core::onedim::OneDimSkipWeb;
+use skipwebs::net::MessageMeter;
+
+fn oracle(keys: &[u64], q: u64) -> u64 {
+    *keys.iter().min_by_key(|&&k| (k.abs_diff(q), k)).unwrap()
+}
+
+fn keys(n: u64, stride: u64) -> Vec<u64> {
+    (0..n).map(|i| i * stride + (i % 7)).collect()
+}
+
+#[test]
+fn all_methods_agree_on_nearest_neighbours() {
+    let ks = keys(400, 25);
+    let methods: Vec<Box<dyn OrderedDictionary>> = vec![
+        Box::new(SkipGraph::new(ks.clone(), 1)),
+        Box::new(NonSkipGraph::new(ks.clone(), 2)),
+        Box::new(FamilyTree::new(ks.clone())),
+        Box::new(DeterministicSkipNet::new(ks.clone())),
+        Box::new(BucketSkipGraph::new(ks.clone(), 16, 3)),
+        Box::new(Chord::new(ks.clone(), 32)),
+    ];
+    let web = OneDimSkipWeb::builder(ks.clone()).seed(4).build();
+    for s in 0..120u64 {
+        let q = (s * 311) % 11_000;
+        let want = oracle(&ks, q);
+        assert_eq!(web.nearest(web.random_origin(s), q).answer.nearest, want, "skip-web q={q}");
+        for m in &methods {
+            let mut meter = MessageMeter::new();
+            assert_eq!(
+                m.nearest(m.random_origin(s), q, &mut meter),
+                want,
+                "{} disagrees on q={q}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_method_survives_interleaved_updates() {
+    let ks: Vec<u64> = keys(100, 20).iter().map(|k| k * 2).collect();
+    let mut methods: Vec<Box<dyn OrderedDictionary>> = vec![
+        Box::new(SkipGraph::new(ks.clone(), 5)),
+        Box::new(NonSkipGraph::new(ks.clone(), 6)),
+        Box::new(FamilyTree::new(ks.clone())),
+        Box::new(DeterministicSkipNet::new(ks.clone())),
+        Box::new(BucketSkipGraph::new(ks.clone(), 8, 7)),
+    ];
+    let mut reference: Vec<u64> = ks.clone();
+    // Interleave inserts of odd keys and removals of original keys.
+    for i in 0..40u64 {
+        let fresh = i * 97 + 1; // odd -> never collides with stored evens
+        reference.push(fresh);
+        for m in &mut methods {
+            let mut meter = MessageMeter::new();
+            assert!(m.insert(fresh, &mut meter), "{} insert {fresh}", m.name());
+        }
+        if i % 2 == 0 {
+            let gone = ks[(i as usize * 3) % ks.len()];
+            if let Some(pos) = reference.iter().position(|&k| k == gone) {
+                reference.remove(pos);
+                for m in &mut methods {
+                    let mut meter = MessageMeter::new();
+                    assert!(m.remove(gone, &mut meter), "{} remove {gone}", m.name());
+                }
+            }
+        }
+    }
+    reference.sort_unstable();
+    for s in 0..60u64 {
+        let q = (s * 173) % 5000;
+        let want = oracle(&reference, q);
+        for m in &methods {
+            let mut meter = MessageMeter::new();
+            assert_eq!(
+                m.nearest(m.random_origin(s), q, &mut meter),
+                want,
+                "{} after churn, q={q}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn skip_web_matches_non_skip_graph_queries_with_less_memory() {
+    // The paper's headline: skip-webs achieve NoN-level query cost at
+    // skip-graph-level memory.
+    let ks = keys(2048, 13);
+    let web = OneDimSkipWeb::builder(ks.clone()).seed(8).bucketed(48).build();
+    let non = NonSkipGraph::new(ks.clone(), 8);
+    let plain = SkipGraph::new(ks, 8);
+    let trials = 60u64;
+    let mut web_msgs = 0u64;
+    let mut non_msgs = 0u64;
+    let mut plain_msgs = 0u64;
+    for s in 0..trials {
+        let q = (s * 7919) % 30_000;
+        web_msgs += web.nearest(web.random_origin(s), q).messages;
+        let mut m = MessageMeter::new();
+        non.nearest(non.random_origin(s), q, &mut m);
+        non_msgs += m.messages();
+        let mut m = MessageMeter::new();
+        plain.nearest(plain.random_origin(s), q, &mut m);
+        plain_msgs += m.messages();
+    }
+    assert!(
+        web_msgs <= non_msgs * 2,
+        "bucketed skip-web ({web_msgs}) should be in NoN's league ({non_msgs})"
+    );
+    assert!(
+        web_msgs < plain_msgs,
+        "skip-web ({web_msgs}) must beat the plain skip graph ({plain_msgs})"
+    );
+}
+
+#[test]
+fn congestion_spreads_across_hosts() {
+    let ks = keys(512, 11);
+    let web = OneDimSkipWeb::builder(ks).seed(9).build();
+    let mut net = web.network();
+    for s in 0..200u64 {
+        let out = web.nearest(web.random_origin(s), (s * 37) % 6000);
+        net.absorb_query(&out.meter);
+    }
+    // No single host should see more than a small fraction of all touches.
+    let max = net.max_touch_count();
+    let total: u64 = (0..net.hosts())
+        .map(|h| net.touch_count(skipwebs::net::HostId(h as u32)))
+        .sum();
+    assert!(
+        max * 10 < total,
+        "hot spot: one host saw {max} of {total} touches"
+    );
+}

@@ -1,0 +1,149 @@
+//! Integration: the multi-dimensional skip-webs (§3) agree with brute-force
+//! single-machine oracles across seeds and workload shapes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skipwebs::core::multidim::{QuadtreeSkipWeb, TrapezoidSkipWeb, TrieSkipWeb};
+use skipwebs::structures::{PointKey, RangeDetermined, Segment};
+
+#[test]
+fn quadtree_skip_web_locates_like_the_tree_for_many_seeds() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<PointKey<2>> = (0..300)
+            .map(|_| PointKey::new([rng.gen(), rng.gen()]))
+            .collect();
+        let web = QuadtreeSkipWeb::builder(pts).seed(seed).build();
+        for _ in 0..40 {
+            let q = PointKey::new([rng.gen(), rng.gen()]);
+            let out = web.locate_point(web.random_origin(rng.gen()), q);
+            let base = web.inner().base();
+            assert_eq!(out.cell, base.range(base.locate(&q)), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn quadtree_approx_nearest_is_close_to_true_nearest() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let pts: Vec<PointKey<2>> = (0..400)
+        .map(|_| PointKey::new([rng.gen_range(0..1 << 20), rng.gen_range(0..1 << 20)]))
+        .collect();
+    let web = QuadtreeSkipWeb::builder(pts.clone()).seed(5).build();
+    for _ in 0..40 {
+        let q = PointKey::new([rng.gen_range(0..1 << 20), rng.gen_range(0..1 << 20)]);
+        let out = web.locate_point(0, q);
+        let approx = out.approx_nearest.expect("points exist");
+        let true_nearest = pts
+            .iter()
+            .min_by_key(|p| p.distance_sq(&q))
+            .expect("points exist");
+        // The approximate answer must be within the located cell's scale of
+        // the true nearest (§3.1: point location yields approximate NN).
+        let cell_diag = 2u128 << (out.cell.side_log2() as u128 + 1);
+        let ad = (approx.distance_sq(&q) as f64).sqrt();
+        let td = (true_nearest.distance_sq(&q) as f64).sqrt();
+        assert!(
+            ad <= td + cell_diag as f64 * 2.0,
+            "approx NN too far: {ad} vs {td} (cell diag {cell_diag})"
+        );
+    }
+}
+
+#[test]
+fn trie_skip_web_prefix_results_match_linear_scan() {
+    let corpora: [Vec<String>; 2] = [
+        (0..150).map(|i| format!("node{i:04}")).collect(),
+        vec![
+            "a", "ab", "abc", "abcd", "b", "ba", "bab", "babb", "c",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
+    ];
+    for (ci, corpus) in corpora.into_iter().enumerate() {
+        let web = TrieSkipWeb::builder(corpus.clone()).seed(ci as u64).build();
+        let prefixes = ["a", "ab", "node0", "node01", "z", "", "bab"];
+        for p in prefixes {
+            let out = web.prefix_search(web.random_origin(ci as u64), p);
+            let mut want: Vec<&String> =
+                corpus.iter().filter(|s| s.starts_with(p)).collect();
+            want.sort();
+            let got: Vec<&String> = out.matches.iter().collect();
+            assert_eq!(got, want, "corpus {ci}, prefix {p:?}");
+        }
+    }
+}
+
+#[test]
+fn trie_handles_prefix_chains_and_exact_lookups() {
+    let words: Vec<String> = ["do", "dog", "dogma", "dot", "door", "doors"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let web = TrieSkipWeb::builder(words.clone()).seed(2).build();
+    for w in &words {
+        let out = web.prefix_search(web.random_origin(1), w);
+        assert!(
+            out.matches.contains(w),
+            "stored string {w} must match its own prefix query"
+        );
+        assert_eq!(out.matched_len, w.len());
+    }
+}
+
+#[test]
+fn trapezoid_skip_web_point_location_matches_containment() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Banded disjoint segments (general position).
+    let mut xs: Vec<i64> = (0..160).map(|i| i * 4 + 1).collect();
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+    let segments: Vec<Segment> = (0..80)
+        .map(|i| {
+            let band = i as i64 * 60;
+            let (a, b) = (xs[2 * i], xs[2 * i + 1]);
+            let (x1, x2) = (a.min(b), a.max(b));
+            Segment::new((x1, band + rng.gen_range(-9..=9)), (x2, band + rng.gen_range(-9..=9)))
+        })
+        .collect();
+    let web = TrapezoidSkipWeb::builder(segments).seed(3).build();
+    for _ in 0..50 {
+        let q = (rng.gen_range(-50..700i64), rng.gen_range(-100..5000i64) * 2 + 25);
+        let out = web.locate_point(web.random_origin(q.0 as u64), q);
+        assert!(out.trapezoid.contains(q), "located trapezoid must contain {q:?}");
+        // And it is the unique strict container (tiling).
+        let base = web.inner().base();
+        let count = (0..base.num_trapezoids())
+            .filter(|&i| base.trapezoid(skipwebs::structures::RangeId(i as u32)).contains(q))
+            .count();
+        assert_eq!(count, 1, "query {q:?} must lie in exactly one trapezoid");
+    }
+}
+
+#[test]
+fn multidim_updates_preserve_query_correctness() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let pts: Vec<PointKey<2>> = (0..120)
+        .map(|_| PointKey::new([rng.gen(), rng.gen()]))
+        .collect();
+    let mut web = QuadtreeSkipWeb::builder(pts).seed(4).build();
+    // Insert fresh points, remove some old ones.
+    let fresh: Vec<PointKey<2>> = (0..30)
+        .map(|_| PointKey::new([rng.gen(), rng.gen()]))
+        .collect();
+    for p in &fresh {
+        assert!(web.insert(*p).is_some());
+    }
+    for p in &fresh[..10] {
+        assert!(web.remove(p).is_some());
+    }
+    // All remaining fresh points locate onto their own leaves.
+    for p in &fresh[10..] {
+        let out = web.locate_point(web.random_origin(1), *p);
+        assert!(out.cell.contains_point(p));
+        assert_eq!(out.approx_nearest, Some(*p), "member point is its own NN");
+    }
+}

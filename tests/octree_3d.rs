@@ -1,0 +1,88 @@
+//! Integration: the framework's `d`-dimensional claim (§3.1 covers octrees
+//! for any fixed `d ≥ 2`) — the same generic code runs in three dimensions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skipwebs::core::multidim::QuadtreeSkipWeb;
+use skipwebs::structures::{PointKey, RangeDetermined};
+
+fn random_points3(n: usize, seed: u64) -> Vec<PointKey<3>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| PointKey::new([rng.gen(), rng.gen(), rng.gen()]))
+        .collect()
+}
+
+#[test]
+fn octree_skip_web_locates_points_in_3d() {
+    let pts = random_points3(256, 1);
+    let web = QuadtreeSkipWeb::<3>::builder(pts).seed(1).build();
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..40 {
+        let q = PointKey::new([rng.gen(), rng.gen(), rng.gen()]);
+        let out = web.locate_point(web.random_origin(rng.gen()), q);
+        assert!(out.cell.contains_point(&q));
+        let base = web.inner().base();
+        assert_eq!(out.cell, base.range(base.locate(&q)));
+    }
+}
+
+#[test]
+fn octree_query_messages_stay_logarithmic() {
+    let mut means = Vec::new();
+    for n in [128usize, 1024] {
+        let web = QuadtreeSkipWeb::<3>::builder(random_points3(n, 3)).seed(3).build();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 50;
+        let total: u64 = (0..trials)
+            .map(|_| {
+                let q = PointKey::new([rng.gen(), rng.gen(), rng.gen()]);
+                web.locate_point(web.random_origin(rng.gen()), q).messages
+            })
+            .sum();
+        means.push(total as f64 / trials as f64);
+    }
+    assert!(
+        means[1] < means[0] * 2.5,
+        "8x points should add ~3 levels, not multiply cost: {means:?}"
+    );
+}
+
+#[test]
+fn octree_member_points_are_their_own_nearest() {
+    let pts = random_points3(128, 5);
+    let web = QuadtreeSkipWeb::<3>::builder(pts.clone()).seed(5).build();
+    for (i, p) in web.points().iter().enumerate().step_by(9) {
+        let out = web.locate_point(i % web.len(), *p);
+        assert_eq!(out.approx_nearest, Some(*p));
+    }
+}
+
+#[test]
+fn octree_box_reporting_matches_oracle_in_3d() {
+    let pts = random_points3(200, 7);
+    let web = QuadtreeSkipWeb::<3>::builder(pts).seed(7).build();
+    let lo = [0u32, 0, 0];
+    let hi = [u32::MAX / 2, u32::MAX, u32::MAX / 4];
+    let out = web.points_in_box(0, lo, hi);
+    let mut want: Vec<PointKey<3>> = web
+        .points()
+        .iter()
+        .copied()
+        .filter(|p| p.in_box(&lo, &hi))
+        .collect();
+    want.sort_by_key(PointKey::morton);
+    assert_eq!(out.points, want);
+}
+
+#[test]
+fn octree_updates_work_in_3d() {
+    let mut web = QuadtreeSkipWeb::<3>::builder(random_points3(64, 9)).seed(9).build();
+    let p = PointKey::new([123u32, 456, 789]);
+    assert!(web.insert(p).is_some());
+    assert!(web.insert(p).is_none());
+    let out = web.locate_point(0, p);
+    assert_eq!(out.approx_nearest, Some(p));
+    assert!(web.remove(&p).is_some());
+    assert!(web.remove(&p).is_none());
+}
