@@ -87,7 +87,11 @@ impl Chord {
                     .collect()
             })
             .collect();
-        Chord { ring, stored, fingers }
+        Chord {
+            ring,
+            stored,
+            fingers,
+        }
     }
 
     /// Number of hosts on the ring.
@@ -161,8 +165,9 @@ impl OrderedDictionary for Chord {
             if let Some(local) = crate::common::oracle_nearest(&self.stored[cur], q) {
                 best = match best {
                     None => Some(local),
-                    Some(b) if q.abs_diff(local) < q.abs_diff(b)
-                        || (q.abs_diff(local) == q.abs_diff(b) && local < b) =>
+                    Some(b)
+                        if q.abs_diff(local) < q.abs_diff(b)
+                            || (q.abs_diff(local) == q.abs_diff(b) && local < b) =>
                     {
                         Some(local)
                     }
@@ -272,6 +277,10 @@ mod tests {
     fn finger_memory_is_logarithmic() {
         let c = Chord::new(vec![], 1024);
         let net = c.network();
-        assert!(net.max_memory() <= 2 * 10 + 6, "fingers {}", net.max_memory());
+        assert!(
+            net.max_memory() <= 2 * 10 + 6,
+            "fingers {}",
+            net.max_memory()
+        );
     }
 }

@@ -155,9 +155,11 @@ impl DeterministicSkipNet {
             let right_pos = upper.partition_point(|&k| {
                 self.levels[level].binary_search(&k).expect("promoted") <= lower_idx
             });
-            let left_bound = right_pos
-                .checked_sub(1)
-                .map(|p| self.levels[level].binary_search(&upper[p]).expect("promoted"));
+            let left_bound = right_pos.checked_sub(1).map(|p| {
+                self.levels[level]
+                    .binary_search(&upper[p])
+                    .expect("promoted")
+            });
             let right_bound = upper
                 .get(right_pos)
                 .map(|&k| self.levels[level].binary_search(&k).expect("promoted"));
@@ -262,9 +264,7 @@ impl DeterministicSkipNet {
         while self.levels.len() > 1 && self.levels.last().expect("nonempty").is_empty() {
             self.levels.pop();
         }
-        while self.levels.len() > 1
-            && self.levels[self.levels.len() - 2].len() <= 3
-        {
+        while self.levels.len() > 1 && self.levels[self.levels.len() - 2].len() <= 3 {
             self.levels.pop();
         }
     }
@@ -284,17 +284,22 @@ impl OrderedDictionary for DeterministicSkipNet {
     }
 
     fn nearest(&self, origin: usize, q: u64, meter: &mut MessageMeter) -> u64 {
-        assert!(!self.levels[0].is_empty(), "cannot search an empty structure");
+        assert!(
+            !self.levels[0].is_empty(),
+            "cannot search an empty structure"
+        );
         let floor = self.route(origin, q, meter);
         let keys = &self.levels[0];
         let mut best = keys[floor];
-        for cand in [floor.checked_sub(1), (floor + 1 < keys.len()).then_some(floor + 1)]
-            .into_iter()
-            .flatten()
+        for cand in [
+            floor.checked_sub(1),
+            (floor + 1 < keys.len()).then_some(floor + 1),
+        ]
+        .into_iter()
+        .flatten()
         {
             let k = keys[cand];
-            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best)
-            {
+            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best) {
                 best = k;
             }
         }

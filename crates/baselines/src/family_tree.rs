@@ -149,7 +149,13 @@ impl FamilyTree {
         // Descend by order.
         loop {
             let k = self.keys[cur];
-            let next = if q < k { self.left[cur] } else if q > k { self.right[cur] } else { None };
+            let next = if q < k {
+                self.left[cur]
+            } else if q > k {
+                self.right[cur]
+            } else {
+                None
+            };
             match next {
                 Some(c) => {
                     cur = c as usize;
@@ -180,13 +186,15 @@ impl OrderedDictionary for FamilyTree {
         // The landing host plus its base-list neighbours (their keys are in
         // the local pointer records) bracket q.
         let mut best = self.keys[cur];
-        for cand in [cur.checked_sub(1), (cur + 1 < self.keys.len()).then_some(cur + 1)]
-            .into_iter()
-            .flatten()
+        for cand in [
+            cur.checked_sub(1),
+            (cur + 1 < self.keys.len()).then_some(cur + 1),
+        ]
+        .into_iter()
+        .flatten()
         {
             let k = self.keys[cand];
-            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best)
-            {
+            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best) {
                 best = k;
             }
         }
@@ -309,7 +317,11 @@ mod tests {
             let total: u64 = (0..trials)
                 .map(|s| {
                     let mut m = MessageMeter::new();
-                    t.nearest(t.random_origin(s), (s * 7919) % ((1u64 << exp) * 10), &mut m);
+                    t.nearest(
+                        t.random_origin(s),
+                        (s * 7919) % ((1u64 << exp) * 10),
+                        &mut m,
+                    );
                     m.messages()
                 })
                 .sum();
@@ -327,7 +339,11 @@ mod tests {
         let q = t.keys()[origin] + 5;
         let mut m = MessageMeter::new();
         t.nearest(origin, q, &mut m);
-        assert!(m.messages() <= 20, "local query cost {} too high", m.messages());
+        assert!(
+            m.messages() <= 20,
+            "local query cost {} too high",
+            m.messages()
+        );
     }
 
     #[test]

@@ -120,8 +120,7 @@ impl OrderedDictionary for NonSkipGraph {
         let mut best = keys[cur];
         for cand in [l, r].into_iter().flatten() {
             let k = keys[cand as usize];
-            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best)
-            {
+            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best) {
                 best = k;
             }
         }
@@ -245,7 +244,10 @@ mod tests {
         let mut meter = MessageMeter::new();
         assert!(g.insert(11, &mut meter));
         let levels = 10u64; // ceil(log2 513)
-        assert!(meter.messages() >= 2 * levels * levels / 2, "table refresh undercharged");
+        assert!(
+            meter.messages() >= 2 * levels * levels / 2,
+            "table refresh undercharged"
+        );
     }
 
     #[test]

@@ -140,9 +140,7 @@ impl SkipGraph {
             let group = mvec & mask;
             // Predecessor and successor within the level group.
             let pos = self.keys.partition_point(|&k| k < key);
-            let pred = (0..pos)
-                .rev()
-                .find(|&i| self.mvec[i] & mask == group);
+            let pred = (0..pos).rev().find(|&i| self.mvec[i] & mask == group);
             let succ = (pos..self.keys.len()).find(|&i| self.mvec[i] & mask == group);
             if let Some(p) = pred {
                 meter.visit(HostId(p as u32));
@@ -178,8 +176,7 @@ impl OrderedDictionary for SkipGraph {
         let mut best = self.keys[cur];
         for cand in [l, r].into_iter().flatten() {
             let k = self.keys[cand as usize];
-            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best)
-            {
+            if q.abs_diff(k) < q.abs_diff(best) || (q.abs_diff(k) == q.abs_diff(best) && k < best) {
                 best = k;
             }
         }

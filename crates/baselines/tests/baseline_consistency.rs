@@ -22,7 +22,11 @@ fn same_seed_builds_identical_skip_graphs() {
         let mut ma = MessageMeter::new();
         let mut mb = MessageMeter::new();
         assert_eq!(a.nearest(3, q, &mut ma), b.nearest(3, q, &mut mb));
-        assert_eq!(ma.messages(), mb.messages(), "routing must be deterministic");
+        assert_eq!(
+            ma.messages(),
+            mb.messages(),
+            "routing must be deterministic"
+        );
     }
 }
 
@@ -80,7 +84,12 @@ fn heavy_churn_keeps_all_methods_in_sync() {
         let want = oracle(&reference, q);
         for m in &methods {
             let mut meter = MessageMeter::new();
-            assert_eq!(m.nearest(m.random_origin(s), q, &mut meter), want, "{}", m.name());
+            assert_eq!(
+                m.nearest(m.random_origin(s), q, &mut meter),
+                want,
+                "{}",
+                m.name()
+            );
         }
     }
 }

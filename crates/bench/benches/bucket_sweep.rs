@@ -12,7 +12,10 @@ fn bench_buckets(c: &mut Criterion) {
     let keys = workloads::uniform_keys(n, 23);
     let qs = workloads::query_keys(64, 23);
     for m in [16usize, 64, 256] {
-        let web = OneDimSkipWeb::builder(keys.clone()).seed(23).bucketed(m).build();
+        let web = OneDimSkipWeb::builder(keys.clone())
+            .seed(23)
+            .bucketed(m)
+            .build();
         group.bench_function(BenchmarkId::from_parameter(m), |b| {
             let mut i = 0usize;
             b.iter(|| {

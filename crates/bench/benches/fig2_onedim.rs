@@ -11,14 +11,15 @@ fn bench_fig2(c: &mut Criterion) {
     for n in [1024usize, 4096] {
         let keys = workloads::uniform_keys(n, 9);
         group.bench_function(BenchmarkId::new("build_owner", n), |b| {
-            b.iter(|| {
-                std::hint::black_box(OneDimSkipWeb::builder(keys.clone()).seed(9).build())
-            });
+            b.iter(|| std::hint::black_box(OneDimSkipWeb::builder(keys.clone()).seed(9).build()));
         });
         group.bench_function(BenchmarkId::new("build_bucket", n), |b| {
             b.iter(|| {
                 std::hint::black_box(
-                    OneDimSkipWeb::builder(keys.clone()).seed(9).bucketed(64).build(),
+                    OneDimSkipWeb::builder(keys.clone())
+                        .seed(9)
+                        .bucketed(64)
+                        .build(),
                 )
             });
         });

@@ -11,7 +11,10 @@ fn bench_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("sec4_updates");
     group.sample_size(10);
     let n = 1024;
-    let keys: Vec<u64> = workloads::uniform_keys(n, 19).iter().map(|k| k * 2).collect();
+    let keys: Vec<u64> = workloads::uniform_keys(n, 19)
+        .iter()
+        .map(|k| k * 2)
+        .collect();
 
     group.bench_function(BenchmarkId::new("skipweb_insert_remove", n), |b| {
         let mut web = OneDimSkipWeb::builder(keys.clone()).seed(19).build();

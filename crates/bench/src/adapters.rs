@@ -75,9 +75,8 @@ impl OrderedDictionary for SkipWebDict {
         };
         use skipweb_structures::linked_list::SortedLinkedList;
         let base: &SortedLinkedList = self.web.inner().base();
-        crate::adapters::nearest_in(&locus, q).unwrap_or_else(|| {
-            base.nearest_key(q).expect("nonempty dictionary")
-        })
+        crate::adapters::nearest_in(&locus, q)
+            .unwrap_or_else(|| base.nearest_key(q).expect("nonempty dictionary"))
     }
 
     fn insert(&mut self, key: u64, meter: &mut MessageMeter) -> bool {

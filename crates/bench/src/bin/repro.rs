@@ -55,11 +55,27 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
-    let cfg = if full { Config::full() } else { Config::quick() };
+    let cfg = if full {
+        Config::full()
+    } else {
+        Config::quick()
+    };
 
     const KNOWN: [&str; 14] = [
-        "all", "table1", "fig1", "fig2", "fig3", "fig4", "lemma1", "lemma4", "thm2",
-        "updates", "buckets", "ablation", "chord", "congestion",
+        "all",
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "lemma1",
+        "lemma4",
+        "thm2",
+        "updates",
+        "buckets",
+        "ablation",
+        "chord",
+        "congestion",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment {which:?}");
@@ -100,7 +116,10 @@ fn main() {
         );
     }
     if run("updates") {
-        println!("{}", experiments::updates(&cfg.sizes, cfg.updates, cfg.seed));
+        println!(
+            "{}",
+            experiments::updates(&cfg.sizes, cfg.updates, cfg.seed)
+        );
     }
     if run("buckets") {
         println!(

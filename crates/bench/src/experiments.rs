@@ -136,8 +136,7 @@ pub fn table1(sizes: &[usize], queries: usize, updates: usize, seed: u64) -> Tab
             Box::new(SkipWebDict::bucketed(keys.clone(), 4 * log_n, seed)),
         ];
         for dict in &mut methods {
-            let (m_max, m_mean, c_max, q, u) =
-                measure_dict(dict.as_mut(), queries, updates, seed);
+            let (m_max, m_mean, c_max, q, u) = measure_dict(dict.as_mut(), queries, updates, seed);
             t.push(vec![
                 dict.name().to_string(),
                 n.to_string(),
@@ -160,7 +159,14 @@ pub fn table1(sizes: &[usize], queries: usize, updates: usize, seed: u64) -> Tab
 pub fn fig1(sizes: &[usize], seed: u64) -> Table {
     let mut t = Table::new(
         "Figure 1: skip list search cost and space",
-        &["n", "levels", "total_nodes", "nodes_per_key", "steps_mean", "steps_p95"],
+        &[
+            "n",
+            "levels",
+            "total_nodes",
+            "nodes_per_key",
+            "steps_mean",
+            "steps_p95",
+        ],
     );
     for &n in sizes {
         let keys = workloads::uniform_keys(n, seed);
@@ -258,8 +264,7 @@ pub fn fig3(sizes: &[usize], seed: u64) -> Table {
         ] {
             let queries = workloads::query_points(200, seed);
             let mut rng = StdRng::seed_from_u64(seed);
-            let stats =
-                measure_halving::<CompressedQuadtree<2>, _>(&pts, &queries, &mut rng);
+            let stats = measure_halving::<CompressedQuadtree<2>, _>(&pts, &queries, &mut rng);
             let web = QuadtreeSkipWeb::builder(pts).seed(seed).build();
             let msgs: Vec<u64> = queries
                 .iter()
@@ -300,7 +305,9 @@ pub fn fig4(sizes: &[usize], seed: u64) -> Table {
         let queries = workloads::trapezoid_queries(n, 100, seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let stats = measure_halving::<TrapezoidalMap, _>(&segments, &queries, &mut rng);
-        let web = TrapezoidSkipWeb::builder(segments.clone()).seed(seed).build();
+        let web = TrapezoidSkipWeb::builder(segments.clone())
+            .seed(seed)
+            .build();
         let msgs: Vec<u64> = queries
             .iter()
             .take(60)
@@ -349,7 +356,13 @@ pub fn lemma1(sizes: &[usize], seed: u64) -> Table {
 pub fn lemma4(sizes: &[usize], seed: u64) -> Table {
     let mut t = Table::new(
         "Lemma 4: trie set-halving conflict lists",
-        &["n", "corpus", "conflicts_mean", "conflicts_max", "descent_walk_mean"],
+        &[
+            "n",
+            "corpus",
+            "conflicts_mean",
+            "conflicts_max",
+            "descent_walk_mean",
+        ],
     );
     for &n in sizes {
         for (corpus, items) in [
@@ -385,7 +398,10 @@ pub fn thm2(sizes: &[usize], trap_cap: usize, seed: u64) -> Table {
         let log_n = (usize::BITS - n.leading_zeros()) as usize;
         let qs = workloads::query_keys(150, seed);
         let owner = OneDimSkipWeb::builder(keys.clone()).seed(seed).build();
-        let bucket = OneDimSkipWeb::builder(keys).seed(seed).bucketed(4 * log_n).build();
+        let bucket = OneDimSkipWeb::builder(keys)
+            .seed(seed)
+            .bucketed(4 * log_n)
+            .build();
         for (name, web) in [("1d-owner", &owner), ("1d-bucket", &bucket)] {
             let msgs: Vec<u64> = qs
                 .iter()
@@ -493,7 +509,10 @@ pub fn updates(sizes: &[usize], count: usize, seed: u64) -> Table {
                     .build(),
             ),
         ] {
-            let ins: Vec<u64> = fresh.iter().map(|&k| web.insert(k).expect("fresh")).collect();
+            let ins: Vec<u64> = fresh
+                .iter()
+                .map(|&k| web.insert(k).expect("fresh"))
+                .collect();
             let rem: Vec<u64> = fresh
                 .iter()
                 .map(|&k| web.remove(k).expect("present"))
@@ -512,14 +531,8 @@ pub fn updates(sizes: &[usize], count: usize, seed: u64) -> Table {
         let pts = workloads::uniform_points(n, seed);
         let mut qweb = QuadtreeSkipWeb::builder(pts).seed(seed).build();
         let fresh_pts = workloads::query_points(count, seed ^ 2);
-        let ins: Vec<u64> = fresh_pts
-            .iter()
-            .filter_map(|p| qweb.insert(*p))
-            .collect();
-        let rem: Vec<u64> = fresh_pts
-            .iter()
-            .filter_map(|p| qweb.remove(p))
-            .collect();
+        let ins: Vec<u64> = fresh_pts.iter().filter_map(|p| qweb.insert(*p)).collect();
+        let rem: Vec<u64> = fresh_pts.iter().filter_map(|p| qweb.remove(p)).collect();
         let si = SeriesStats::from_samples(&ins);
         let sr = SeriesStats::from_samples(&rem);
         t.push(vec![
@@ -537,10 +550,7 @@ pub fn updates(sizes: &[usize], count: usize, seed: u64) -> Table {
             .iter()
             .filter_map(|s| tweb.insert(s.clone()))
             .collect();
-        let rem: Vec<u64> = fresh_strs
-            .iter()
-            .filter_map(|s| tweb.remove(s))
-            .collect();
+        let rem: Vec<u64> = fresh_strs.iter().filter_map(|s| tweb.remove(s)).collect();
         let si = SeriesStats::from_samples(&ins);
         let sr = SeriesStats::from_samples(&rem);
         t.push(vec![
@@ -560,12 +570,23 @@ pub fn updates(sizes: &[usize], count: usize, seed: u64) -> Table {
 pub fn buckets(n: usize, memories: &[usize], seed: u64) -> Table {
     let mut t = Table::new(
         "Bucket sweep: query cost vs per-host memory (fixed n)",
-        &["method", "n", "M_budget", "H", "Q_mean", "Q_p95", "M_max_measured"],
+        &[
+            "method",
+            "n",
+            "M_budget",
+            "H",
+            "Q_mean",
+            "Q_p95",
+            "M_max_measured",
+        ],
     );
     let keys = workloads::uniform_keys(n, seed);
     let qs = workloads::query_keys(150, seed);
     for &m in memories {
-        let web = OneDimSkipWeb::builder(keys.clone()).seed(seed).bucketed(m).build();
+        let web = OneDimSkipWeb::builder(keys.clone())
+            .seed(seed)
+            .bucketed(m)
+            .build();
         let msgs: Vec<u64> = qs
             .iter()
             .enumerate()
@@ -653,7 +674,13 @@ pub fn ablation(sizes: &[usize], seed: u64) -> Table {
 pub fn chord(sizes: &[usize], seed: u64) -> Table {
     let mut t = Table::new(
         "Section 1.2: Chord DHT vs skip-web on ordered queries",
-        &["n", "H", "chord_exact_mean", "chord_nn_mean", "skipweb_nn_mean"],
+        &[
+            "n",
+            "H",
+            "chord_exact_mean",
+            "chord_nn_mean",
+            "skipweb_nn_mean",
+        ],
     );
     for &n in sizes {
         let keys = workloads::uniform_keys(n, seed);
@@ -691,7 +718,14 @@ pub fn chord(sizes: &[usize], seed: u64) -> Table {
 pub fn congestion(sizes: &[usize], queries: usize, seed: u64) -> Table {
     let mut t = Table::new(
         "Congestion: operational load balance under a query mix",
-        &["method", "n", "H", "hottest_touches", "mean_touches", "imbalance"],
+        &[
+            "method",
+            "n",
+            "H",
+            "hottest_touches",
+            "mean_touches",
+            "imbalance",
+        ],
     );
     for &n in sizes {
         let keys = workloads::uniform_keys(n, seed);
@@ -820,7 +854,11 @@ mod tests {
         for row in &t.rows {
             let hottest: f64 = row[3].parse().unwrap();
             let mean: f64 = row[4].parse().unwrap();
-            assert!(hottest < mean * 256.0, "{} routes everything via one host", row[0]);
+            assert!(
+                hottest < mean * 256.0,
+                "{} routes everything via one host",
+                row[0]
+            );
         }
     }
 

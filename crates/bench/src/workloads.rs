@@ -160,7 +160,10 @@ pub fn trapezoid_queries(n_segments: usize, count: usize, seed: u64) -> Vec<(i64
     (0..count)
         .map(|_| {
             // Odd y-offsets avoid landing exactly on a (nearly flat) segment.
-            (rng.gen_range(-10..x_max), rng.gen_range(-100..y_max) * 2 + 49)
+            (
+                rng.gen_range(-10..x_max),
+                rng.gen_range(-100..y_max) * 2 + 49,
+            )
         })
         .collect()
 }

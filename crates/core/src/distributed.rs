@@ -58,7 +58,12 @@ impl Actor for ShardActor {
     type Msg = Lookup;
     type Reply = Option<u64>;
 
-    fn on_message(&mut self, _from: Sender, msg: Lookup, ctx: &mut Context<'_, Lookup, Option<u64>>) {
+    fn on_message(
+        &mut self,
+        _from: Sender,
+        msg: Lookup,
+        ctx: &mut Context<'_, Lookup, Option<u64>>,
+    ) {
         let mut at = msg.at;
         let q = msg.q;
         loop {
@@ -87,7 +92,14 @@ impl Actor for ShardActor {
                 if host == ctx.host() {
                     at = target;
                 } else {
-                    ctx.send(host, Lookup { q, at: target, client: msg.client });
+                    ctx.send(
+                        host,
+                        Lookup {
+                            q,
+                            at: target,
+                            client: msg.client,
+                        },
+                    );
                     return;
                 }
             } else {
@@ -104,7 +116,14 @@ impl Actor for ShardActor {
                 if host == ctx.host() {
                     at = target;
                 } else {
-                    ctx.send(host, Lookup { q, at: target, client: msg.client });
+                    ctx.send(
+                        host,
+                        Lookup {
+                            q,
+                            at: target,
+                            client: msg.client,
+                        },
+                    );
                     return;
                 }
             }
@@ -154,7 +173,11 @@ impl DistributedOneDim {
                     for &me in &set.range_host[r.index()] {
                         let to_ref = |rid: skipweb_structures::RangeId| {
                             (
-                                GlobalRef { level: lvl as u16, set: set_idx as u32, range: rid.0 },
+                                GlobalRef {
+                                    level: lvl as u16,
+                                    set: set_idx as u32,
+                                    range: rid.0,
+                                },
                                 pick(&set.range_host[rid.index()], me),
                             )
                         };
@@ -227,7 +250,14 @@ impl DistributedOneDim {
         q: u64,
     ) -> Result<Option<u64>, RuntimeError> {
         let (host, at) = self.origins[origin_item];
-        client.send(host, Lookup { q, at, client: client.id() })?;
+        client.send(
+            host,
+            Lookup {
+                q,
+                at,
+                client: client.id(),
+            },
+        )?;
         client.recv_timeout(Duration::from_secs(10))
     }
 
@@ -312,8 +342,24 @@ mod tests {
         let a = dist.client();
         let b = dist.client();
         let (ha, ra) = (dist.origins[0], dist.origins[1]);
-        a.send(ha.0, Lookup { q: 55, at: ha.1, client: a.id() }).unwrap();
-        b.send(ra.0, Lookup { q: 1100, at: ra.1, client: b.id() }).unwrap();
+        a.send(
+            ha.0,
+            Lookup {
+                q: 55,
+                at: ha.1,
+                client: a.id(),
+            },
+        )
+        .unwrap();
+        b.send(
+            ra.0,
+            Lookup {
+                q: 1100,
+                at: ra.1,
+                client: b.id(),
+            },
+        )
+        .unwrap();
         let ans_a = a.recv_timeout(Duration::from_secs(10)).unwrap().unwrap();
         let ans_b = b.recv_timeout(Duration::from_secs(10)).unwrap().unwrap();
         assert_eq!(ans_a, 55);

@@ -83,7 +83,10 @@ pub fn parent_key(key: u64, level: u32) -> u64 {
 pub fn group_by_key(item_bits: &[u64], level: u32) -> Vec<(u64, Vec<u32>)> {
     let mut groups: std::collections::BTreeMap<u64, Vec<u32>> = std::collections::BTreeMap::new();
     for (i, &bits) in item_bits.iter().enumerate() {
-        groups.entry(set_key(bits, level)).or_default().push(i as u32);
+        groups
+            .entry(set_key(bits, level))
+            .or_default()
+            .push(i as u32);
     }
     groups.into_iter().collect()
 }

@@ -147,23 +147,17 @@ impl<const D: usize> QuadtreeSkipWeb<D> {
     /// # Panics
     ///
     /// Panics if the web is empty or `lo` exceeds `hi` on any axis.
-    pub fn points_in_box(
-        &self,
-        origin_item: usize,
-        lo: [u32; D],
-        hi: [u32; D],
-    ) -> BoxOutcome<D> {
-        assert!(
-            (0..D).all(|a| lo[a] <= hi[a]),
-            "box corners out of order"
-        );
+    pub fn points_in_box(&self, origin_item: usize, lo: [u32; D], hi: [u32; D]) -> BoxOutcome<D> {
+        assert!((0..D).all(|a| lo[a] <= hi[a]), "box corners out of order");
         // Route toward the box centre.
         let mut centre = [0u32; D];
         for a in 0..D {
             centre[a] = lo[a] + (hi[a] - lo[a]) / 2;
         }
         let mut meter = MessageMeter::new();
-        let outcome = self.web.query(origin_item, &PointKey::new(centre), &mut meter);
+        let outcome = self
+            .web
+            .query(origin_item, &PointKey::new(centre), &mut meter);
         let levels = self.web.level_structs();
         let set = &levels[0].sets[0];
         let base = &set.structure;
@@ -199,9 +193,7 @@ impl<const D: usize> QuadtreeSkipWeb<D> {
                 // children sit behind the node's child links
                 if nb.index() >= base.num_nodes() {
                     let cell = base.range(nb);
-                    if cell.depth() > base.node_cell(v).depth()
-                        && cell.intersects_box(&lo, &hi)
-                    {
+                    if cell.depth() > base.node_cell(v).depth() && cell.intersects_box(&lo, &hi) {
                         // link target = child node; resolve through link id
                         let child = base
                             .neighbors(nb)
@@ -214,7 +206,10 @@ impl<const D: usize> QuadtreeSkipWeb<D> {
             }
         }
         points.sort_by_key(PointKey::morton);
-        BoxOutcome { points, messages: meter.messages() }
+        BoxOutcome {
+            points,
+            messages: meter.messages(),
+        }
     }
 
     /// Inserts a point, returning the update's message cost (`None` for
@@ -642,12 +637,11 @@ mod tests {
             .collect();
         let web = TrapezoidSkipWeb::builder(segments).seed(9).build();
         let out = web.locate_point(0, (777, 33));
-        let mean = out
-            .per_level_touches
-            .iter()
-            .map(|&t| t as f64)
-            .sum::<f64>()
+        let mean = out.per_level_touches.iter().map(|&t| t as f64).sum::<f64>()
             / out.per_level_touches.len() as f64;
-        assert!(mean < 8.0, "per-level touches {mean} should be constant-ish");
+        assert!(
+            mean < 8.0,
+            "per-level touches {mean} should be constant-ish"
+        );
     }
 }

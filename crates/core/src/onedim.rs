@@ -183,7 +183,10 @@ impl OneDimSkipWeb {
                 None => break,
             }
         }
-        RangeOutcome { keys, messages: meter.messages() }
+        RangeOutcome {
+            keys,
+            messages: meter.messages(),
+        }
     }
 
     /// Inserts `key`; returns the update's message cost, or `None` if the
@@ -333,7 +336,10 @@ mod tests {
     fn bucketed_reduces_messages_at_same_size() {
         let n = 4096u64;
         let owner = OneDimSkipWeb::builder(keys(n)).seed(6).build();
-        let bucket = OneDimSkipWeb::builder(keys(n)).seed(6).bucketed(144).build();
+        let bucket = OneDimSkipWeb::builder(keys(n))
+            .seed(6)
+            .bucketed(144)
+            .build();
         let (mut mo, mut mb) = (0u64, 0u64);
         for s in 0..50u64 {
             let q = (s * 997) % (n * 10);
@@ -364,9 +370,18 @@ mod tests {
 
     #[test]
     fn nearest_from_locus_handles_all_interval_shapes() {
-        assert_eq!(nearest_from_locus(&KeyInterval::between(10, 20), 14), Some(10));
-        assert_eq!(nearest_from_locus(&KeyInterval::between(10, 20), 16), Some(20));
-        assert_eq!(nearest_from_locus(&KeyInterval::between(10, 20), 15), Some(10));
+        assert_eq!(
+            nearest_from_locus(&KeyInterval::between(10, 20), 14),
+            Some(10)
+        );
+        assert_eq!(
+            nearest_from_locus(&KeyInterval::between(10, 20), 16),
+            Some(20)
+        );
+        assert_eq!(
+            nearest_from_locus(&KeyInterval::between(10, 20), 15),
+            Some(10)
+        );
         assert_eq!(nearest_from_locus(&KeyInterval::singleton(7), 7), Some(7));
         assert_eq!(nearest_from_locus(&KeyInterval::below(5), 1), Some(5));
         assert_eq!(nearest_from_locus(&KeyInterval::above(5), 99), Some(5));
@@ -376,7 +391,13 @@ mod tests {
     #[test]
     fn range_query_matches_filter_oracle() {
         let web = OneDimSkipWeb::builder(keys(200)).seed(21).build();
-        for (lo, hi) in [(0u64, 500u64), (995, 1205), (1990, 1990), (2500, 9000), (0, 0)] {
+        for (lo, hi) in [
+            (0u64, 500u64),
+            (995, 1205),
+            (1990, 1990),
+            (2500, 9000),
+            (0, 0),
+        ] {
             let out = web.range(web.random_origin(lo + hi), lo, hi);
             let want: Vec<u64> = web
                 .keys()

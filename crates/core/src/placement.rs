@@ -116,6 +116,8 @@ mod tests {
     #[test]
     fn display_names_the_strategy() {
         assert!(Blocking::OwnerHosted.to_string().contains("H = n"));
-        assert!(Blocking::Bucketed { memory: 8 }.to_string().contains("M = 8"));
+        assert!(Blocking::Bucketed { memory: 8 }
+            .to_string()
+            .contains("M = 8"));
     }
 }

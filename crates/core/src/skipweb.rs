@@ -245,7 +245,11 @@ impl<D: RangeDetermined> SkipWeb<D> {
                     let host = set.range_host[r.index()][0];
                     if i == 0 {
                         for replicas in pending.drain(..) {
-                            let copy = if replicas.contains(&host) { host } else { replicas[0] };
+                            let copy = if replicas.contains(&host) {
+                                host
+                            } else {
+                                replicas[0]
+                            };
                             meter.visit(copy);
                         }
                     }
@@ -345,7 +349,12 @@ impl<D: RangeDetermined> SkipWeb<D> {
             };
             let set = &self.levels[level as usize].sets[set_idx as usize];
             let basic = self.blocking.is_basic(level);
-            for (i, r) in set.structure.conflicts(&probe_range).into_iter().enumerate() {
+            for (i, r) in set
+                .structure
+                .conflicts(&probe_range)
+                .into_iter()
+                .enumerate()
+            {
                 let replicas = &set.range_host[r.index()];
                 let host = match anchor {
                     Some(a) if replicas.contains(&a) => a,
@@ -400,11 +409,7 @@ impl<D: RangeDetermined> SkipWeb<D> {
                     .map(|&g| self.ground[g as usize].clone())
                     .collect();
                 let structure = D::build(items);
-                let ground: Vec<u32> = structure
-                    .items()
-                    .iter()
-                    .map(|it| item_index[it])
-                    .collect();
+                let ground: Vec<u32> = structure.items().iter().map(|it| item_index[it]).collect();
                 let set_idx = sets.len() as u32;
                 for (local, &g) in ground.iter().enumerate() {
                     set_of_item[g as usize] = set_idx;
@@ -433,7 +438,12 @@ impl<D: RangeDetermined> SkipWeb<D> {
                 });
                 set_by_key.insert(0, 0);
             }
-            levels.push(Level { sets, set_of_item, local_of_item, set_by_key });
+            levels.push(Level {
+                sets,
+                set_of_item,
+                local_of_item,
+                set_by_key,
+            });
         }
 
         // --- Hyperlinks (§2.3) ----------------------------------------------
@@ -465,11 +475,7 @@ impl<D: RangeDetermined> SkipWeb<D> {
                     for set in &mut level.sets {
                         for r in set.structure.range_ids() {
                             let owner_local = set.structure.owner(r);
-                            let owner_ground = set
-                                .ground
-                                .get(owner_local)
-                                .copied()
-                                .unwrap_or(0);
+                            let owner_ground = set.ground.get(owner_local).copied().unwrap_or(0);
                             set.range_host[r.index()] = vec![HostId(owner_ground)];
                         }
                     }
@@ -535,10 +541,9 @@ impl<D: RangeDetermined> SkipWeb<D> {
                     let mut hosts: Vec<HostId> = Vec::new();
                     for t in &self.levels[level_idx].sets[set_idx].down[r_idx] {
                         hosts.extend(
-                            self.levels[level_idx - 1].sets[parent_idx].range_host
-                                [t.index()]
-                            .iter()
-                            .copied(),
+                            self.levels[level_idx - 1].sets[parent_idx].range_host[t.index()]
+                                .iter()
+                                .copied(),
                         );
                     }
                     hosts.sort_unstable();
@@ -596,10 +601,7 @@ impl<D: RangeDetermined> SkipWeb<D> {
                         if c == 0 {
                             // The primary copy stores the range plus every
                             // pointer (each a (host, addr) pair).
-                            net.add_storage(
-                                host,
-                                1 + neighbors.len() as u64 + down.len() as u64,
-                            );
+                            net.add_storage(host, 1 + neighbors.len() as u64 + down.len() as u64);
                             net.add_refs(host, local, remote);
                         } else {
                             // Replicas serve the intra-block descent: the
@@ -653,14 +655,15 @@ impl<D: RangeDetermined> SkipWeb<D> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use skipweb_structures::linked_list::SortedLinkedList;
 
     fn web(n: u64, seed: u64) -> SkipWeb<SortedLinkedList> {
-        SkipWeb::builder((0..n).map(|i| i * 10).collect()).seed(seed).build()
+        SkipWeb::builder((0..n).map(|i| i * 10).collect())
+            .seed(seed)
+            .build()
     }
 
     #[test]
@@ -793,8 +796,13 @@ mod tests {
     fn bucketed_queries_cross_fewer_hosts() {
         let n: u64 = 4096;
         let items: Vec<u64> = (0..n).map(|i| i * 7).collect();
-        let owner = SkipWeb::<SortedLinkedList>::builder(items.clone()).seed(7).build();
-        let bucket = SkipWeb::<SortedLinkedList>::builder(items).seed(7).bucketed(64).build();
+        let owner = SkipWeb::<SortedLinkedList>::builder(items.clone())
+            .seed(7)
+            .build();
+        let bucket = SkipWeb::<SortedLinkedList>::builder(items)
+            .seed(7)
+            .bucketed(64)
+            .build();
         let mut owner_total = 0u64;
         let mut bucket_total = 0u64;
         for s in 0..60u64 {

@@ -128,7 +128,11 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let sum: u128 = self.buckets.iter().map(|(&v, &c)| v as u128 * c as u128).sum();
+        let sum: u128 = self
+            .buckets
+            .iter()
+            .map(|(&v, &c)| v as u128 * c as u128)
+            .sum();
         sum as f64 / self.total as f64
     }
 

@@ -310,7 +310,12 @@ mod tests {
     impl Actor for Echo {
         type Msg = Ask;
         type Reply = (HostId, u64);
-        fn on_message(&mut self, _from: Sender, Ask(c, v): Ask, ctx: &mut Context<'_, Ask, (HostId, u64)>) {
+        fn on_message(
+            &mut self,
+            _from: Sender,
+            Ask(c, v): Ask,
+            ctx: &mut Context<'_, Ask, (HostId, u64)>,
+        ) {
             ctx.reply(c, (ctx.host(), v));
         }
     }
@@ -322,14 +327,25 @@ mod tests {
         let b = rt.client();
         a.send(HostId(1), Ask(a.id(), 10)).unwrap();
         b.send(HostId(2), Ask(b.id(), 20)).unwrap();
-        assert_eq!(a.recv_timeout(Duration::from_secs(5)).unwrap(), (HostId(1), 10));
-        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap(), (HostId(2), 20));
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (HostId(1), 10)
+        );
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (HostId(2), 20)
+        );
         rt.shutdown();
     }
 
-    struct Forwarder { hops: u32 }
+    struct Forwarder {
+        hops: u32,
+    }
     #[derive(Debug)]
-    struct Fwd { left: u32, client: ClientId }
+    struct Fwd {
+        left: u32,
+        client: ClientId,
+    }
 
     impl Actor for Forwarder {
         type Msg = Fwd;
@@ -340,7 +356,13 @@ mod tests {
             } else {
                 self.hops += 1;
                 let next = HostId((ctx.host().0 + 1) % 4);
-                ctx.send(next, Fwd { left: msg.left - 1, client: msg.client });
+                ctx.send(
+                    next,
+                    Fwd {
+                        left: msg.left - 1,
+                        client: msg.client,
+                    },
+                );
             }
         }
     }
@@ -349,7 +371,14 @@ mod tests {
     fn forwarding_counts_inter_host_messages() {
         let rt = Runtime::spawn(4, |_| Forwarder { hops: 0 });
         let c = rt.client();
-        c.send(HostId(0), Fwd { left: 8, client: c.id() }).unwrap();
+        c.send(
+            HostId(0),
+            Fwd {
+                left: 8,
+                client: c.id(),
+            },
+        )
+        .unwrap();
         let _ = c.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(rt.message_count(), 8);
         rt.shutdown();
@@ -357,7 +386,10 @@ mod tests {
 
     struct SelfSender;
     #[derive(Debug)]
-    enum Loop { Start(ClientId), Again(ClientId) }
+    enum Loop {
+        Start(ClientId),
+        Again(ClientId),
+    }
 
     impl Actor for SelfSender {
         type Msg = Loop;

@@ -30,7 +30,13 @@ impl Actor for RingHop {
             ctx.reply(msg.client, self.handled);
         } else {
             let next = HostId((ctx.host().0 + 1) % self.hosts);
-            ctx.send(next, Token { left: msg.left - 1, client: msg.client });
+            ctx.send(
+                next,
+                Token {
+                    left: msg.left - 1,
+                    client: msg.client,
+                },
+            );
         }
     }
 }
@@ -42,9 +48,17 @@ fn two_hundred_hosts_pass_tokens_losslessly() {
     let client = rt.client();
     let laps = 3u32;
     client
-        .send(HostId(0), Token { left: hosts * laps, client: client.id() })
+        .send(
+            HostId(0),
+            Token {
+                left: hosts * laps,
+                client: client.id(),
+            },
+        )
         .expect("send");
-    let _ = client.recv_timeout(Duration::from_secs(30)).expect("ring completes");
+    let _ = client
+        .recv_timeout(Duration::from_secs(30))
+        .expect("ring completes");
     // hosts * laps forwards + 0 for the final reply (client replies are not
     // network messages).
     assert_eq!(rt.message_count(), (hosts * laps) as u64);
@@ -59,12 +73,16 @@ fn concurrent_token_storms_do_not_interfere() {
     for (i, c) in clients.iter().enumerate() {
         c.send(
             HostId((i as u32 * 7) % hosts),
-            Token { left: 100 + i as u32, client: c.id() },
+            Token {
+                left: 100 + i as u32,
+                client: c.id(),
+            },
         )
         .expect("send");
     }
     for c in &clients {
-        c.recv_timeout(Duration::from_secs(30)).expect("each storm completes");
+        c.recv_timeout(Duration::from_secs(30))
+            .expect("each storm completes");
     }
     // 16 tokens, each forwarded (100 + i) times.
     let expected: u64 = (0..16u64).map(|i| 100 + i).sum();
@@ -85,7 +103,12 @@ impl Actor for Counter {
     type Msg = Ping;
     type Reply = u64;
 
-    fn on_message(&mut self, _from: Sender, Ping(c, want_reply): Ping, ctx: &mut Context<'_, Ping, u64>) {
+    fn on_message(
+        &mut self,
+        _from: Sender,
+        Ping(c, want_reply): Ping,
+        ctx: &mut Context<'_, Ping, u64>,
+    ) {
         self.seen += 1;
         if want_reply {
             ctx.reply(c, self.seen);
@@ -98,9 +121,13 @@ fn queued_messages_are_processed_in_order_before_stop() {
     let rt = Runtime::spawn(1, |_| Counter { seen: 0 });
     let client = rt.client();
     for _ in 0..999 {
-        client.send(HostId(0), Ping(client.id(), false)).expect("send");
+        client
+            .send(HostId(0), Ping(client.id(), false))
+            .expect("send");
     }
-    client.send(HostId(0), Ping(client.id(), true)).expect("send");
+    client
+        .send(HostId(0), Ping(client.id(), true))
+        .expect("send");
     let seen = client.recv_timeout(Duration::from_secs(10)).expect("reply");
     assert_eq!(seen, 1000, "every queued message must be handled, in order");
     rt.shutdown();

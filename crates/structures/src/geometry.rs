@@ -120,7 +120,10 @@ pub enum CellRelation {
 impl<const D: usize> Cell<D> {
     /// The universe cell (depth 0).
     pub fn universe() -> Self {
-        Cell { depth: 0, prefix: 0 }
+        Cell {
+            depth: 0,
+            prefix: 0,
+        }
     }
 
     /// The depth-`depth` cell containing the point with Morton code `code`.
@@ -131,7 +134,11 @@ impl<const D: usize> Cell<D> {
     pub fn at_depth(code: u128, depth: u32) -> Self {
         assert!(depth <= MAX_DEPTH, "cell depth exceeds coordinate bits");
         let shift = ((MAX_DEPTH - depth) as usize) * D;
-        let prefix = if shift >= 128 { 0 } else { (code >> shift) << shift };
+        let prefix = if shift >= 128 {
+            0
+        } else {
+            (code >> shift) << shift
+        };
         Cell { depth, prefix }
     }
 
@@ -163,7 +170,10 @@ impl<const D: usize> Cell<D> {
 
     /// Whether this cell contains (or equals) `other`.
     pub fn contains_cell(&self, other: &Cell<D>) -> bool {
-        matches!(self.relation(other), CellRelation::Equal | CellRelation::Contains)
+        matches!(
+            self.relation(other),
+            CellRelation::Equal | CellRelation::Contains
+        )
     }
 
     /// The nesting relation between two cells.
@@ -297,13 +307,20 @@ impl Rational {
 
     /// The integer `v/1`.
     pub fn integer(v: i64) -> Self {
-        Rational { num: v as i128, den: 1 }
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
     }
 
     /// The smallest integer `>= self`, saturated into `i64`.
     pub fn ceil_i64(&self) -> i64 {
         let q = self.num.div_euclid(self.den);
-        let ceil = if self.num.rem_euclid(self.den) == 0 { q } else { q + 1 };
+        let ceil = if self.num.rem_euclid(self.den) == 0 {
+            q
+        } else {
+            q + 1
+        };
         ceil.clamp(i64::MIN as i128, i64::MAX as i128) as i64
     }
 }

@@ -125,8 +125,8 @@ mod tests {
         let mut mean = 0.0;
         let draws = 8;
         for _ in 0..draws {
-            mean += measure_halving::<SortedLinkedList, _>(&items, &queries, &mut rng)
-                .mean_conflicts;
+            mean +=
+                measure_halving::<SortedLinkedList, _>(&items, &queries, &mut rng).mean_conflicts;
         }
         mean /= draws as f64;
         assert!(mean <= 10.5, "Lemma 1 violated: mean conflicts {mean}");

@@ -95,7 +95,9 @@ impl<const D: usize> CompressedQuadtree<D> {
     /// The point stored at a leaf node, if `id` is a leaf.
     pub fn leaf_point(&self, id: RangeId) -> Option<GridPoint<D>> {
         if id.index() < self.nodes.len() {
-            self.nodes[id.index()].point.map(|p| self.points[p as usize])
+            self.nodes[id.index()]
+                .point
+                .map(|p| self.points[p as usize])
         } else {
             None
         }
@@ -158,12 +160,7 @@ impl<const D: usize> CompressedQuadtree<D> {
         self.nodes[id.index()].parent.map(RangeId)
     }
 
-    fn build_rec(
-        &mut self,
-        lo: usize,
-        hi: usize,
-        parent: Option<u32>,
-    ) -> u32 {
+    fn build_rec(&mut self, lo: usize, hi: usize, parent: Option<u32>) -> u32 {
         debug_assert!(lo < hi);
         let node_idx = self.nodes.len() as u32;
         if hi - lo == 1 {
@@ -184,7 +181,10 @@ impl<const D: usize> CompressedQuadtree<D> {
         let used_bits = (MAX_DEPTH as usize) * D;
         let lead = (diff.leading_zeros() as usize).saturating_sub(128 - used_bits);
         let depth = (lead / D) as u32;
-        debug_assert!(depth < MAX_DEPTH, "distinct points must split above unit depth");
+        debug_assert!(
+            depth < MAX_DEPTH,
+            "distinct points must split above unit depth"
+        );
         let cell = Cell::at_depth(self.codes[lo], depth);
         self.nodes.push(Node {
             cell,
@@ -323,7 +323,10 @@ impl<const D: usize> RangeDetermined for CompressedQuadtree<D> {
     }
 
     fn range(&self, id: RangeId) -> Cell<D> {
-        assert!(id.index() < self.num_ranges(), "range id out of bounds: {id}");
+        assert!(
+            id.index() < self.num_ranges(),
+            "range id out of bounds: {id}"
+        );
         self.range_cell(id)
     }
 
@@ -533,7 +536,8 @@ mod tests {
         // Consecutive path entries are incident ranges.
         for pair in path.windows(2) {
             assert!(
-                qt.neighbors(pair[0]).contains(&pair[1]) || qt.neighbors(pair[1]).contains(&pair[0]),
+                qt.neighbors(pair[0]).contains(&pair[1])
+                    || qt.neighbors(pair[1]).contains(&pair[0]),
                 "path must follow structure links"
             );
         }
@@ -561,13 +565,8 @@ mod tests {
 
     #[test]
     fn conflicts_of_universe_are_constant_size() {
-        let fine = CompressedQuadtree::<2>::build(pts2(&[
-            [0, 0],
-            [1, 1],
-            [2, 2],
-            [3, 3],
-            [1 << 31, 1],
-        ]));
+        let fine =
+            CompressedQuadtree::<2>::build(pts2(&[[0, 0], [1, 1], [2, 2], [3, 3], [1 << 31, 1]]));
         let conflicts = fine.conflicts(&Cell::universe());
         // root + at most 2^D children and their links
         assert!(conflicts.len() <= 1 + 2 * 4);

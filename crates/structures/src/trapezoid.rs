@@ -57,9 +57,19 @@ impl Segment {
             );
         }
         if p.0 < q.0 {
-            Segment { x1: p.0, y1: p.1, x2: q.0, y2: q.1 }
+            Segment {
+                x1: p.0,
+                y1: p.1,
+                x2: q.0,
+                y2: q.1,
+            }
         } else {
-            Segment { x1: q.0, y1: q.1, x2: p.0, y2: p.1 }
+            Segment {
+                x1: q.0,
+                y1: q.1,
+                x2: p.0,
+                y2: p.1,
+            }
         }
     }
 
@@ -78,7 +88,10 @@ impl Segment {
         // y = y1 + (y2-y1) * (x - x1) / (x2 - x1)
         let dx = (self.x2 - self.x1) as i128;
         let dy = (self.y2 - self.y1) as i128;
-        Rational::new(self.y1 as i128 * dx * den + dy * (num - self.x1 as i128 * den), dx * den)
+        Rational::new(
+            self.y1 as i128 * dx * den + dy * (num - self.x1 as i128 * den),
+            dx * den,
+        )
     }
 
     /// Exact `y` at integer `x` (which must lie within the segment's span
@@ -224,8 +237,12 @@ impl fmt::Display for Trapezoid {
             "trap[x:{}..{}, bottom:{}, top:{}]",
             x(self.left_x, "-inf"),
             x(self.right_x, "+inf"),
-            self.bottom.map(|s| s.to_string()).unwrap_or_else(|| "-inf".into()),
-            self.top.map(|s| s.to_string()).unwrap_or_else(|| "+inf".into()),
+            self.bottom
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-inf".into()),
+            self.top
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "+inf".into()),
         )
     }
 }
@@ -290,10 +307,7 @@ impl TrapezoidalMap {
     /// Validates general position: pairwise disjoint, non-vertical, all
     /// endpoint x distinct, returning an error message on violation.
     fn validate(segments: &[Segment]) -> Result<(), String> {
-        let mut xs: Vec<i64> = segments
-            .iter()
-            .flat_map(|s| [s.x1, s.x2])
-            .collect();
+        let mut xs: Vec<i64> = segments.iter().flat_map(|s| [s.x1, s.x2]).collect();
         xs.sort_unstable();
         if xs.windows(2).any(|w| w[0] == w[1]) {
             return Err("endpoint x-coordinates must be pairwise distinct".into());
@@ -380,7 +394,12 @@ impl RangeDetermined for TrapezoidalMap {
         };
         if n == 0 {
             map.traps.push(TrapRecord {
-                trap: Trapezoid { top: None, bottom: None, left_x: None, right_x: None },
+                trap: Trapezoid {
+                    top: None,
+                    bottom: None,
+                    left_x: None,
+                    right_x: None,
+                },
                 owner: 0,
             });
             map.adjacency.push(Vec::new());
@@ -394,7 +413,12 @@ impl RangeDetermined for TrapezoidalMap {
         let mut open: HashMap<(usize, usize), usize> = HashMap::new();
         // The leftmost slab (-inf, xs[0]) is a single unbounded cell.
         map.traps.push(TrapRecord {
-            trap: Trapezoid { top: None, bottom: None, left_x: None, right_x: None },
+            trap: Trapezoid {
+                top: None,
+                bottom: None,
+                left_x: None,
+                right_x: None,
+            },
             owner: 0,
         });
         open.insert((usize::MAX, usize::MAX), 0);
@@ -502,8 +526,7 @@ impl RangeDetermined for TrapezoidalMap {
                                 l.bottom.map(|s| s.y_at_int(x)),
                                 r.bottom.map(|s| s.y_at_int(x)),
                             ];
-                            let tops =
-                                [l.top.map(|s| s.y_at_int(x)), r.top.map(|s| s.y_at_int(x))];
+                            let tops = [l.top.map(|s| s.y_at_int(x)), r.top.map(|s| s.y_at_int(x))];
                             let max_b = bottoms.iter().flatten().max().copied();
                             let min_t = tops.iter().flatten().min().copied();
                             match (max_b, min_t) {
@@ -567,7 +590,11 @@ impl RangeDetermined for TrapezoidalMap {
     fn owner(&self, id: RangeId) -> usize {
         let n = self.node_count();
         let idx = id.index();
-        let t = if idx < n { idx } else { self.link_ends[idx - n].1 as usize };
+        let t = if idx < n {
+            idx
+        } else {
+            self.link_ends[idx - n].1 as usize
+        };
         self.traps[t].owner as usize
     }
 
@@ -696,13 +723,25 @@ mod tests {
         ];
         let n = segments.len();
         let m = TrapezoidalMap::build(segments);
-        assert!(m.num_trapezoids() <= 3 * n + 1, "{} > 3n+1", m.num_trapezoids());
+        assert!(
+            m.num_trapezoids() <= 3 * n + 1,
+            "{} > 3n+1",
+            m.num_trapezoids()
+        );
     }
 
     #[test]
     fn locate_agrees_with_containment_everywhere() {
         let m = TrapezoidalMap::build(vec![seg((0, 0), (9, 1)), seg((2, 5), (11, 6))]);
-        for q in [(1, 2), (5, 3), (5, -7), (10, 8), (-100, 0), (100, 0), (5, 100)] {
+        for q in [
+            (1, 2),
+            (5, 3),
+            (5, -7),
+            (10, 8),
+            (-100, 0),
+            (100, 0),
+            (5, 100),
+        ] {
             let hit = m.locate(&q);
             assert!(
                 m.trapezoid(hit).contains(q),
@@ -800,7 +839,10 @@ mod tests {
                     continue;
                 }
                 let inside = |p: (i64, i64)| t.contains(p);
-                let ends = [inside(s.left()), inside(s.right())].iter().filter(|&&v| v).count();
+                let ends = [inside(s.left()), inside(s.right())]
+                    .iter()
+                    .filter(|&&v| v)
+                    .count();
                 match ends {
                     2 => c += 1,
                     1 => b += 1,

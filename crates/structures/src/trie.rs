@@ -44,7 +44,10 @@ pub struct TrieRange {
 impl TrieRange {
     /// The singleton range of a node spelling `s`.
     pub fn point(s: Vec<u8>) -> Self {
-        TrieRange { start: s.clone(), end: s }
+        TrieRange {
+            start: s.clone(),
+            end: s,
+        }
     }
 
     /// The path range from `start` to `end`.
@@ -365,7 +368,10 @@ impl RangeDetermined for CompressedTrie {
             TrieRange::point(self.str_of(idx).to_vec())
         } else {
             let (p, c) = self.edge_ends[idx - n];
-            TrieRange::path(self.str_of(p as usize).to_vec(), self.str_of(c as usize).to_vec())
+            TrieRange::path(
+                self.str_of(p as usize).to_vec(),
+                self.str_of(c as usize).to_vec(),
+            )
         }
     }
 
@@ -394,7 +400,11 @@ impl RangeDetermined for CompressedTrie {
             if let Some(pe) = node.parent_edge {
                 out.push(RangeId((n + pe as usize) as u32));
             }
-            out.extend(node.child_edges.iter().map(|&e| RangeId((n + e as usize) as u32)));
+            out.extend(
+                node.child_edges
+                    .iter()
+                    .map(|&e| RangeId((n + e as usize) as u32)),
+            );
             out
         } else {
             let (p, c) = self.edge_ends[idx - n];

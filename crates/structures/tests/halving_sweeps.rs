@@ -42,7 +42,10 @@ fn lemma1_average_over_seeds_within_bound() {
         total += measure_halving::<SortedLinkedList, _>(&keys, &queries, &mut rng).mean_conflicts;
     }
     let mean = total / 10.0;
-    assert!((1.0..10.0).contains(&mean), "Lemma 1 multi-seed mean {mean}");
+    assert!(
+        (1.0..10.0).contains(&mean),
+        "Lemma 1 multi-seed mean {mean}"
+    );
 }
 
 #[test]
@@ -117,7 +120,9 @@ fn lemma5_flat_across_sizes() {
                 )
             })
             .collect();
-        means.push(measure_halving::<TrapezoidalMap, _>(&segments, &queries, &mut rng).mean_conflicts);
+        means.push(
+            measure_halving::<TrapezoidalMap, _>(&segments, &queries, &mut rng).mean_conflicts,
+        );
     }
     assert!(
         means[2] < means[0] * 2.5 + 4.0,
@@ -132,7 +137,10 @@ fn conflicts_between_identical_structures_include_self_range() {
     let d = SortedLinkedList::build(keys);
     for id in d.range_ids() {
         let conflicts = d.conflicts(&d.range(id));
-        assert!(conflicts.contains(&id), "range {id} missing from its own conflicts");
+        assert!(
+            conflicts.contains(&id),
+            "range {id} missing from its own conflicts"
+        );
     }
 }
 

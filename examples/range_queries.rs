@@ -22,7 +22,12 @@ fn main() {
 
     // --- 2-D: parking spaces inside a map viewport ----------------------
     let spaces: Vec<PointKey<2>> = (0..400)
-        .map(|i| PointKey::new([(i * 2_654_435_761u64 % (1 << 24)) as u32, (i * 40_503 % (1 << 24)) as u32]))
+        .map(|i| {
+            PointKey::new([
+                (i * 2_654_435_761u64 % (1 << 24)) as u32,
+                (i * 40_503 % (1 << 24)) as u32,
+            ])
+        })
         .collect();
     let lot = QuadtreeSkipWeb::builder(spaces).seed(6).build();
     let viewport_lo = [1 << 20, 1 << 20];

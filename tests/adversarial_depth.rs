@@ -90,7 +90,9 @@ fn nested_cluster_point_location_stays_logarithmic() {
 #[test]
 fn sequential_keys_do_not_degrade_one_dim_queries() {
     // Adversarially regular inputs: dense sequential keys.
-    let web = OneDimSkipWeb::builder((0..4096u64).collect()).seed(44).build();
+    let web = OneDimSkipWeb::builder((0..4096u64).collect())
+        .seed(44)
+        .build();
     let trials = 80u64;
     let total: u64 = (0..trials)
         .map(|s| web.nearest(web.random_origin(s), (s * 53) % 4200).messages)
@@ -108,7 +110,11 @@ fn clustered_keys_do_not_degrade_one_dim_queries() {
     let trials = 80u64;
     let total: u64 = (0..trials)
         .map(|s| {
-            let q = if s % 2 == 0 { 1_000_000 + s * 13 } else { s * 999_999 };
+            let q = if s % 2 == 0 {
+                1_000_000 + s * 13
+            } else {
+                s * 999_999
+            };
             web.nearest(web.random_origin(s), q).messages
         })
         .sum();
@@ -127,7 +133,10 @@ fn query_cost_is_insensitive_to_key_distribution() {
         let web = OneDimSkipWeb::builder(keys).seed(46).build();
         let trials = 80u64;
         (0..trials)
-            .map(|s| web.nearest(web.random_origin(s), (s * 104_729) % (1 << 30)).messages)
+            .map(|s| {
+                web.nearest(web.random_origin(s), (s * 104_729) % (1 << 30))
+                    .messages
+            })
             .sum::<u64>() as f64
             / trials as f64
     };

@@ -2,9 +2,7 @@
 //! the methods exactly as the paper's table claims, and query costs scale
 //! with the predicted growth rates.
 
-use skipwebs::baselines::{
-    FamilyTree, NonSkipGraph, OrderedDictionary, SkipGraph,
-};
+use skipwebs::baselines::{FamilyTree, NonSkipGraph, OrderedDictionary, SkipGraph};
 use skipwebs::core::onedim::OneDimSkipWeb;
 use skipwebs::net::MessageMeter;
 
@@ -20,16 +18,30 @@ fn memory_classes_separate_like_table1() {
     let ft = FamilyTree::new(ks.clone()).network().max_memory();
     let sg = SkipGraph::new(ks.clone(), 1).network().max_memory();
     let non = NonSkipGraph::new(ks.clone(), 1).network().max_memory();
-    assert!(ft < sg, "family tree ({ft}) must use less memory than skip graph ({sg})");
-    assert!(sg < non / 3, "skip graph ({sg}) must use far less than NoN ({non})");
+    assert!(
+        ft < sg,
+        "family tree ({ft}) must use less memory than skip graph ({sg})"
+    );
+    assert!(
+        sg < non / 3,
+        "skip graph ({sg}) must use far less than NoN ({non})"
+    );
     // Owner-hosted skip-web: O(log n) — the same class as the skip graph,
     // a constant factor above it (explicit conflict lists), far below NoN's
     // O(log² n) per-level-squared growth at scale.
-    let sw = OneDimSkipWeb::builder(ks).seed(1).build().network().max_memory();
+    let sw = OneDimSkipWeb::builder(ks)
+        .seed(1)
+        .build()
+        .network()
+        .max_memory();
     assert!(sw > sg, "skip-web stores hyperlinks on top of towers");
     // Growth class check: quadruple n, compare growth factors.
     let big = keys(4 * n);
-    let sw_big = OneDimSkipWeb::builder(big.clone()).seed(1).build().network().max_memory();
+    let sw_big = OneDimSkipWeb::builder(big.clone())
+        .seed(1)
+        .build()
+        .network()
+        .max_memory();
     let non_big = NonSkipGraph::new(big, 1).network().max_memory();
     let sw_growth = sw_big as f64 / sw as f64;
     let non_growth = non_big as f64 / non as f64;
@@ -47,7 +59,10 @@ fn query_costs_grow_logarithmically_for_skip_web() {
         let web = OneDimSkipWeb::builder(keys(n)).seed(2).build();
         let trials = 60u64;
         let total: u64 = (0..trials)
-            .map(|s| web.nearest(web.random_origin(s), (s * 6151) % (n * 17)).messages)
+            .map(|s| {
+                web.nearest(web.random_origin(s), (s * 6151) % (n * 17))
+                    .messages
+            })
             .sum();
         means.push(total as f64 / trials as f64);
     }
@@ -70,10 +85,16 @@ fn bucketed_query_cost_drops_as_memory_grows() {
     let mut decreasing_pairs = 0;
     let mut total_pairs = 0;
     for m in [8usize, 32, 128, 512] {
-        let web = OneDimSkipWeb::builder(ks.clone()).seed(3).bucketed(m).build();
+        let web = OneDimSkipWeb::builder(ks.clone())
+            .seed(3)
+            .bucketed(m)
+            .build();
         let trials = 50u64;
         let mean = (0..trials)
-            .map(|s| web.nearest(web.random_origin(s), (s * 9973) % (n * 17)).messages)
+            .map(|s| {
+                web.nearest(web.random_origin(s), (s * 9973) % (n * 17))
+                    .messages
+            })
             .sum::<u64>() as f64
             / trials as f64;
         total_pairs += 1;
@@ -91,11 +112,16 @@ fn bucketed_query_cost_drops_as_memory_grows() {
 #[test]
 fn skip_web_update_cost_is_within_log_factor_of_query_cost() {
     let n = 2048u64;
-    let mut web = OneDimSkipWeb::builder(keys(n).iter().map(|k| k * 2).collect()).seed(4).build();
+    let mut web = OneDimSkipWeb::builder(keys(n).iter().map(|k| k * 2).collect())
+        .seed(4)
+        .build();
     let queries: f64 = {
         let trials = 40u64;
         (0..trials)
-            .map(|s| web.nearest(web.random_origin(s), (s * 6151) % (n * 34)).messages)
+            .map(|s| {
+                web.nearest(web.random_origin(s), (s * 6151) % (n * 34))
+                    .messages
+            })
             .sum::<u64>() as f64
             / trials as f64
     };
@@ -132,8 +158,14 @@ fn non_lookahead_buys_queries_with_memory() {
     };
     let q_plain = mean(&plain);
     let q_non = mean(&non);
-    assert!(q_non < q_plain, "NoN ({q_non}) must beat plain ({q_plain}) on queries");
+    assert!(
+        q_non < q_plain,
+        "NoN ({q_non}) must beat plain ({q_plain}) on queries"
+    );
     let m_plain = plain.network().max_memory();
     let m_non = non.network().max_memory();
-    assert!(m_non > 3 * m_plain, "NoN pays in memory: {m_non} vs {m_plain}");
+    assert!(
+        m_non > 3 * m_plain,
+        "NoN pays in memory: {m_non} vs {m_plain}"
+    );
 }

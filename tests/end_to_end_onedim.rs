@@ -32,7 +32,11 @@ fn all_methods_agree_on_nearest_neighbours() {
     for s in 0..120u64 {
         let q = (s * 311) % 11_000;
         let want = oracle(&ks, q);
-        assert_eq!(web.nearest(web.random_origin(s), q).answer.nearest, want, "skip-web q={q}");
+        assert_eq!(
+            web.nearest(web.random_origin(s), q).answer.nearest,
+            want,
+            "skip-web q={q}"
+        );
         for m in &methods {
             let mut meter = MessageMeter::new();
             assert_eq!(
@@ -96,7 +100,10 @@ fn skip_web_matches_non_skip_graph_queries_with_less_memory() {
     // The paper's headline: skip-webs achieve NoN-level query cost at
     // skip-graph-level memory.
     let ks = keys(2048, 13);
-    let web = OneDimSkipWeb::builder(ks.clone()).seed(8).bucketed(48).build();
+    let web = OneDimSkipWeb::builder(ks.clone())
+        .seed(8)
+        .bucketed(48)
+        .build();
     let non = NonSkipGraph::new(ks.clone(), 8);
     let plain = SkipGraph::new(ks, 8);
     let trials = 60u64;

@@ -1,0 +1,63 @@
+//! Smoke test for the `skipwebs` facade crate: every re-exported workspace
+//! member must be reachable through the facade path, and the two crate-level
+//! doctest quickstarts (facade and `skipweb_core`) must keep working when
+//! written against the facade, so the README/front-page examples can never
+//! silently rot.
+
+use skipwebs::baselines::{OrderedDictionary, SkipGraph};
+use skipwebs::core::onedim::OneDimSkipWeb;
+use skipwebs::net::{HostId, MessageMeter, SimNetwork};
+use skipwebs::structures::{KeyInterval, RangeDetermined, SortedLinkedList};
+
+#[test]
+fn facade_quickstart_from_crate_docs() {
+    // Mirrors the `skipwebs` crate-level doctest.
+    let keys: Vec<u64> = (0..64).map(|i| i * 10).collect();
+    let web = OneDimSkipWeb::builder(keys).seed(7).build();
+    let outcome = web.nearest(web.random_origin(7), 137);
+    assert_eq!(outcome.answer.nearest, 140);
+}
+
+#[test]
+fn core_quickstart_from_crate_docs() {
+    // Mirrors the `skipweb_core` crate-level doctest, through the facade.
+    let keys: Vec<u64> = (0..100).map(|i| i * 7).collect();
+    let web = OneDimSkipWeb::builder(keys).seed(1).build();
+    let outcome = web.nearest(web.random_origin(3), 40);
+    assert_eq!(outcome.answer.nearest, 42);
+    assert!(outcome.messages <= 40);
+}
+
+#[test]
+fn net_reexport_measures_messages() {
+    let mut net = SimNetwork::new(4);
+    let mut meter = net.meter();
+    meter.visit(HostId(0));
+    meter.visit(HostId(2));
+    meter.visit(HostId(2));
+    meter.visit(HostId(1));
+    assert_eq!(meter.messages(), 2);
+    net.absorb(&meter);
+    assert_eq!(net.metrics().total_messages, 2);
+}
+
+#[test]
+fn structures_reexport_builds_and_answers_conflicts() {
+    let list = SortedLinkedList::build((0..32u64).map(|i| i * 5).collect());
+    let probe = KeyInterval::between(12, 23);
+    let conflicts = list.conflicts(&probe);
+    assert!(!conflicts.is_empty());
+    for id in list.range_ids() {
+        assert_eq!(conflicts.contains(&id), list.range(id).intersects(&probe));
+    }
+}
+
+#[test]
+fn baselines_reexport_answers_through_shared_harness() {
+    let keys: Vec<u64> = (0..128).map(|i| i * 3).collect();
+    let graph = SkipGraph::new(keys, 11);
+    let mut meter = MessageMeter::new();
+    let got = graph.nearest(graph.random_origin(5), 100, &mut meter);
+    assert_eq!(got, 99); // nearest multiple of 3 to 100
+    assert!(meter.messages() > 0, "a distributed query must route");
+}

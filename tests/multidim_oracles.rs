@@ -54,20 +54,17 @@ fn quadtree_approx_nearest_is_close_to_true_nearest() {
 fn trie_skip_web_prefix_results_match_linear_scan() {
     let corpora: [Vec<String>; 2] = [
         (0..150).map(|i| format!("node{i:04}")).collect(),
-        vec![
-            "a", "ab", "abc", "abcd", "b", "ba", "bab", "babb", "c",
-        ]
-        .into_iter()
-        .map(String::from)
-        .collect(),
+        vec!["a", "ab", "abc", "abcd", "b", "ba", "bab", "babb", "c"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
     ];
     for (ci, corpus) in corpora.into_iter().enumerate() {
         let web = TrieSkipWeb::builder(corpus.clone()).seed(ci as u64).build();
         let prefixes = ["a", "ab", "node0", "node01", "z", "", "bab"];
         for p in prefixes {
             let out = web.prefix_search(web.random_origin(ci as u64), p);
-            let mut want: Vec<&String> =
-                corpus.iter().filter(|s| s.starts_with(p)).collect();
+            let mut want: Vec<&String> = corpus.iter().filter(|s| s.starts_with(p)).collect();
             want.sort();
             let got: Vec<&String> = out.matches.iter().collect();
             assert_eq!(got, want, "corpus {ci}, prefix {p:?}");
@@ -106,18 +103,30 @@ fn trapezoid_skip_web_point_location_matches_containment() {
             let band = i as i64 * 60;
             let (a, b) = (xs[2 * i], xs[2 * i + 1]);
             let (x1, x2) = (a.min(b), a.max(b));
-            Segment::new((x1, band + rng.gen_range(-9..=9)), (x2, band + rng.gen_range(-9..=9)))
+            Segment::new(
+                (x1, band + rng.gen_range(-9..=9)),
+                (x2, band + rng.gen_range(-9..=9)),
+            )
         })
         .collect();
     let web = TrapezoidSkipWeb::builder(segments).seed(3).build();
     for _ in 0..50 {
-        let q = (rng.gen_range(-50..700i64), rng.gen_range(-100..5000i64) * 2 + 25);
+        let q = (
+            rng.gen_range(-50..700i64),
+            rng.gen_range(-100..5000i64) * 2 + 25,
+        );
         let out = web.locate_point(web.random_origin(q.0 as u64), q);
-        assert!(out.trapezoid.contains(q), "located trapezoid must contain {q:?}");
+        assert!(
+            out.trapezoid.contains(q),
+            "located trapezoid must contain {q:?}"
+        );
         // And it is the unique strict container (tiling).
         let base = web.inner().base();
         let count = (0..base.num_trapezoids())
-            .filter(|&i| base.trapezoid(skipwebs::structures::RangeId(i as u32)).contains(q))
+            .filter(|&i| {
+                base.trapezoid(skipwebs::structures::RangeId(i as u32))
+                    .contains(q)
+            })
             .count();
         assert_eq!(count, 1, "query {q:?} must lie in exactly one trapezoid");
     }

@@ -31,7 +31,9 @@ fn octree_skip_web_locates_points_in_3d() {
 fn octree_query_messages_stay_logarithmic() {
     let mut means = Vec::new();
     for n in [128usize, 1024] {
-        let web = QuadtreeSkipWeb::<3>::builder(random_points3(n, 3)).seed(3).build();
+        let web = QuadtreeSkipWeb::<3>::builder(random_points3(n, 3))
+            .seed(3)
+            .build();
         let mut rng = StdRng::seed_from_u64(4);
         let trials = 50;
         let total: u64 = (0..trials)
@@ -77,7 +79,9 @@ fn octree_box_reporting_matches_oracle_in_3d() {
 
 #[test]
 fn octree_updates_work_in_3d() {
-    let mut web = QuadtreeSkipWeb::<3>::builder(random_points3(64, 9)).seed(9).build();
+    let mut web = QuadtreeSkipWeb::<3>::builder(random_points3(64, 9))
+        .seed(9)
+        .build();
     let p = PointKey::new([123u32, 456, 789]);
     assert!(web.insert(p).is_some());
     assert!(web.insert(p).is_none());

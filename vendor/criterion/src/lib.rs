@@ -1,0 +1,236 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmarking API subset this workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, `BenchmarkId`,
+//! `black_box`) with a deliberately simple measurement loop: a short warm-up
+//! followed by timed batches, reporting the per-iteration mean and min to
+//! stdout. No plots, no statistics engine, no `target/criterion` output —
+//! wall-clock numbers good enough to compare methods and catch regressions,
+//! while keeping `cargo bench` runs fast and dependency-free.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Trait over the id forms `bench_function` accepts (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts to the canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean/min per-iteration time recorded by the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also estimates a batch size that keeps total time bounded.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3
+            || (warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1_000)
+        {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters;
+        // Aim for ~2ms per sample, at least 1 iteration.
+        let batch = (Duration::from_millis(2).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 10_000) as u32;
+
+        let mut mean_sum = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let sample = t.elapsed() / batch;
+            mean_sum += sample;
+            min = min.min(sample);
+        }
+        self.result = Some((mean_sum / self.sample_size as u32, min));
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `routine` as the benchmark `id` and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        routine(&mut bencher);
+        match bencher.result {
+            Some((mean, min)) => println!(
+                "{}/{:<32} mean {:>12?}  min {:>12?}  ({} samples)",
+                self.name, id.id, mean, min, self.sample_size
+            ),
+            None => println!("{}/{} produced no measurement", self.name, id.id),
+        }
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Ends the group (parity with criterion; reporting happens per-bench).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness handle passed to every target function.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("bench", routine);
+        group.finish();
+        self
+    }
+
+    /// Number of benchmarks executed so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Declares a group function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = { $config };
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        group.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_runs_and_counts() {
+        let mut c = Criterion::default();
+        target(&mut c);
+        assert_eq!(c.benchmarks_run(), 1);
+    }
+
+    #[test]
+    fn id_forms_render() {
+        assert_eq!(BenchmarkId::new("build", 128).to_string(), "build/128");
+        assert_eq!(
+            BenchmarkId::from_parameter("skip graph").to_string(),
+            "skip graph"
+        );
+    }
+}

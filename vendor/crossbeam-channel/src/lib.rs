@@ -1,0 +1,255 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! A small unbounded MPMC channel built on `Mutex<VecDeque>` + `Condvar`.
+//! Unlike `std::sync::mpsc`, both halves are `Sync` (crossbeam semantics):
+//! multiple threads may block on the same [`Receiver`], and the actor
+//! runtime's tests share client handles across scoped threads. Disconnect
+//! behaviour matches crossbeam: senders fail once the receiver side is gone,
+//! receivers drain the queue before reporting disconnection.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+/// The sending half; cloneable, `Send + Sync`.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half; cloneable, `Send + Sync`.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is drained and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// The channel is drained and all senders are gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is drained and all senders are gone.
+    Disconnected,
+}
+
+/// Creates an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        ready: Condvar::new(),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+    shared
+        .inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, never blocking (the channel is unbounded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] holding `msg` if every receiver was dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = lock(&self.0);
+        if inner.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.0.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.0).senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = lock(&self.0);
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            drop(inner);
+            self.0.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is drained and disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = lock(&self.0);
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .0
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] on deadline expiry,
+    /// [`RecvTimeoutError::Disconnected`] once drained and disconnected.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = lock(&self.0);
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .0
+                .ready
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] if no message is queued,
+    /// [`TryRecvError::Disconnected`] once drained and disconnected.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = lock(&self.0);
+        match inner.queue.pop_front() {
+            Some(msg) => Ok(msg),
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        lock(&self.0).receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        lock(&self.0).receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            tx2.send(41u32).unwrap();
+            tx.send(1).unwrap();
+        });
+        let sum = rx.recv().unwrap() + rx.recv().unwrap();
+        assert_eq!(sum, 42);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn receiver_is_sync_and_shareable() {
+        fn assert_sync<T: Sync>(_: &T) {}
+        let (tx, rx) = unbounded::<u64>();
+        assert_sync(&rx);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| rx.recv().unwrap());
+            }
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn disconnect_is_reported_after_draining() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn timeout_fires_when_idle() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+}

@@ -1,0 +1,180 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::{SampleRange, SampleUniform, Standard};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + PartialOrd> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        SampleRange::sample_single(self.clone(), rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        SampleRange::sample_single(self.clone(), rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a whole-domain strategy, used by [`any`].
+///
+/// Blanket-implemented for everything the vendored `rand` crate can sample
+/// over its whole domain (`bool`, the integer types, floats).
+pub trait Arbitrary {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Standard> Arbitrary for T {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        T::sample(rng)
+    }
+}
+
+/// Strategy over a type's whole domain; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()` — the strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String strategies from a regex subset: literal characters plus
+/// `[class]{lo,hi}`, `[class]{n}`, `[class]*`, `[class]+` (where `*`/`+` cap
+/// repetition at 8). Anything else panics — extend as tests need it.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '[' {
+                out.push(c);
+                continue;
+            }
+            let mut class: Vec<char> = Vec::new();
+            for cc in chars.by_ref() {
+                if cc == ']' {
+                    break;
+                }
+                class.push(cc);
+            }
+            assert!(!class.is_empty(), "empty character class in {self:?}");
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for cc in chars.by_ref() {
+                        if cc == '}' {
+                            break;
+                        }
+                        spec.push(cc);
+                    }
+                    match spec.split_once(',') {
+                        Some((a, b)) => (
+                            a.parse::<usize>().expect("bad repeat lower bound"),
+                            b.parse::<usize>().expect("bad repeat upper bound"),
+                        ),
+                        None => {
+                            let n = spec.parse::<usize>().expect("bad repeat count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(lo <= hi, "inverted repetition in {self:?}");
+            let n = lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                out.push(class[rng.below(class.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic(0);
+        for _ in 0..1000 {
+            let v = (-50i64..600).sample(&mut rng);
+            assert!((-50..600).contains(&v));
+            let u = (0u32..u32::MAX).sample(&mut rng);
+            assert!(u < u32::MAX);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_within_spec() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..200 {
+            let s = "[ab]{1,6}".sample(&mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'), "{s:?}");
+        }
+        let t = "x[01]{3}y".sample(&mut rng);
+        assert_eq!(t.len(), 5);
+        assert!(t.starts_with('x') && t.ends_with('y'));
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::deterministic(2);
+        let (a, b) = (0u32..10, 10u32..20).sample(&mut rng);
+        assert!(a < 10 && (10..20).contains(&b));
+    }
+}

@@ -1,0 +1,75 @@
+//! Test-runner plumbing: configuration, deterministic RNG, case errors.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases each test generates.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 32 }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure carrying `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic case generator: case `i` always sees the same stream.
+///
+/// Implements [`rand::RngCore`], so strategies sample through the vendored
+/// `rand` crate's one uniform-sampling implementation rather than keeping a
+/// parallel copy here.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl TestRng {
+    /// RNG for the `case`-th generated input of a test.
+    pub fn deterministic(case: u64) -> Self {
+        // Offset so case 0 does not collide with common user seeds 0..n.
+        TestRng(StdRng::seed_from_u64(
+            case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED,
+        ))
+    }
+
+    /// Uniform draw from `0..bound` (`bound` may not be zero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        use rand::Rng;
+        assert!(bound > 0, "below(0) is empty");
+        self.gen_range(0..bound)
+    }
+}
