@@ -1,0 +1,86 @@
+//! Criterion bench for the distributed engine: end-to-end query latency of
+//! the threaded actor runtime across host counts, for the 1-D, quadtree,
+//! and trie skip-webs. Consolidation folds the web's logical hosts onto
+//! {1, 4, 16} physical actor threads, so the numbers show how much of the
+//! cost is real message passing versus local processing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipweb_bench::workloads;
+use skipweb_core::engine::DistributedSkipWeb;
+use skipweb_core::multidim::{QuadtreeRequest, QuadtreeSkipWeb, TrieSkipWeb};
+use skipweb_core::onedim::OneDimSkipWeb;
+use skipweb_structures::PointKey;
+
+const HOST_COUNTS: [usize; 3] = [1, 4, 16];
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_throughput");
+    group.sample_size(10);
+
+    let n = 1024usize;
+    let onedim = OneDimSkipWeb::builder(workloads::uniform_keys(n, 51))
+        .seed(51)
+        .build();
+    let qs = workloads::query_keys(64, 51);
+    for hosts in HOST_COUNTS {
+        let dist = DistributedSkipWeb::spawn_consolidated(onedim.inner(), hosts);
+        let client = dist.client();
+        group.bench_function(BenchmarkId::new("onedim_nearest", hosts), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                dist.query(&client, onedim.random_origin(i as u64), qs[i % qs.len()])
+                    .expect("runtime alive")
+            });
+        });
+        dist.shutdown();
+    }
+
+    let points: Vec<PointKey<2>> = (0..512u32)
+        .map(|i| PointKey::new([i.wrapping_mul(2_654_435_761), i.wrapping_mul(97_657) + 3]))
+        .collect();
+    let quadtree = QuadtreeSkipWeb::builder(points).seed(52).build();
+    for hosts in HOST_COUNTS {
+        let dist = DistributedSkipWeb::spawn_consolidated(quadtree.inner(), hosts);
+        let client = dist.client();
+        group.bench_function(BenchmarkId::new("quadtree_locate", hosts), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let q = PointKey::new([
+                    (i.wrapping_mul(0x9E37_79B9)) as u32,
+                    (i.wrapping_mul(0x85EB_CA6B)) as u32,
+                ]);
+                dist.query(
+                    &client,
+                    quadtree.random_origin(i),
+                    QuadtreeRequest::Locate(q),
+                )
+                .expect("runtime alive")
+            });
+        });
+        dist.shutdown();
+    }
+
+    let strings: Vec<String> = (0..512usize).map(|i| format!("isbn-{i:05}")).collect();
+    let trie = TrieSkipWeb::builder(strings).seed(53).build();
+    for hosts in HOST_COUNTS {
+        let dist = DistributedSkipWeb::spawn_consolidated(trie.inner(), hosts);
+        let client = dist.client();
+        group.bench_function(BenchmarkId::new("trie_prefix", hosts), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                let prefix = format!("isbn-{:03}", (i * 7) % 512);
+                dist.query(&client, trie.random_origin(i as u64), prefix)
+                    .expect("runtime alive")
+            });
+        });
+        dist.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

@@ -5,7 +5,8 @@
 //! repro [experiment] [--full]
 //!
 //! experiments: table1 fig1 fig2 fig3 fig4 lemma1 lemma4 thm2 updates
-//!              buckets ablation chord congestion all   (default: all)
+//!              buckets ablation chord congestion distributed all
+//!              (default: all)
 //! --full: larger size sweeps (slower; used to fill EXPERIMENTS.md)
 //! ```
 
@@ -18,6 +19,10 @@ struct Config {
     updates: usize,
     bucket_n: usize,
     memories: Vec<usize>,
+    dist_hosts: Vec<usize>,
+    dist_n: usize,
+    dist_clients: usize,
+    dist_queries: usize,
     seed: u64,
 }
 
@@ -30,6 +35,10 @@ impl Config {
             updates: 20,
             bucket_n: 4096,
             memories: vec![8, 16, 32, 64, 128, 256],
+            dist_hosts: vec![1, 4, 16],
+            dist_n: 1024,
+            dist_clients: 4,
+            dist_queries: 50,
             seed: 42,
         }
     }
@@ -42,6 +51,10 @@ impl Config {
             updates: 40,
             bucket_n: 16_384,
             memories: vec![8, 16, 32, 64, 128, 256, 1024, 4096],
+            dist_hosts: vec![1, 4, 16, 64],
+            dist_n: 4096,
+            dist_clients: 8,
+            dist_queries: 200,
             seed: 42,
         }
     }
@@ -61,7 +74,7 @@ fn main() {
         Config::quick()
     };
 
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "all",
         "table1",
         "fig1",
@@ -76,6 +89,7 @@ fn main() {
         "ablation",
         "chord",
         "congestion",
+        "distributed",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment {which:?}");
@@ -137,6 +151,18 @@ fn main() {
         println!(
             "{}",
             experiments::congestion(&cfg.sizes, cfg.queries, cfg.seed)
+        );
+    }
+    if run("distributed") {
+        println!(
+            "{}",
+            experiments::distributed(
+                &cfg.dist_hosts,
+                cfg.dist_n,
+                cfg.dist_clients,
+                cfg.dist_queries,
+                cfg.seed,
+            )
         );
     }
 }

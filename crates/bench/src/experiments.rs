@@ -762,6 +762,125 @@ pub fn congestion(sizes: &[usize], queries: usize, seed: u64) -> Table {
     t
 }
 
+/// Distributed throughput: the same structures served by the threaded actor
+/// runtime, folded onto each of `host_counts` physical hosts; `clients`
+/// client threads fire `queries` queries each and the wall clock gives
+/// queries/sec. Also reports the measured messages per query, which shrink
+/// as consolidation makes more forwarding hops host-local.
+pub fn distributed(
+    host_counts: &[usize],
+    n: usize,
+    clients: usize,
+    queries: usize,
+    seed: u64,
+) -> Table {
+    use skipweb_core::engine::DistributedSkipWeb;
+    use skipweb_core::multidim::QuadtreeRequest;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "Distributed throughput: threaded runtime queries/sec by host count",
+        &[
+            "structure",
+            "hosts",
+            "clients",
+            "queries",
+            "msgs_per_query",
+            "queries_per_sec",
+        ],
+    );
+
+    // One generic measurement loop per structure, monomorphized by closure.
+    fn run<D, F>(
+        t: &mut Table,
+        name: &str,
+        web: &skipweb_core::SkipWeb<D>,
+        host_counts: &[usize],
+        clients: usize,
+        queries: usize,
+        make_req: F,
+    ) where
+        D: skipweb_core::engine::Routable + Send + Sync + 'static,
+        skipweb_core::SkipWeb<D>: Sync,
+        F: Fn(usize) -> D::Request + Sync,
+    {
+        for &hosts in host_counts {
+            let dist = DistributedSkipWeb::spawn_consolidated(web, hosts);
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    let client = dist.client();
+                    let dist = &dist;
+                    let make_req = &make_req;
+                    scope.spawn(move || {
+                        for i in 0..queries {
+                            let k = c * queries + i;
+                            let origin = web.random_origin(k as u64);
+                            dist.query(&client, origin, make_req(k))
+                                .expect("runtime alive");
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let total = (clients * queries) as f64;
+            t.push(vec![
+                name.to_string(),
+                dist.hosts().to_string(),
+                clients.to_string(),
+                (clients * queries).to_string(),
+                f2(dist.message_count() as f64 / total),
+                f2(total / elapsed.max(f64::MIN_POSITIVE)),
+            ]);
+            dist.shutdown();
+        }
+    }
+
+    let onedim = OneDimSkipWeb::builder(workloads::uniform_keys(n, seed))
+        .seed(seed)
+        .build();
+    let qs = workloads::query_keys(queries.max(64), seed);
+    run(
+        &mut t,
+        "onedim-nearest",
+        onedim.inner(),
+        host_counts,
+        clients,
+        queries,
+        |k| qs[k % qs.len()],
+    );
+
+    let quadtree = QuadtreeSkipWeb::builder(workloads::uniform_points(n.min(2048), seed))
+        .seed(seed)
+        .build();
+    let pts = workloads::query_points(queries.max(64), seed);
+    run(
+        &mut t,
+        "quadtree-locate",
+        quadtree.inner(),
+        host_counts,
+        clients,
+        queries,
+        |k| QuadtreeRequest::Locate(pts[k % pts.len()]),
+    );
+
+    let trie = TrieSkipWeb::builder(workloads::isbn_strings(n.min(2048), seed))
+        .seed(seed)
+        .build();
+    let prefixes = workloads::query_strings(queries.max(64), seed);
+    run(
+        &mut t,
+        "trie-prefix",
+        trie.inner(),
+        host_counts,
+        clients,
+        queries,
+        |k| prefixes[k % prefixes.len()].clone(),
+    );
+
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -859,6 +978,20 @@ mod tests {
                 "{} routes everything via one host",
                 row[0]
             );
+        }
+    }
+
+    #[test]
+    fn distributed_experiment_reports_all_structures_and_host_counts() {
+        let t = distributed(&[1, 4], 128, 2, 8, 12);
+        assert_eq!(t.rows.len(), 6); // 3 structures x 2 host counts
+        for row in &t.rows {
+            let qps: f64 = row[5].parse().unwrap();
+            assert!(qps > 0.0, "{} must make progress", row[0]);
+        }
+        // A single host never pays a network message.
+        for row in t.rows.iter().filter(|r| r[1] == "1") {
+            assert_eq!(row[4], "0.00", "{} on one host sent messages", row[0]);
         }
     }
 

@@ -1,285 +1,120 @@
-//! The 1-D skip-web running on the threaded actor runtime.
+//! The 1-D skip-web on the threaded actor runtime — now a thin wrapper over
+//! the generic engine.
 //!
-//! The simulator (`SkipWeb::query`) measures message costs; this module
-//! demonstrates the same routing decisions executing under real concurrent
-//! message passing: every host holds only its own shard (ranges with their
-//! intervals, list neighbours, and down-hyperlinks — each tagged with the
-//! owning host, exactly the `(host, address)` pairs of §2.3), processes a
-//! query "as far as it can internally" (§2.5), and forwards it otherwise.
+//! Historically this module held a bespoke `ShardActor`/`Lookup` pair that
+//! executed the §2.5 forwarding protocol for sorted keys only. That logic
+//! now lives in [`crate::engine`], generic over every range-determined
+//! structure; [`DistributedOneDim`] remains as the stable 1-D entry point
+//! (spawn, per-client nearest-neighbour queries, message counting) so
+//! existing integration tests and examples keep working unchanged.
 
-use std::collections::HashMap;
-use std::time::Duration;
+use skipweb_net::runtime::RuntimeError;
+use skipweb_net::HostTraffic;
+use skipweb_structures::linked_list::SortedLinkedList;
 
-use skipweb_net::runtime::{Actor, Client, ClientId, Context, Runtime, RuntimeError, Sender};
-use skipweb_net::HostId;
-use skipweb_structures::interval::Endpoint;
-use skipweb_structures::traits::RangeDetermined;
-use skipweb_structures::KeyInterval;
+use crate::engine::{DistributedSkipWeb, EngineActor, EngineClient, EngineMsg};
+use crate::onedim::OneDimSkipWeb;
 
-use crate::levels::parent_key;
-use crate::onedim::{nearest_from_locus, OneDimSkipWeb};
+pub use crate::engine::GlobalRef;
 
-/// Globally unique address of a range: level, set index, range index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct GlobalRef {
-    /// Level in the hierarchy (0 = ground).
-    pub level: u16,
-    /// Set index within the level.
-    pub set: u32,
-    /// Range id within the set's structure.
-    pub range: u32,
-}
+/// Client handle for a [`DistributedOneDim`]; supports many concurrent
+/// in-flight queries via correlation ids (see [`crate::engine`]).
+pub type OneDimClient = EngineClient<SortedLinkedList>;
 
-#[derive(Debug, Clone)]
-struct RangeRec {
-    interval: KeyInterval,
-    left: Option<(GlobalRef, HostId)>,
-    right: Option<(GlobalRef, HostId)>,
-    down: Vec<(GlobalRef, HostId, KeyInterval)>,
-}
+/// Host-to-host query message of the 1-D engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "the bespoke 1-D message type was generalized; use \
+            `skipweb_core::engine::EngineMsg` via `DistributedSkipWeb`"
+)]
+pub type Lookup = EngineMsg<SortedLinkedList>;
 
-/// Host-to-host query message.
-#[derive(Debug, Clone)]
-pub struct Lookup {
-    /// The key being searched.
-    pub q: u64,
-    /// Where to resume processing.
-    pub at: GlobalRef,
-    /// Client awaiting the answer.
-    pub client: ClientId,
-}
+/// Per-host actor holding one shard of the 1-D skip-web.
+#[deprecated(
+    since = "0.1.0",
+    note = "the bespoke 1-D actor was generalized; use \
+            `skipweb_core::engine::EngineActor` via `DistributedSkipWeb`"
+)]
+pub type ShardActor = EngineActor<SortedLinkedList>;
 
-/// Per-host actor holding one shard of the skip-web.
-pub struct ShardActor {
-    shard: HashMap<GlobalRef, RangeRec>,
-}
-
-impl Actor for ShardActor {
-    type Msg = Lookup;
-    type Reply = Option<u64>;
-
-    fn on_message(
-        &mut self,
-        _from: Sender,
-        msg: Lookup,
-        ctx: &mut Context<'_, Lookup, Option<u64>>,
-    ) {
-        let mut at = msg.at;
-        let q = msg.q;
-        loop {
-            let Some(rec) = self.shard.get(&at) else {
-                // Shouldn't happen with consistent shards; fail soft.
-                ctx.reply(msg.client, None);
-                return;
-            };
-            if rec.interval.contains(q) {
-                if at.level == 0 {
-                    ctx.reply(msg.client, nearest_from_locus(&rec.interval, q));
-                    return;
-                }
-                // Descend: prefer the node range spelling q exactly, then
-                // any containing range.
-                let choice = rec
-                    .down
-                    .iter()
-                    .filter(|(_, _, iv)| iv.contains(q))
-                    .min_by_key(|(_, _, iv)| if iv.is_singleton() { 0 } else { 1 })
-                    .or_else(|| rec.down.first());
-                let Some(&(target, host, _)) = choice else {
-                    ctx.reply(msg.client, None);
-                    return;
-                };
-                if host == ctx.host() {
-                    at = target;
-                } else {
-                    ctx.send(
-                        host,
-                        Lookup {
-                            q,
-                            at: target,
-                            client: msg.client,
-                        },
-                    );
-                    return;
-                }
-            } else {
-                // Walk along the level's list toward q.
-                let step = if Endpoint::Key(q) < rec.interval.lo() {
-                    rec.left
-                } else {
-                    rec.right
-                };
-                let Some((target, host)) = step else {
-                    ctx.reply(msg.client, None);
-                    return;
-                };
-                if host == ctx.host() {
-                    at = target;
-                } else {
-                    ctx.send(
-                        host,
-                        Lookup {
-                            q,
-                            at: target,
-                            client: msg.client,
-                        },
-                    );
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// A running distributed 1-D skip-web: one actor thread per host.
+/// A running distributed 1-D skip-web: one actor thread per host, answering
+/// nearest-neighbour queries with real concurrent message passing.
 pub struct DistributedOneDim {
-    runtime: Runtime<ShardActor>,
-    /// Per ground item: the host and address where its queries start (the
-    /// "root node for that host" of §1.1).
-    origins: Vec<(HostId, GlobalRef)>,
+    inner: DistributedSkipWeb<SortedLinkedList>,
 }
 
 impl DistributedOneDim {
     /// Shards a built skip-web across actor threads and starts them.
     pub fn spawn(web: &OneDimSkipWeb) -> Self {
-        let inner = web.inner();
-        let hosts = inner.hosts().max(1);
-        let mut shards: Vec<HashMap<GlobalRef, RangeRec>> =
-            (0..hosts).map(|_| HashMap::new()).collect();
-        let levels = inner.level_structs();
-        // Resolve a pointer from the perspective of the replica on `me`:
-        // prefer the co-located copy (free to chase), else the first copy.
-        let pick = |hosts: &[HostId], me: HostId| -> HostId {
-            if hosts.contains(&me) {
-                me
-            } else {
-                hosts[0]
-            }
-        };
-        for (lvl, level) in levels.iter().enumerate() {
-            for (set_idx, set) in level.sets.iter().enumerate() {
-                let parent = (lvl > 0).then(|| {
-                    let pkey = parent_key(set.key, lvl as u32);
-                    let pidx = levels[lvl - 1].set_by_key[&pkey] as usize;
-                    (pidx, &levels[lvl - 1].sets[pidx])
-                });
-                for r in set.structure.range_ids() {
-                    let gref = GlobalRef {
-                        level: lvl as u16,
-                        set: set_idx as u32,
-                        range: r.0,
-                    };
-                    let (left, right) = set.structure.adjacent(r);
-                    for &me in &set.range_host[r.index()] {
-                        let to_ref = |rid: skipweb_structures::RangeId| {
-                            (
-                                GlobalRef {
-                                    level: lvl as u16,
-                                    set: set_idx as u32,
-                                    range: rid.0,
-                                },
-                                pick(&set.range_host[rid.index()], me),
-                            )
-                        };
-                        let down: Vec<(GlobalRef, HostId, KeyInterval)> = parent
-                            .as_ref()
-                            .map(|(pidx, pset)| {
-                                set.down[r.index()]
-                                    .iter()
-                                    .map(|t| {
-                                        (
-                                            GlobalRef {
-                                                level: (lvl - 1) as u16,
-                                                set: *pidx as u32,
-                                                range: t.0,
-                                            },
-                                            pick(&pset.range_host[t.index()], me),
-                                            pset.structure.range(*t),
-                                        )
-                                    })
-                                    .collect()
-                            })
-                            .unwrap_or_default();
-                        let rec = RangeRec {
-                            interval: set.structure.range(r),
-                            left: left.map(to_ref),
-                            right: right.map(to_ref),
-                            down,
-                        };
-                        shards[me.index()].insert(gref, rec);
-                    }
-                }
-            }
+        DistributedOneDim {
+            inner: DistributedSkipWeb::spawn(web.inner()),
         }
-        let top = inner.top_level() as usize;
-        let origins = (0..inner.len())
-            .map(|g| {
-                let level = &levels[top];
-                let set = &level.sets[level.set_of_item[g] as usize];
-                let entry = set.structure.entry_of_item(level.local_of_item[g] as usize);
-                (
-                    set.range_host[entry.index()][0],
-                    GlobalRef {
-                        level: top as u16,
-                        set: level.set_of_item[g],
-                        range: entry.0,
-                    },
-                )
-            })
-            .collect();
-        let runtime = Runtime::spawn(hosts, move |h| ShardActor {
-            shard: std::mem::take(&mut shards[h.index()]),
-        });
-        DistributedOneDim { runtime, origins }
+    }
+
+    /// Like [`spawn`](Self::spawn) but folding the web's logical hosts onto
+    /// at most `hosts` actor threads (see
+    /// [`DistributedSkipWeb::spawn_consolidated`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn spawn_consolidated(web: &OneDimSkipWeb, hosts: usize) -> Self {
+        DistributedOneDim {
+            inner: DistributedSkipWeb::spawn_consolidated(web.inner(), hosts),
+        }
     }
 
     /// Registers a client.
-    pub fn client(&self) -> Client<Lookup, Option<u64>> {
-        self.runtime.client()
+    pub fn client(&self) -> OneDimClient {
+        self.inner.client()
     }
 
     /// Runs one nearest-neighbour query end to end, blocking up to 10 s.
     ///
     /// # Errors
     ///
-    /// Propagates runtime errors (host down, timeout, disconnect).
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
     pub fn nearest(
         &self,
-        client: &Client<Lookup, Option<u64>>,
+        client: &OneDimClient,
         origin_item: usize,
         q: u64,
     ) -> Result<Option<u64>, RuntimeError> {
-        let (host, at) = self.origins[origin_item];
-        client.send(
-            host,
-            Lookup {
-                q,
-                at,
-                client: client.id(),
-            },
-        )?;
-        client.recv_timeout(Duration::from_secs(10))
+        self.inner.query(client, origin_item, q).map(|r| r.answer)
+    }
+
+    /// The generic engine underneath (for [`DistributedSkipWeb::submit`]
+    /// and correlation-id based concurrent queries).
+    pub fn engine(&self) -> &DistributedSkipWeb<SortedLinkedList> {
+        &self.inner
     }
 
     /// Total host-to-host messages since spawn.
     pub fn message_count(&self) -> u64 {
-        self.runtime.message_count()
+        self.inner.message_count()
+    }
+
+    /// Per-host sent/received message counters since spawn.
+    pub fn traffic(&self) -> HostTraffic {
+        self.inner.traffic()
     }
 
     /// Number of hosts.
     pub fn hosts(&self) -> usize {
-        self.runtime.hosts()
+        self.inner.hosts()
     }
 
     /// Stops all host threads.
     pub fn shutdown(self) {
-        self.runtime.shutdown()
+        self.inner.shutdown()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn distributed_answers_match_the_simulator() {
@@ -300,16 +135,27 @@ mod tests {
     }
 
     #[test]
-    fn distributed_message_counts_are_logarithmic() {
+    fn distributed_hops_equal_the_simulators_metered_crossings() {
         let keys: Vec<u64> = (0..512).map(|i| i * 5).collect();
         let web = OneDimSkipWeb::builder(keys).seed(14).build();
         let dist = DistributedOneDim::spawn(&web);
         let client = dist.client();
         let trials = 40u64;
+        let mut sim_total = 0u64;
         for s in 0..trials {
             let q = (s * 401) % 2560;
-            dist.nearest(&client, web.random_origin(s), q).unwrap();
+            let origin = web.random_origin(s);
+            let sim = web.nearest(origin, q);
+            sim_total += sim.messages;
+            let reply = dist.engine().query(&client, origin, q).unwrap();
+            assert_eq!(
+                u64::from(reply.hops),
+                sim.messages,
+                "hop parity for query {q}"
+            );
         }
+        // The runtime's global counter agrees with the per-query hops.
+        assert_eq!(dist.message_count(), sim_total);
         let per_query = dist.message_count() as f64 / trials as f64;
         // k = 9 levels; expected O(1) messages per level.
         assert!(per_query < 40.0, "per-query messages {per_query}");
@@ -341,29 +187,40 @@ mod tests {
         let dist = DistributedOneDim::spawn(&web);
         let a = dist.client();
         let b = dist.client();
-        let (ha, ra) = (dist.origins[0], dist.origins[1]);
-        a.send(
-            ha.0,
-            Lookup {
-                q: 55,
-                at: ha.1,
-                client: a.id(),
-            },
-        )
-        .unwrap();
-        b.send(
-            ra.0,
-            Lookup {
-                q: 1100,
-                at: ra.1,
-                client: b.id(),
-            },
-        )
-        .unwrap();
-        let ans_a = a.recv_timeout(Duration::from_secs(10)).unwrap().unwrap();
-        let ans_b = b.recv_timeout(Duration::from_secs(10)).unwrap().unwrap();
-        assert_eq!(ans_a, 55);
-        assert_eq!(ans_b, 1100);
+        let origin_a = web.keys().iter().position(|&k| k == 55).unwrap_or(0);
+        dist.engine().submit(&a, origin_a, 55).unwrap();
+        dist.engine().submit(&b, 1, 1100).unwrap();
+        let ans_a = a.recv_any(Duration::from_secs(10)).unwrap();
+        let ans_b = b.recv_any(Duration::from_secs(10)).unwrap();
+        assert_eq!(ans_a.answer, Some(55));
+        assert_eq!(ans_b.answer, Some(1100));
+        dist.shutdown();
+    }
+
+    #[test]
+    fn one_client_pipelines_many_queries_by_correlation_id() {
+        let keys: Vec<u64> = (0..200).map(|i| i * 10).collect();
+        let web = OneDimSkipWeb::builder(keys).seed(17).build();
+        let dist = DistributedOneDim::spawn(&web);
+        let client = dist.client();
+        // Fire 24 queries before reading a single reply …
+        let corrs: Vec<(u64, u64)> = (0..24u64)
+            .map(|s| {
+                let q = (s * 83) % 2000;
+                let corr = dist
+                    .engine()
+                    .submit(&client, web.random_origin(s), q)
+                    .unwrap();
+                (corr, q)
+            })
+            .collect();
+        // … then collect them in reverse submission order.
+        for &(corr, q) in corrs.iter().rev() {
+            let reply = client.recv_corr(corr, Duration::from_secs(10)).unwrap();
+            assert_eq!(reply.corr, corr);
+            let want = web.nearest(0, q).answer.nearest;
+            assert_eq!(reply.answer, Some(want), "query {q}");
+        }
         dist.shutdown();
     }
 }

@@ -1,0 +1,672 @@
+//! The generic distributed skip-web engine: any range-determined structure
+//! served by the threaded actor runtime.
+//!
+//! # Protocol (§2.3–§2.5)
+//!
+//! The engine turns a built [`SkipWeb<D>`] into a live network of actor
+//! threads, one per host, executing the paper's routing protocol for real:
+//!
+//! * **Addressing (§2.3).** Every range of every level set gets a
+//!   [`GlobalRef`] — `(level, set, range)` — and the placement computed by
+//!   the builder assigns each ref one or more hosts. The pair
+//!   `(host, GlobalRef)` is exactly the paper's *(host, address)* pointer:
+//!   list neighbours, down-hyperlinks, and query origins are all stored in
+//!   this form.
+//! * **Sharding (§2.4).** A host's shard is the set of ranges placed on it
+//!   (owner-hosted: each item's tower; bucketed: a block plus its non-basic
+//!   cone). A host may only *act* on ranges of its own shard; touching any
+//!   other range requires forwarding the query to a host that stores it.
+//!   Because structures are *range-determined* (§2.1 — `S` and `U` uniquely
+//!   determine `D(S)`), the deterministic structure description itself is
+//!   shared read-only across the process; what is distributed, metered, and
+//!   paid for in messages is the *authority to act* on a range.
+//! * **Forwarding (§2.5).** A query enters at its origin item's root and
+//!   descends level by level. At each range the host asks the structure for
+//!   one navigation step ([`RangeDetermined::search_step`]); at a level
+//!   locus it follows the down-hyperlinks (picking the continuation with
+//!   [`RangeDetermined::best_entry`]). The host loops — *"processes the
+//!   query as far as it can internally"* — while the next range is in its
+//!   own shard, and otherwise sends one message handing the query to a host
+//!   that stores the next range. Replicated ranges prefer the co-located
+//!   copy, so bucketed placement pays only on basic-stratum crossings.
+//!
+//! Each query carries a correlation id, so one client can keep many queries
+//! in flight concurrently and match answers as they arrive out of order
+//! ([`DistributedSkipWeb::submit`] / [`EngineClient::recv_corr`]). Replies
+//! report the exact number of remote hops the query paid, which for
+//! owner-hosted placement equals the simulator's metered host crossings —
+//! the parity property the integration tests pin down.
+//!
+//! # Example
+//!
+//! ```
+//! use skipweb_core::engine::DistributedSkipWeb;
+//! use skipweb_core::onedim::OneDimSkipWeb;
+//!
+//! let web = OneDimSkipWeb::builder((0..64).map(|i| i * 10).collect()).build();
+//! let dist = DistributedSkipWeb::spawn(web.inner());
+//! let client = dist.client();
+//! let reply = dist.query(&client, web.random_origin(1), 137).unwrap();
+//! assert_eq!(reply.answer, Some(140));
+//! dist.shutdown();
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use skipweb_net::runtime::{Actor, Client, ClientId, Context, Runtime, RuntimeError, Sender};
+use skipweb_net::{HostId, HostTraffic};
+use skipweb_structures::traits::{RangeDetermined, RangeId};
+
+use crate::levels::parent_key;
+use crate::skipweb::SkipWeb;
+
+/// Globally unique address of a range: level, set index, range index — the
+/// "address" half of the paper's `(host, address)` pointers (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalRef {
+    /// Level in the hierarchy (0 = ground).
+    pub level: u16,
+    /// Set index within the level.
+    pub set: u32,
+    /// Range id within the set's structure.
+    pub range: u32,
+}
+
+impl fmt::Display for GlobalRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}/S{}/R{}", self.level, self.set, self.range)
+    }
+}
+
+/// A structure that the distributed engine can route queries for: on top of
+/// the navigation primitives of [`RangeDetermined`], it names the wire-level
+/// request/answer types and how the terminal host turns a level-0 locus into
+/// an answer.
+pub trait Routable: RangeDetermined {
+    /// What clients send: a query request (possibly richer than
+    /// [`RangeDetermined::Query`] — e.g. an orthogonal box whose descent
+    /// routes toward its centre point).
+    type Request: Clone + Send + fmt::Debug + 'static;
+    /// What the terminal host replies with.
+    type Answer: Clone + Send + fmt::Debug + 'static;
+
+    /// The point of the universe the descent routes toward for `req`.
+    fn target(req: &Self::Request) -> Self::Query;
+
+    /// Computes the answer once the descent reached the maximal level-0
+    /// range containing the target — executed by the host anchoring that
+    /// locus, from its local neighbourhood.
+    fn answer(&self, locus: RangeId, req: &Self::Request) -> Self::Answer;
+}
+
+/// Host-to-host query envelope of the engine.
+#[derive(Debug, Clone)]
+pub struct EngineMsg<D: Routable> {
+    /// The request being routed.
+    pub req: D::Request,
+    /// Where to resume processing.
+    pub at: GlobalRef,
+    /// Client awaiting the answer.
+    pub client: ClientId,
+    /// Correlation id matching the reply to the submitting call.
+    pub corr: u64,
+    /// Remote hops paid so far.
+    pub hops: u32,
+}
+
+/// Reply delivered to the submitting client.
+#[derive(Debug, Clone)]
+pub struct EngineReply<D: Routable> {
+    /// Correlation id of the originating [`DistributedSkipWeb::submit`].
+    pub corr: u64,
+    /// The structure-specific answer.
+    pub answer: D::Answer,
+    /// Remote hops the query paid end to end (for owner-hosted placement
+    /// this equals the simulator's metered host crossings).
+    pub hops: u32,
+}
+
+/// One level set as the engine sees it: the deterministic structure
+/// description, its down-hyperlinks, and the (physical) hosts storing each
+/// range.
+#[derive(Debug)]
+struct TopoSet<D: RangeDetermined> {
+    structure: D,
+    /// Per range: hyperlinks into the parent set one level down. Empty at
+    /// level 0.
+    down: Vec<Vec<RangeId>>,
+    /// Per range: the hosts storing a copy (owner-hosted: exactly one;
+    /// bucketed: every block host whose cone the range belongs to).
+    hosts: Vec<Vec<HostId>>,
+    /// Index of the parent set one level down (0 at level 0).
+    parent: u32,
+}
+
+/// The immutable routing topology shared read-only by every host thread.
+#[derive(Debug)]
+struct Topology<D: RangeDetermined> {
+    levels: Vec<Vec<TopoSet<D>>>,
+}
+
+impl<D: RangeDetermined> Topology<D> {
+    fn set(&self, at: GlobalRef) -> &TopoSet<D> {
+        &self.levels[at.level as usize][at.set as usize]
+    }
+}
+
+/// Resolves a replicated range to a host from the perspective of `me`: the
+/// co-located copy when one exists (free to act on), else the primary.
+fn pick(copies: &[HostId], me: HostId) -> HostId {
+    if copies.contains(&me) {
+        me
+    } else {
+        copies[0]
+    }
+}
+
+/// Per-host actor executing the generic forwarding loop of §2.5.
+pub struct EngineActor<D: Routable> {
+    topo: Arc<Topology<D>>,
+}
+
+impl<D: Routable + Send + Sync + 'static> Actor for EngineActor<D> {
+    type Msg = EngineMsg<D>;
+    type Reply = EngineReply<D>;
+
+    fn on_message(
+        &mut self,
+        _from: Sender,
+        mut msg: EngineMsg<D>,
+        ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+    ) {
+        let me = ctx.host();
+        let q = D::target(&msg.req);
+        let mut at = msg.at;
+        loop {
+            let set = self.topo.set(at);
+            let next = match set.structure.search_step(RangeId(at.range), &q) {
+                // Walk one range toward the locus within this level.
+                Some(next) => GlobalRef {
+                    level: at.level,
+                    set: at.set,
+                    range: next.0,
+                },
+                // Level locus reached: answer at the ground level …
+                None if at.level == 0 => {
+                    let answer = set.structure.answer(RangeId(at.range), &msg.req);
+                    ctx.reply(
+                        msg.client,
+                        EngineReply {
+                            corr: msg.corr,
+                            answer,
+                            hops: msg.hops,
+                        },
+                    );
+                    return;
+                }
+                // … or descend through the down-hyperlinks (§2.3).
+                None => {
+                    let candidates = &set.down[at.range as usize];
+                    assert!(
+                        !candidates.is_empty(),
+                        "hyperlinks of a subset range into its superset cannot be empty"
+                    );
+                    let parent_level = at.level - 1;
+                    let parent = &self.topo.levels[parent_level as usize][set.parent as usize];
+                    let entry = parent.structure.best_entry(candidates, &q);
+                    GlobalRef {
+                        level: parent_level,
+                        set: set.parent,
+                        range: entry.0,
+                    }
+                }
+            };
+            let host = pick(&self.topo.set(next).hosts[next.range as usize], me);
+            if host == me {
+                // Process as far as we can internally (§2.5): free.
+                at = next;
+            } else {
+                // The next range lives elsewhere: one network message.
+                msg.at = next;
+                msg.hops += 1;
+                ctx.send(host, msg);
+                return;
+            }
+        }
+    }
+}
+
+/// A client handle supporting many concurrent in-flight queries, matched to
+/// replies by correlation id. Shareable across threads (`Sync`); replies
+/// pulled by one thread for another's correlation id are parked in a shared
+/// buffer.
+pub struct EngineClient<D: Routable + Send + Sync + 'static> {
+    inner: Client<EngineMsg<D>, EngineReply<D>>,
+    next_corr: AtomicU64,
+    pending: Mutex<Vec<EngineReply<D>>>,
+}
+
+impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
+    /// This client's runtime identifier.
+    pub fn id(&self) -> ClientId {
+        self.inner.id()
+    }
+
+    /// Receives the next reply for *any* of this client's in-flight queries
+    /// (buffered ones first), waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors ([`RuntimeError::Timeout`], host down or
+    /// panicked, disconnect).
+    pub fn recv_any(&self, timeout: Duration) -> Result<EngineReply<D>, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let mut pending = self.pending.lock();
+                if !pending.is_empty() {
+                    return Ok(pending.remove(0));
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RuntimeError::Timeout);
+            }
+            // Short slices so a thread blocked here notices replies that a
+            // concurrent `recv_corr` on the shared client drained from the
+            // channel and parked in the pending buffer.
+            let slice = (deadline - now).min(Duration::from_millis(25));
+            match self.inner.recv_timeout(slice) {
+                Ok(reply) => return Ok(reply),
+                Err(RuntimeError::Timeout) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Receives the reply for the query submitted with correlation id
+    /// `corr`, waiting up to `timeout` and parking replies to other
+    /// correlation ids for later [`recv_any`](Self::recv_any) /
+    /// `recv_corr` calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors ([`RuntimeError::Timeout`], host down or
+    /// panicked, disconnect).
+    pub fn recv_corr(&self, corr: u64, timeout: Duration) -> Result<EngineReply<D>, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let mut pending = self.pending.lock();
+                if let Some(i) = pending.iter().position(|r| r.corr == corr) {
+                    return Ok(pending.remove(i));
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RuntimeError::Timeout);
+            }
+            // Short slices so concurrent users of a shared client notice
+            // replies another thread parked for them.
+            let slice = (deadline - now).min(Duration::from_millis(25));
+            match self.inner.recv_timeout(slice) {
+                Ok(reply) if reply.corr == corr => return Ok(reply),
+                Ok(reply) => self.pending.lock().push(reply),
+                Err(RuntimeError::Timeout) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Compatibility alias of [`recv_any`](Self::recv_any).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<EngineReply<D>, RuntimeError> {
+        self.recv_any(timeout)
+    }
+}
+
+/// A running distributed skip-web over structure `D`: one actor thread per
+/// (physical) host, executing the forwarding protocol of §2.5 under real
+/// concurrent message passing.
+pub struct DistributedSkipWeb<D: Routable + Send + Sync + 'static> {
+    runtime: Runtime<EngineActor<D>>,
+    /// Per ground item: the host and address where its queries start (the
+    /// "root node for that host" of §1.1).
+    origins: Vec<(HostId, GlobalRef)>,
+}
+
+impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
+    /// Shards `web` across one actor thread per host of its placement and
+    /// starts them.
+    pub fn spawn(web: &SkipWeb<D>) -> Self {
+        Self::spawn_consolidated(web, web.hosts().max(1))
+    }
+
+    /// Like [`spawn`](Self::spawn), but folds the web's logical hosts onto
+    /// at most `hosts` physical actor threads (`logical % hosts`), so the
+    /// same structure can be served — and its throughput measured — at any
+    /// deployment size. Queries between ranges folded onto the same physical
+    /// host become free, exactly like any other co-location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn spawn_consolidated(web: &SkipWeb<D>, hosts: usize) -> Self {
+        assert!(hosts > 0, "a network needs at least one host");
+        let phys = hosts.min(web.hosts().max(1));
+        let fold = |h: HostId| HostId(h.0 % phys as u32);
+        let levels = web.level_structs();
+        let topo_levels: Vec<Vec<TopoSet<D>>> = levels
+            .iter()
+            .enumerate()
+            .map(|(lvl, level)| {
+                level
+                    .sets
+                    .iter()
+                    .map(|set| {
+                        let parent = if lvl == 0 {
+                            0
+                        } else {
+                            let pkey = parent_key(set.key, lvl as u32);
+                            levels[lvl - 1].set_by_key[&pkey]
+                        };
+                        TopoSet {
+                            structure: set.structure.clone(),
+                            down: set.down.clone(),
+                            hosts: set
+                                .range_host
+                                .iter()
+                                .map(|copies| {
+                                    // Folding can alias distinct logical
+                                    // hosts; keep first occurrences so the
+                                    // primary copy stays copies[0].
+                                    let mut mapped: Vec<HostId> = Vec::new();
+                                    for h in copies.iter().copied().map(fold) {
+                                        if !mapped.contains(&h) {
+                                            mapped.push(h);
+                                        }
+                                    }
+                                    mapped
+                                })
+                                .collect(),
+                            parent,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let top = web.top_level() as usize;
+        let top_level = &levels[top];
+        let origins = (0..web.len())
+            .map(|g| {
+                let set_idx = top_level.set_of_item[g] as usize;
+                let set = &top_level.sets[set_idx];
+                let entry = set
+                    .structure
+                    .entry_of_item(top_level.local_of_item[g] as usize);
+                (
+                    fold(set.range_host[entry.index()][0]),
+                    GlobalRef {
+                        level: top as u16,
+                        set: set_idx as u32,
+                        range: entry.0,
+                    },
+                )
+            })
+            .collect();
+        let topo = Arc::new(Topology {
+            levels: topo_levels,
+        });
+        let runtime = Runtime::spawn(phys, |_h| EngineActor {
+            topo: Arc::clone(&topo),
+        });
+        DistributedSkipWeb { runtime, origins }
+    }
+
+    /// Registers a client.
+    pub fn client(&self) -> EngineClient<D> {
+        EngineClient {
+            inner: self.runtime.client(),
+            next_corr: AtomicU64::new(0),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Injects `req` at `origin_item`'s root host without waiting, returning
+    /// the correlation id to pass to [`EngineClient::recv_corr`]. Any number
+    /// of queries may be in flight per client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin_item` is out of bounds (e.g. on an empty web).
+    pub fn submit(
+        &self,
+        client: &EngineClient<D>,
+        origin_item: usize,
+        req: D::Request,
+    ) -> Result<u64, RuntimeError> {
+        assert!(
+            origin_item < self.origins.len(),
+            "origin item out of bounds"
+        );
+        let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (host, at) = self.origins[origin_item];
+        client.inner.send(
+            host,
+            EngineMsg {
+                req,
+                at,
+                client: client.id(),
+                corr,
+                hops: 0,
+            },
+        )?;
+        Ok(corr)
+    }
+
+    /// Runs one query end to end, blocking up to 10 s for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin_item` is out of bounds.
+    pub fn query(
+        &self,
+        client: &EngineClient<D>,
+        origin_item: usize,
+        req: D::Request,
+    ) -> Result<EngineReply<D>, RuntimeError> {
+        let corr = self.submit(client, origin_item, req)?;
+        client.recv_corr(corr, Duration::from_secs(10))
+    }
+
+    /// Total host-to-host messages since spawn.
+    pub fn message_count(&self) -> u64 {
+        self.runtime.message_count()
+    }
+
+    /// Per-host sent/received message counters since spawn.
+    pub fn traffic(&self) -> HostTraffic {
+        self.runtime.host_traffic()
+    }
+
+    /// Number of (physical) hosts.
+    pub fn hosts(&self) -> usize {
+        self.runtime.hosts()
+    }
+
+    /// Stops all host threads.
+    pub fn shutdown(self) {
+        self.runtime.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multidim::{
+        QuadtreeAnswer, QuadtreeRequest, QuadtreeSkipWeb, TrapezoidSkipWeb, TrieSkipWeb,
+    };
+    use skipweb_structures::quadtree::PointKey;
+    use skipweb_structures::trapezoid::Segment;
+
+    fn grid_points(n: u32) -> Vec<PointKey<2>> {
+        (0..n)
+            .map(|i| PointKey::new([i * 104_729 + 13, i * 49_979 + 7]))
+            .collect()
+    }
+
+    #[test]
+    fn quadtree_point_location_matches_simulator_with_hop_parity() {
+        let web = QuadtreeSkipWeb::builder(grid_points(96)).seed(21).build();
+        let dist = web.serve();
+        let client = dist.client();
+        for s in 0..30u64 {
+            let q = PointKey::new([(s * 77_777_777) as u32, (s * 33_333_331) as u32]);
+            let origin = web.random_origin(s);
+            let sim = web.locate_point(origin, q);
+            let reply = dist
+                .query(&client, origin, QuadtreeRequest::Locate(q))
+                .expect("runtime alive");
+            assert_eq!(
+                reply.answer,
+                QuadtreeAnswer::Located {
+                    cell: sim.cell,
+                    approx_nearest: sim.approx_nearest,
+                },
+                "cell parity for {q:?}"
+            );
+            assert_eq!(u64::from(reply.hops), sim.messages, "hop parity for {q:?}");
+        }
+        dist.shutdown();
+    }
+
+    #[test]
+    fn quadtree_box_reporting_over_the_runtime_matches_the_simulator() {
+        let web = QuadtreeSkipWeb::builder(grid_points(200)).seed(22).build();
+        let dist = web.serve();
+        let client = dist.client();
+        let boxes: [([u32; 2], [u32; 2]); 3] = [
+            ([0, 0], [u32::MAX / 2, u32::MAX / 2]),
+            ([1 << 20, 1 << 20], [1 << 24, 1 << 24]),
+            ([0, 0], [u32::MAX, u32::MAX]),
+        ];
+        for (lo, hi) in boxes {
+            let sim = web.points_in_box(web.random_origin(3), lo, hi);
+            let reply = dist
+                .query(
+                    &client,
+                    web.random_origin(3),
+                    QuadtreeRequest::InBox { lo, hi },
+                )
+                .expect("runtime alive");
+            assert_eq!(
+                reply.answer,
+                QuadtreeAnswer::Points(sim.points),
+                "box {lo:?}..{hi:?}"
+            );
+        }
+        dist.shutdown();
+    }
+
+    #[test]
+    fn trie_prefix_search_matches_simulator_with_hop_parity() {
+        let mut strings: Vec<String> = (0..80).map(|i| format!("isbn-97802{i:03}x")).collect();
+        strings.push("zzz".into());
+        let web = TrieSkipWeb::builder(strings).seed(23).build();
+        let dist = web.serve();
+        let client = dist.client();
+        for prefix in ["isbn-97802", "isbn-978020", "isbn", "zzz", "nope", ""] {
+            let origin = web.random_origin(prefix.len() as u64);
+            let sim = web.prefix_search(origin, prefix);
+            let reply = dist
+                .query(&client, origin, prefix.to_string())
+                .expect("runtime alive");
+            assert_eq!(reply.answer.matched_len, sim.matched_len, "len {prefix:?}");
+            assert_eq!(reply.answer.matches, sim.matches, "matches {prefix:?}");
+            assert_eq!(
+                u64::from(reply.hops),
+                sim.messages,
+                "hop parity for {prefix:?}"
+            );
+        }
+        dist.shutdown();
+    }
+
+    #[test]
+    fn trapezoid_point_location_answers_match_the_simulator() {
+        let segments: Vec<Segment> = (0..24)
+            .map(|i| {
+                let x = i * 100;
+                Segment::new((x, i * 5), (x + 60, i * 5 + 3))
+            })
+            .collect();
+        let web = TrapezoidSkipWeb::builder(segments).seed(24).build();
+        let dist = web.serve();
+        let client = dist.client();
+        for s in 0..20i64 {
+            let q = (s * 137 - 150, s * 11 - 40);
+            let origin = web.random_origin(s as u64);
+            let sim = web.locate_point(origin, q);
+            let reply = dist.query(&client, origin, q).expect("runtime alive");
+            assert_eq!(reply.answer, sim.trapezoid, "trapezoid for {q:?}");
+            // BFS tie-breaks may reroute step walks, so assert the hop
+            // budget rather than exact parity here.
+            assert!(
+                u64::from(reply.hops) <= 4 * sim.messages + 16,
+                "hops {} vs sim {}",
+                reply.hops,
+                sim.messages
+            );
+        }
+        dist.shutdown();
+    }
+
+    #[test]
+    fn consolidation_caps_hosts_and_keeps_answers() {
+        let keys: Vec<u64> = (0..300).map(|i| i * 3 + 1).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(25).build();
+        let full = DistributedSkipWeb::spawn(web.inner());
+        let four = DistributedSkipWeb::spawn_consolidated(web.inner(), 4);
+        let one = DistributedSkipWeb::spawn_consolidated(web.inner(), 1);
+        assert_eq!(full.hosts(), 300);
+        assert_eq!(four.hosts(), 4);
+        assert_eq!(one.hosts(), 1);
+        let (cf, c4, c1) = (full.client(), four.client(), one.client());
+        for s in 0..25u64 {
+            let q = (s * 211) % 1000;
+            let origin = web.random_origin(s);
+            let want = web.nearest(origin, q).answer.nearest;
+            assert_eq!(full.query(&cf, origin, q).unwrap().answer, Some(want));
+            assert_eq!(four.query(&c4, origin, q).unwrap().answer, Some(want));
+            assert_eq!(one.query(&c1, origin, q).unwrap().answer, Some(want));
+        }
+        // Folding hosts can only remove crossings, never add them — and a
+        // single host never pays a message at all.
+        assert!(four.message_count() <= full.message_count());
+        assert_eq!(one.message_count(), 0);
+        // Per-host counters sum to the global counter.
+        let traffic = four.traffic();
+        assert_eq!(traffic.hosts(), 4);
+        assert_eq!(traffic.total_sent(), four.message_count());
+        full.shutdown();
+        four.shutdown();
+        one.shutdown();
+    }
+}

@@ -16,8 +16,11 @@
 //!   bucketed variant (Table 1's last two rows).
 //! * [`multidim`] — quadtree/octree point location and approximate nearest
 //!   neighbour, trie prefix search, trapezoidal-map point location (§3).
-//! * [`distributed`] — the same 1-D routing logic running on the threaded
-//!   actor runtime with real message passing.
+//! * [`engine`] — the generic distributed engine: any of the above served
+//!   by the threaded actor runtime with real message passing, correlation-id
+//!   clients, and per-host traffic counters.
+//! * [`distributed`] — the stable 1-D entry point, now a thin wrapper over
+//!   [`engine`].
 //!
 //! # Quickstart
 //!
@@ -32,6 +35,7 @@
 //! ```
 
 pub mod distributed;
+pub mod engine;
 pub mod levels;
 pub mod multidim;
 pub mod onedim;

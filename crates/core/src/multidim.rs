@@ -6,12 +6,201 @@
 use skipweb_net::sim::{MessageMeter, SimNetwork};
 use skipweb_structures::geometry::Cell;
 use skipweb_structures::quadtree::{CompressedQuadtree, PointKey};
-use skipweb_structures::traits::RangeDetermined;
+use skipweb_structures::traits::{RangeDetermined, RangeId};
 use skipweb_structures::trapezoid::{Segment, Trapezoid, TrapezoidalMap};
 use skipweb_structures::trie::CompressedTrie;
 
+use crate::engine::{DistributedSkipWeb, Routable};
 use crate::placement::Blocking;
 use crate::skipweb::{SkipWeb, SkipWebBuilder};
+
+/// A request routed through a distributed quadtree skip-web.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuadtreeRequest<const D: usize> {
+    /// Point location (and approximate nearest neighbour) for a point.
+    Locate(PointKey<D>),
+    /// Orthogonal range reporting over the axis-aligned box `[lo, hi]`
+    /// (inclusive corners); the descent routes toward the box centre, then
+    /// the anchoring host scans output-sensitively (§3.1). Corners given
+    /// out of order are normalized per axis before routing — actors never
+    /// trust wire input enough to panic on it.
+    InBox {
+        /// Lower corner, per axis.
+        lo: [u32; D],
+        /// Upper corner, per axis.
+        hi: [u32; D],
+    },
+}
+
+/// Normalizes box corners so `lo[a] <= hi[a]` on every axis.
+fn normalized_box<const D: usize>(lo: &[u32; D], hi: &[u32; D]) -> ([u32; D], [u32; D]) {
+    let mut nlo = *lo;
+    let mut nhi = *hi;
+    for a in 0..D {
+        if nlo[a] > nhi[a] {
+            std::mem::swap(&mut nlo[a], &mut nhi[a]);
+        }
+    }
+    (nlo, nhi)
+}
+
+/// The answer to a [`QuadtreeRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuadtreeAnswer<const D: usize> {
+    /// Point-location result.
+    Located {
+        /// The deepest quadtree cell containing the query point.
+        cell: Cell<D>,
+        /// The approximate nearest neighbour of §3.1.
+        approx_nearest: Option<PointKey<D>>,
+    },
+    /// Stored points inside the requested box, in Morton order.
+    Points(Vec<PointKey<D>>),
+}
+
+impl<const D: usize> Routable for CompressedQuadtree<D> {
+    type Request = QuadtreeRequest<D>;
+    type Answer = QuadtreeAnswer<D>;
+
+    fn target(req: &QuadtreeRequest<D>) -> PointKey<D> {
+        match req {
+            QuadtreeRequest::Locate(p) => *p,
+            QuadtreeRequest::InBox { lo, hi } => {
+                let (lo, hi) = normalized_box(lo, hi);
+                let mut centre = [0u32; D];
+                for a in 0..D {
+                    centre[a] = lo[a] + (hi[a] - lo[a]) / 2;
+                }
+                PointKey::new(centre)
+            }
+        }
+    }
+
+    fn answer(&self, locus: RangeId, req: &QuadtreeRequest<D>) -> QuadtreeAnswer<D> {
+        match req {
+            QuadtreeRequest::Locate(q) => {
+                // Widen to the parent subtree for the approximate-NN
+                // candidate set, as in the simulator path.
+                let around = self.parent_of(locus).unwrap_or(locus);
+                QuadtreeAnswer::Located {
+                    cell: RangeDetermined::range(self, locus),
+                    approx_nearest: self.nearest_in_subtree(around, q),
+                }
+            }
+            QuadtreeRequest::InBox { lo, hi } => {
+                let (lo, hi) = normalized_box(lo, hi);
+                QuadtreeAnswer::Points(scan_box(self, locus, &lo, &hi, |_| {}))
+            }
+        }
+    }
+}
+
+/// The answer to a distributed trie prefix query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixAnswer {
+    /// How many bytes of the query lie on the stored-set trie.
+    pub matched_len: usize,
+    /// Stored strings extending the full query prefix (empty when the query
+    /// diverges before its end), sorted.
+    pub matches: Vec<String>,
+}
+
+impl Routable for CompressedTrie {
+    type Request = String;
+    type Answer = PrefixAnswer;
+
+    fn target(req: &String) -> String {
+        req.clone()
+    }
+
+    fn answer(&self, _locus: RangeId, req: &String) -> PrefixAnswer {
+        let matched_len = self.matched_len(req.as_bytes());
+        let matches = if matched_len == req.len() {
+            self.strings_with_prefix(req.as_bytes())
+                .into_iter()
+                .map(str::to_owned)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        PrefixAnswer {
+            matched_len,
+            matches,
+        }
+    }
+}
+
+impl Routable for TrapezoidalMap {
+    type Request = (i64, i64);
+    type Answer = Trapezoid;
+
+    fn target(req: &(i64, i64)) -> (i64, i64) {
+        *req
+    }
+
+    fn answer(&self, locus: RangeId, _req: &(i64, i64)) -> Trapezoid {
+        RangeDetermined::range(self, locus)
+    }
+}
+
+/// Ascends from the descent locus to the smallest cell covering the whole
+/// box, then reports stored points output-sensitively by DFS with subtree
+/// pruning. `touch` observes every range acted on (the simulator meters its
+/// host; the distributed engine executes the scan on the anchoring host).
+pub(crate) fn scan_box<const D: usize>(
+    base: &CompressedQuadtree<D>,
+    locus: RangeId,
+    lo: &[u32; D],
+    hi: &[u32; D],
+    mut touch: impl FnMut(RangeId),
+) -> Vec<PointKey<D>> {
+    let lo_pt = PointKey::new(*lo);
+    let hi_pt = PointKey::new(*hi);
+    // Ascend to the smallest node whose cell covers the whole box.
+    let mut node = locus;
+    while !(base.node_cell(node).contains_point(&lo_pt)
+        && base.node_cell(node).contains_point(&hi_pt))
+    {
+        match base.parent_of(node) {
+            Some(p) => {
+                node = p;
+                touch(node);
+            }
+            None => break, // the universe root covers everything
+        }
+    }
+    // Output-sensitive DFS, pruning subtrees outside the box.
+    let mut points = Vec::new();
+    let mut stack = vec![node];
+    while let Some(v) = stack.pop() {
+        if !base.node_cell(v).intersects_box(lo, hi) {
+            continue;
+        }
+        touch(v);
+        if let Some(p) = base.leaf_point(v) {
+            if p.in_box(lo, hi) {
+                points.push(p);
+            }
+        }
+        for nb in base.neighbors(v) {
+            // children sit behind the node's child links
+            if nb.index() >= base.num_nodes() {
+                let cell = RangeDetermined::range(base, nb);
+                if cell.depth() > base.node_cell(v).depth() && cell.intersects_box(lo, hi) {
+                    // link target = child node; resolve through link id
+                    let child = base
+                        .neighbors(nb)
+                        .into_iter()
+                        .find(|c| *c != v)
+                        .expect("links join two nodes");
+                    stack.push(child);
+                }
+            }
+        }
+    }
+    points.sort_by_key(PointKey::morton);
+    points
+}
 
 /// Builder that produces a typed wrapper around a generic skip-web.
 #[derive(Debug, Clone)]
@@ -160,56 +349,20 @@ impl<const D: usize> QuadtreeSkipWeb<D> {
             .query(origin_item, &PointKey::new(centre), &mut meter);
         let levels = self.web.level_structs();
         let set = &levels[0].sets[0];
-        let base = &set.structure;
-        // Ascend to the smallest node whose cell covers the whole box.
-        let mut node = outcome.locus;
-        let lo_pt = PointKey::new(lo);
-        let hi_pt = PointKey::new(hi);
-        while !(base.node_cell(node).contains_point(&lo_pt)
-            && base.node_cell(node).contains_point(&hi_pt))
-        {
-            match base.parent_of(node) {
-                Some(p) => {
-                    node = p;
-                    meter.visit(set.range_host[node.index()][0]);
-                }
-                None => break, // the universe root covers everything
-            }
-        }
-        // Output-sensitive DFS, pruning subtrees outside the box.
-        let mut points = Vec::new();
-        let mut stack = vec![node];
-        while let Some(v) = stack.pop() {
-            if !base.node_cell(v).intersects_box(&lo, &hi) {
-                continue;
-            }
-            meter.visit(set.range_host[v.index()][0]);
-            if let Some(p) = base.leaf_point(v) {
-                if p.in_box(&lo, &hi) {
-                    points.push(p);
-                }
-            }
-            for nb in base.neighbors(v) {
-                // children sit behind the node's child links
-                if nb.index() >= base.num_nodes() {
-                    let cell = base.range(nb);
-                    if cell.depth() > base.node_cell(v).depth() && cell.intersects_box(&lo, &hi) {
-                        // link target = child node; resolve through link id
-                        let child = base
-                            .neighbors(nb)
-                            .into_iter()
-                            .find(|c| *c != v)
-                            .expect("links join two nodes");
-                        stack.push(child);
-                    }
-                }
-            }
-        }
-        points.sort_by_key(PointKey::morton);
+        let points = scan_box(&set.structure, outcome.locus, &lo, &hi, |r| {
+            meter.visit(set.range_host[r.index()][0])
+        });
         BoxOutcome {
             points,
             messages: meter.messages(),
         }
+    }
+
+    /// Serves this web over the threaded actor runtime (see
+    /// [`crate::engine`]): point-location and box-reporting requests are
+    /// routed with real concurrent message passing.
+    pub fn serve(&self) -> DistributedSkipWeb<CompressedQuadtree<D>> {
+        DistributedSkipWeb::spawn(&self.web)
     }
 
     /// Inserts a point, returning the update's message cost (`None` for
@@ -361,6 +514,13 @@ impl TrieSkipWeb {
             .then(|| meter.messages())
     }
 
+    /// Serves this web over the threaded actor runtime (see
+    /// [`crate::engine`]): prefix requests are routed with real concurrent
+    /// message passing.
+    pub fn serve(&self) -> DistributedSkipWeb<CompressedTrie> {
+        DistributedSkipWeb::spawn(&self.web)
+    }
+
     /// A simulated network with accounting applied.
     pub fn network(&self) -> SimNetwork {
         self.web.network()
@@ -473,6 +633,13 @@ impl TrapezoidSkipWeb {
     pub fn remove(&mut self, s: &Segment) -> Option<u64> {
         let mut meter = MessageMeter::new();
         self.web.remove(s, &mut meter).then(|| meter.messages())
+    }
+
+    /// Serves this web over the threaded actor runtime (see
+    /// [`crate::engine`]): planar point-location requests are routed with
+    /// real concurrent message passing.
+    pub fn serve(&self) -> DistributedSkipWeb<TrapezoidalMap> {
+        DistributedSkipWeb::spawn(&self.web)
     }
 
     /// A simulated network with accounting applied.

@@ -6,11 +6,29 @@ use skipweb_net::sim::{MessageMeter, SimNetwork};
 use skipweb_net::HostId;
 use skipweb_structures::interval::Endpoint;
 use skipweb_structures::linked_list::SortedLinkedList;
-use skipweb_structures::traits::RangeDetermined;
+use skipweb_structures::traits::{RangeDetermined, RangeId};
 use skipweb_structures::KeyInterval;
 
+use crate::engine::{DistributedSkipWeb, Routable};
 use crate::placement::Blocking;
 use crate::skipweb::{SkipWeb, SkipWebBuilder};
+
+/// The 1-D skip-web routes plain keys and answers with the nearest stored
+/// key, extracted from the level-0 locus interval alone — exactly the local
+/// information the answering host holds.
+impl Routable for SortedLinkedList {
+    type Request = u64;
+    type Answer = Option<u64>;
+
+    fn target(req: &u64) -> u64 {
+        *req
+    }
+
+    fn answer(&self, locus: RangeId, req: &u64) -> Option<u64> {
+        nearest_from_locus(&RangeDetermined::range(self, locus), *req)
+            .or_else(|| self.nearest_key(*req))
+    }
+}
 
 /// The answer of a 1-D nearest-neighbour query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,6 +230,13 @@ impl OneDimSkipWeb {
     /// Registers storage/reference accounting with an existing network.
     pub fn account(&self, net: &mut SimNetwork) {
         self.web.account(net)
+    }
+
+    /// Serves this web over the threaded actor runtime: spawns one actor
+    /// thread per host executing the same routing decisions under real
+    /// concurrent message passing (see [`crate::engine`]).
+    pub fn serve(&self) -> DistributedSkipWeb<SortedLinkedList> {
+        DistributedSkipWeb::spawn(&self.web)
     }
 
     /// The underlying generic skip-web.

@@ -47,5 +47,5 @@ pub mod topology;
 mod host;
 
 pub use host::HostId;
-pub use metrics::{CostReport, Histogram, SeriesStats};
+pub use metrics::{CostReport, Histogram, HostTraffic, SeriesStats};
 pub use sim::{MessageMeter, SimNetwork};

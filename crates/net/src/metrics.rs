@@ -166,6 +166,75 @@ impl FromIterator<u64> for Histogram {
     }
 }
 
+/// Per-host message counters observed on a running network — the live
+/// counterpart of the simulator's absorbed meters, produced by
+/// [`Runtime::host_traffic`](crate::runtime::Runtime::host_traffic).
+///
+/// `sent[h]` / `received[h]` count host-to-host messages only (self-sends
+/// and client injections/replies are free in the paper's cost model, so the
+/// runtime does not count them either). `total_sent()` therefore equals the
+/// runtime's global message count.
+///
+/// # Example
+///
+/// ```
+/// use skipweb_net::HostTraffic;
+/// let t = HostTraffic { sent: vec![3, 1], received: vec![0, 4] };
+/// assert_eq!(t.total_sent(), 4);
+/// assert_eq!(t.hosts(), 2);
+/// assert_eq!(t.sent_stats().max, 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HostTraffic {
+    /// Messages sent by each host, indexed by host id.
+    pub sent: Vec<u64>,
+    /// Messages received by each host, indexed by host id.
+    pub received: Vec<u64>,
+}
+
+impl HostTraffic {
+    /// Number of hosts covered.
+    pub fn hosts(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Total messages sent across all hosts (equals the total received).
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Distribution statistics of the per-host sent counters (a hop-count
+    /// load-balance diagnostic).
+    pub fn sent_stats(&self) -> SeriesStats {
+        SeriesStats::from_samples(&self.sent)
+    }
+
+    /// Distribution statistics of the per-host received counters.
+    pub fn received_stats(&self) -> SeriesStats {
+        SeriesStats::from_samples(&self.received)
+    }
+
+    /// The busiest host by messages handled (sent + received), if any.
+    pub fn busiest_host(&self) -> Option<(usize, u64)> {
+        (0..self.hosts())
+            .map(|h| (h, self.sent[h] + self.received[h]))
+            .max_by_key(|&(h, load)| (load, usize::MAX - h))
+    }
+}
+
+impl fmt::Display for HostTraffic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hosts={} total={} sent[{}] recv[{}]",
+            self.hosts(),
+            self.total_sent(),
+            self.sent_stats(),
+            self.received_stats()
+        )
+    }
+}
+
 /// The full cost report for one structure at one size — a row of Table 1.
 ///
 /// `H`, `M`, `C(n)` are properties of the built structure; `Q(n)`/`U(n)` are
@@ -261,6 +330,30 @@ mod tests {
         let h: Histogram = [9u64, 1, 5].into_iter().collect();
         let values: Vec<u64> = h.iter().map(|(v, _)| v).collect();
         assert_eq!(values, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn host_traffic_totals_and_busiest() {
+        let t = HostTraffic {
+            sent: vec![2, 5, 0],
+            received: vec![3, 0, 4],
+        };
+        assert_eq!(t.hosts(), 3);
+        assert_eq!(t.total_sent(), 7);
+        assert_eq!(t.busiest_host(), Some((0, 5)));
+        let s = t.to_string();
+        assert!(s.contains("hosts=3"));
+        assert!(s.contains("total=7"));
+    }
+
+    #[test]
+    fn host_traffic_busiest_prefers_lowest_host_on_ties() {
+        let t = HostTraffic {
+            sent: vec![1, 1],
+            received: vec![1, 1],
+        };
+        assert_eq!(t.busiest_host(), Some((0, 2)));
+        assert_eq!(HostTraffic::default().busiest_host(), None);
     }
 
     #[test]

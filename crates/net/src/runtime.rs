@@ -52,6 +52,7 @@ use crossbeam_channel as channel;
 use parking_lot::RwLock;
 
 use crate::host::HostId;
+use crate::metrics::HostTraffic;
 
 /// Identifier for an external client attached to the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -86,6 +87,9 @@ pub enum RuntimeError {
     Timeout,
     /// The reply channel was disconnected.
     Disconnected,
+    /// A host's actor panicked; the runtime is poisoned and every blocked or
+    /// future client operation reports the first host that died.
+    HostPanicked(HostId),
 }
 
 impl fmt::Display for RuntimeError {
@@ -94,6 +98,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::HostDown(h) => write!(f, "mailbox of {h} is closed"),
             RuntimeError::Timeout => write!(f, "timed out waiting for a reply"),
             RuntimeError::Disconnected => write!(f, "reply channel disconnected"),
+            RuntimeError::HostPanicked(h) => write!(f, "actor on {h} panicked"),
         }
     }
 }
@@ -112,7 +117,9 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
         self.host
     }
 
-    /// Sends `msg` to another host; counts one network message.
+    /// Sends `msg` to another host; counts one network message (both in the
+    /// runtime total and in the per-host sent/received counters surfaced by
+    /// [`Runtime::host_traffic`]).
     ///
     /// Sends to self are delivered through the mailbox too but are *not*
     /// counted, matching the simulated cost model where intra-host work is
@@ -120,6 +127,8 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
     pub fn send(&mut self, to: HostId, msg: M) {
         if to != self.host {
             self.net.message_count.fetch_add(1, Ordering::Relaxed);
+            self.net.per_host_sent[self.host.index()].fetch_add(1, Ordering::Relaxed);
+            self.net.per_host_received[to.index()].fetch_add(1, Ordering::Relaxed);
         }
         // Mailboxes are unbounded, so this cannot block inside a handler.
         let _ = self.net.senders[to.index()].send(Envelope::User {
@@ -143,6 +152,33 @@ struct Fabric<M, R> {
     senders: Vec<channel::Sender<Envelope<M>>>,
     clients: RwLock<HashMap<ClientId, channel::Sender<R>>>,
     message_count: AtomicU64,
+    per_host_sent: Vec<AtomicU64>,
+    per_host_received: Vec<AtomicU64>,
+    /// First host whose actor panicked, if any. Once set, the runtime is
+    /// poisoned: client sends and receives fail fast instead of hanging.
+    poisoned: RwLock<Option<HostId>>,
+}
+
+/// Armed for the lifetime of a host thread; if the thread unwinds (actor
+/// panic), the drop handler poisons the fabric and drops every client reply
+/// sender so blocked [`Client::recv`] callers wake with
+/// [`RuntimeError::HostPanicked`] instead of waiting forever.
+struct PanicWatch<M, R> {
+    host: HostId,
+    net: Arc<Fabric<M, R>>,
+}
+
+impl<M, R> Drop for PanicWatch<M, R> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let mut poisoned = self.net.poisoned.write();
+            if poisoned.is_none() {
+                *poisoned = Some(self.host);
+            }
+            drop(poisoned);
+            self.net.clients.write().clear();
+        }
+    }
 }
 
 /// Per-host behaviour plugged into the runtime.
@@ -179,8 +215,13 @@ impl<M: Send + 'static, R: Send + 'static> Client<M, R> {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::HostDown`] if the runtime has shut down.
+    /// Returns [`RuntimeError::HostDown`] if the runtime has shut down and
+    /// [`RuntimeError::HostPanicked`] if an actor died (the runtime is then
+    /// poisoned as a whole — no host will answer reliably).
     pub fn send(&self, host: HostId, msg: M) -> Result<(), RuntimeError> {
+        if let Some(h) = *self.net.poisoned.read() {
+            return Err(RuntimeError::HostPanicked(h));
+        }
         self.net.senders[host.index()]
             .send(Envelope::User {
                 from: Sender::Client(self.id),
@@ -189,26 +230,64 @@ impl<M: Send + 'static, R: Send + 'static> Client<M, R> {
             .map_err(|_| RuntimeError::HostDown(host))
     }
 
+    /// Maps a reply-channel disconnect to the most informative error: a
+    /// panicked host when the fabric is poisoned, plain disconnection
+    /// otherwise.
+    fn disconnect_error(&self) -> RuntimeError {
+        match *self.net.poisoned.read() {
+            Some(h) => RuntimeError::HostPanicked(h),
+            None => RuntimeError::Disconnected,
+        }
+    }
+
     /// Blocks until a reply arrives.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Disconnected`] if the runtime dropped the
-    /// reply channel.
+    /// Returns [`RuntimeError::HostPanicked`] if an actor died (already
+    /// buffered replies are drained first) and [`RuntimeError::Disconnected`]
+    /// if the runtime dropped the reply channel.
     pub fn recv(&self) -> Result<R, RuntimeError> {
-        self.rx.recv().map_err(|_| RuntimeError::Disconnected)
+        match self.rx.try_recv() {
+            Ok(r) => return Ok(r),
+            Err(channel::TryRecvError::Disconnected) => return Err(self.disconnect_error()),
+            Err(channel::TryRecvError::Empty) => {}
+        }
+        if let Some(h) = *self.net.poisoned.read() {
+            // A reply may have been delivered between the probe above and
+            // the poison flag being raised; drain it rather than drop it.
+            return match self.rx.try_recv() {
+                Ok(r) => Ok(r),
+                Err(_) => Err(RuntimeError::HostPanicked(h)),
+            };
+        }
+        self.rx.recv().map_err(|_| self.disconnect_error())
     }
 
     /// Waits up to `timeout` for a reply.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Timeout`] on timeout and
+    /// Returns [`RuntimeError::Timeout`] on timeout,
+    /// [`RuntimeError::HostPanicked`] if an actor died, and
     /// [`RuntimeError::Disconnected`] if the channel closed.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<R, RuntimeError> {
+        match self.rx.try_recv() {
+            Ok(r) => return Ok(r),
+            Err(channel::TryRecvError::Disconnected) => return Err(self.disconnect_error()),
+            Err(channel::TryRecvError::Empty) => {}
+        }
+        if let Some(h) = *self.net.poisoned.read() {
+            // A reply may have been delivered between the probe above and
+            // the poison flag being raised; drain it rather than drop it.
+            return match self.rx.try_recv() {
+                Ok(r) => Ok(r),
+                Err(_) => Err(RuntimeError::HostPanicked(h)),
+            };
+        }
         self.rx.recv_timeout(timeout).map_err(|e| match e {
             channel::RecvTimeoutError::Timeout => RuntimeError::Timeout,
-            channel::RecvTimeoutError::Disconnected => RuntimeError::Disconnected,
+            channel::RecvTimeoutError::Disconnected => self.disconnect_error(),
         })
     }
 }
@@ -239,6 +318,9 @@ impl<A: Actor> Runtime<A> {
             senders,
             clients: RwLock::new(HashMap::new()),
             message_count: AtomicU64::new(0),
+            per_host_sent: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            per_host_received: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            poisoned: RwLock::new(None),
         });
         let mut handles = Vec::with_capacity(hosts);
         for (i, rx) in receivers.into_iter().enumerate() {
@@ -246,6 +328,10 @@ impl<A: Actor> Runtime<A> {
             let mut actor = make_actor(host);
             let net = Arc::clone(&net);
             handles.push(std::thread::spawn(move || {
+                let _watch = PanicWatch {
+                    host,
+                    net: Arc::clone(&net),
+                };
                 while let Ok(envelope) = rx.recv() {
                     match envelope {
                         Envelope::Stop => break,
@@ -285,6 +371,31 @@ impl<A: Actor> Runtime<A> {
     /// comparable to the simulated meter counts.
     pub fn message_count(&self) -> u64 {
         self.net.message_count.load(Ordering::Relaxed)
+    }
+
+    /// Per-host message counters accumulated since spawn: how many network
+    /// messages each host sent and received (self-sends and client traffic
+    /// excluded, mirroring [`message_count`](Self::message_count)).
+    pub fn host_traffic(&self) -> HostTraffic {
+        HostTraffic {
+            sent: self
+                .net
+                .per_host_sent
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            received: self
+                .net
+                .per_host_received
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// The host whose actor panicked, if any — the runtime is then poisoned.
+    pub fn poisoned_by(&self) -> Option<HostId> {
+        *self.net.poisoned.read()
     }
 
     /// Stops all hosts and joins their threads. Queued messages ahead of the
@@ -428,5 +539,93 @@ mod tests {
         let err = c.recv_timeout(Duration::from_millis(10)).unwrap_err();
         assert_eq!(err, RuntimeError::Timeout);
         rt.shutdown();
+    }
+
+    #[test]
+    fn host_traffic_splits_message_count_per_host() {
+        let rt = Runtime::spawn(4, |_| Forwarder { hops: 0 });
+        let c = rt.client();
+        c.send(
+            HostId(0),
+            Fwd {
+                left: 8,
+                client: c.id(),
+            },
+        )
+        .unwrap();
+        let _ = c.recv_timeout(Duration::from_secs(5)).unwrap();
+        let traffic = rt.host_traffic();
+        assert_eq!(traffic.total_sent(), rt.message_count());
+        assert_eq!(traffic.sent.iter().sum::<u64>(), 8);
+        assert_eq!(traffic.received.iter().sum::<u64>(), 8);
+        // The ring visits each of the 4 hosts twice.
+        assert_eq!(traffic.sent, vec![2, 2, 2, 2]);
+        rt.shutdown();
+    }
+
+    /// Panics whenever it hears anything.
+    struct Grenade;
+
+    impl Actor for Grenade {
+        type Msg = Ask;
+        type Reply = u64;
+        fn on_message(&mut self, _from: Sender, _msg: Ask, _ctx: &mut Context<'_, Ask, u64>) {
+            panic!("boom");
+        }
+    }
+
+    #[test]
+    fn blocked_recv_surfaces_a_host_panic() {
+        let rt = Runtime::spawn(2, |_| Grenade);
+        let c = rt.client();
+        c.send(HostId(1), Ask(c.id(), 7)).unwrap();
+        // recv must wake with an error once host 1 dies, not hang forever.
+        let err = c.recv_timeout(Duration::from_secs(10)).unwrap_err();
+        assert_eq!(err, RuntimeError::HostPanicked(HostId(1)));
+        assert_eq!(rt.poisoned_by(), Some(HostId(1)));
+        // Further client traffic fails fast on the poisoned runtime.
+        assert_eq!(
+            c.send(HostId(0), Ask(c.id(), 8)).unwrap_err(),
+            RuntimeError::HostPanicked(HostId(1))
+        );
+        assert_eq!(c.recv().unwrap_err(), RuntimeError::HostPanicked(HostId(1)));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn buffered_replies_are_drained_before_panic_errors() {
+        // Host 0 echoes, host 1 panics: a reply already delivered must not be
+        // lost when the poison flag is raised afterwards.
+        let rt = Runtime::spawn(2, |h| {
+            if h == HostId(0) {
+                Ok(Echo)
+            } else {
+                Err(Grenade)
+            }
+        });
+        let c = rt.client();
+        c.send(HostId(0), Ask(c.id(), 5)).unwrap();
+        let got = c.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, (HostId(0), 5));
+        c.send(HostId(1), Ask(c.id(), 6)).unwrap();
+        let err = c.recv_timeout(Duration::from_secs(10)).unwrap_err();
+        assert_eq!(err, RuntimeError::HostPanicked(HostId(1)));
+        rt.shutdown();
+    }
+
+    impl Actor for Result<Echo, Grenade> {
+        type Msg = Ask;
+        type Reply = (HostId, u64);
+        fn on_message(
+            &mut self,
+            from: Sender,
+            msg: Ask,
+            ctx: &mut Context<'_, Ask, (HostId, u64)>,
+        ) {
+            match self {
+                Ok(echo) => echo.on_message(from, msg, ctx),
+                Err(_) => panic!("boom"),
+            }
+        }
     }
 }

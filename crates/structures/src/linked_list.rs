@@ -207,6 +207,17 @@ impl RangeDetermined for SortedLinkedList {
         }
     }
 
+    fn search_step(&self, from: RangeId, q: &u64) -> Option<RangeId> {
+        // O(1) positional comparison instead of materializing the path.
+        let target = self.position(self.locate(q));
+        let at = self.position(from);
+        match at.cmp(&target) {
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Less => Some(self.id_at(at + 1)),
+            std::cmp::Ordering::Greater => Some(self.id_at(at - 1)),
+        }
+    }
+
     fn best_entry(&self, candidates: &[RangeId], q: &u64) -> RangeId {
         assert!(!candidates.is_empty(), "conflict list may not be empty");
         let target = self.position(self.locate(q));
@@ -349,6 +360,24 @@ mod tests {
         let back = l.search_path(l.locate(&30), &10);
         assert_eq!(back.len(), 5);
         assert_eq!(*back.last().unwrap(), l.entry_of_item(0));
+    }
+
+    #[test]
+    fn search_step_reproduces_search_path_range_by_range() {
+        let l = list(&[10, 20, 30, 40]);
+        for q in [0u64, 10, 15, 33, 40, 99] {
+            for item in 0..4 {
+                let from = l.entry_of_item(item);
+                let mut walked = vec![from];
+                let mut cur = from;
+                while let Some(next) = l.search_step(cur, &q) {
+                    walked.push(next);
+                    cur = next;
+                }
+                assert_eq!(walked, l.search_path(from, &q), "q={q} from={from}");
+                assert_eq!(cur, l.locate(&q));
+            }
+        }
     }
 
     #[test]

@@ -405,6 +405,37 @@ impl<const D: usize> RangeDetermined for CompressedQuadtree<D> {
         path
     }
 
+    fn search_step(&self, from: RangeId, q: &GridPoint<D>) -> Option<RangeId> {
+        let n = self.nodes.len();
+        if from.index() >= n {
+            // A link is direction-aware: descend to its child endpoint when
+            // that subtree still contains q, ascend to the parent otherwise
+            // (the default's child-first normalization would oscillate when
+            // stepping range by range through an ascent).
+            let (p, c) = self.link_ends[from.index() - n];
+            return Some(if self.nodes[c as usize].cell.contains_point(q) {
+                RangeId(c)
+            } else {
+                RangeId(p)
+            });
+        }
+        let cur = from.index();
+        if !self.nodes[cur].cell.contains_point(q) {
+            // Ascend through the parent link (the root contains everything).
+            let node = &self.nodes[cur];
+            return Some(match node.parent_link {
+                Some(pl) => RangeId((n + pl as usize) as u32),
+                None => RangeId(node.parent.expect("non-root nodes have parents")),
+            });
+        }
+        // Descend through the containing child's incoming link, if any.
+        let c = self.child_containing(cur, q)?;
+        Some(match self.nodes[c as usize].parent_link {
+            Some(pl) => RangeId((n + pl as usize) as u32),
+            None => RangeId(c),
+        })
+    }
+
     fn best_entry(&self, candidates: &[RangeId], q: &GridPoint<D>) -> RangeId {
         assert!(!candidates.is_empty(), "conflict list may not be empty");
         candidates
@@ -540,6 +571,32 @@ mod tests {
                     || qt.neighbors(pair[1]).contains(&pair[0]),
                 "path must follow structure links"
             );
+        }
+    }
+
+    #[test]
+    fn search_step_converges_on_the_locate_answer() {
+        let qt = CompressedQuadtree::<2>::build(pts2(&[
+            [0, 0],
+            [3, 3],
+            [7, 1],
+            [1 << 31, 1 << 31],
+            [(1 << 31) + 9, 5],
+        ]));
+        for q in [[1u32 << 31, 1 << 31], [5, 5], [0, 0], [1 << 20, 1 << 10]] {
+            let q = GridPoint::new(q);
+            for item in 0..qt.len() {
+                let from = qt.entry_of_item(item);
+                let mut walked = vec![from];
+                let mut cur = from;
+                while let Some(next) = qt.search_step(cur, &q) {
+                    walked.push(next);
+                    cur = next;
+                    assert!(walked.len() <= 4 * qt.num_ranges(), "step walk diverged");
+                }
+                assert_eq!(cur, qt.locate(&q), "locus for {q:?}");
+                assert_eq!(walked, qt.search_path(from, &q), "path for {q:?}");
+            }
         }
     }
 

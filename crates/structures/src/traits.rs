@@ -103,6 +103,24 @@ pub trait RangeDetermined: Clone + fmt::Debug {
     /// host executes internally; the engine meters each touched range's host.
     fn search_path(&self, from: RangeId, q: &Self::Query) -> Vec<RangeId>;
 
+    /// One navigation step of the walk toward `locate(q)` (§2.5): the next
+    /// range after `from` on [`search_path`](Self::search_path), or `None`
+    /// when `from` already is the locus.
+    ///
+    /// This is the hook the *distributed* engine routes with: a host holding
+    /// `from` advances one range at a time, continuing for free while the
+    /// next range lives on the same host and forwarding the query otherwise
+    /// ("process as far as you can internally"). Implementations must be
+    /// memoryless — stepping repeatedly from any intermediate range must
+    /// converge on the same locus as a full `search_path` walk, which holds
+    /// for any walk that only depends on the current range and `q`.
+    ///
+    /// The default derives the step from `search_path`; structures with a
+    /// cheap positional comparison should override it.
+    fn search_step(&self, from: RangeId, q: &Self::Query) -> Option<RangeId> {
+        self.search_path(from, q).get(1).copied()
+    }
+
     /// Given the conflict list of the maximal range at a finer level, picks
     /// the best range to continue the search for `q` from. Defaults to the
     /// first candidate; structures override this to pick the conflicting

@@ -335,6 +335,32 @@ impl TrapezoidalMap {
         }
     }
 
+    /// One BFS from `from` returning the link-hop distances to `to_a` and
+    /// `to_b`, stopping as soon as both are settled (used to resolve the
+    /// direction of a link during stepping).
+    fn bfs_dists(&self, from: usize, to_a: usize, to_b: usize) -> (usize, usize) {
+        let n = self.node_count();
+        let mut dist: Vec<Option<usize>> = vec![None; n];
+        dist[from] = Some(0);
+        let mut queue = VecDeque::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            if dist[to_a].is_some() && dist[to_b].is_some() {
+                break;
+            }
+            let d = dist[cur].expect("queued nodes have distances");
+            for &(nb, _) in &self.adjacency[cur] {
+                if dist[nb as usize].is_none() {
+                    dist[nb as usize] = Some(d + 1);
+                    queue.push_back(nb as usize);
+                }
+            }
+        }
+        (
+            dist[to_a].expect("trapezoid adjacency graph is connected"),
+            dist[to_b].expect("trapezoid adjacency graph is connected"),
+        )
+    }
+
     /// Breadth-first link path between two trapezoids (the local walk a
     /// host executes; entry and target are O(1) apart in expectation by
     /// Lemma 5, so the walk is short even though we compute it exactly).
@@ -650,6 +676,42 @@ impl RangeDetermined for TrapezoidalMap {
         path
     }
 
+    fn search_step(&self, from: RangeId, q: &(i64, i64)) -> Option<RangeId> {
+        let n = self.node_count();
+        // O(1) termination probe: the unique trapezoid strictly containing
+        // q is its locate answer, so the locus needs no scan or BFS. (The
+        // remaining steps do pay a locate + BFS each — acceptable because
+        // Lemma 5 keeps walks at O(1) expected ranges, but callers stepping
+        // through long walks on big maps should prefer `search_path`.)
+        if from.index() < n && self.traps[from.index()].trap.contains(*q) {
+            return None;
+        }
+        let target = self.resolve_node(self.locate(q));
+        if from.index() < n {
+            if from.index() == target {
+                return None;
+            }
+            // The link toward the target on a shortest path.
+            return self.bfs_path(from.index(), target).get(1).copied();
+        }
+        // A link is direction-aware: continue to whichever endpoint is
+        // nearer the target (the default's fixed-endpoint normalization
+        // would oscillate when the walk entered from that endpoint). One
+        // BFS from the target resolves both endpoint distances; the walks
+        // themselves are expected O(1) ranges by Lemma 5, so stepping stays
+        // close to the one-shot `search_path` cost.
+        let (a, b) = self.link_ends[from.index() - n];
+        let (a, b) = (a as usize, b as usize);
+        if a == target {
+            return Some(RangeId(a as u32));
+        }
+        if b == target {
+            return Some(RangeId(b as u32));
+        }
+        let (da, db) = self.bfs_dists(target, a, b);
+        Some(RangeId(if da <= db { a } else { b } as u32))
+    }
+
     fn best_entry(&self, candidates: &[RangeId], q: &(i64, i64)) -> RangeId {
         assert!(!candidates.is_empty(), "conflict list may not be empty");
         candidates
@@ -809,6 +871,35 @@ mod tests {
                 m.neighbors(pair[0]).contains(&pair[1]) || m.neighbors(pair[1]).contains(&pair[0]),
                 "path must follow links"
             );
+        }
+    }
+
+    #[test]
+    fn search_step_converges_even_though_bfs_ties_may_reroute() {
+        // Stepping recomputes a shortest path from each intermediate range,
+        // so the walked route may differ from one `search_path` call on BFS
+        // ties — but every step shortens the distance, and the walk must
+        // land on the same locus within the path-length budget.
+        let m = TrapezoidalMap::build(vec![
+            seg((0, 0), (9, 1)),
+            seg((2, 5), (11, 6)),
+            seg((13, 2), (20, -2)),
+        ]);
+        for q in [(10, 8), (-50, 0), (15, 0), (5, 3)] {
+            for item in 0..m.len() {
+                let from = m.entry_of_item(item);
+                let mut cur = from;
+                let mut steps = 0;
+                while let Some(next) = m.search_step(cur, &q) {
+                    cur = next;
+                    steps += 1;
+                    assert!(steps <= m.num_ranges(), "step walk diverged for {q:?}");
+                }
+                assert_eq!(cur, m.locate(&q), "locus for {q:?}");
+                // Every step shortens the BFS distance by one, so the walk
+                // length matches the one-shot path length even on reroutes.
+                assert_eq!(steps, m.search_path(from, &q).len() - 1, "steps for {q:?}");
+            }
         }
     }
 

@@ -457,12 +457,19 @@ impl RangeDetermined for CompressedTrie {
             path.push(RangeId(next));
             next as usize
         };
-        // Ascend until str(cur) lies on the matched line.
+        // Ascend until str(cur) lies on the matched line. The locus itself
+        // can be an edge on this ascent (the query diverges inside the edge
+        // the start node hangs from); the walk ends on first touch instead
+        // of overshooting to the parent and returning.
         while !is_prefix(self.str_of(cur), &qb[..matched]) {
             let node = &self.nodes[cur];
             let parent = node.parent.expect("the root lies on every line");
             if let Some(pe) = node.parent_edge {
-                path.push(RangeId((n + pe as usize) as u32));
+                let eid = RangeId((n + pe as usize) as u32);
+                path.push(eid);
+                if eid == target {
+                    return path;
+                }
             }
             path.push(RangeId(parent));
             cur = parent as usize;
@@ -632,6 +639,26 @@ mod tests {
             .find(|id| t.node_string(*id) == "abcd")
             .expect("lcp node exists");
         assert!(!t.is_terminal(inner));
+    }
+
+    #[test]
+    fn search_step_converges_on_the_locate_answer() {
+        let t = trie(&["car", "carpet", "cart", "dog", "dot", "x"]);
+        for q in ["car", "care", "carpets", "do", "zebra", ""] {
+            let q = q.to_string();
+            for item in 0..t.len() {
+                let from = t.entry_of_item(item);
+                let mut walked = vec![from];
+                let mut cur = from;
+                while let Some(next) = t.search_step(cur, &q) {
+                    walked.push(next);
+                    cur = next;
+                    assert!(walked.len() <= 4 * t.num_ranges(), "step walk diverged");
+                }
+                assert_eq!(cur, t.locate(&q), "locus for {q:?}");
+                assert_eq!(walked, t.search_path(from, &q), "path for {q:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Simulator/runtime parity, property-tested: for random ground sets and
+//! query batches, the threaded actor runtime must return exactly the
+//! deterministic simulator's answers, and the remote hops each query pays
+//! must equal the simulator's metered host crossings (owner-hosted
+//! placement, where the cost models coincide range for range).
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use skipwebs::core::multidim::{QuadtreeAnswer, QuadtreeRequest, QuadtreeSkipWeb, TrieSkipWeb};
+use skipwebs::core::onedim::OneDimSkipWeb;
+use skipwebs::structures::PointKey;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn onedim_nearest_and_hops_match_the_simulator(
+        keys in collection::vec(0u64..50_000, 24..120),
+        seed in 0u64..1000,
+    ) {
+        let web = OneDimSkipWeb::builder(keys).seed(seed).build();
+        let dist = web.serve();
+        let client = dist.client();
+        let mut sim_total = 0u64;
+        for s in 0..12u64 {
+            let q = (s * 4001 + seed * 13) % 55_000;
+            let origin = web.random_origin(s + seed);
+            let sim = web.nearest(origin, q);
+            sim_total += sim.messages;
+            let reply = dist.query(&client, origin, q).expect("runtime alive");
+            prop_assert_eq!(reply.answer, Some(sim.answer.nearest), "answer for q={}", q);
+            prop_assert_eq!(u64::from(reply.hops), sim.messages, "hops for q={}", q);
+        }
+        // Total remote hops equal the total metered host crossings.
+        prop_assert_eq!(dist.message_count(), sim_total);
+        dist.shutdown();
+    }
+
+    #[test]
+    fn quadtree_point_location_and_hops_match_the_simulator(
+        coords in collection::vec((0u32..u32::MAX, 0u32..u32::MAX), 16..80),
+        seed in 0u64..1000,
+    ) {
+        let points: Vec<PointKey<2>> =
+            coords.iter().map(|&(x, y)| PointKey::new([x, y])).collect();
+        let web = QuadtreeSkipWeb::builder(points).seed(seed).build();
+        let dist = web.serve();
+        let client = dist.client();
+        let mut sim_total = 0u64;
+        for s in 0..10u64 {
+            let q = PointKey::new([
+                (s.wrapping_mul(0x9E37_79B9).wrapping_add(seed * 101)) as u32,
+                (s.wrapping_mul(0x85EB_CA6B).wrapping_add(seed * 59)) as u32,
+            ]);
+            let origin = web.random_origin(s + seed);
+            let sim = web.locate_point(origin, q);
+            sim_total += sim.messages;
+            let reply = dist
+                .query(&client, origin, QuadtreeRequest::Locate(q))
+                .expect("runtime alive");
+            prop_assert_eq!(
+                reply.answer,
+                QuadtreeAnswer::Located { cell: sim.cell, approx_nearest: sim.approx_nearest },
+                "cell for {:?}", q
+            );
+            prop_assert_eq!(u64::from(reply.hops), sim.messages, "hops for {:?}", q);
+        }
+        prop_assert_eq!(dist.message_count(), sim_total);
+        dist.shutdown();
+    }
+
+    #[test]
+    fn trie_longest_prefix_and_hops_match_the_simulator(
+        stems in collection::vec(0u32..9000, 16..64),
+        seed in 0u64..1000,
+    ) {
+        let strings: Vec<String> = stems
+            .iter()
+            .map(|v| format!("{:04}-suffix", v % 10_000))
+            .collect();
+        let web = TrieSkipWeb::builder(strings).seed(seed).build();
+        let dist = web.serve();
+        let client = dist.client();
+        let mut sim_total = 0u64;
+        for s in 0..10usize {
+            // Mix of on-trie prefixes and off-trie probes.
+            let prefix = match s % 3 {
+                0 => web.strings()[s % web.len()].chars().take(2 + s % 6).collect::<String>(),
+                1 => format!("{:04}", (s as u32 * 977 + seed as u32) % 10_000),
+                _ => "zzz-none".to_string(),
+            };
+            let origin = web.random_origin(s as u64 + seed);
+            let sim = web.prefix_search(origin, &prefix);
+            sim_total += sim.messages;
+            let reply = dist
+                .query(&client, origin, prefix.clone())
+                .expect("runtime alive");
+            prop_assert_eq!(reply.answer.matched_len, sim.matched_len, "len for {:?}", &prefix);
+            prop_assert_eq!(reply.answer.matches, sim.matches, "matches for {:?}", &prefix);
+            prop_assert_eq!(u64::from(reply.hops), sim.messages, "hops for {:?}", &prefix);
+        }
+        prop_assert_eq!(dist.message_count(), sim_total);
+        dist.shutdown();
+    }
+}
