@@ -5,7 +5,7 @@
 //! repro [experiment] [--full]
 //!
 //! experiments: table1 fig1 fig2 fig3 fig4 lemma1 lemma4 thm2 updates
-//!              buckets ablation chord congestion distributed all
+//!              buckets ablation chord congestion distributed churn all
 //!              (default: all)
 //! --full: larger size sweeps (slower; used to fill EXPERIMENTS.md)
 //! ```
@@ -23,6 +23,7 @@ struct Config {
     dist_n: usize,
     dist_clients: usize,
     dist_queries: usize,
+    churn_ops: usize,
     seed: u64,
 }
 
@@ -39,6 +40,7 @@ impl Config {
             dist_n: 1024,
             dist_clients: 4,
             dist_queries: 50,
+            churn_ops: 300,
             seed: 42,
         }
     }
@@ -55,6 +57,7 @@ impl Config {
             dist_n: 4096,
             dist_clients: 8,
             dist_queries: 200,
+            churn_ops: 2000,
             seed: 42,
         }
     }
@@ -74,7 +77,7 @@ fn main() {
         Config::quick()
     };
 
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "all",
         "table1",
         "fig1",
@@ -90,6 +93,7 @@ fn main() {
         "chord",
         "congestion",
         "distributed",
+        "churn",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment {which:?}");
@@ -163,6 +167,12 @@ fn main() {
                 cfg.dist_queries,
                 cfg.seed,
             )
+        );
+    }
+    if run("churn") {
+        println!(
+            "{}",
+            experiments::churn(&cfg.dist_hosts, cfg.dist_n, cfg.churn_ops, cfg.seed)
         );
     }
 }

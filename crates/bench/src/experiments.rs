@@ -881,6 +881,81 @@ pub fn distributed(
     t
 }
 
+/// Mixed read/write churn over the live runtime: for each host count and
+/// each read/write mix, one client drives `ops` operations (writes
+/// alternate inserting a fresh key and removing it again) and the wall
+/// clock gives ops/sec. Reports the measured messages per query and per
+/// update separately — the live `Q(n)` / `U(n)` split the engine's tagged
+/// traffic counters make observable.
+pub fn churn(host_counts: &[usize], n: usize, ops: usize, seed: u64) -> Table {
+    use skipweb_core::engine::DistributedSkipWeb;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "Distributed churn: mixed insert/remove/query throughput by host count",
+        &[
+            "structure",
+            "hosts",
+            "mix",
+            "ops",
+            "updates_applied",
+            "msgs_per_query",
+            "msgs_per_update",
+            "ops_per_sec",
+        ],
+    );
+    let keys: Vec<u64> = workloads::uniform_keys(n, seed)
+        .iter()
+        .map(|k| k * 2)
+        .collect();
+    let web = OneDimSkipWeb::builder(keys).seed(seed).build();
+    for &hosts in host_counts {
+        for (mix, write_pct) in [("90/10", 10usize), ("50/50", 50usize)] {
+            let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+            let client = dist.client();
+            let mut applied = 0usize;
+            let mut queries = 0usize;
+            let mut updates = 0usize;
+            let start = Instant::now();
+            for i in 0..ops {
+                if i % 100 < write_pct {
+                    updates += 1;
+                    let key = ((i as u64 / 2) * 7919 + seed) | 1;
+                    let reply = if i % 2 == 0 {
+                        dist.insert(&client, key).expect("runtime alive")
+                    } else {
+                        dist.remove(&client, key).expect("runtime alive")
+                    };
+                    applied += usize::from(reply.applied);
+                } else {
+                    queries += 1;
+                    let origin = (i * 31) % dist.len();
+                    dist.query(
+                        &client,
+                        origin,
+                        ((i as u64) * 997 + seed) % (2 * n as u64 * 2),
+                    )
+                    .expect("runtime alive");
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let traffic = dist.traffic();
+            t.push(vec![
+                "onedim-nearest".to_string(),
+                dist.hosts().to_string(),
+                mix.to_string(),
+                ops.to_string(),
+                applied.to_string(),
+                f2(traffic.total_query_sent() as f64 / (queries.max(1)) as f64),
+                f2(traffic.total_update_sent() as f64 / (updates.max(1)) as f64),
+                f2(ops as f64 / elapsed.max(f64::MIN_POSITIVE)),
+            ]);
+            dist.shutdown();
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -992,6 +1067,23 @@ mod tests {
         // A single host never pays a network message.
         for row in t.rows.iter().filter(|r| r[1] == "1") {
             assert_eq!(row[4], "0.00", "{} on one host sent messages", row[0]);
+        }
+    }
+
+    #[test]
+    fn churn_experiment_reports_every_host_count_and_mix() {
+        let t = churn(&[1, 4], 96, 60, 9);
+        assert_eq!(t.rows.len(), 4); // 2 host counts x 2 mixes
+        for row in &t.rows {
+            let applied: usize = row[4].parse().unwrap();
+            assert!(applied > 0, "churn must apply updates ({row:?})");
+            let ops_per_sec: f64 = row[7].parse().unwrap();
+            assert!(ops_per_sec > 0.0, "churn must make progress ({row:?})");
+        }
+        // A single host never pays a network message, per query or update.
+        for row in t.rows.iter().filter(|r| r[1] == "1") {
+            assert_eq!(row[5], "0.00", "one-host queries sent messages");
+            assert_eq!(row[6], "0.00", "one-host updates sent messages");
         }
     }
 

@@ -1,44 +1,30 @@
-//! The 1-D skip-web on the threaded actor runtime — now a thin wrapper over
+//! The 1-D skip-web on the threaded actor runtime — a thin wrapper over
 //! the generic engine.
 //!
-//! Historically this module held a bespoke `ShardActor`/`Lookup` pair that
-//! executed the §2.5 forwarding protocol for sorted keys only. That logic
-//! now lives in [`crate::engine`], generic over every range-determined
-//! structure; [`DistributedOneDim`] remains as the stable 1-D entry point
-//! (spawn, per-client nearest-neighbour queries, message counting) so
-//! existing integration tests and examples keep working unchanged.
+//! Historically this module held a bespoke actor/message pair that executed
+//! the §2.5 forwarding protocol for sorted keys only. That logic now lives
+//! in [`crate::engine`], generic over every range-determined structure;
+//! [`DistributedOneDim`] remains as the stable 1-D entry point (spawn,
+//! per-client nearest-neighbour queries, live inserts/removes, message
+//! counting) so existing integration tests and examples keep working
+//! unchanged.
 
 use skipweb_net::runtime::RuntimeError;
 use skipweb_net::HostTraffic;
 use skipweb_structures::linked_list::SortedLinkedList;
 
-use crate::engine::{DistributedSkipWeb, EngineActor, EngineClient, EngineMsg};
+use crate::engine::{DistributedSkipWeb, EngineClient, UpdateReply};
 use crate::onedim::OneDimSkipWeb;
 
 pub use crate::engine::GlobalRef;
 
 /// Client handle for a [`DistributedOneDim`]; supports many concurrent
-/// in-flight queries via correlation ids (see [`crate::engine`]).
+/// in-flight operations via correlation ids (see [`crate::engine`]).
 pub type OneDimClient = EngineClient<SortedLinkedList>;
 
-/// Host-to-host query message of the 1-D engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "the bespoke 1-D message type was generalized; use \
-            `skipweb_core::engine::EngineMsg` via `DistributedSkipWeb`"
-)]
-pub type Lookup = EngineMsg<SortedLinkedList>;
-
-/// Per-host actor holding one shard of the 1-D skip-web.
-#[deprecated(
-    since = "0.1.0",
-    note = "the bespoke 1-D actor was generalized; use \
-            `skipweb_core::engine::EngineActor` via `DistributedSkipWeb`"
-)]
-pub type ShardActor = EngineActor<SortedLinkedList>;
-
 /// A running distributed 1-D skip-web: one actor thread per host, answering
-/// nearest-neighbour queries with real concurrent message passing.
+/// nearest-neighbour queries — and applying live key inserts/removes (§4) —
+/// with real concurrent message passing.
 pub struct DistributedOneDim {
     inner: DistributedSkipWeb<SortedLinkedList>,
 }
@@ -64,6 +50,19 @@ impl DistributedOneDim {
         }
     }
 
+    /// Like [`spawn`](Self::spawn) but with `capacity` actor threads, which
+    /// may exceed the web's host count to leave headroom for live inserts
+    /// (see [`DistributedSkipWeb::spawn_with_capacity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn spawn_with_capacity(web: &OneDimSkipWeb, capacity: usize) -> Self {
+        DistributedOneDim {
+            inner: DistributedSkipWeb::spawn_with_capacity(web.inner(), capacity),
+        }
+    }
+
     /// Registers a client.
     pub fn client(&self) -> OneDimClient {
         self.inner.client()
@@ -84,10 +83,38 @@ impl DistributedOneDim {
         self.inner.query(client, origin_item, q).map(|r| r.answer)
     }
 
-    /// The generic engine underneath (for [`DistributedSkipWeb::submit`]
-    /// and correlation-id based concurrent queries).
+    /// Inserts `key` through the live network (§4): routes to the key's
+    /// locus, walks the bottom-up repair, applies atomically. Returns the
+    /// update outcome with its remote-hop cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
+    pub fn insert(&self, client: &OneDimClient, key: u64) -> Result<UpdateReply, RuntimeError> {
+        self.inner.insert(client, key)
+    }
+
+    /// Removes `key` through the live network (§4). Absent keys complete as
+    /// free no-ops, like the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
+    pub fn remove(&self, client: &OneDimClient, key: u64) -> Result<UpdateReply, RuntimeError> {
+        self.inner.remove(client, key)
+    }
+
+    /// The generic engine underneath (for [`DistributedSkipWeb::submit`],
+    /// correlation-id pipelining, and explicit-bits updates).
     pub fn engine(&self) -> &DistributedSkipWeb<SortedLinkedList> {
         &self.inner
+    }
+
+    /// A snapshot of the currently stored keys, sorted.
+    pub fn keys(&self) -> Vec<u64> {
+        self.inner.ground()
     }
 
     /// Total host-to-host messages since spawn.
@@ -95,7 +122,8 @@ impl DistributedOneDim {
         self.inner.message_count()
     }
 
-    /// Per-host sent/received message counters since spawn.
+    /// Per-host sent/received message counters since spawn, with the
+    /// update-tagged share broken out.
     pub fn traffic(&self) -> HostTraffic {
         self.inner.traffic()
     }
@@ -192,8 +220,8 @@ mod tests {
         dist.engine().submit(&b, 1, 1100).unwrap();
         let ans_a = a.recv_any(Duration::from_secs(10)).unwrap();
         let ans_b = b.recv_any(Duration::from_secs(10)).unwrap();
-        assert_eq!(ans_a.answer, Some(55));
-        assert_eq!(ans_b.answer, Some(1100));
+        assert_eq!(ans_a.into_answer(), Some(55));
+        assert_eq!(ans_b.into_answer(), Some(1100));
         dist.shutdown();
     }
 
@@ -219,8 +247,27 @@ mod tests {
             let reply = client.recv_corr(corr, Duration::from_secs(10)).unwrap();
             assert_eq!(reply.corr, corr);
             let want = web.nearest(0, q).answer.nearest;
-            assert_eq!(reply.answer, Some(want), "query {q}");
+            assert_eq!(reply.into_answer(), Some(want), "query {q}");
         }
+        dist.shutdown();
+    }
+
+    #[test]
+    fn live_updates_change_the_served_answers() {
+        let keys: Vec<u64> = (0..64).map(|i| i * 100).collect();
+        let web = OneDimSkipWeb::builder(keys).seed(18).build();
+        let dist = DistributedOneDim::spawn_with_capacity(&web, 70);
+        let client = dist.client();
+        assert_eq!(dist.nearest(&client, 0, 5_550).unwrap(), Some(5_500));
+        let ins = dist.insert(&client, 5_551).unwrap();
+        assert!(ins.applied);
+        assert!(ins.hops > 0, "updates on H=n webs pay messages");
+        assert_eq!(dist.nearest(&client, 0, 5_550).unwrap(), Some(5_551));
+        assert!(dist.remove(&client, 5_551).unwrap().applied);
+        assert_eq!(dist.nearest(&client, 0, 5_550).unwrap(), Some(5_500));
+        assert!(dist.keys().contains(&5_500));
+        assert!(!dist.keys().contains(&5_551));
+        assert!(dist.traffic().total_update_sent() > 0);
         dist.shutdown();
     }
 }

@@ -1,7 +1,7 @@
 //! The generic distributed skip-web engine: any range-determined structure
-//! served by the threaded actor runtime.
+//! served by the threaded actor runtime — queries *and* dynamic updates.
 //!
-//! # Protocol (§2.3–§2.5)
+//! # Protocol (§2.3–§2.5, §4)
 //!
 //! The engine turns a built [`SkipWeb<D>`] into a live network of actor
 //! threads, one per host, executing the paper's routing protocol for real:
@@ -15,7 +15,7 @@
 //! * **Sharding (§2.4).** A host's shard is the set of ranges placed on it
 //!   (owner-hosted: each item's tower; bucketed: a block plus its non-basic
 //!   cone). A host may only *act* on ranges of its own shard; touching any
-//!   other range requires forwarding the query to a host that stores it.
+//!   other range requires forwarding the operation to a host that stores it.
 //!   Because structures are *range-determined* (§2.1 — `S` and `U` uniquely
 //!   determine `D(S)`), the deterministic structure description itself is
 //!   shared read-only across the process; what is distributed, metered, and
@@ -29,13 +29,35 @@
 //!   own shard, and otherwise sends one message handing the query to a host
 //!   that stores the next range. Replicated ranges prefer the co-located
 //!   copy, so bucketed placement pays only on basic-stratum crossings.
+//! * **Updates (§4).** `Insert`/`Remove` operations ride the *same*
+//!   forwarding loop: the op first routes to the item's level-0 locus like a
+//!   query, then walks the conflict neighbourhoods the structural change
+//!   rewires, bottom-up, level by level — paying one message per host
+//!   crossing, exactly what the cost-model simulator meters in
+//!   [`SkipWeb::insert_with`] / [`SkipWeb::remove_with`]. The host that
+//!   completes the repair applies the structural change and publishes a new
+//!   topology snapshot.
 //!
-//! Each query carries a correlation id, so one client can keep many queries
-//! in flight concurrently and match answers as they arrive out of order
-//! ([`DistributedSkipWeb::submit`] / [`EngineClient::recv_corr`]). Replies
-//! report the exact number of remote hops the query paid, which for
-//! owner-hosted placement equals the simulator's metered host crossings —
-//! the parity property the integration tests pin down.
+//! # Consistency under concurrent churn
+//!
+//! Every in-flight operation carries an [`Arc`] of the immutable topology
+//! snapshot it was admitted under, and an update's repair ends in a single
+//! atomic snapshot swap. A query therefore *never observes a half-applied
+//! update*: it sees either the structure entirely before or entirely after
+//! each update — operations serialize at their snapshot-capture and
+//! snapshot-publish points, and old snapshots are reclaimed automatically
+//! when their last in-flight message drains. Concurrent updates are safe in
+//! any interleaving (each applies to the then-current authoritative web
+//! under a lock); their *message accounting* matches the simulator exactly
+//! when updates are admitted one at a time, which is what the parity suite
+//! pins down.
+//!
+//! Each operation carries a correlation id, so one client can keep many
+//! operations in flight concurrently and match replies as they arrive out
+//! of order ([`DistributedSkipWeb::submit`] / [`EngineClient::recv_corr`]).
+//! Replies report the exact number of remote hops the operation paid, which
+//! for owner-hosted placement equals the simulator's metered host crossings
+//! — the parity property the integration tests pin down.
 //!
 //! # Example
 //!
@@ -48,25 +70,38 @@
 //! let client = dist.client();
 //! let reply = dist.query(&client, web.random_origin(1), 137).unwrap();
 //! assert_eq!(reply.answer, Some(140));
+//!
+//! // Dynamic updates route over the same actor fabric (§4).
+//! assert!(dist.insert(&client, 141).unwrap().applied);
+//! let reply = dist.query(&client, 0, 141).unwrap();
+//! assert_eq!(reply.answer, Some(141));
 //! dist.shutdown();
 //! ```
 
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use skipweb_net::runtime::{Actor, Client, ClientId, Context, Runtime, RuntimeError, Sender};
+use skipweb_net::runtime::{
+    Actor, Client, ClientId, Context, Runtime, RuntimeError, Sender, TrafficClass,
+};
 use skipweb_net::{HostId, HostTraffic};
 use skipweb_structures::traits::{RangeDetermined, RangeId};
 
 use crate::levels::parent_key;
+use crate::placement::Blocking;
 use crate::skipweb::SkipWeb;
 
 /// Globally unique address of a range: level, set index, range index — the
-/// "address" half of the paper's `(host, address)` pointers (§2.3).
+/// "address" half of the paper's `(host, address)` pointers (§2.3). Refs are
+/// only meaningful relative to one topology snapshot; every in-flight
+/// message carries the snapshot its refs resolve against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GlobalRef {
     /// Level in the hierarchy (0 = ground).
@@ -83,11 +118,11 @@ impl fmt::Display for GlobalRef {
     }
 }
 
-/// A structure that the distributed engine can route queries for: on top of
-/// the navigation primitives of [`RangeDetermined`], it names the wire-level
-/// request/answer types and how the terminal host turns a level-0 locus into
-/// an answer.
-pub trait Routable: RangeDetermined {
+/// A structure that the distributed engine can route operations for: on top
+/// of the navigation primitives of [`RangeDetermined`], it names the
+/// wire-level request/answer types, how the terminal host turns a level-0
+/// locus into an answer, and which items it will admit as live inserts.
+pub trait Routable: RangeDetermined<Item: Send + Sync + 'static> {
     /// What clients send: a query request (possibly richer than
     /// [`RangeDetermined::Query`] — e.g. an orthogonal box whose descent
     /// routes toward its centre point).
@@ -102,32 +137,164 @@ pub trait Routable: RangeDetermined {
     /// range containing the target — executed by the host anchoring that
     /// locus, from its local neighbourhood.
     fn answer(&self, locus: RangeId, req: &Self::Request) -> Self::Answer;
+
+    /// Whether `item` may be admitted as a live insert against the current
+    /// ground set. Actors serve wire input and must never panic on it, so
+    /// structures with build-time preconditions (e.g. the trapezoidal map's
+    /// general-position requirement) override this to reject violating
+    /// items; the insert then completes as a no-op (`applied == false`).
+    fn admissible(&self, item: &Self::Item) -> bool {
+        let _ = item;
+        true
+    }
 }
 
-/// Host-to-host query envelope of the engine.
-#[derive(Debug, Clone)]
+/// What an [`EngineMsg`] is carrying through the fabric.
+#[derive(Debug)]
+pub(crate) enum EngineOp<D: Routable> {
+    /// A query descending toward its target's locus.
+    Query(D::Request),
+    /// An insert/remove routing to its locus, then repairing bottom-up.
+    Update(UpdateOp<D>),
+}
+
+/// The update half of [`EngineOp`].
+#[derive(Debug)]
+pub(crate) struct UpdateOp<D: Routable> {
+    pub(crate) kind: UpdateKind,
+    pub(crate) item: D::Item,
+    pub(crate) phase: UpdatePhase,
+}
+
+/// Which structural change an update performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UpdateKind {
+    /// Insert the item at the levels selected by `bits`.
+    Insert {
+        /// The item's level membership bit string (§2.3).
+        bits: u64,
+    },
+    /// Remove the item (its stored bits come from the snapshot).
+    Remove,
+}
+
+/// Where an update is in its two-phase life (§4): routing to the item's
+/// locus, then walking the bottom-up repair trail. The trail is computed
+/// once — when the repair starts — and rides in the message so later hosts
+/// never recompute the conflict scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum UpdatePhase {
+    /// Descending toward the item's level-0 locus, exactly like a query.
+    Route,
+    /// Walking the conflict-neighbourhood trail; `cursor` indexes the next
+    /// unvisited trail entry.
+    Repair {
+        /// Next unvisited position on the repair trail.
+        cursor: usize,
+        /// The ordered hosts the repair acts on, fixed at repair start.
+        trail: Vec<HostId>,
+    },
+}
+
+/// Host-to-host operation envelope of the engine. Carries the topology
+/// snapshot the operation was admitted under, so its [`GlobalRef`]s stay
+/// valid across concurrent updates.
+#[derive(Debug)]
 pub struct EngineMsg<D: Routable> {
-    /// The request being routed.
-    pub req: D::Request,
-    /// Where to resume processing.
-    pub at: GlobalRef,
-    /// Client awaiting the answer.
-    pub client: ClientId,
-    /// Correlation id matching the reply to the submitting call.
-    pub corr: u64,
-    /// Remote hops paid so far.
-    pub hops: u32,
+    pub(crate) op: EngineOp<D>,
+    pub(crate) at: GlobalRef,
+    pub(crate) client: ClientId,
+    pub(crate) corr: u64,
+    pub(crate) hops: u32,
+    pub(crate) topo: Arc<Topology<D>>,
 }
 
-/// Reply delivered to the submitting client.
+/// Reply delivered to the submitting client: the correlation id, the remote
+/// hops paid end to end, and either a query answer or an update outcome.
 #[derive(Debug, Clone)]
 pub struct EngineReply<D: Routable> {
+    /// Correlation id of the originating submit call.
+    pub corr: u64,
+    /// Remote hops the operation paid end to end (for owner-hosted
+    /// placement this equals the simulator's metered host crossings).
+    pub hops: u32,
+    /// The operation's outcome.
+    pub body: ReplyBody<D>,
+}
+
+/// The payload of an [`EngineReply`].
+#[derive(Debug, Clone)]
+pub enum ReplyBody<D: Routable> {
+    /// A query's structure-specific answer.
+    Answer(D::Answer),
+    /// An update's outcome.
+    Updated {
+        /// Whether the structure changed (`false` for duplicate inserts,
+        /// absent removes, and inadmissible items).
+        applied: bool,
+    },
+}
+
+impl<D: Routable> EngineReply<D> {
+    /// The query answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this reply belongs to an update.
+    pub fn answer(&self) -> &D::Answer {
+        match &self.body {
+            ReplyBody::Answer(a) => a,
+            ReplyBody::Updated { .. } => panic!("update reply carries no query answer"),
+        }
+    }
+
+    /// Consumes the reply, returning the query answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this reply belongs to an update.
+    pub fn into_answer(self) -> D::Answer {
+        match self.body {
+            ReplyBody::Answer(a) => a,
+            ReplyBody::Updated { .. } => panic!("update reply carries no query answer"),
+        }
+    }
+
+    /// Whether the update changed the structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this reply belongs to a query.
+    pub fn applied(&self) -> bool {
+        match self.body {
+            ReplyBody::Updated { applied } => applied,
+            ReplyBody::Answer(_) => panic!("query reply carries no update outcome"),
+        }
+    }
+}
+
+/// A completed query: the answer plus its cost accounting.
+#[derive(Debug, Clone)]
+pub struct QueryReply<D: Routable> {
     /// Correlation id of the originating [`DistributedSkipWeb::submit`].
     pub corr: u64,
     /// The structure-specific answer.
     pub answer: D::Answer,
-    /// Remote hops the query paid end to end (for owner-hosted placement
-    /// this equals the simulator's metered host crossings).
+    /// Remote hops the query paid end to end.
+    pub hops: u32,
+}
+
+/// A completed update: whether it applied, plus its cost accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateReply {
+    /// Correlation id of the originating submit call.
+    pub corr: u64,
+    /// Whether the structure changed (`false` for duplicate inserts, absent
+    /// removes, and inadmissible items).
+    pub applied: bool,
+    /// Remote hops the update paid: the locus lookup plus the bottom-up
+    /// repair walk (§4) — equal to the simulator's metered `U(n)` for
+    /// owner-hosted placement.
     pub hops: u32,
 }
 
@@ -147,15 +314,112 @@ struct TopoSet<D: RangeDetermined> {
     parent: u32,
 }
 
-/// The immutable routing topology shared read-only by every host thread.
+/// One immutable snapshot of the routing topology. The current snapshot is
+/// swapped atomically when an update applies; every in-flight message holds
+/// the snapshot it routes under, so old snapshots are reclaimed when their
+/// last message drains.
 #[derive(Debug)]
-struct Topology<D: RangeDetermined> {
+pub(crate) struct Topology<D: RangeDetermined> {
     levels: Vec<Vec<TopoSet<D>>>,
+    /// Per level: set key → set index, for locating an item's set during
+    /// the bottom-up repair walk.
+    key_to_set: Vec<HashMap<u64, u32>>,
+    /// Item → level bit string, for remove repairs and duplicate checks.
+    membership: BTreeMap<D::Item, u64>,
+    blocking: Blocking,
+    /// Per ground item: the host and address where its operations start
+    /// (the "root node for that host" of §1.1).
+    origins: Vec<(HostId, GlobalRef)>,
 }
 
 impl<D: RangeDetermined> Topology<D> {
     fn set(&self, at: GlobalRef) -> &TopoSet<D> {
         &self.levels[at.level as usize][at.set as usize]
+    }
+}
+
+/// Builds a topology snapshot from `web`, folding its logical hosts onto
+/// `phys` physical actor threads (`logical % phys`). While the web's host
+/// count stays within `phys` the fold is the identity, so owner-hosted
+/// message accounting matches the simulator exactly.
+fn build_topology<D: Routable + Send + Sync + 'static>(
+    web: &SkipWeb<D>,
+    phys: usize,
+) -> Topology<D> {
+    let phys = phys.max(1);
+    let fold = |h: HostId| HostId(h.0 % phys as u32);
+    let levels = web.level_structs();
+    let topo_levels: Vec<Vec<TopoSet<D>>> = levels
+        .iter()
+        .enumerate()
+        .map(|(lvl, level)| {
+            level
+                .sets
+                .iter()
+                .map(|set| {
+                    let parent = if lvl == 0 {
+                        0
+                    } else {
+                        let pkey = parent_key(set.key, lvl as u32);
+                        levels[lvl - 1].set_by_key[&pkey]
+                    };
+                    TopoSet {
+                        structure: set.structure.clone(),
+                        down: set.down.clone(),
+                        hosts: set
+                            .range_host
+                            .iter()
+                            .map(|copies| {
+                                // Folding can alias distinct logical hosts;
+                                // keep first occurrences so the primary copy
+                                // stays copies[0].
+                                let mut mapped: Vec<HostId> = Vec::new();
+                                for h in copies.iter().copied().map(fold) {
+                                    if !mapped.contains(&h) {
+                                        mapped.push(h);
+                                    }
+                                }
+                                mapped
+                            })
+                            .collect(),
+                        parent,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let key_to_set = levels.iter().map(|l| l.set_by_key.clone()).collect();
+    let membership = web
+        .ground()
+        .iter()
+        .cloned()
+        .zip(web.item_bits().iter().copied())
+        .collect();
+    let top = web.top_level() as usize;
+    let top_level = &levels[top];
+    let origins = (0..web.len())
+        .map(|g| {
+            let set_idx = top_level.set_of_item[g] as usize;
+            let set = &top_level.sets[set_idx];
+            let entry = set
+                .structure
+                .entry_of_item(top_level.local_of_item[g] as usize);
+            (
+                fold(set.range_host[entry.index()][0]),
+                GlobalRef {
+                    level: top as u16,
+                    set: set_idx as u32,
+                    range: entry.0,
+                },
+            )
+        })
+        .collect();
+    Topology {
+        levels: topo_levels,
+        key_to_set,
+        membership,
+        blocking: web.blocking(),
+        origins,
     }
 }
 
@@ -169,9 +433,289 @@ fn pick(copies: &[HostId], me: HostId) -> HostId {
     }
 }
 
-/// Per-host actor executing the generic forwarding loop of §2.5.
-pub struct EngineActor<D: Routable> {
-    topo: Arc<Topology<D>>,
+/// Outcome of processing an operation "as far as we can internally" (§2.5).
+enum RouteOutcome {
+    /// The descent reached the maximal level-0 range containing the target.
+    AtLocus(GlobalRef),
+    /// The next range lives elsewhere: hand the operation to `host`.
+    Forward { next: GlobalRef, host: HostId },
+}
+
+/// Runs the §2.5 descent from `at` toward `q`'s level-0 locus, advancing
+/// for free while the next range is in `me`'s shard.
+fn route_step<D: Routable + Send + Sync + 'static>(
+    topo: &Topology<D>,
+    me: HostId,
+    mut at: GlobalRef,
+    q: &D::Query,
+) -> RouteOutcome {
+    loop {
+        let set = topo.set(at);
+        let next = match set.structure.search_step(RangeId(at.range), q) {
+            // Walk one range toward the locus within this level.
+            Some(next) => GlobalRef {
+                level: at.level,
+                set: at.set,
+                range: next.0,
+            },
+            // Level locus reached: done at the ground level …
+            None if at.level == 0 => return RouteOutcome::AtLocus(at),
+            // … or descend through the down-hyperlinks (§2.3).
+            None => {
+                let candidates = &set.down[at.range as usize];
+                assert!(
+                    !candidates.is_empty(),
+                    "hyperlinks of a subset range into its superset cannot be empty"
+                );
+                let parent_level = at.level - 1;
+                let parent = &topo.levels[parent_level as usize][set.parent as usize];
+                let entry = parent.structure.best_entry(candidates, q);
+                GlobalRef {
+                    level: parent_level,
+                    set: set.parent,
+                    range: entry.0,
+                }
+            }
+        };
+        let host = pick(&topo.set(next).hosts[next.range as usize], me);
+        if host == me {
+            // Process as far as we can internally (§2.5): free.
+            at = next;
+        } else {
+            return RouteOutcome::Forward { next, host };
+        }
+    }
+}
+
+/// The ordered hosts an update's bottom-up repair must act on (§4): for
+/// every level the item belongs to, the hosts of the ranges conflicting
+/// with the item's probe range — mirroring the simulator's
+/// `meter_update_neighbourhood` visit for visit, so the walk's host
+/// transitions equal the metered messages. Empty for a remove whose item is
+/// not in the snapshot.
+fn repair_trail<D: Routable + Send + Sync + 'static>(
+    topo: &Topology<D>,
+    item: &D::Item,
+    kind: UpdateKind,
+) -> Vec<HostId> {
+    let bits = match kind {
+        UpdateKind::Insert { bits } => bits,
+        UpdateKind::Remove => match topo.membership.get(item) {
+            Some(&bits) => bits,
+            None => return Vec::new(),
+        },
+    };
+    let probe_range = D::probe_range(item);
+    let mut trail = Vec::new();
+    crate::skipweb::walk_update_neighbourhood(
+        bits,
+        topo.blocking,
+        topo.levels.len(),
+        |level, key| topo.key_to_set[level as usize].get(&key).copied(),
+        |level, set_idx| {
+            let set = &topo.levels[level as usize][set_idx as usize];
+            set.structure
+                .conflicts(&probe_range)
+                .into_iter()
+                .map(|r| set.hosts[r.index()].clone())
+                .collect()
+        },
+        |host| trail.push(host),
+    );
+    trail
+}
+
+/// The authoritative evolving web every host shares. Held only while an
+/// update applies (which includes the structural rebuild), so its lock is
+/// off the read path.
+struct EngineState<D: Routable + Send + Sync + 'static> {
+    web: SkipWeb<D>,
+    /// Draws origins and level bits for the convenience
+    /// [`DistributedSkipWeb::insert`] / [`DistributedSkipWeb::remove`]
+    /// entry points (explicit-bits APIs bypass it).
+    rng: StdRng,
+}
+
+struct Shared<D: Routable + Send + Sync + 'static> {
+    state: Mutex<EngineState<D>>,
+    /// The current topology snapshot, in its own cell so submits only pay
+    /// an `Arc` clone — never a wait on an in-progress rebuild. Swapped by
+    /// the applier *while still holding the state lock* (lock order is
+    /// always `state` then `topo`), so publish order equals apply order.
+    topo: Mutex<Arc<Topology<D>>>,
+    /// Number of physical actor threads; logical hosts fold onto them
+    /// (`logical % phys`), so the web may grow past the thread count.
+    phys: usize,
+}
+
+impl<D: Routable + Send + Sync + 'static> Shared<D> {
+    /// The current topology snapshot (cheap: one lock + `Arc` clone).
+    fn current_topo(&self) -> Arc<Topology<D>> {
+        self.topo.lock().clone()
+    }
+}
+
+/// Per-host actor executing the generic forwarding loop of §2.5 and the
+/// update repair walks of §4.
+pub struct EngineActor<D: Routable + Send + Sync + 'static> {
+    shared: Arc<Shared<D>>,
+}
+
+impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
+    fn drive_query(
+        &self,
+        me: HostId,
+        mut msg: EngineMsg<D>,
+        ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+    ) {
+        let EngineOp::Query(ref req) = msg.op else {
+            unreachable!("drive_query only sees queries");
+        };
+        let q = D::target(req);
+        match route_step(&msg.topo, me, msg.at, &q) {
+            RouteOutcome::AtLocus(locus) => {
+                let answer = msg
+                    .topo
+                    .set(locus)
+                    .structure
+                    .answer(RangeId(locus.range), req);
+                ctx.reply(
+                    msg.client,
+                    EngineReply {
+                        corr: msg.corr,
+                        hops: msg.hops,
+                        body: ReplyBody::Answer(answer),
+                    },
+                );
+            }
+            RouteOutcome::Forward { next, host } => {
+                msg.at = next;
+                msg.hops += 1;
+                ctx.send_class(host, msg, TrafficClass::Query);
+            }
+        }
+    }
+
+    fn drive_update(
+        &self,
+        me: HostId,
+        mut msg: EngineMsg<D>,
+        ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+    ) {
+        let EngineOp::Update(ref u) = msg.op else {
+            unreachable!("drive_update only sees updates");
+        };
+        match u.phase {
+            UpdatePhase::Route => {
+                let q = D::item_query(&u.item);
+                match route_step(&msg.topo, me, msg.at, &q) {
+                    RouteOutcome::Forward { next, host } => {
+                        msg.at = next;
+                        msg.hops += 1;
+                        ctx.send_class(host, msg, TrafficClass::Update);
+                    }
+                    RouteOutcome::AtLocus(_) => {
+                        // A duplicate insert (or a remove that lost its
+                        // target to a concurrent update) stops at the locus,
+                        // paying only the lookup — as in the simulator.
+                        let present = msg.topo.membership.contains_key(&u.item);
+                        let noop = match u.kind {
+                            UpdateKind::Insert { .. } => present,
+                            UpdateKind::Remove => !present,
+                        };
+                        if noop {
+                            ctx.reply(
+                                msg.client,
+                                EngineReply {
+                                    corr: msg.corr,
+                                    hops: msg.hops,
+                                    body: ReplyBody::Updated { applied: false },
+                                },
+                            );
+                        } else {
+                            // The repair trail is computed exactly once,
+                            // here at repair start, and rides in the
+                            // message from now on.
+                            let trail = repair_trail(&msg.topo, &u.item, u.kind);
+                            self.continue_repair(me, 0, trail, msg, ctx);
+                        }
+                    }
+                }
+            }
+            UpdatePhase::Repair { cursor, ref trail } => {
+                let trail = trail.clone();
+                self.continue_repair(me, cursor, trail, msg, ctx);
+            }
+        }
+    }
+
+    /// Advances the repair walk: acts for free on every consecutive trail
+    /// entry in `me`'s shard, then either forwards to the next host (one
+    /// message — exactly a meter host transition) or, with the trail
+    /// exhausted, applies the structural change and replies.
+    fn continue_repair(
+        &self,
+        me: HostId,
+        start: usize,
+        trail: Vec<HostId>,
+        mut msg: EngineMsg<D>,
+        ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+    ) {
+        let mut cursor = start;
+        while cursor < trail.len() && trail[cursor] == me {
+            cursor += 1;
+        }
+        if cursor < trail.len() {
+            let host = trail[cursor];
+            let EngineOp::Update(ref mut u) = msg.op else {
+                unreachable!("repairs are updates");
+            };
+            u.phase = UpdatePhase::Repair { cursor, trail };
+            msg.hops += 1;
+            ctx.send_class(host, msg, TrafficClass::Update);
+        } else {
+            self.apply_and_reply(msg, ctx);
+        }
+    }
+
+    /// The final step of an update: atomically apply the structural change
+    /// to the authoritative web, publish the new topology snapshot, and
+    /// reply. In-flight operations keep their old snapshots, so none of
+    /// them ever observes the update half-applied.
+    fn apply_and_reply(
+        &self,
+        msg: EngineMsg<D>,
+        ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+    ) {
+        let EngineOp::Update(u) = msg.op else {
+            unreachable!("applies are updates");
+        };
+        let applied = {
+            let mut st = self.shared.state.lock();
+            let applied = match u.kind {
+                UpdateKind::Insert { bits } => {
+                    st.web.base().admissible(&u.item) && st.web.apply_insert(u.item, bits)
+                }
+                UpdateKind::Remove => st.web.apply_remove(&u.item),
+            };
+            if applied {
+                // Publish while still holding the state lock so snapshot
+                // order equals apply order; the topo lock itself is only
+                // held for the pointer swap.
+                let next = Arc::new(build_topology(&st.web, self.shared.phys));
+                *self.shared.topo.lock() = next;
+            }
+            applied
+        };
+        ctx.reply(
+            msg.client,
+            EngineReply {
+                corr: msg.corr,
+                hops: msg.hops,
+                body: ReplyBody::Updated { applied },
+            },
+        );
+    }
 }
 
 impl<D: Routable + Send + Sync + 'static> Actor for EngineActor<D> {
@@ -181,68 +725,19 @@ impl<D: Routable + Send + Sync + 'static> Actor for EngineActor<D> {
     fn on_message(
         &mut self,
         _from: Sender,
-        mut msg: EngineMsg<D>,
+        msg: EngineMsg<D>,
         ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
     ) {
         let me = ctx.host();
-        let q = D::target(&msg.req);
-        let mut at = msg.at;
-        loop {
-            let set = self.topo.set(at);
-            let next = match set.structure.search_step(RangeId(at.range), &q) {
-                // Walk one range toward the locus within this level.
-                Some(next) => GlobalRef {
-                    level: at.level,
-                    set: at.set,
-                    range: next.0,
-                },
-                // Level locus reached: answer at the ground level …
-                None if at.level == 0 => {
-                    let answer = set.structure.answer(RangeId(at.range), &msg.req);
-                    ctx.reply(
-                        msg.client,
-                        EngineReply {
-                            corr: msg.corr,
-                            answer,
-                            hops: msg.hops,
-                        },
-                    );
-                    return;
-                }
-                // … or descend through the down-hyperlinks (§2.3).
-                None => {
-                    let candidates = &set.down[at.range as usize];
-                    assert!(
-                        !candidates.is_empty(),
-                        "hyperlinks of a subset range into its superset cannot be empty"
-                    );
-                    let parent_level = at.level - 1;
-                    let parent = &self.topo.levels[parent_level as usize][set.parent as usize];
-                    let entry = parent.structure.best_entry(candidates, &q);
-                    GlobalRef {
-                        level: parent_level,
-                        set: set.parent,
-                        range: entry.0,
-                    }
-                }
-            };
-            let host = pick(&self.topo.set(next).hosts[next.range as usize], me);
-            if host == me {
-                // Process as far as we can internally (§2.5): free.
-                at = next;
-            } else {
-                // The next range lives elsewhere: one network message.
-                msg.at = next;
-                msg.hops += 1;
-                ctx.send(host, msg);
-                return;
-            }
+        match msg.op {
+            EngineOp::Query(_) => self.drive_query(me, msg, ctx),
+            EngineOp::Update(_) => self.drive_update(me, msg, ctx),
         }
     }
 }
 
-/// A client handle supporting many concurrent in-flight queries, matched to
-/// replies by correlation id. Shareable across threads (`Sync`); replies
+/// A client handle supporting many concurrent in-flight operations, matched
+/// to replies by correlation id. Shareable across threads (`Sync`); replies
 /// pulled by one thread for another's correlation id are parked in a shared
 /// buffer.
 pub struct EngineClient<D: Routable + Send + Sync + 'static> {
@@ -257,8 +752,8 @@ impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
         self.inner.id()
     }
 
-    /// Receives the next reply for *any* of this client's in-flight queries
-    /// (buffered ones first), waiting up to `timeout`.
+    /// Receives the next reply for *any* of this client's in-flight
+    /// operations (buffered ones first), waiting up to `timeout`.
     ///
     /// # Errors
     ///
@@ -289,7 +784,7 @@ impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
         }
     }
 
-    /// Receives the reply for the query submitted with correlation id
+    /// Receives the reply for the operation submitted with correlation id
     /// `corr`, waiting up to `timeout` and parking replies to other
     /// correlation ids for later [`recv_any`](Self::recv_any) /
     /// `recv_corr` calls.
@@ -334,101 +829,64 @@ impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
 }
 
 /// A running distributed skip-web over structure `D`: one actor thread per
-/// (physical) host, executing the forwarding protocol of §2.5 under real
-/// concurrent message passing.
+/// (physical) host, executing the forwarding protocol of §2.5 — and the
+/// update repairs of §4 — under real concurrent message passing.
 pub struct DistributedSkipWeb<D: Routable + Send + Sync + 'static> {
     runtime: Runtime<EngineActor<D>>,
-    /// Per ground item: the host and address where its queries start (the
-    /// "root node for that host" of §1.1).
-    origins: Vec<(HostId, GlobalRef)>,
+    shared: Arc<Shared<D>>,
 }
 
 impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
     /// Shards `web` across one actor thread per host of its placement and
     /// starts them.
+    ///
+    /// Live inserts can grow the web past its spawn-time host count; the
+    /// new logical hosts fold onto the existing threads. Use
+    /// [`spawn_with_capacity`](Self::spawn_with_capacity) to reserve
+    /// headroom so owner-hosted message accounting stays exact under
+    /// growth.
     pub fn spawn(web: &SkipWeb<D>) -> Self {
-        Self::spawn_consolidated(web, web.hosts().max(1))
+        Self::spawn_with_capacity(web, web.hosts().max(1))
     }
 
     /// Like [`spawn`](Self::spawn), but folds the web's logical hosts onto
     /// at most `hosts` physical actor threads (`logical % hosts`), so the
     /// same structure can be served — and its throughput measured — at any
-    /// deployment size. Queries between ranges folded onto the same physical
-    /// host become free, exactly like any other co-location.
+    /// deployment size. Operations between ranges folded onto the same
+    /// physical host become free, exactly like any other co-location.
     ///
     /// # Panics
     ///
     /// Panics if `hosts` is zero.
     pub fn spawn_consolidated(web: &SkipWeb<D>, hosts: usize) -> Self {
         assert!(hosts > 0, "a network needs at least one host");
-        let phys = hosts.min(web.hosts().max(1));
-        let fold = |h: HostId| HostId(h.0 % phys as u32);
-        let levels = web.level_structs();
-        let topo_levels: Vec<Vec<TopoSet<D>>> = levels
-            .iter()
-            .enumerate()
-            .map(|(lvl, level)| {
-                level
-                    .sets
-                    .iter()
-                    .map(|set| {
-                        let parent = if lvl == 0 {
-                            0
-                        } else {
-                            let pkey = parent_key(set.key, lvl as u32);
-                            levels[lvl - 1].set_by_key[&pkey]
-                        };
-                        TopoSet {
-                            structure: set.structure.clone(),
-                            down: set.down.clone(),
-                            hosts: set
-                                .range_host
-                                .iter()
-                                .map(|copies| {
-                                    // Folding can alias distinct logical
-                                    // hosts; keep first occurrences so the
-                                    // primary copy stays copies[0].
-                                    let mut mapped: Vec<HostId> = Vec::new();
-                                    for h in copies.iter().copied().map(fold) {
-                                        if !mapped.contains(&h) {
-                                            mapped.push(h);
-                                        }
-                                    }
-                                    mapped
-                                })
-                                .collect(),
-                            parent,
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        let top = web.top_level() as usize;
-        let top_level = &levels[top];
-        let origins = (0..web.len())
-            .map(|g| {
-                let set_idx = top_level.set_of_item[g] as usize;
-                let set = &top_level.sets[set_idx];
-                let entry = set
-                    .structure
-                    .entry_of_item(top_level.local_of_item[g] as usize);
-                (
-                    fold(set.range_host[entry.index()][0]),
-                    GlobalRef {
-                        level: top as u16,
-                        set: set_idx as u32,
-                        range: entry.0,
-                    },
-                )
-            })
-            .collect();
-        let topo = Arc::new(Topology {
-            levels: topo_levels,
+        Self::spawn_with_capacity(web, hosts.min(web.hosts().max(1)))
+    }
+
+    /// Spawns exactly `capacity` actor threads, which may exceed the web's
+    /// current host count to leave headroom for live inserts: while the
+    /// web's logical host count stays within `capacity` the fold is the
+    /// identity, so owner-hosted hop counts keep matching the cost-model
+    /// simulator even as the structure grows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn spawn_with_capacity(web: &SkipWeb<D>, capacity: usize) -> Self {
+        assert!(capacity > 0, "a network needs at least one host");
+        let topo = Arc::new(build_topology(web, capacity));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(EngineState {
+                web: web.clone(),
+                rng: StdRng::seed_from_u64(0x736b_6970_7765_6221),
+            }),
+            topo: Mutex::new(topo),
+            phys: capacity,
         });
-        let runtime = Runtime::spawn(phys, |_h| EngineActor {
-            topo: Arc::clone(&topo),
+        let runtime = Runtime::spawn(capacity, |_h| EngineActor {
+            shared: Arc::clone(&shared),
         });
-        DistributedSkipWeb { runtime, origins }
+        DistributedSkipWeb { runtime, shared }
     }
 
     /// Registers a client.
@@ -442,7 +900,7 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
 
     /// Injects `req` at `origin_item`'s root host without waiting, returning
     /// the correlation id to pass to [`EngineClient::recv_corr`]. Any number
-    /// of queries may be in flight per client.
+    /// of operations may be in flight per client.
     ///
     /// # Errors
     ///
@@ -457,20 +915,22 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         origin_item: usize,
         req: D::Request,
     ) -> Result<u64, RuntimeError> {
+        let topo = self.shared.current_topo();
         assert!(
-            origin_item < self.origins.len(),
+            origin_item < topo.origins.len(),
             "origin item out of bounds"
         );
         let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
-        let (host, at) = self.origins[origin_item];
+        let (host, at) = topo.origins[origin_item];
         client.inner.send(
             host,
             EngineMsg {
-                req,
+                op: EngineOp::Query(req),
                 at,
                 client: client.id(),
                 corr,
                 hops: 0,
+                topo,
             },
         )?;
         Ok(corr)
@@ -491,9 +951,248 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         client: &EngineClient<D>,
         origin_item: usize,
         req: D::Request,
-    ) -> Result<EngineReply<D>, RuntimeError> {
+    ) -> Result<QueryReply<D>, RuntimeError> {
         let corr = self.submit(client, origin_item, req)?;
-        client.recv_corr(corr, Duration::from_secs(10))
+        let reply = client.recv_corr(corr, Duration::from_secs(10))?;
+        match reply.body {
+            ReplyBody::Answer(answer) => Ok(QueryReply {
+                corr,
+                answer,
+                hops: reply.hops,
+            }),
+            ReplyBody::Updated { .. } => unreachable!("query correlation id matched an update"),
+        }
+    }
+
+    /// Submits an insert with an explicit level bit string without waiting,
+    /// returning its correlation id. Driving the simulator's
+    /// [`SkipWeb::insert_with`] with the same `(origin, bits)` yields the
+    /// same structure and — for owner-hosted placement within capacity —
+    /// the same message count.
+    ///
+    /// `origin` names the ground item whose root the lookup phase starts
+    /// from; it is ignored when the web is empty (there is nothing to look
+    /// up, matching the simulator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of bounds on a non-empty web.
+    pub fn submit_insert(
+        &self,
+        client: &EngineClient<D>,
+        origin: usize,
+        item: D::Item,
+        bits: u64,
+    ) -> Result<u64, RuntimeError> {
+        self.submit_update(client, origin, UpdateKind::Insert { bits }, item)
+    }
+
+    /// Submits a remove without waiting, returning its correlation id. The
+    /// counterpart of [`SkipWeb::remove_with`]: `origin` is ignored when
+    /// the simulator would skip the lookup (item absent from the snapshot,
+    /// or a single-item web).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of bounds when the lookup phase runs.
+    pub fn submit_remove(
+        &self,
+        client: &EngineClient<D>,
+        origin: usize,
+        item: D::Item,
+    ) -> Result<u64, RuntimeError> {
+        self.submit_update(client, origin, UpdateKind::Remove, item)
+    }
+
+    fn submit_update(
+        &self,
+        client: &EngineClient<D>,
+        origin: usize,
+        kind: UpdateKind,
+        item: D::Item,
+    ) -> Result<u64, RuntimeError> {
+        let topo = self.shared.current_topo();
+        self.submit_update_at(client, topo, origin, kind, item)
+    }
+
+    /// Admits an update against an already-captured snapshot, so callers
+    /// that derived `origin` from that same snapshot (the convenience
+    /// `insert`/`remove`) can never race a concurrent apply into an
+    /// out-of-bounds origin.
+    fn submit_update_at(
+        &self,
+        client: &EngineClient<D>,
+        topo: Arc<Topology<D>>,
+        origin: usize,
+        kind: UpdateKind,
+        item: D::Item,
+    ) -> Result<u64, RuntimeError> {
+        let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
+        // Mirror the simulator's lookup rule: inserts route on a non-empty
+        // web; removes route when the item is present and not the last one.
+        let routes = match kind {
+            UpdateKind::Insert { .. } => !topo.origins.is_empty(),
+            UpdateKind::Remove => topo.origins.len() > 1 && topo.membership.contains_key(&item),
+        };
+        let (host, at, phase) = if routes {
+            assert!(origin < topo.origins.len(), "origin item out of bounds");
+            let (host, at) = topo.origins[origin];
+            (host, at, UpdatePhase::Route)
+        } else {
+            // No lookup phase: enter the repair trail directly. The client
+            // injection is free (as is the meter's first visit), so hops
+            // still equal the simulator's messages.
+            let trail = repair_trail(&topo, &item, kind);
+            let host = trail.first().copied().unwrap_or(HostId(0));
+            let at = GlobalRef {
+                level: 0,
+                set: 0,
+                range: 0,
+            };
+            (host, at, UpdatePhase::Repair { cursor: 0, trail })
+        };
+        client.inner.send(
+            host,
+            EngineMsg {
+                op: EngineOp::Update(UpdateOp { kind, item, phase }),
+                at,
+                client: client.id(),
+                corr,
+                hops: 0,
+                topo,
+            },
+        )?;
+        Ok(corr)
+    }
+
+    fn await_update(client: &EngineClient<D>, corr: u64) -> Result<UpdateReply, RuntimeError> {
+        let reply = client.recv_corr(corr, Duration::from_secs(30))?;
+        match reply.body {
+            ReplyBody::Updated { applied } => Ok(UpdateReply {
+                corr,
+                applied,
+                hops: reply.hops,
+            }),
+            ReplyBody::Answer(_) => unreachable!("update correlation id matched a query"),
+        }
+    }
+
+    /// Runs one insert end to end with an explicit origin and bit string
+    /// (see [`submit_insert`](Self::submit_insert)), blocking up to 30 s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of bounds on a non-empty web.
+    pub fn insert_with(
+        &self,
+        client: &EngineClient<D>,
+        origin: usize,
+        item: D::Item,
+        bits: u64,
+    ) -> Result<UpdateReply, RuntimeError> {
+        let corr = self.submit_insert(client, origin, item, bits)?;
+        Self::await_update(client, corr)
+    }
+
+    /// Runs one remove end to end with an explicit origin (see
+    /// [`submit_remove`](Self::submit_remove)), blocking up to 30 s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of bounds when the lookup phase runs.
+    pub fn remove_with(
+        &self,
+        client: &EngineClient<D>,
+        origin: usize,
+        item: D::Item,
+    ) -> Result<UpdateReply, RuntimeError> {
+        let corr = self.submit_remove(client, origin, item)?;
+        Self::await_update(client, corr)
+    }
+
+    /// Runs one insert end to end, drawing the lookup origin and the
+    /// item's level bits from the engine's seeded generator — the live
+    /// counterpart of [`SkipWeb::insert`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
+    pub fn insert(
+        &self,
+        client: &EngineClient<D>,
+        item: D::Item,
+    ) -> Result<UpdateReply, RuntimeError> {
+        // Draw the origin against the same snapshot the update is admitted
+        // under, so a concurrent apply can never shrink it out of bounds.
+        let topo = self.shared.current_topo();
+        let len = topo.origins.len();
+        let (origin, bits) = {
+            let mut st = self.shared.state.lock();
+            let origin = if len > 0 { st.rng.gen_range(0..len) } else { 0 };
+            (origin, st.rng.gen())
+        };
+        let corr =
+            self.submit_update_at(client, topo, origin, UpdateKind::Insert { bits }, item)?;
+        Self::await_update(client, corr)
+    }
+
+    /// Runs one remove end to end, drawing the lookup origin from the
+    /// engine's seeded generator — the live counterpart of
+    /// [`SkipWeb::remove`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
+    pub fn remove(
+        &self,
+        client: &EngineClient<D>,
+        item: D::Item,
+    ) -> Result<UpdateReply, RuntimeError> {
+        // Same snapshot for origin draw and admission (see `insert`).
+        let topo = self.shared.current_topo();
+        let len = topo.origins.len();
+        let origin = if len > 0 {
+            self.shared.state.lock().rng.gen_range(0..len)
+        } else {
+            0
+        };
+        let corr = self.submit_update_at(client, topo, origin, UpdateKind::Remove, item)?;
+        Self::await_update(client, corr)
+    }
+
+    /// A snapshot of the current ground set, in canonical order.
+    pub fn ground(&self) -> Vec<D::Item> {
+        self.shared.state.lock().web.ground().to_vec()
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().web.len()
+    }
+
+    /// Whether the web currently stores no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Total host-to-host messages since spawn.
@@ -501,7 +1200,8 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         self.runtime.message_count()
     }
 
-    /// Per-host sent/received message counters since spawn.
+    /// Per-host sent/received message counters since spawn, with the
+    /// update-tagged share broken out (routing + repair messages of §4).
     pub fn traffic(&self) -> HostTraffic {
         self.runtime.host_traffic()
     }
@@ -509,6 +1209,12 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
     /// Number of (physical) hosts.
     pub fn hosts(&self) -> usize {
         self.runtime.hosts()
+    }
+
+    /// The host whose actor panicked, if any — the fabric is then poisoned
+    /// and every blocked or future client operation reports it.
+    pub fn poisoned_by(&self) -> Option<HostId> {
+        self.runtime.poisoned_by()
     }
 
     /// Stops all host threads.
@@ -523,6 +1229,7 @@ mod tests {
     use crate::multidim::{
         QuadtreeAnswer, QuadtreeRequest, QuadtreeSkipWeb, TrapezoidSkipWeb, TrieSkipWeb,
     };
+    use skipweb_net::sim::MessageMeter;
     use skipweb_structures::quadtree::PointKey;
     use skipweb_structures::trapezoid::Segment;
 
@@ -661,12 +1368,211 @@ mod tests {
         // single host never pays a message at all.
         assert!(four.message_count() <= full.message_count());
         assert_eq!(one.message_count(), 0);
-        // Per-host counters sum to the global counter.
+        // Per-host counters sum to the global counter; no updates ran.
         let traffic = four.traffic();
         assert_eq!(traffic.hosts(), 4);
         assert_eq!(traffic.total_sent(), four.message_count());
+        assert_eq!(traffic.total_update_sent(), 0);
         full.shutdown();
         four.shutdown();
         one.shutdown();
+    }
+
+    #[test]
+    fn live_onedim_updates_match_the_simulator_hop_for_hop() {
+        let keys: Vec<u64> = (0..80).map(|i| i * 10).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(26).build();
+        let mut sim = web.inner().clone();
+        // Headroom so inserted items get their own hosts, as in the sim.
+        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), 80 + 16);
+        let client = dist.client();
+        for i in 0..16u64 {
+            let key = 5 + i * 37;
+            let bits = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xABCD;
+            let origin = (i as usize * 7) % sim.len();
+            let mut meter = MessageMeter::new();
+            let sim_applied = sim.insert_with(Some(origin), key, bits, &mut meter);
+            let reply = dist.insert_with(&client, origin, key, bits).unwrap();
+            assert_eq!(reply.applied, sim_applied, "insert {key}");
+            assert_eq!(u64::from(reply.hops), meter.messages(), "hops insert {key}");
+        }
+        for i in 0..8u64 {
+            let key = i * 30; // some present, some already gone
+            let origin = (i as usize * 11) % sim.len();
+            let sim_origin = (sim.len() > 1).then_some(origin);
+            let mut meter = MessageMeter::new();
+            let sim_applied = sim.remove_with(sim_origin, &key, &mut meter);
+            let reply = dist.remove_with(&client, origin, key).unwrap();
+            assert_eq!(reply.applied, sim_applied, "remove {key}");
+            assert_eq!(u64::from(reply.hops), meter.messages(), "hops remove {key}");
+        }
+        // Post-churn state and query parity.
+        assert_eq!(dist.ground(), sim.ground());
+        for s in 0..20u64 {
+            let q = (s * 131) % 1000;
+            let origin = s as usize % sim.len();
+            let mut meter = MessageMeter::new();
+            let out = sim.query(origin, &q, &mut meter);
+            let locus = sim.base().range(out.locus);
+            let want = crate::onedim::nearest_from_locus(&locus, q);
+            let reply = dist.query(&client, origin, q).unwrap();
+            assert_eq!(reply.answer, want.or(sim.base().nearest_key(q)), "q={q}");
+            assert_eq!(u64::from(reply.hops), out.messages, "query hops q={q}");
+        }
+        // Update traffic is metered separately from query traffic.
+        let traffic = dist.traffic();
+        assert!(traffic.total_update_sent() > 0);
+        assert!(traffic.total_query_sent() > 0);
+        assert_eq!(traffic.total_sent(), dist.message_count());
+        dist.shutdown();
+    }
+
+    #[test]
+    fn duplicate_inserts_and_absent_removes_are_noops() {
+        let keys: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(27).build();
+        let dist = DistributedSkipWeb::spawn(web.inner());
+        let client = dist.client();
+        // Duplicate insert: pays the lookup, applies nothing.
+        let dup = dist.insert_with(&client, 3, 16, 0xBEEF).unwrap();
+        assert!(!dup.applied);
+        assert_eq!(dist.len(), 32);
+        // Absent remove: free no-op, like the simulator.
+        let gone = dist.remove_with(&client, 0, 999).unwrap();
+        assert!(!gone.applied);
+        assert_eq!(gone.hops, 0);
+        assert_eq!(dist.len(), 32);
+        dist.shutdown();
+    }
+
+    #[test]
+    fn updates_grow_and_shrink_through_the_empty_web() {
+        let web = crate::onedim::OneDimSkipWeb::builder(vec![7])
+            .seed(28)
+            .build();
+        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), 8);
+        let client = dist.client();
+        // Remove the last item (no lookup phase, like the simulator).
+        assert!(dist.remove(&client, 7).unwrap().applied);
+        assert!(dist.is_empty());
+        // Insert into the empty web, then query it.
+        assert!(dist.insert(&client, 42).unwrap().applied);
+        assert!(dist.insert(&client, 50).unwrap().applied);
+        assert_eq!(dist.ground(), vec![42, 50]);
+        let reply = dist.query(&client, 0, 45).unwrap();
+        assert_eq!(reply.answer, Some(42));
+        dist.shutdown();
+    }
+
+    #[test]
+    fn inadmissible_trapezoid_insert_is_rejected_not_fatal() {
+        let segments: Vec<Segment> = (0..12)
+            .map(|i| Segment::new((i * 100, i * 10), (i * 100 + 60, i * 10 + 3)))
+            .collect();
+        let web = TrapezoidSkipWeb::builder(segments).seed(29).build();
+        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), 16);
+        let client = dist.client();
+        // Shares an endpoint x-coordinate with a stored segment: violates
+        // general position. The actor must reject it, not panic.
+        let bad = Segment::new((0, 500), (77, 501));
+        let reply = dist.insert(&client, bad).unwrap();
+        assert!(!reply.applied);
+        assert!(dist.poisoned_by().is_none(), "fabric must stay healthy");
+        // A good segment above all bands still applies.
+        let good = Segment::new((41, 2_000), (83, 2_001));
+        assert!(dist.insert(&client, good).unwrap().applied);
+        let reply = dist.query(&client, 0, (60i64, 2_005i64)).unwrap();
+        assert_eq!(reply.answer.bottom, Some(good));
+        assert!(dist.remove(&client, good).unwrap().applied);
+        dist.shutdown();
+    }
+
+    #[test]
+    fn in_flight_queries_never_observe_a_half_applied_update() {
+        // Readers hammer the web while a writer churns; every answer must
+        // be a key that was a member of some pre- or post-update snapshot,
+        // and nothing may hang or panic.
+        let keys: Vec<u64> = (0..100).map(|i| i * 100).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(30).build();
+        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), 100 + 32);
+        std::thread::scope(|scope| {
+            let writer = {
+                let dist = &dist;
+                scope.spawn(move || {
+                    let client = dist.client();
+                    for i in 0..24u64 {
+                        let key = 50 + i * 200;
+                        assert!(dist.insert(&client, key).unwrap().applied);
+                        if i % 3 == 0 {
+                            assert!(dist.remove(&client, key).unwrap().applied);
+                        }
+                    }
+                })
+            };
+            for r in 0..3u64 {
+                let dist = &dist;
+                scope.spawn(move || {
+                    let client = dist.client();
+                    for i in 0..60u64 {
+                        let q = (r * 97 + i * 131) % 11_000;
+                        let reply = dist.query(&client, (i as usize) % 100, q).unwrap();
+                        let a = reply.answer.expect("web never empties");
+                        assert!(
+                            a.is_multiple_of(100) || (a >= 50 && (a - 50).is_multiple_of(200)),
+                            "answer {a} was never a member"
+                        );
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        dist.shutdown();
+    }
+
+    #[test]
+    fn host_panic_mid_update_poisons_the_fabric_for_blocked_and_later_clients() {
+        let keys: Vec<u64> = (0..64).map(|i| i * 3).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(31).build();
+        let dist = DistributedSkipWeb::spawn(web.inner());
+        let client = dist.client();
+        // A corrupt address makes host 5 die mid-update processing.
+        let topo = dist.shared.current_topo();
+        client
+            .inner
+            .send(
+                HostId(5),
+                EngineMsg {
+                    op: EngineOp::Update(UpdateOp {
+                        kind: UpdateKind::Insert { bits: 1 },
+                        item: 7,
+                        phase: UpdatePhase::Route,
+                    }),
+                    at: GlobalRef {
+                        level: 0,
+                        set: 0,
+                        range: u32::MAX,
+                    },
+                    client: client.id(),
+                    corr: 777,
+                    hops: 0,
+                    topo,
+                },
+            )
+            .unwrap();
+        // The blocked client must get the error, not hang.
+        let err = client.recv_corr(777, Duration::from_secs(10)).unwrap_err();
+        assert_eq!(err, RuntimeError::HostPanicked(HostId(5)));
+        assert_eq!(dist.poisoned_by(), Some(HostId(5)));
+        // The fabric stays poisoned for later senders: updates and queries
+        // fail fast instead of routing into a dead network.
+        assert_eq!(
+            dist.insert(&client, 999).unwrap_err(),
+            RuntimeError::HostPanicked(HostId(5))
+        );
+        assert_eq!(
+            dist.query(&client, 0, 5).unwrap_err(),
+            RuntimeError::HostPanicked(HostId(5))
+        );
+        dist.shutdown();
     }
 }

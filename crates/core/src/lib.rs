@@ -18,8 +18,12 @@
 //!   neighbour, trie prefix search, trapezoidal-map point location (§3).
 //! * [`engine`] — the generic distributed engine: any of the above served
 //!   by the threaded actor runtime with real message passing, correlation-id
-//!   clients, and per-host traffic counters.
-//! * [`distributed`] — the stable 1-D entry point, now a thin wrapper over
+//!   clients, per-host traffic counters, and live dynamic updates (§4):
+//!   inserts/removes route to their locus, repair the conflict
+//!   neighbourhoods bottom-up paying one message per host crossing, and
+//!   apply as an atomic topology-snapshot swap, so concurrent queries never
+//!   observe a half-applied update.
+//! * [`distributed`] — the stable 1-D entry point, a thin wrapper over
 //!   [`engine`].
 //!
 //! # Quickstart

@@ -141,6 +141,12 @@ impl Routable for TrapezoidalMap {
     fn answer(&self, locus: RangeId, _req: &(i64, i64)) -> Trapezoid {
         RangeDetermined::range(self, locus)
     }
+
+    fn admissible(&self, item: &Segment) -> bool {
+        // Building with a general-position violation panics; a live insert
+        // over the wire must degrade to a rejected no-op instead.
+        self.admits(item)
+    }
 }
 
 /// Ascends from the descent locus to the smallest cell covering the whole
@@ -359,8 +365,9 @@ impl<const D: usize> QuadtreeSkipWeb<D> {
     }
 
     /// Serves this web over the threaded actor runtime (see
-    /// [`crate::engine`]): point-location and box-reporting requests are
-    /// routed with real concurrent message passing.
+    /// [`crate::engine`]): point-location and box-reporting requests — and
+    /// live point inserts/removes — are routed with real concurrent message
+    /// passing.
     pub fn serve(&self) -> DistributedSkipWeb<CompressedQuadtree<D>> {
         DistributedSkipWeb::spawn(&self.web)
     }
@@ -387,6 +394,12 @@ impl<const D: usize> QuadtreeSkipWeb<D> {
     /// The underlying generic skip-web.
     pub fn inner(&self) -> &SkipWeb<CompressedQuadtree<D>> {
         &self.web
+    }
+
+    /// Mutable access to the underlying generic skip-web (e.g. to drive
+    /// deterministic [`SkipWeb::insert_with`] updates for parity studies).
+    pub fn inner_mut(&mut self) -> &mut SkipWeb<CompressedQuadtree<D>> {
+        &mut self.web
     }
 }
 
@@ -515,8 +528,8 @@ impl TrieSkipWeb {
     }
 
     /// Serves this web over the threaded actor runtime (see
-    /// [`crate::engine`]): prefix requests are routed with real concurrent
-    /// message passing.
+    /// [`crate::engine`]): prefix requests — and live string
+    /// inserts/removes — are routed with real concurrent message passing.
     pub fn serve(&self) -> DistributedSkipWeb<CompressedTrie> {
         DistributedSkipWeb::spawn(&self.web)
     }
@@ -529,6 +542,12 @@ impl TrieSkipWeb {
     /// The underlying generic skip-web.
     pub fn inner(&self) -> &SkipWeb<CompressedTrie> {
         &self.web
+    }
+
+    /// Mutable access to the underlying generic skip-web (e.g. to drive
+    /// deterministic [`SkipWeb::insert_with`] updates for parity studies).
+    pub fn inner_mut(&mut self) -> &mut SkipWeb<CompressedTrie> {
+        &mut self.web
     }
 }
 
@@ -636,8 +655,9 @@ impl TrapezoidSkipWeb {
     }
 
     /// Serves this web over the threaded actor runtime (see
-    /// [`crate::engine`]): planar point-location requests are routed with
-    /// real concurrent message passing.
+    /// [`crate::engine`]): planar point-location requests — and live
+    /// segment inserts/removes, gated by the general-position admission
+    /// check — are routed with real concurrent message passing.
     pub fn serve(&self) -> DistributedSkipWeb<TrapezoidalMap> {
         DistributedSkipWeb::spawn(&self.web)
     }
@@ -650,6 +670,12 @@ impl TrapezoidSkipWeb {
     /// The underlying generic skip-web.
     pub fn inner(&self) -> &SkipWeb<TrapezoidalMap> {
         &self.web
+    }
+
+    /// Mutable access to the underlying generic skip-web (e.g. to drive
+    /// deterministic [`SkipWeb::insert_with`] updates for parity studies).
+    pub fn inner_mut(&mut self) -> &mut SkipWeb<TrapezoidalMap> {
+        &mut self.web
     }
 }
 

@@ -292,36 +292,94 @@ impl<D: RangeDetermined> SkipWeb<D> {
     /// Returns `false` (and charges only the lookup) when the item is
     /// already present.
     pub fn insert(&mut self, item: D::Item, meter: &mut MessageMeter) -> bool {
+        let origin = if self.is_empty() {
+            None
+        } else {
+            Some(self.rng.gen_range(0..self.len()))
+        };
+        if self.ground.contains(&item) {
+            // Route to the duplicate's locus (the paper's step 1) so the
+            // failed insert still pays its lookup, then reject it without
+            // consuming a bit string.
+            if let Some(o) = origin {
+                let q = D::item_query(&item);
+                let _ = self.query(o, &q, meter);
+            }
+            return false;
+        }
+        let bits: u64 = self.rng.gen();
+        self.insert_with(origin, item, bits, meter)
+    }
+
+    /// Deterministic insert: routes from `origin` (when given) to the
+    /// item's level-0 locus, charges the §4 repair neighbourhoods, and
+    /// installs the item at the levels selected by `bits`. This is the
+    /// entry point the distributed engine mirrors hop for hop — driving
+    /// the simulator and a [`crate::engine::DistributedSkipWeb`] with the
+    /// same `(origin, bits)` yields identical structures and message
+    /// counts. Returns `false` when the item is already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of bounds.
+    pub fn insert_with(
+        &mut self,
+        origin: Option<usize>,
+        item: D::Item,
+        bits: u64,
+        meter: &mut MessageMeter,
+    ) -> bool {
         // Route to the item's level-0 locus first (the paper's step 1).
-        if !self.is_empty() {
+        if let Some(o) = origin {
             let q = D::item_query(&item);
-            let origin = self.rng.gen_range(0..self.len());
-            let _ = self.query(origin, &q, meter);
+            let _ = self.query(o, &q, meter);
         }
         if self.ground.contains(&item) {
             return false;
         }
-        let bits: u64 = self.rng.gen();
         // Charge the per-level conflict neighbourhoods that the insertion
         // rewires, bottom-up (§4): the ranges conflicting with the item's
         // new node range at every level it joins.
         self.meter_update_neighbourhood(&item, bits, meter);
-        self.ground.push(item);
-        self.item_bits.push(bits);
-        self.rebuild();
+        self.apply_insert(item, bits);
         true
     }
 
     /// Removes `item`, charging the symmetric §4 repair messages. Returns
     /// `false` when the item was not present.
     pub fn remove(&mut self, item: &D::Item, meter: &mut MessageMeter) -> bool {
+        if !self.ground.contains(item) {
+            return false;
+        }
+        let origin = if self.len() > 1 {
+            Some(self.rng.gen_range(0..self.len()))
+        } else {
+            None
+        };
+        self.remove_with(origin, item, meter)
+    }
+
+    /// Deterministic remove: routes from `origin` (when given) to the
+    /// item's locus and charges the symmetric §4 repair — the counterpart
+    /// of [`insert_with`](Self::insert_with) that the distributed engine
+    /// mirrors. Returns `false` (charging nothing) when the item was not
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of bounds.
+    pub fn remove_with(
+        &mut self,
+        origin: Option<usize>,
+        item: &D::Item,
+        meter: &mut MessageMeter,
+    ) -> bool {
         let Some(pos) = self.ground.iter().position(|g| g == item) else {
             return false;
         };
-        if self.len() > 1 {
+        if let Some(o) = origin {
             let q = D::item_query(item);
-            let origin = self.rng.gen_range(0..self.len());
-            let _ = self.query(origin, &q, meter);
+            let _ = self.query(o, &q, meter);
         }
         let bits = self.item_bits[pos];
         self.meter_update_neighbourhood(item, bits, meter);
@@ -331,41 +389,59 @@ impl<D: RangeDetermined> SkipWeb<D> {
         true
     }
 
+    /// Installs `item` at the levels selected by `bits` without any
+    /// metering — the structural half of an insert, applied by the
+    /// distributed engine once its repair walk has already paid the
+    /// messages. Returns `false` for duplicates.
+    pub(crate) fn apply_insert(&mut self, item: D::Item, bits: u64) -> bool {
+        if self.ground.contains(&item) {
+            return false;
+        }
+        self.ground.push(item);
+        self.item_bits.push(bits);
+        self.rebuild();
+        true
+    }
+
+    /// Structural half of a remove (no metering); the distributed
+    /// counterpart of [`apply_insert`](Self::apply_insert). Returns `false`
+    /// when the item was absent.
+    pub(crate) fn apply_remove(&mut self, item: &D::Item) -> bool {
+        let Some(pos) = self.ground.iter().position(|g| g == item) else {
+            return false;
+        };
+        self.ground.remove(pos);
+        self.item_bits.remove(pos);
+        self.rebuild();
+        true
+    }
+
+    /// Per-item level bit strings, aligned with [`ground`](Self::ground).
+    pub(crate) fn item_bits(&self) -> &[u64] {
+        &self.item_bits
+    }
+
     /// Visits the hosts of the ranges conflicting with `item`'s entry
     /// neighbourhood at every level the item belongs to — the message cost
     /// of the bottom-up repair of §4. Uses the item's singleton structure to
     /// materialize its node range.
     fn meter_update_neighbourhood(&self, item: &D::Item, bits: u64, meter: &mut MessageMeter) {
-        let probe = D::build(vec![item.clone()]);
-        let probe_range = probe.range(probe.entry_of_item(0));
-        // Bottom-up (§4). Within a stratum, the non-basic neighbourhoods are
-        // co-located with the basic block just repaired, so charge that
-        // anchor's copy when one exists.
-        let mut anchor: Option<HostId> = None;
-        for level in 0..self.levels.len() as u32 {
-            let key = set_key(bits, level);
-            let Some(&set_idx) = self.levels[level as usize].set_by_key.get(&key) else {
-                continue; // the item opens a brand-new set at this level
-            };
-            let set = &self.levels[level as usize].sets[set_idx as usize];
-            let basic = self.blocking.is_basic(level);
-            for (i, r) in set
-                .structure
-                .conflicts(&probe_range)
-                .into_iter()
-                .enumerate()
-            {
-                let replicas = &set.range_host[r.index()];
-                let host = match anchor {
-                    Some(a) if replicas.contains(&a) => a,
-                    _ => replicas[0],
-                };
-                meter.visit(host);
-                if basic && i == 0 {
-                    anchor = Some(host);
-                }
-            }
-        }
+        let probe_range = D::probe_range(item);
+        walk_update_neighbourhood(
+            bits,
+            self.blocking,
+            self.levels.len(),
+            |level, key| self.levels[level as usize].set_by_key.get(&key).copied(),
+            |level, set_idx| {
+                let set = &self.levels[level as usize].sets[set_idx as usize];
+                set.structure
+                    .conflicts(&probe_range)
+                    .into_iter()
+                    .map(|r| set.range_host[r.index()].clone())
+                    .collect()
+            },
+            |host| meter.visit(host),
+        );
     }
 
     /// Rebuilds levels, hyperlinks and placement from the current ground
@@ -652,6 +728,46 @@ impl<D: RangeDetermined> SkipWeb<D> {
 
     pub(crate) fn level_structs(&self) -> &[Level<D>] {
         &self.levels
+    }
+}
+
+/// The single §4 repair walk both cost models drive: enumerates, bottom-up,
+/// one host per range conflicting with the update's probe at every level
+/// selected by `bits`, applying the stratum-anchor rule (within a stratum,
+/// non-basic neighbourhoods act on the copy co-located with the basic block
+/// just repaired). The simulator's meter and the distributed engine's
+/// repair trail both call this, so their message accounting cannot drift
+/// apart.
+///
+/// `set_of(level, key)` resolves the item's set at a level (`None` when the
+/// item opens a brand-new set there); `conflict_replicas(level, set)`
+/// yields the replica host list of each conflicting range, in conflict
+/// order; `visit` observes each acted-on host in walk order.
+pub(crate) fn walk_update_neighbourhood(
+    bits: u64,
+    blocking: Blocking,
+    num_levels: usize,
+    mut set_of: impl FnMut(u32, u64) -> Option<u32>,
+    mut conflict_replicas: impl FnMut(u32, u32) -> Vec<Vec<HostId>>,
+    mut visit: impl FnMut(HostId),
+) {
+    let mut anchor: Option<HostId> = None;
+    for level in 0..num_levels as u32 {
+        let key = set_key(bits, level);
+        let Some(set_idx) = set_of(level, key) else {
+            continue;
+        };
+        let basic = blocking.is_basic(level);
+        for (i, replicas) in conflict_replicas(level, set_idx).into_iter().enumerate() {
+            let host = match anchor {
+                Some(a) if replicas.contains(&a) => a,
+                _ => replicas[0],
+            };
+            visit(host);
+            if basic && i == 0 {
+                anchor = Some(host);
+            }
+        }
     }
 }
 

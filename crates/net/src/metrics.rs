@@ -173,14 +173,24 @@ impl FromIterator<u64> for Histogram {
 /// `sent[h]` / `received[h]` count host-to-host messages only (self-sends
 /// and client injections/replies are free in the paper's cost model, so the
 /// runtime does not count them either). `total_sent()` therefore equals the
-/// runtime's global message count.
+/// runtime's global message count. `update_sent[h]` / `update_received[h]`
+/// break out the share tagged as update traffic (routing an insert/remove
+/// and its bottom-up repair) — the live counterpart of keeping the paper's
+/// `Q(n)` and `U(n)` columns apart.
 ///
 /// # Example
 ///
 /// ```
 /// use skipweb_net::HostTraffic;
-/// let t = HostTraffic { sent: vec![3, 1], received: vec![0, 4] };
+/// let t = HostTraffic {
+///     sent: vec![3, 1],
+///     received: vec![0, 4],
+///     update_sent: vec![1, 0],
+///     update_received: vec![0, 1],
+/// };
 /// assert_eq!(t.total_sent(), 4);
+/// assert_eq!(t.total_update_sent(), 1);
+/// assert_eq!(t.total_query_sent(), 3);
 /// assert_eq!(t.hosts(), 2);
 /// assert_eq!(t.sent_stats().max, 3);
 /// ```
@@ -190,6 +200,10 @@ pub struct HostTraffic {
     pub sent: Vec<u64>,
     /// Messages received by each host, indexed by host id.
     pub received: Vec<u64>,
+    /// The update-tagged share of `sent`, indexed by host id.
+    pub update_sent: Vec<u64>,
+    /// The update-tagged share of `received`, indexed by host id.
+    pub update_received: Vec<u64>,
 }
 
 impl HostTraffic {
@@ -201,6 +215,24 @@ impl HostTraffic {
     /// Total messages sent across all hosts (equals the total received).
     pub fn total_sent(&self) -> u64 {
         self.sent.iter().sum()
+    }
+
+    /// Total update-tagged messages sent across all hosts — the live
+    /// `U(n)` numerator.
+    pub fn total_update_sent(&self) -> u64 {
+        self.update_sent.iter().sum()
+    }
+
+    /// Total query-tagged messages sent across all hosts
+    /// (`total_sent - total_update_sent`; saturating, since a snapshot
+    /// taken while traffic flows is not atomic across the two counters).
+    pub fn total_query_sent(&self) -> u64 {
+        self.total_sent().saturating_sub(self.total_update_sent())
+    }
+
+    /// Distribution statistics of the per-host update-tagged sent counters.
+    pub fn update_sent_stats(&self) -> SeriesStats {
+        SeriesStats::from_samples(&self.update_sent)
     }
 
     /// Distribution statistics of the per-host sent counters (a hop-count
@@ -226,9 +258,10 @@ impl fmt::Display for HostTraffic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "hosts={} total={} sent[{}] recv[{}]",
+            "hosts={} total={} updates={} sent[{}] recv[{}]",
             self.hosts(),
             self.total_sent(),
+            self.total_update_sent(),
             self.sent_stats(),
             self.received_stats()
         )
@@ -337,13 +370,19 @@ mod tests {
         let t = HostTraffic {
             sent: vec![2, 5, 0],
             received: vec![3, 0, 4],
+            update_sent: vec![0, 2, 0],
+            update_received: vec![1, 0, 1],
         };
         assert_eq!(t.hosts(), 3);
         assert_eq!(t.total_sent(), 7);
+        assert_eq!(t.total_update_sent(), 2);
+        assert_eq!(t.total_query_sent(), 5);
+        assert_eq!(t.update_sent_stats().max, 2);
         assert_eq!(t.busiest_host(), Some((0, 5)));
         let s = t.to_string();
         assert!(s.contains("hosts=3"));
         assert!(s.contains("total=7"));
+        assert!(s.contains("updates=2"));
     }
 
     #[test]
@@ -351,6 +390,7 @@ mod tests {
         let t = HostTraffic {
             sent: vec![1, 1],
             received: vec![1, 1],
+            ..Default::default()
         };
         assert_eq!(t.busiest_host(), Some((0, 2)));
         assert_eq!(HostTraffic::default().busiest_host(), None);

@@ -78,6 +78,18 @@ enum Envelope<M> {
     Stop,
 }
 
+/// What a host-to-host message carries, for the per-host traffic split the
+/// paper's `Q(n)` / `U(n)` columns keep apart: query routing versus update
+/// routing and repair. Purely an accounting tag — delivery is identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrafficClass {
+    /// Query descent traffic (the default for [`Context::send`]).
+    #[default]
+    Query,
+    /// Update traffic: routing an insert/remove and its repair walk.
+    Update,
+}
+
 /// Errors surfaced by the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuntimeError {
@@ -119,16 +131,28 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
 
     /// Sends `msg` to another host; counts one network message (both in the
     /// runtime total and in the per-host sent/received counters surfaced by
-    /// [`Runtime::host_traffic`]).
+    /// [`Runtime::host_traffic`]). Counted as [`TrafficClass::Query`]; use
+    /// [`send_class`](Self::send_class) to tag update traffic.
     ///
     /// Sends to self are delivered through the mailbox too but are *not*
     /// counted, matching the simulated cost model where intra-host work is
     /// free.
     pub fn send(&mut self, to: HostId, msg: M) {
+        self.send_class(to, msg, TrafficClass::Query);
+    }
+
+    /// Like [`send`](Self::send), but tags the message with a
+    /// [`TrafficClass`] so [`Runtime::host_traffic`] can split query from
+    /// update traffic per host.
+    pub fn send_class(&mut self, to: HostId, msg: M, class: TrafficClass) {
         if to != self.host {
             self.net.message_count.fetch_add(1, Ordering::Relaxed);
             self.net.per_host_sent[self.host.index()].fetch_add(1, Ordering::Relaxed);
             self.net.per_host_received[to.index()].fetch_add(1, Ordering::Relaxed);
+            if class == TrafficClass::Update {
+                self.net.per_host_update_sent[self.host.index()].fetch_add(1, Ordering::Relaxed);
+                self.net.per_host_update_received[to.index()].fetch_add(1, Ordering::Relaxed);
+            }
         }
         // Mailboxes are unbounded, so this cannot block inside a handler.
         let _ = self.net.senders[to.index()].send(Envelope::User {
@@ -154,6 +178,8 @@ struct Fabric<M, R> {
     message_count: AtomicU64,
     per_host_sent: Vec<AtomicU64>,
     per_host_received: Vec<AtomicU64>,
+    per_host_update_sent: Vec<AtomicU64>,
+    per_host_update_received: Vec<AtomicU64>,
     /// First host whose actor panicked, if any. Once set, the runtime is
     /// poisoned: client sends and receives fail fast instead of hanging.
     poisoned: RwLock<Option<HostId>>,
@@ -320,6 +346,8 @@ impl<A: Actor> Runtime<A> {
             message_count: AtomicU64::new(0),
             per_host_sent: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
             per_host_received: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            per_host_update_sent: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            per_host_update_received: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
             poisoned: RwLock::new(None),
         });
         let mut handles = Vec::with_capacity(hosts);
@@ -375,21 +403,20 @@ impl<A: Actor> Runtime<A> {
 
     /// Per-host message counters accumulated since spawn: how many network
     /// messages each host sent and received (self-sends and client traffic
-    /// excluded, mirroring [`message_count`](Self::message_count)).
+    /// excluded, mirroring [`message_count`](Self::message_count)), with
+    /// the update-tagged share broken out per host.
     pub fn host_traffic(&self) -> HostTraffic {
+        let load = |v: &[AtomicU64]| v.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        // Load the update share before the totals: `send_class` increments
+        // the total first, so this order keeps a concurrent snapshot from
+        // ever observing more update-tagged sends than sends.
+        let update_sent = load(&self.net.per_host_update_sent);
+        let update_received = load(&self.net.per_host_update_received);
         HostTraffic {
-            sent: self
-                .net
-                .per_host_sent
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            received: self
-                .net
-                .per_host_received
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
+            sent: load(&self.net.per_host_sent),
+            received: load(&self.net.per_host_received),
+            update_sent,
+            update_received,
         }
     }
 

@@ -234,6 +234,12 @@ impl RangeDetermined for SortedLinkedList {
         *item
     }
 
+    fn probe_range(item: &u64) -> KeyInterval {
+        // A singleton list's node range is just `[item, item]`; skip the
+        // structure build the default would pay per update.
+        KeyInterval::singleton(*item)
+    }
+
     fn conflicts(&self, external: &KeyInterval) -> Vec<RangeId> {
         let m = self.m();
         if m == 0 {

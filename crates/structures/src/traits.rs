@@ -145,6 +145,20 @@ pub trait RangeDetermined: Clone + fmt::Debug {
     /// to route to the neighbourhood an insertion or deletion will modify.
     fn item_query(item: &Self::Item) -> Self::Query;
 
+    /// The node range `item` occupies in its own singleton structure — the
+    /// probe that updates (§4) intersect against every level to enumerate
+    /// the conflict neighbourhoods an insertion or deletion rewires. Both
+    /// the cost-model simulator and the distributed engine repair through
+    /// this hook, so overriding it changes which ranges an update touches
+    /// everywhere at once.
+    ///
+    /// The default materializes a one-item structure; implementations with
+    /// a cheap direct construction should override it.
+    fn probe_range(item: &Self::Item) -> Self::Range {
+        let probe = Self::build(vec![item.clone()]);
+        probe.range(probe.entry_of_item(0))
+    }
+
     /// Convenience iterator over all valid range ids.
     fn range_ids(&self) -> RangeIds {
         RangeIds {

@@ -304,6 +304,26 @@ impl TrapezoidalMap {
         self.traps[id.index()].trap
     }
 
+    /// Whether `candidate` keeps the stored set in general position — the
+    /// admission check a live update must pass before it may rebuild the
+    /// map (building with a violating segment panics, which an actor
+    /// serving wire input must never do). The stored set is already valid,
+    /// so only the candidate is checked, in O(n): endpoint x-coordinates
+    /// distinct from every stored endpoint, and no contact with any stored
+    /// segment.
+    pub fn admits(&self, candidate: &Segment) -> bool {
+        if self.items().contains(candidate) {
+            return true; // duplicate: rejected later as a no-op, not a panic
+        }
+        self.items().iter().all(|s| {
+            candidate.x1 != s.x1
+                && candidate.x1 != s.x2
+                && candidate.x2 != s.x1
+                && candidate.x2 != s.x2
+                && !candidate.touches(s)
+        })
+    }
+
     /// Validates general position: pairwise disjoint, non-vertical, all
     /// endpoint x distinct, returning an error message on violation.
     fn validate(segments: &[Segment]) -> Result<(), String> {

@@ -48,11 +48,11 @@ fn main() {
             .recv_corr(corr, Duration::from_secs(10))
             .expect("reply");
         let sim = quadtree.locate_point(0, q);
-        match reply.answer {
+        total_hops += u64::from(reply.hops);
+        match reply.into_answer() {
             QuadtreeAnswer::Located { cell, .. } => assert_eq!(cell, sim.cell),
             QuadtreeAnswer::Points(_) => unreachable!("asked for point location"),
         }
-        total_hops += u64::from(reply.hops);
     }
     println!(
         "  32 pipelined point locations: {:.1} remote hops/query (simulator-verified)",
@@ -109,6 +109,25 @@ fn main() {
         "  {} prefix queries answered identically to the simulator; {} total messages",
         answered,
         dist.message_count()
+    );
+
+    // Live updates on the multi-dimensional webs go through the same
+    // engine: insert a new ISBN, query it, then retire it.
+    let upd = dist
+        .insert(&client, "978-0-99-00000".to_string())
+        .expect("runtime alive");
+    println!(
+        "  live trie insert applied = {} in {} hops",
+        upd.applied, upd.hops
+    );
+    let reply = dist
+        .query(&client, 0, "978-0-99".to_string())
+        .expect("runtime alive");
+    assert_eq!(reply.answer.matches, vec!["978-0-99-00000".to_string()]);
+    assert!(
+        dist.remove(&client, "978-0-99-00000".to_string())
+            .expect("runtime alive")
+            .applied
     );
     dist.shutdown();
     println!("all host threads joined cleanly");

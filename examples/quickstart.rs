@@ -1,10 +1,12 @@
 //! Quickstart: build a one-dimensional skip-web over a simulated
-//! peer-to-peer network, run nearest-neighbour queries, apply updates, and
+//! peer-to-peer network, run nearest-neighbour queries, apply updates —
+//! first in the cost-model simulator, then live over actor threads — and
 //! inspect the paper's cost measures (messages, per-host memory,
 //! congestion).
 //!
 //! Run with: `cargo run --example quickstart`
 
+use skipwebs::core::distributed::DistributedOneDim;
 use skipwebs::core::onedim::OneDimSkipWeb;
 
 fn main() {
@@ -31,6 +33,28 @@ fn main() {
     let ins = web.insert(50_000).expect("new key");
     let del = web.remove(50_000).expect("present");
     println!("insert cost = {ins} messages, remove cost = {del} messages");
+
+    // The same updates, live: serve the web with one actor thread per host
+    // and route inserts/removes through real message passing. An update
+    // descends to its key's locus like a query, then repairs the conflict
+    // neighbourhoods bottom-up; concurrent queries never observe it
+    // half-applied.
+    let dist = DistributedOneDim::spawn_with_capacity(&web, web.hosts() + 8);
+    let client = dist.client();
+    let live = dist.insert(&client, 50_001).expect("runtime alive");
+    println!(
+        "live insert applied = {} in {} remote hops",
+        live.applied, live.hops
+    );
+    let nearest = dist.nearest(&client, 0, 50_000).expect("runtime alive");
+    assert_eq!(nearest, Some(50_001));
+    assert!(dist.remove(&client, 50_001).expect("runtime alive").applied);
+    println!(
+        "live traffic: {} total messages, {} from updates",
+        dist.message_count(),
+        dist.traffic().total_update_sent()
+    );
+    dist.shutdown();
 
     // The §1.1 cost measures for the built structure.
     let net = web.network();

@@ -1,14 +1,22 @@
 //! Simulator/runtime parity, property-tested: for random ground sets and
-//! query batches, the threaded actor runtime must return exactly the
-//! deterministic simulator's answers, and the remote hops each query pays
-//! must equal the simulator's metered host crossings (owner-hosted
+//! operation batches, the threaded actor runtime must return exactly the
+//! deterministic simulator's answers, and the remote hops each operation
+//! pays must equal the simulator's metered host crossings (owner-hosted
 //! placement, where the cost models coincide range for range).
+//!
+//! Queries are checked per batch; dynamic updates are checked under
+//! randomized interleavings of inserts, removes, and queries: driving
+//! `SkipWeb::insert_with` / `remove_with` and the engine with the same
+//! `(origin, bits)` must keep answers *and* per-operation hop counts
+//! identical throughout the churn.
 
 use proptest::collection;
 use proptest::prelude::*;
 
+use skipwebs::core::engine::DistributedSkipWeb;
 use skipwebs::core::multidim::{QuadtreeAnswer, QuadtreeRequest, QuadtreeSkipWeb, TrieSkipWeb};
 use skipwebs::core::onedim::OneDimSkipWeb;
+use skipwebs::net::MessageMeter;
 use skipwebs::structures::PointKey;
 
 proptest! {
@@ -67,6 +75,217 @@ proptest! {
             prop_assert_eq!(u64::from(reply.hops), sim.messages, "hops for {:?}", q);
         }
         prop_assert_eq!(dist.message_count(), sim_total);
+        dist.shutdown();
+    }
+
+    #[test]
+    fn onedim_churn_interleaving_matches_the_simulator(
+        keys in collection::vec(0u64..50_000, 16..48),
+        ops in collection::vec((0u64..50_000, any::<u64>(), 0u8..6), 8..20),
+        seed in 0u64..500,
+    ) {
+        let mut web = OneDimSkipWeb::builder(keys).seed(seed).build();
+        let capacity = web.len() + ops.len();
+        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), capacity);
+        let client = dist.client();
+        for (i, &(value, bits, action)) in ops.iter().enumerate() {
+            let origin = (i * 13 + 7) % web.len();
+            // Keep at least two keys so removals never empty the web.
+            let action = if web.len() <= 2 { 0 } else { action % 3 };
+            match action {
+                0 => {
+                    // Query: answer and hop parity mid-churn.
+                    let sim = web.nearest(origin, value);
+                    let reply = dist.query(&client, origin, value).expect("runtime alive");
+                    prop_assert_eq!(reply.answer, Some(sim.answer.nearest), "q={}", value);
+                    prop_assert_eq!(u64::from(reply.hops), sim.messages, "query hops q={}", value);
+                }
+                1 => {
+                    // Insert with a shared (origin, bits) pair.
+                    let mut meter = MessageMeter::new();
+                    let sim_applied =
+                        web.inner_mut().insert_with(Some(origin), value, bits, &mut meter);
+                    let reply = dist
+                        .insert_with(&client, origin, value, bits)
+                        .expect("runtime alive");
+                    prop_assert_eq!(reply.applied, sim_applied, "insert {}", value);
+                    prop_assert_eq!(
+                        u64::from(reply.hops), meter.messages(), "insert hops {}", value
+                    );
+                }
+                _ => {
+                    // Remove: target a present key half the time.
+                    let target = if action % 2 == 0 {
+                        web.keys()[value as usize % web.len()]
+                    } else {
+                        value
+                    };
+                    // The simulator only routes a lookup for >1 stored items.
+                    let sim_origin = (web.len() > 1).then_some(origin);
+                    let mut meter = MessageMeter::new();
+                    let sim_applied =
+                        web.inner_mut().remove_with(sim_origin, &target, &mut meter);
+                    let reply = dist
+                        .remove_with(&client, origin, target)
+                        .expect("runtime alive");
+                    prop_assert_eq!(reply.applied, sim_applied, "remove {}", target);
+                    prop_assert_eq!(
+                        u64::from(reply.hops), meter.messages(), "remove hops {}", target
+                    );
+                }
+            }
+            prop_assert!(!web.is_empty(), "churn never empties the web here");
+        }
+        // Post-churn: identical ground sets and full query parity.
+        prop_assert_eq!(dist.ground(), web.keys().to_vec());
+        for s in 0..8u64 {
+            let q = (s * 4099 + seed) % 55_000;
+            let origin = s as usize % web.len();
+            let sim = web.nearest(origin, q);
+            let reply = dist.query(&client, origin, q).expect("runtime alive");
+            prop_assert_eq!(reply.answer, Some(sim.answer.nearest), "post-churn q={}", q);
+            prop_assert_eq!(u64::from(reply.hops), sim.messages, "post-churn hops q={}", q);
+        }
+        dist.shutdown();
+    }
+
+    #[test]
+    fn quadtree_churn_interleaving_matches_the_simulator(
+        coords in collection::vec((0u32..u32::MAX, 0u32..u32::MAX), 16..40),
+        ops in collection::vec((0u64..u64::MAX, any::<u64>(), 0u8..6), 6..14),
+        seed in 0u64..500,
+    ) {
+        let points: Vec<PointKey<2>> =
+            coords.iter().map(|&(x, y)| PointKey::new([x, y])).collect();
+        let mut web = QuadtreeSkipWeb::builder(points).seed(seed).build();
+        let capacity = web.len() + ops.len();
+        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), capacity);
+        let client = dist.client();
+        for (i, &(value, bits, action)) in ops.iter().enumerate() {
+            let origin = (i * 11 + 3) % web.len();
+            let p = PointKey::new([value as u32, (value >> 32) as u32]);
+            // Keep at least two points so removals never empty the web.
+            let action = if web.len() <= 2 { 0 } else { action % 3 };
+            match action {
+                0 => {
+                    let sim = web.locate_point(origin, p);
+                    let reply = dist
+                        .query(&client, origin, QuadtreeRequest::Locate(p))
+                        .expect("runtime alive");
+                    prop_assert_eq!(
+                        reply.answer,
+                        QuadtreeAnswer::Located {
+                            cell: sim.cell,
+                            approx_nearest: sim.approx_nearest,
+                        },
+                        "locate {:?}", p
+                    );
+                    prop_assert_eq!(u64::from(reply.hops), sim.messages, "hops {:?}", p);
+                }
+                1 => {
+                    let mut meter = MessageMeter::new();
+                    let sim_applied =
+                        web.inner_mut().insert_with(Some(origin), p, bits, &mut meter);
+                    let reply = dist
+                        .insert_with(&client, origin, p, bits)
+                        .expect("runtime alive");
+                    prop_assert_eq!(reply.applied, sim_applied, "insert {:?}", p);
+                    prop_assert_eq!(
+                        u64::from(reply.hops), meter.messages(), "insert hops {:?}", p
+                    );
+                }
+                _ => {
+                    let target = if action % 2 == 0 {
+                        web.points()[value as usize % web.len()]
+                    } else {
+                        p
+                    };
+                    let sim_origin = (web.len() > 1).then_some(origin);
+                    let mut meter = MessageMeter::new();
+                    let sim_applied =
+                        web.inner_mut().remove_with(sim_origin, &target, &mut meter);
+                    let reply = dist
+                        .remove_with(&client, origin, target)
+                        .expect("runtime alive");
+                    prop_assert_eq!(reply.applied, sim_applied, "remove {:?}", target);
+                    prop_assert_eq!(
+                        u64::from(reply.hops), meter.messages(), "remove hops {:?}", target
+                    );
+                }
+            }
+            prop_assert!(!web.is_empty(), "churn never empties the web here");
+        }
+        prop_assert_eq!(dist.ground(), web.points().to_vec());
+        dist.shutdown();
+    }
+
+    #[test]
+    fn trie_churn_interleaving_matches_the_simulator(
+        stems in collection::vec(0u32..9000, 16..40),
+        ops in collection::vec((0u32..9000, any::<u64>(), 0u8..6), 6..14),
+        seed in 0u64..500,
+    ) {
+        let strings: Vec<String> = stems
+            .iter()
+            .map(|v| format!("{:04}-suffix", v % 10_000))
+            .collect();
+        let mut web = TrieSkipWeb::builder(strings).seed(seed).build();
+        let capacity = web.len() + ops.len();
+        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), capacity);
+        let client = dist.client();
+        for (i, &(value, bits, action)) in ops.iter().enumerate() {
+            let origin = (i * 17 + 5) % web.len();
+            let s = format!("{:04}-suffix", value % 10_000);
+            // Keep at least two strings so removals never empty the web.
+            let action = if web.len() <= 2 { 0 } else { action % 3 };
+            match action {
+                0 => {
+                    let prefix = format!("{:04}", value % 10_000);
+                    let sim = web.prefix_search(origin, &prefix);
+                    let reply = dist
+                        .query(&client, origin, prefix.clone())
+                        .expect("runtime alive");
+                    prop_assert_eq!(reply.answer.matched_len, sim.matched_len, "{:?}", &prefix);
+                    prop_assert_eq!(reply.answer.matches, sim.matches, "{:?}", &prefix);
+                    prop_assert_eq!(
+                        u64::from(reply.hops), sim.messages, "query hops {:?}", &prefix
+                    );
+                }
+                1 => {
+                    let mut meter = MessageMeter::new();
+                    let sim_applied = web
+                        .inner_mut()
+                        .insert_with(Some(origin), s.clone(), bits, &mut meter);
+                    let reply = dist
+                        .insert_with(&client, origin, s.clone(), bits)
+                        .expect("runtime alive");
+                    prop_assert_eq!(reply.applied, sim_applied, "insert {:?}", &s);
+                    prop_assert_eq!(
+                        u64::from(reply.hops), meter.messages(), "insert hops {:?}", &s
+                    );
+                }
+                _ => {
+                    let target = if action % 2 == 0 {
+                        web.strings()[value as usize % web.len()].clone()
+                    } else {
+                        s
+                    };
+                    let sim_origin = (web.len() > 1).then_some(origin);
+                    let mut meter = MessageMeter::new();
+                    let sim_applied =
+                        web.inner_mut().remove_with(sim_origin, &target, &mut meter);
+                    let reply = dist
+                        .remove_with(&client, origin, target.clone())
+                        .expect("runtime alive");
+                    prop_assert_eq!(reply.applied, sim_applied, "remove {:?}", &target);
+                    prop_assert_eq!(
+                        u64::from(reply.hops), meter.messages(), "remove hops {:?}", &target
+                    );
+                }
+            }
+            prop_assert!(!web.is_empty(), "churn never empties the web here");
+        }
+        prop_assert_eq!(dist.ground(), web.strings().to_vec());
         dist.shutdown();
     }
 
