@@ -1,0 +1,69 @@
+//! Criterion bench for failover: end-to-end query latency of the threaded
+//! actor runtime with a crashed host in the fabric, across replication
+//! factors k ∈ {1, 2, 3}. Three phases per k: a healthy fabric
+//! (`before_crash`), one host killed with nothing healed (`during_crash` —
+//! every hop steers around the tombstone via replicas), and after `heal()`
+//! re-homed the dead host's blocks (`after_heal`). With k = 1 the
+//! during-crash phase measures the surviving fraction only (unreachable
+//! towers fail fast with `Unavailable` and are skipped).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipweb_bench::workloads;
+use skipweb_core::engine::DistributedSkipWeb;
+use skipweb_core::onedim::OneDimSkipWeb;
+use skipweb_net::HostId;
+
+const HOSTS: usize = 8;
+const N: usize = 1024;
+
+fn bench_failover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_failover");
+    group.sample_size(10);
+
+    let qs = workloads::query_keys(64, 61);
+    for k in [1usize, 2, 3] {
+        let web = OneDimSkipWeb::builder(workloads::uniform_keys(N, 61))
+            .seed(61)
+            .replicate(k)
+            .build();
+
+        let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), HOSTS);
+        let client = dist.client();
+        client.set_timeout(std::time::Duration::from_secs(2));
+        group.bench_function(BenchmarkId::new("before_crash", k), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                dist.query(&client, web.random_origin(i as u64), qs[i % qs.len()])
+                    .expect("healthy fabric")
+            });
+        });
+
+        dist.kill_host(HostId(1));
+        group.bench_function(BenchmarkId::new("during_crash", k), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                // k = 1 cannot reach the dead host's towers: those queries
+                // fail fast and are excluded; k >= 2 answers everything.
+                let _ = dist.query(&client, web.random_origin(i as u64), qs[i % qs.len()]);
+            });
+        });
+
+        dist.heal();
+        group.bench_function(BenchmarkId::new("after_heal", k), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                dist.query(&client, web.random_origin(i as u64), qs[i % qs.len()])
+                    .expect("healed fabric")
+            });
+        });
+        dist.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_failover);
+criterion_main!(benches);

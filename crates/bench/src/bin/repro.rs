@@ -5,8 +5,8 @@
 //! repro [experiment] [--full]
 //!
 //! experiments: table1 fig1 fig2 fig3 fig4 lemma1 lemma4 thm2 updates
-//!              buckets ablation chord congestion distributed churn all
-//!              (default: all)
+//!              buckets ablation chord congestion distributed churn
+//!              failover all (default: all)
 //! --full: larger size sweeps (slower; used to fill EXPERIMENTS.md)
 //! ```
 
@@ -24,6 +24,9 @@ struct Config {
     dist_clients: usize,
     dist_queries: usize,
     churn_ops: usize,
+    failover_hosts: usize,
+    failover_ks: Vec<usize>,
+    failover_ops: usize,
     seed: u64,
 }
 
@@ -41,6 +44,9 @@ impl Config {
             dist_clients: 4,
             dist_queries: 50,
             churn_ops: 300,
+            failover_hosts: 8,
+            failover_ks: vec![1, 2, 3],
+            failover_ops: 200,
             seed: 42,
         }
     }
@@ -58,6 +64,9 @@ impl Config {
             dist_clients: 8,
             dist_queries: 200,
             churn_ops: 2000,
+            failover_hosts: 16,
+            failover_ks: vec![1, 2, 3],
+            failover_ops: 1000,
             seed: 42,
         }
     }
@@ -77,7 +86,7 @@ fn main() {
         Config::quick()
     };
 
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "all",
         "table1",
         "fig1",
@@ -94,6 +103,7 @@ fn main() {
         "congestion",
         "distributed",
         "churn",
+        "failover",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment {which:?}");
@@ -173,6 +183,18 @@ fn main() {
         println!(
             "{}",
             experiments::churn(&cfg.dist_hosts, cfg.dist_n, cfg.churn_ops, cfg.seed)
+        );
+    }
+    if run("failover") {
+        println!(
+            "{}",
+            experiments::failover(
+                cfg.failover_hosts,
+                cfg.dist_n,
+                &cfg.failover_ks,
+                cfg.failover_ops,
+                cfg.seed,
+            )
         );
     }
 }

@@ -956,6 +956,81 @@ pub fn churn(host_counts: &[usize], n: usize, ops: usize, seed: u64) -> Table {
     t
 }
 
+/// Failover throughput: for each replication factor `k`, one client drives
+/// `ops` queries per phase against a consolidated fabric — *before* a host
+/// crash, *during* the crash window (one host killed, nothing healed), and
+/// *after* `heal()` re-homes the dead host's blocks. Reports successes,
+/// fast-failures (`Unavailable`, the `k = 1` signature), timeouts, and
+/// queries/sec per phase. With `k ≥ 2` the during-crash throughput stays
+/// nonzero and error-free: every query answers from a replica.
+pub fn failover(hosts: usize, n: usize, ks: &[usize], ops: usize, seed: u64) -> Table {
+    use skipweb_core::engine::DistributedSkipWeb;
+    use skipweb_net::runtime::RuntimeError;
+    use skipweb_net::HostId;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "Failover: queries/sec before, during, and after a host crash, by replication factor",
+        &[
+            "structure",
+            "hosts",
+            "k",
+            "phase",
+            "ops",
+            "ok",
+            "unavailable",
+            "timeout",
+            "queries_per_sec",
+        ],
+    );
+    let keys = workloads::uniform_keys(n, seed);
+    let qs = workloads::query_keys(ops.max(64), seed);
+    for &k in ks {
+        let web = OneDimSkipWeb::builder(keys.clone())
+            .seed(seed)
+            .replicate(k)
+            .build();
+        let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+        let client = dist.client();
+        // Short timeouts so lost requests surface as data, not stalls.
+        client.set_timeout(std::time::Duration::from_millis(2_000));
+        let phase = |t: &mut Table, name: &str| {
+            let mut ok = 0usize;
+            let mut unavailable = 0usize;
+            let mut timeout = 0usize;
+            let start = Instant::now();
+            for (i, &q) in qs.iter().take(ops).enumerate() {
+                let origin = web.random_origin(seed ^ i as u64);
+                match dist.query(&client, origin, q) {
+                    Ok(_) => ok += 1,
+                    Err(RuntimeError::Unavailable) => unavailable += 1,
+                    Err(RuntimeError::Timeout) => timeout += 1,
+                    Err(e) => panic!("unexpected runtime error {e}"),
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            t.push(vec![
+                "onedim-nearest".to_string(),
+                dist.hosts().to_string(),
+                k.to_string(),
+                name.to_string(),
+                ops.to_string(),
+                ok.to_string(),
+                unavailable.to_string(),
+                timeout.to_string(),
+                f2(ok as f64 / elapsed.max(f64::MIN_POSITIVE)),
+            ]);
+        };
+        phase(&mut t, "before");
+        dist.kill_host(HostId(1));
+        phase(&mut t, "during-crash");
+        dist.heal();
+        phase(&mut t, "after-heal");
+        dist.shutdown();
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -992,6 +1067,28 @@ mod tests {
     fn buckets_sweep_reports_both_methods() {
         let t = buckets(512, &[16, 64], 4);
         assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn failover_reports_nonzero_throughput_during_the_crash_window() {
+        let t = failover(8, 256, &[1, 2], 30, 5);
+        assert_eq!(t.rows.len(), 6, "three phases per replication factor");
+        // The acceptance gate: with k = 2, the during-crash phase keeps
+        // answering every query from replicas at nonzero throughput.
+        for row in t.rows.iter().filter(|r| r[2] == "2") {
+            let ok: usize = row[5].parse().unwrap();
+            let qps: f64 = row[8].parse().unwrap();
+            assert_eq!(ok, 30, "k=2 phase {} must answer everything", row[3]);
+            assert!(qps > 0.0, "k=2 phase {} throughput", row[3]);
+            assert_eq!(row[6], "0", "k=2 never reports Unavailable");
+        }
+        // After heal even k = 1 recovers fully.
+        let after_k1 = t
+            .rows
+            .iter()
+            .find(|r| r[2] == "1" && r[3] == "after-heal")
+            .unwrap();
+        assert_eq!(after_k1[5], "30");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use skipweb_net::runtime::RuntimeError;
 use skipweb_net::HostTraffic;
 use skipweb_structures::linked_list::SortedLinkedList;
 
-use crate::engine::{DistributedSkipWeb, EngineClient, UpdateReply};
+use crate::engine::{DistributedSkipWeb, EngineClient, EngineHealth, UpdateReply};
 use crate::onedim::OneDimSkipWeb;
 
 pub use crate::engine::GlobalRef;
@@ -68,7 +68,9 @@ impl DistributedOneDim {
         self.inner.client()
     }
 
-    /// Runs one nearest-neighbour query end to end, blocking up to 10 s.
+    /// Runs one nearest-neighbour query end to end, blocking up to the
+    /// client's query timeout (default 10 s, see
+    /// [`EngineClient::set_timeout`]).
     ///
     /// # Errors
     ///
@@ -131,6 +133,13 @@ impl DistributedOneDim {
     /// Number of hosts.
     pub fn hosts(&self) -> usize {
         self.inner.hosts()
+    }
+
+    /// A fabric-health report: alive/dead/decommissioned hosts, the
+    /// replication factor, and the topology-snapshot version (see
+    /// [`DistributedSkipWeb::health`]).
+    pub fn health(&self) -> EngineHealth {
+        self.inner.health()
     }
 
     /// Stops all host threads.

@@ -59,6 +59,40 @@
 //! for owner-hosted placement equals the simulator's metered host crossings
 //! — the parity property the integration tests pin down.
 //!
+//! # Fault tolerance: replication, failover, membership
+//!
+//! The paper assumes hosts never fail; the engine does not. Three pieces
+//! make the served structure survive crashes:
+//!
+//! * **`k`-replica placement.** Building the web with
+//!   [`Replication`](crate::placement::Replication) (`.replicate(k)` on any
+//!   builder) puts every range on `k` hosts, so each [`GlobalRef`] resolves
+//!   to a replica set. With `k = 1` (the default) hop accounting matches
+//!   the cost-model simulator exactly; with `k ≥ 2` replicas add
+//!   co-location, so hops can only shrink — and any `k - 1` hosts may crash
+//!   without losing availability.
+//! * **Failover routing.** Every hop consults the runtime's
+//!   [`Membership`] view: the forwarding loop and the repair walk pick the
+//!   nearest *alive* replica of the next range and steer around dead hosts.
+//!   When no alive replica remains (more crashes than `k - 1`), the
+//!   operation fails fast with [`ReplyBody::Unavailable`] /
+//!   [`RuntimeError::Unavailable`] instead of black-holing. Operations that
+//!   were sitting in a crashed host's mailbox are lost like real packets;
+//!   the blocking [`query`](DistributedSkipWeb::query) entry point
+//!   resubmits once when it times out while a host is dead.
+//! * **Live membership changes.** [`DistributedSkipWeb::decommission`]
+//!   re-homes a leaving host's blocks (a new topology snapshot excludes it)
+//!   before the runtime marks it as draining, so nothing is lost;
+//!   [`DistributedSkipWeb::spawn_host`] grows the fabric and rebalances
+//!   onto the new host; [`DistributedSkipWeb::heal`] re-homes around hosts
+//!   that crashed. Each change is one atomic snapshot swap with a bumped
+//!   [`version`](DistributedSkipWeb::health) — in-flight operations finish
+//!   under the snapshot they were admitted with, and stale replicas catch
+//!   up simply by seeing the next snapshot.
+//!
+//! [`DistributedSkipWeb::health`] reports the whole picture: alive / dead /
+//! decommissioned hosts, the replication factor, and the topology version.
+//!
 //! # Example
 //!
 //! ```
@@ -78,7 +112,7 @@
 //! dist.shutdown();
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -89,7 +123,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use skipweb_net::runtime::{
-    Actor, Client, ClientId, Context, Runtime, RuntimeError, Sender, TrafficClass,
+    Actor, Client, ClientId, Context, Membership, Runtime, RuntimeError, Sender, TrafficClass,
 };
 use skipweb_net::{HostId, HostTraffic};
 use skipweb_structures::traits::{RangeDetermined, RangeId};
@@ -233,6 +267,11 @@ pub enum ReplyBody<D: Routable> {
         /// absent removes, and inadmissible items).
         applied: bool,
     },
+    /// The operation could not make progress: every replica of a range it
+    /// needed has crashed (more failures than the replication factor
+    /// tolerates). Blocking entry points surface this as
+    /// [`RuntimeError::Unavailable`].
+    Unavailable,
 }
 
 impl<D: Routable> EngineReply<D> {
@@ -244,7 +283,7 @@ impl<D: Routable> EngineReply<D> {
     pub fn answer(&self) -> &D::Answer {
         match &self.body {
             ReplyBody::Answer(a) => a,
-            ReplyBody::Updated { .. } => panic!("update reply carries no query answer"),
+            _ => panic!("reply carries no query answer"),
         }
     }
 
@@ -252,11 +291,11 @@ impl<D: Routable> EngineReply<D> {
     ///
     /// # Panics
     ///
-    /// Panics if this reply belongs to an update.
+    /// Panics if this reply belongs to an update or was unavailable.
     pub fn into_answer(self) -> D::Answer {
         match self.body {
             ReplyBody::Answer(a) => a,
-            ReplyBody::Updated { .. } => panic!("update reply carries no query answer"),
+            _ => panic!("reply carries no query answer"),
         }
     }
 
@@ -264,11 +303,11 @@ impl<D: Routable> EngineReply<D> {
     ///
     /// # Panics
     ///
-    /// Panics if this reply belongs to a query.
+    /// Panics if this reply belongs to a query or was unavailable.
     pub fn applied(&self) -> bool {
         match self.body {
             ReplyBody::Updated { applied } => applied,
-            ReplyBody::Answer(_) => panic!("query reply carries no update outcome"),
+            _ => panic!("reply carries no update outcome"),
         }
     }
 }
@@ -315,9 +354,9 @@ struct TopoSet<D: RangeDetermined> {
 }
 
 /// One immutable snapshot of the routing topology. The current snapshot is
-/// swapped atomically when an update applies; every in-flight message holds
-/// the snapshot it routes under, so old snapshots are reclaimed when their
-/// last message drains.
+/// swapped atomically when an update applies or the membership changes;
+/// every in-flight message holds the snapshot it routes under, so old
+/// snapshots are reclaimed when their last message drains.
 #[derive(Debug)]
 pub(crate) struct Topology<D: RangeDetermined> {
     levels: Vec<Vec<TopoSet<D>>>,
@@ -330,6 +369,10 @@ pub(crate) struct Topology<D: RangeDetermined> {
     /// Per ground item: the host and address where its operations start
     /// (the "root node for that host" of §1.1).
     origins: Vec<(HostId, GlobalRef)>,
+    /// Monotone snapshot counter: every publish (update apply,
+    /// decommission, spawn-host, heal) bumps it, so replicas that routed an
+    /// operation under an old snapshot can tell they were stale.
+    pub(crate) version: u64,
 }
 
 impl<D: RangeDetermined> Topology<D> {
@@ -338,16 +381,54 @@ impl<D: RangeDetermined> Topology<D> {
     }
 }
 
-/// Builds a topology snapshot from `web`, folding its logical hosts onto
-/// `phys` physical actor threads (`logical % phys`). While the web's host
-/// count stays within `phys` the fold is the identity, so owner-hosted
-/// message accounting matches the simulator exactly.
+/// How the web's logical hosts map onto physical actor threads: the fold
+/// modulus plus the hosts excluded from placement (decommissioned, or dead
+/// hosts healed around). Part of the engine's evolving state, serialized by
+/// the state lock.
+#[derive(Debug, Clone)]
+struct PlacementCtl {
+    /// Number of physical actor threads; logical hosts fold onto them
+    /// (`logical % phys`), so the web may grow past the thread count.
+    phys: usize,
+    /// Physical hosts no new placement may target. Ranges that would fold
+    /// onto one are re-homed to the next non-excluded host on the ring.
+    excluded: BTreeSet<u32>,
+}
+
+impl PlacementCtl {
+    fn new(phys: usize) -> Self {
+        PlacementCtl {
+            phys: phys.max(1),
+            excluded: BTreeSet::new(),
+        }
+    }
+
+    /// Folds a logical host onto a physical one, re-homing off excluded
+    /// hosts. With nothing excluded this is exactly `logical % phys`, so
+    /// owner-hosted accounting parity is untouched.
+    fn fold(&self, h: HostId) -> HostId {
+        let phys = self.phys as u32;
+        let mut p = h.0 % phys;
+        if self.excluded.len() >= self.phys {
+            return HostId(p); // nowhere left to re-home; let routing fail fast
+        }
+        while self.excluded.contains(&p) {
+            p = (p + 1) % phys;
+        }
+        HostId(p)
+    }
+}
+
+/// Builds a topology snapshot from `web` under the placement `ctl`. While
+/// the web's host count stays within `ctl.phys` and nothing is excluded,
+/// the fold is the identity, so owner-hosted message accounting matches the
+/// simulator exactly.
 fn build_topology<D: Routable + Send + Sync + 'static>(
     web: &SkipWeb<D>,
-    phys: usize,
+    ctl: &PlacementCtl,
+    version: u64,
 ) -> Topology<D> {
-    let phys = phys.max(1);
-    let fold = |h: HostId| HostId(h.0 % phys as u32);
+    let fold = |h: HostId| ctl.fold(h);
     let levels = web.level_structs();
     let topo_levels: Vec<Vec<TopoSet<D>>> = levels
         .iter()
@@ -420,17 +501,22 @@ fn build_topology<D: Routable + Send + Sync + 'static>(
         membership,
         blocking: web.blocking(),
         origins,
+        version,
     }
 }
 
 /// Resolves a replicated range to a host from the perspective of `me`: the
-/// co-located copy when one exists (free to act on), else the primary.
-fn pick(copies: &[HostId], me: HostId) -> HostId {
+/// co-located copy when one exists (free to act on), else the nearest
+/// surviving copy in replica order (decommissioned hosts still serve while
+/// they drain; only crashed ones are skipped). `None` when every copy has
+/// crashed — more failures than the replication factor tolerates.
+fn pick_alive(copies: &[HostId], me: HostId, membership: &Membership) -> Option<HostId> {
     if copies.contains(&me) {
-        me
-    } else {
-        copies[0]
+        // The executing host is by definition functioning, whatever the
+        // membership snapshot says.
+        return Some(me);
     }
+    copies.iter().copied().find(|&h| membership.is_routable(h))
 }
 
 /// Outcome of processing an operation "as far as we can internally" (§2.5).
@@ -439,15 +525,20 @@ enum RouteOutcome {
     AtLocus(GlobalRef),
     /// The next range lives elsewhere: hand the operation to `host`.
     Forward { next: GlobalRef, host: HostId },
+    /// Every replica of the next range has crashed: the operation cannot
+    /// make progress under this snapshot.
+    Unavailable,
 }
 
 /// Runs the §2.5 descent from `at` toward `q`'s level-0 locus, advancing
-/// for free while the next range is in `me`'s shard.
+/// for free while the next range is in `me`'s shard and steering each hop
+/// toward an alive replica.
 fn route_step<D: Routable + Send + Sync + 'static>(
     topo: &Topology<D>,
     me: HostId,
     mut at: GlobalRef,
     q: &D::Query,
+    membership: &Membership,
 ) -> RouteOutcome {
     loop {
         let set = topo.set(at);
@@ -477,12 +568,13 @@ fn route_step<D: Routable + Send + Sync + 'static>(
                 }
             }
         };
-        let host = pick(&topo.set(next).hosts[next.range as usize], me);
-        if host == me {
-            // Process as far as we can internally (§2.5): free.
-            at = next;
-        } else {
-            return RouteOutcome::Forward { next, host };
+        match pick_alive(&topo.set(next).hosts[next.range as usize], me, membership) {
+            Some(host) if host == me => {
+                // Process as far as we can internally (§2.5): free.
+                at = next;
+            }
+            Some(host) => return RouteOutcome::Forward { next, host },
+            None => return RouteOutcome::Unavailable,
         }
     }
 }
@@ -491,23 +583,26 @@ fn route_step<D: Routable + Send + Sync + 'static>(
 /// every level the item belongs to, the hosts of the ranges conflicting
 /// with the item's probe range — mirroring the simulator's
 /// `meter_update_neighbourhood` visit for visit, so the walk's host
-/// transitions equal the metered messages. Empty for a remove whose item is
-/// not in the snapshot.
+/// transitions equal the metered messages when every host is alive. Dead
+/// hosts are steered around via their alive replicas; `None` when some
+/// range has no alive replica left (the update is unavailable under this
+/// snapshot). Empty trail for a remove whose item is not in the snapshot.
 fn repair_trail<D: Routable + Send + Sync + 'static>(
     topo: &Topology<D>,
     item: &D::Item,
     kind: UpdateKind,
-) -> Vec<HostId> {
+    membership: &Membership,
+) -> Option<Vec<HostId>> {
     let bits = match kind {
         UpdateKind::Insert { bits } => bits,
         UpdateKind::Remove => match topo.membership.get(item) {
             Some(&bits) => bits,
-            None => return Vec::new(),
+            None => return Some(Vec::new()),
         },
     };
     let probe_range = D::probe_range(item);
     let mut trail = Vec::new();
-    crate::skipweb::walk_update_neighbourhood(
+    let complete = crate::skipweb::walk_update_neighbourhood(
         bits,
         topo.blocking,
         topo.levels.len(),
@@ -520,9 +615,10 @@ fn repair_trail<D: Routable + Send + Sync + 'static>(
                 .map(|r| set.hosts[r.index()].clone())
                 .collect()
         },
+        |host| membership.is_routable(host),
         |host| trail.push(host),
     );
-    trail
+    complete.then_some(trail)
 }
 
 /// The authoritative evolving web every host shares. Held only while an
@@ -534,6 +630,9 @@ struct EngineState<D: Routable + Send + Sync + 'static> {
     /// [`DistributedSkipWeb::insert`] / [`DistributedSkipWeb::remove`]
     /// entry points (explicit-bits APIs bypass it).
     rng: StdRng,
+    /// The logical→physical host fold plus the excluded (decommissioned /
+    /// healed-around) hosts.
+    placement: PlacementCtl,
 }
 
 struct Shared<D: Routable + Send + Sync + 'static> {
@@ -543,15 +642,30 @@ struct Shared<D: Routable + Send + Sync + 'static> {
     /// the applier *while still holding the state lock* (lock order is
     /// always `state` then `topo`), so publish order equals apply order.
     topo: Mutex<Arc<Topology<D>>>,
-    /// Number of physical actor threads; logical hosts fold onto them
-    /// (`logical % phys`), so the web may grow past the thread count.
-    phys: usize,
 }
 
 impl<D: Routable + Send + Sync + 'static> Shared<D> {
     /// The current topology snapshot (cheap: one lock + `Arc` clone).
     fn current_topo(&self) -> Arc<Topology<D>> {
         self.topo.lock().clone()
+    }
+
+    /// Rebuilds and publishes the topology from the current web and
+    /// placement, additionally excluding every host the membership reports
+    /// as dead or decommissioned, with a bumped snapshot version. The
+    /// caller must hold the state lock, so publish order equals apply
+    /// order.
+    fn republish(&self, st: &EngineState<D>, membership: &Membership) {
+        let mut ctl = st.placement.clone();
+        for h in membership.dead_hosts() {
+            ctl.excluded.insert(h.0);
+        }
+        for h in membership.decommissioned_hosts() {
+            ctl.excluded.insert(h.0);
+        }
+        let version = self.topo.lock().version + 1;
+        let next = Arc::new(build_topology(&st.web, &ctl, version));
+        *self.topo.lock() = next;
     }
 }
 
@@ -567,12 +681,13 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
         me: HostId,
         mut msg: EngineMsg<D>,
         ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+        membership: &Membership,
     ) {
         let EngineOp::Query(ref req) = msg.op else {
             unreachable!("drive_query only sees queries");
         };
         let q = D::target(req);
-        match route_step(&msg.topo, me, msg.at, &q) {
+        match route_step(&msg.topo, me, msg.at, &q, membership) {
             RouteOutcome::AtLocus(locus) => {
                 let answer = msg
                     .topo
@@ -593,6 +708,16 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
                 msg.hops += 1;
                 ctx.send_class(host, msg, TrafficClass::Query);
             }
+            RouteOutcome::Unavailable => {
+                ctx.reply(
+                    msg.client,
+                    EngineReply {
+                        corr: msg.corr,
+                        hops: msg.hops,
+                        body: ReplyBody::Unavailable,
+                    },
+                );
+            }
         }
     }
 
@@ -601,6 +726,7 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
         me: HostId,
         mut msg: EngineMsg<D>,
         ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+        membership: &Membership,
     ) {
         let EngineOp::Update(ref u) = msg.op else {
             unreachable!("drive_update only sees updates");
@@ -608,7 +734,7 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
         match u.phase {
             UpdatePhase::Route => {
                 let q = D::item_query(&u.item);
-                match route_step(&msg.topo, me, msg.at, &q) {
+                match route_step(&msg.topo, me, msg.at, &q, membership) {
                     RouteOutcome::Forward { next, host } => {
                         msg.at = next;
                         msg.hops += 1;
@@ -636,23 +762,47 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
                             // The repair trail is computed exactly once,
                             // here at repair start, and rides in the
                             // message from now on.
-                            let trail = repair_trail(&msg.topo, &u.item, u.kind);
-                            self.continue_repair(me, 0, trail, msg, ctx);
+                            match repair_trail(&msg.topo, &u.item, u.kind, membership) {
+                                Some(trail) => {
+                                    self.continue_repair(me, 0, trail, msg, ctx, membership)
+                                }
+                                None => ctx.reply(
+                                    msg.client,
+                                    EngineReply {
+                                        corr: msg.corr,
+                                        hops: msg.hops,
+                                        body: ReplyBody::Unavailable,
+                                    },
+                                ),
+                            }
                         }
+                    }
+                    RouteOutcome::Unavailable => {
+                        ctx.reply(
+                            msg.client,
+                            EngineReply {
+                                corr: msg.corr,
+                                hops: msg.hops,
+                                body: ReplyBody::Unavailable,
+                            },
+                        );
                     }
                 }
             }
             UpdatePhase::Repair { cursor, ref trail } => {
                 let trail = trail.clone();
-                self.continue_repair(me, cursor, trail, msg, ctx);
+                self.continue_repair(me, cursor, trail, msg, ctx, membership);
             }
         }
     }
 
     /// Advances the repair walk: acts for free on every consecutive trail
-    /// entry in `me`'s shard, then either forwards to the next host (one
-    /// message — exactly a meter host transition) or, with the trail
-    /// exhausted, applies the structural change and replies.
+    /// entry in `me`'s shard — skipping entries whose host crashed after
+    /// the trail was computed (their copy is stale until the snapshot swap
+    /// heals it; forwarding there would black-hole the update) — then
+    /// either forwards to the next alive host (one message — exactly a
+    /// meter host transition) or, with the trail exhausted, applies the
+    /// structural change and replies.
     fn continue_repair(
         &self,
         me: HostId,
@@ -660,9 +810,12 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
         trail: Vec<HostId>,
         mut msg: EngineMsg<D>,
         ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+        membership: &Membership,
     ) {
         let mut cursor = start;
-        while cursor < trail.len() && trail[cursor] == me {
+        while cursor < trail.len()
+            && (trail[cursor] == me || !membership.is_routable(trail[cursor]))
+        {
             cursor += 1;
         }
         if cursor < trail.len() {
@@ -674,24 +827,27 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
             msg.hops += 1;
             ctx.send_class(host, msg, TrafficClass::Update);
         } else {
-            self.apply_and_reply(msg, ctx);
+            self.apply_and_reply(msg, ctx, membership);
         }
     }
 
     /// The final step of an update: atomically apply the structural change
-    /// to the authoritative web, publish the new topology snapshot, and
-    /// reply. In-flight operations keep their old snapshots, so none of
-    /// them ever observes the update half-applied.
+    /// to the authoritative web, publish the new topology snapshot (with a
+    /// bumped version, excluding hosts that have died — so every replica,
+    /// stale or not, catches up at the swap), and reply. In-flight
+    /// operations keep their old snapshots, so none of them ever observes
+    /// the update half-applied.
     fn apply_and_reply(
         &self,
         msg: EngineMsg<D>,
         ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+        membership: &Membership,
     ) {
         let EngineOp::Update(u) = msg.op else {
             unreachable!("applies are updates");
         };
         let applied = {
-            let mut st = self.shared.state.lock();
+            let st = &mut *self.shared.state.lock();
             let applied = match u.kind {
                 UpdateKind::Insert { bits } => {
                     st.web.base().admissible(&u.item) && st.web.apply_insert(u.item, bits)
@@ -702,8 +858,7 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
                 // Publish while still holding the state lock so snapshot
                 // order equals apply order; the topo lock itself is only
                 // held for the pointer swap.
-                let next = Arc::new(build_topology(&st.web, self.shared.phys));
-                *self.shared.topo.lock() = next;
+                self.shared.republish(st, membership);
             }
             applied
         };
@@ -729,9 +884,12 @@ impl<D: Routable + Send + Sync + 'static> Actor for EngineActor<D> {
         ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
     ) {
         let me = ctx.host();
+        // One membership snapshot per hop: each forward re-checks liveness,
+        // which is what lets routing steer around hosts that die mid-query.
+        let membership = ctx.membership();
         match msg.op {
-            EngineOp::Query(_) => self.drive_query(me, msg, ctx),
-            EngineOp::Update(_) => self.drive_update(me, msg, ctx),
+            EngineOp::Query(_) => self.drive_query(me, msg, ctx, &membership),
+            EngineOp::Update(_) => self.drive_update(me, msg, ctx, &membership),
         }
     }
 }
@@ -740,16 +898,73 @@ impl<D: Routable + Send + Sync + 'static> Actor for EngineActor<D> {
 /// to replies by correlation id. Shareable across threads (`Sync`); replies
 /// pulled by one thread for another's correlation id are parked in a shared
 /// buffer.
+///
+/// The blocking entry points ([`DistributedSkipWeb::query`],
+/// [`DistributedSkipWeb::insert`], …) wait up to this client's query /
+/// update timeout (defaults: 10 s / 30 s), configurable per client with
+/// [`set_timeout`](Self::set_timeout) — stress and fault-injection suites
+/// shorten them so a lost operation surfaces quickly.
 pub struct EngineClient<D: Routable + Send + Sync + 'static> {
     inner: Client<EngineMsg<D>, EngineReply<D>>,
     next_corr: AtomicU64,
     pending: Mutex<Vec<EngineReply<D>>>,
+    /// Correlation ids abandoned by a timeout-resubmit: should their late
+    /// replies ever arrive, they are discarded instead of parked forever.
+    stale: Mutex<std::collections::HashSet<u64>>,
+    /// Blocking-query timeout in milliseconds.
+    query_timeout_ms: AtomicU64,
+    /// Blocking-update timeout in milliseconds.
+    update_timeout_ms: AtomicU64,
 }
+
+/// Default blocking-query timeout (10 s).
+pub const DEFAULT_QUERY_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default blocking-update timeout (30 s).
+pub const DEFAULT_UPDATE_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
     /// This client's runtime identifier.
     pub fn id(&self) -> ClientId {
         self.inner.id()
+    }
+
+    /// Sets both blocking timeouts (query and update) to `timeout`.
+    /// Operations already blocking keep the timeout they started with.
+    pub fn set_timeout(&self, timeout: Duration) {
+        self.set_timeouts(timeout, timeout);
+    }
+
+    /// Sets the blocking timeouts separately (defaults:
+    /// [`DEFAULT_QUERY_TIMEOUT`] / [`DEFAULT_UPDATE_TIMEOUT`]).
+    pub fn set_timeouts(&self, query: Duration, update: Duration) {
+        self.query_timeout_ms
+            .store(query.as_millis() as u64, Ordering::Relaxed);
+        self.update_timeout_ms
+            .store(update.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// The current blocking-query timeout.
+    pub fn query_timeout(&self) -> Duration {
+        Duration::from_millis(self.query_timeout_ms.load(Ordering::Relaxed))
+    }
+
+    /// The current blocking-update timeout.
+    pub fn update_timeout(&self) -> Duration {
+        Duration::from_millis(self.update_timeout_ms.load(Ordering::Relaxed))
+    }
+
+    /// Abandons `corr`: any already-parked reply is dropped, and a late
+    /// reply is discarded on arrival instead of accumulating in the
+    /// pending buffer. Used when an operation is resubmitted after a
+    /// timeout.
+    fn mark_stale(&self, corr: u64) {
+        self.pending.lock().retain(|r| r.corr != corr);
+        self.stale.lock().insert(corr);
+    }
+
+    /// Whether `corr` was abandoned; consumes the marker when it was.
+    fn take_stale(&self, corr: u64) -> bool {
+        self.stale.lock().remove(&corr)
     }
 
     /// Receives the next reply for *any* of this client's in-flight
@@ -777,6 +992,7 @@ impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
             // channel and parked in the pending buffer.
             let slice = (deadline - now).min(Duration::from_millis(25));
             match self.inner.recv_timeout(slice) {
+                Ok(reply) if self.take_stale(reply.corr) => {} // late duplicate
                 Ok(reply) => return Ok(reply),
                 Err(RuntimeError::Timeout) => {}
                 Err(e) => return Err(e),
@@ -811,7 +1027,11 @@ impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
             let slice = (deadline - now).min(Duration::from_millis(25));
             match self.inner.recv_timeout(slice) {
                 Ok(reply) if reply.corr == corr => return Ok(reply),
-                Ok(reply) => self.pending.lock().push(reply),
+                Ok(reply) => {
+                    if !self.take_stale(reply.corr) {
+                        self.pending.lock().push(reply);
+                    }
+                }
                 Err(RuntimeError::Timeout) => {}
                 Err(e) => return Err(e),
             }
@@ -874,14 +1094,15 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
     /// Panics if `capacity` is zero.
     pub fn spawn_with_capacity(web: &SkipWeb<D>, capacity: usize) -> Self {
         assert!(capacity > 0, "a network needs at least one host");
-        let topo = Arc::new(build_topology(web, capacity));
+        let placement = PlacementCtl::new(capacity);
+        let topo = Arc::new(build_topology(web, &placement, 0));
         let shared = Arc::new(Shared {
             state: Mutex::new(EngineState {
                 web: web.clone(),
                 rng: StdRng::seed_from_u64(0x736b_6970_7765_6221),
+                placement,
             }),
             topo: Mutex::new(topo),
-            phys: capacity,
         });
         let runtime = Runtime::spawn(capacity, |_h| EngineActor {
             shared: Arc::clone(&shared),
@@ -895,16 +1116,23 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
             inner: self.runtime.client(),
             next_corr: AtomicU64::new(0),
             pending: Mutex::new(Vec::new()),
+            stale: Mutex::new(std::collections::HashSet::new()),
+            query_timeout_ms: AtomicU64::new(DEFAULT_QUERY_TIMEOUT.as_millis() as u64),
+            update_timeout_ms: AtomicU64::new(DEFAULT_UPDATE_TIMEOUT.as_millis() as u64),
         }
     }
 
     /// Injects `req` at `origin_item`'s root host without waiting, returning
     /// the correlation id to pass to [`EngineClient::recv_corr`]. Any number
-    /// of operations may be in flight per client.
+    /// of operations may be in flight per client. When the origin's home
+    /// host is dead, the request enters at the nearest alive replica of the
+    /// origin range instead.
     ///
     /// # Errors
     ///
-    /// Propagates runtime errors (host down or panicked).
+    /// Propagates runtime errors (host down or panicked), and
+    /// [`RuntimeError::Unavailable`] when every replica of the origin range
+    /// has crashed.
     ///
     /// # Panics
     ///
@@ -921,27 +1149,63 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
             "origin item out of bounds"
         );
         let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
-        let (host, at) = topo.origins[origin_item];
-        client.inner.send(
-            host,
-            EngineMsg {
-                op: EngineOp::Query(req),
-                at,
-                client: client.id(),
-                corr,
-                hops: 0,
-                topo,
-            },
-        )?;
-        Ok(corr)
+        // A host can die between the membership check and the send; the
+        // failed send proves the fresh membership now reports it dead, so
+        // re-resolving converges on a replica (or on Unavailable).
+        for _ in 0..4 {
+            let (host, at) = self.entry_point(&topo, origin_item)?;
+            match client.inner.send(
+                host,
+                EngineMsg {
+                    op: EngineOp::Query(req.clone()),
+                    at,
+                    client: client.id(),
+                    corr,
+                    hops: 0,
+                    topo: Arc::clone(&topo),
+                },
+            ) {
+                Ok(()) => return Ok(corr),
+                Err(RuntimeError::HostPanicked(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Err(RuntimeError::Unavailable)
     }
 
-    /// Runs one query end to end, blocking up to 10 s for the reply.
+    /// Resolves `origin_item`'s entry host under `topo`, failing over to an
+    /// alive replica of the origin range when the home host is dead.
+    fn entry_point(
+        &self,
+        topo: &Topology<D>,
+        origin_item: usize,
+    ) -> Result<(HostId, GlobalRef), RuntimeError> {
+        let (host, at) = topo.origins[origin_item];
+        let membership = self.runtime.membership();
+        if membership.is_routable(host) {
+            return Ok((host, at));
+        }
+        topo.set(at).hosts[at.range as usize]
+            .iter()
+            .copied()
+            .find(|&h| membership.is_routable(h))
+            .map(|h| (h, at))
+            .ok_or(RuntimeError::Unavailable)
+    }
+
+    /// Runs one query end to end, blocking up to the client's query timeout
+    /// (default 10 s, see [`EngineClient::set_timeout`]) for the reply.
+    ///
+    /// If the wait times out while some host is dead — the signature of a
+    /// request lost in a crashed host's mailbox — the query is resubmitted
+    /// once against the current membership before giving up: queries are
+    /// idempotent, so the retry is always safe.
     ///
     /// # Errors
     ///
     /// Propagates runtime errors (host down or panicked, timeout,
-    /// disconnect).
+    /// disconnect), and [`RuntimeError::Unavailable`] when more hosts have
+    /// crashed than the replication factor tolerates.
     ///
     /// # Panics
     ///
@@ -952,15 +1216,36 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         origin_item: usize,
         req: D::Request,
     ) -> Result<QueryReply<D>, RuntimeError> {
-        let corr = self.submit(client, origin_item, req)?;
-        let reply = client.recv_corr(corr, Duration::from_secs(10))?;
-        match reply.body {
-            ReplyBody::Answer(answer) => Ok(QueryReply {
-                corr,
-                answer,
-                hops: reply.hops,
-            }),
-            ReplyBody::Updated { .. } => unreachable!("query correlation id matched an update"),
+        let timeout = client.query_timeout();
+        let mut corr = self.submit(client, origin_item, req.clone())?;
+        let mut retried = false;
+        loop {
+            match client.recv_corr(corr, timeout) {
+                Ok(reply) => {
+                    return match reply.body {
+                        ReplyBody::Answer(answer) => Ok(QueryReply {
+                            corr,
+                            answer,
+                            hops: reply.hops,
+                        }),
+                        ReplyBody::Unavailable => Err(RuntimeError::Unavailable),
+                        ReplyBody::Updated { .. } => {
+                            unreachable!("query correlation id matched an update")
+                        }
+                    };
+                }
+                Err(RuntimeError::Timeout)
+                    if !retried && self.runtime.membership().first_dead().is_some() =>
+                {
+                    retried = true;
+                    // The first attempt is abandoned: if it was merely slow
+                    // (not lost), its late reply is discarded rather than
+                    // parked in the pending buffer forever.
+                    client.mark_stale(corr);
+                    corr = self.submit(client, origin_item, req.clone())?;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -1042,51 +1327,77 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
             UpdateKind::Insert { .. } => !topo.origins.is_empty(),
             UpdateKind::Remove => topo.origins.len() > 1 && topo.membership.contains_key(&item),
         };
-        let (host, at, phase) = if routes {
-            assert!(origin < topo.origins.len(), "origin item out of bounds");
-            let (host, at) = topo.origins[origin];
-            (host, at, UpdatePhase::Route)
-        } else {
-            // No lookup phase: enter the repair trail directly. The client
-            // injection is free (as is the meter's first visit), so hops
-            // still equal the simulator's messages.
-            let trail = repair_trail(&topo, &item, kind);
-            let host = trail.first().copied().unwrap_or(HostId(0));
-            let at = GlobalRef {
-                level: 0,
-                set: 0,
-                range: 0,
+        // As in `submit`: a host dying between resolution and send makes
+        // the send fail fast, and re-resolving against the now-updated
+        // membership converges on a replica.
+        for _ in 0..4 {
+            let (host, at, phase) = if routes {
+                assert!(origin < topo.origins.len(), "origin item out of bounds");
+                let (host, at) = self.entry_point(&topo, origin)?;
+                (host, at, UpdatePhase::Route)
+            } else {
+                // No lookup phase: enter the repair trail directly. The
+                // client injection is free (as is the meter's first visit),
+                // so hops still equal the simulator's messages.
+                let membership = self.runtime.membership();
+                let trail = repair_trail(&topo, &item, kind, &membership)
+                    .ok_or(RuntimeError::Unavailable)?;
+                let host = match trail.first().copied() {
+                    Some(h) => h,
+                    // Empty trail (e.g. an absent remove): any alive host
+                    // can complete the no-op.
+                    None => membership
+                        .alive_hosts()
+                        .into_iter()
+                        .next()
+                        .ok_or(RuntimeError::Unavailable)?,
+                };
+                let at = GlobalRef {
+                    level: 0,
+                    set: 0,
+                    range: 0,
+                };
+                (host, at, UpdatePhase::Repair { cursor: 0, trail })
             };
-            (host, at, UpdatePhase::Repair { cursor: 0, trail })
-        };
-        client.inner.send(
-            host,
-            EngineMsg {
-                op: EngineOp::Update(UpdateOp { kind, item, phase }),
-                at,
-                client: client.id(),
-                corr,
-                hops: 0,
-                topo,
-            },
-        )?;
-        Ok(corr)
+            match client.inner.send(
+                host,
+                EngineMsg {
+                    op: EngineOp::Update(UpdateOp {
+                        kind,
+                        item: item.clone(),
+                        phase,
+                    }),
+                    at,
+                    client: client.id(),
+                    corr,
+                    hops: 0,
+                    topo: Arc::clone(&topo),
+                },
+            ) {
+                Ok(()) => return Ok(corr),
+                Err(RuntimeError::HostPanicked(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Err(RuntimeError::Unavailable)
     }
 
     fn await_update(client: &EngineClient<D>, corr: u64) -> Result<UpdateReply, RuntimeError> {
-        let reply = client.recv_corr(corr, Duration::from_secs(30))?;
+        let reply = client.recv_corr(corr, client.update_timeout())?;
         match reply.body {
             ReplyBody::Updated { applied } => Ok(UpdateReply {
                 corr,
                 applied,
                 hops: reply.hops,
             }),
+            ReplyBody::Unavailable => Err(RuntimeError::Unavailable),
             ReplyBody::Answer(_) => unreachable!("update correlation id matched a query"),
         }
     }
 
     /// Runs one insert end to end with an explicit origin and bit string
-    /// (see [`submit_insert`](Self::submit_insert)), blocking up to 30 s.
+    /// (see [`submit_insert`](Self::submit_insert)), blocking up to the
+    /// client's update timeout (default 30 s).
     ///
     /// # Errors
     ///
@@ -1108,7 +1419,8 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
     }
 
     /// Runs one remove end to end with an explicit origin (see
-    /// [`submit_remove`](Self::submit_remove)), blocking up to 30 s.
+    /// [`submit_remove`](Self::submit_remove)), blocking up to the
+    /// client's update timeout (default 30 s).
     ///
     /// # Errors
     ///
@@ -1206,20 +1518,142 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         self.runtime.host_traffic()
     }
 
-    /// Number of (physical) hosts.
+    /// Number of (physical) hosts ever spawned, including dead and
+    /// decommissioned ones.
     pub fn hosts(&self) -> usize {
         self.runtime.hosts()
     }
 
-    /// The host whose actor panicked, if any — the fabric is then poisoned
-    /// and every blocked or future client operation reports it.
+    /// A point-in-time membership snapshot of the fabric (alive / dead /
+    /// decommissioned per host) — an `Arc` clone of the runtime's cached
+    /// view.
+    pub fn membership(&self) -> Arc<Membership> {
+        self.runtime.membership()
+    }
+
+    /// A health report for the fabric: host liveness, the replication
+    /// factor in effect, and the current topology-snapshot version.
+    pub fn health(&self) -> EngineHealth {
+        let membership = self.runtime.membership();
+        let replication = self.shared.state.lock().web.replication().k;
+        EngineHealth {
+            alive: membership.alive_hosts(),
+            dead: membership.dead_hosts(),
+            decommissioned: membership.decommissioned_hosts(),
+            replication,
+            topology_version: self.shared.current_topo().version,
+        }
+    }
+
+    /// The first host whose actor crashed, if any.
+    #[deprecated(
+        since = "0.1.0",
+        note = "a crash no longer poisons the fabric; use `health()` for the full \
+                alive/dead/decommissioned report"
+    )]
     pub fn poisoned_by(&self) -> Option<HostId> {
-        self.runtime.poisoned_by()
+        self.runtime.membership().first_dead()
+    }
+
+    /// Crashes `host` for fault injection: its mailbox is discarded and
+    /// every later message to it is dropped, exactly like an actor panic.
+    /// With replication `k ≥ 2` the fabric keeps answering from replicas;
+    /// run [`heal`](Self::heal) (or any update) to re-home the dead host's
+    /// blocks permanently.
+    pub fn kill_host(&self, host: HostId) {
+        self.runtime.kill(host);
+    }
+
+    /// Gracefully removes `host` from the fabric: a new topology snapshot
+    /// re-homes every block it held (so no new operation routes to it),
+    /// and only then is the host marked as draining — operations already
+    /// in flight under older snapshots still complete on it. Safe to call
+    /// concurrently with queries and updates.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::HostDown`] if the host is not currently alive, and
+    /// [`RuntimeError::Unavailable`] if it is the last alive host.
+    pub fn decommission(&self, host: HostId) -> Result<(), RuntimeError> {
+        // The whole operation — guard included — runs under the state lock,
+        // so concurrent decommissions serialize and the second caller sees
+        // the first one's drained host when it re-reads the membership.
+        let st = &mut *self.shared.state.lock();
+        let membership = self.runtime.membership();
+        if !membership.is_alive(host) {
+            return Err(RuntimeError::HostDown(host));
+        }
+        if membership.alive_count() <= 1 {
+            return Err(RuntimeError::Unavailable);
+        }
+        st.placement.excluded.insert(host.0);
+        self.shared.republish(st, &membership);
+        // Only after the re-homed snapshot is published does the host stop
+        // being a routing target; everything already addressed to it under
+        // old snapshots is still delivered and processed.
+        self.runtime.decommission(host);
+        Ok(())
+    }
+
+    /// Adds one host to the running fabric and rebalances the placement
+    /// onto it (the fold modulus grows to cover the new host). Returns the
+    /// new host's id. Safe to call concurrently with queries and updates.
+    pub fn spawn_host(&self) -> HostId {
+        let st = &mut *self.shared.state.lock();
+        let host = self.runtime.add_host(EngineActor {
+            shared: Arc::clone(&self.shared),
+        });
+        st.placement.phys = host.index() + 1;
+        self.shared.republish(st, &self.runtime.membership());
+        host
+    }
+
+    /// Re-homes blocks away from hosts that have crashed since the last
+    /// snapshot: publishes a new topology whose placement excludes every
+    /// dead host, so even a `k = 1` web regains availability (any update
+    /// apply does the same implicitly).
+    pub fn heal(&self) {
+        let st = &*self.shared.state.lock();
+        self.shared.republish(st, &self.runtime.membership());
     }
 
     /// Stops all host threads.
     pub fn shutdown(self) {
         self.runtime.shutdown()
+    }
+}
+
+/// The fabric-health report returned by [`DistributedSkipWeb::health`]: the
+/// failover-relevant state in one read — which hosts can serve, which are
+/// gone, how many crashes the placement tolerates (`replication - 1`), and
+/// how many topology snapshots have been published.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// Hosts currently accepting new work.
+    pub alive: Vec<HostId>,
+    /// Hosts that crashed (panic or injected kill).
+    pub dead: Vec<HostId>,
+    /// Hosts gracefully drained via [`DistributedSkipWeb::decommission`].
+    pub decommissioned: Vec<HostId>,
+    /// The replication factor `k` of the served web: any `k - 1` hosts may
+    /// crash without losing availability.
+    pub replication: usize,
+    /// Version of the currently published topology snapshot (bumped by
+    /// every update apply, decommission, spawn-host, and heal).
+    pub topology_version: u64,
+}
+
+impl fmt::Display for EngineHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "alive={} dead={:?} decommissioned={:?} k={} topo=v{}",
+            self.alive.len(),
+            self.dead,
+            self.decommissioned,
+            self.replication,
+            self.topology_version
+        )
     }
 }
 
@@ -1477,7 +1911,7 @@ mod tests {
         let bad = Segment::new((0, 500), (77, 501));
         let reply = dist.insert(&client, bad).unwrap();
         assert!(!reply.applied);
-        assert!(dist.poisoned_by().is_none(), "fabric must stay healthy");
+        assert!(dist.health().dead.is_empty(), "fabric must stay healthy");
         // A good segment above all bands still applies.
         let good = Segment::new((41, 2_000), (83, 2_001));
         assert!(dist.insert(&client, good).unwrap().applied);
@@ -1529,12 +1963,28 @@ mod tests {
         dist.shutdown();
     }
 
+    /// Blocks until `host` shows up dead in the engine's membership view
+    /// (a panicking thread publishes its tombstone as it unwinds).
+    fn await_dead<D: Routable + Send + Sync + 'static>(dist: &DistributedSkipWeb<D>, host: HostId) {
+        for _ in 0..2000 {
+            if dist.membership().dead_hosts().contains(&host) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("{host} never tombstoned");
+    }
+
     #[test]
-    fn host_panic_mid_update_poisons_the_fabric_for_blocked_and_later_clients() {
+    fn host_panic_mid_update_is_contained_and_reported_by_health() {
         let keys: Vec<u64> = (0..64).map(|i| i * 3).collect();
-        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(31).build();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys)
+            .seed(31)
+            .replicate(2)
+            .build();
         let dist = DistributedSkipWeb::spawn(web.inner());
         let client = dist.client();
+        client.set_timeout(Duration::from_millis(300));
         // A corrupt address makes host 5 die mid-update processing.
         let topo = dist.shared.current_topo();
         client
@@ -1559,20 +2009,163 @@ mod tests {
                 },
             )
             .unwrap();
-        // The blocked client must get the error, not hang.
-        let err = client.recv_corr(777, Duration::from_secs(10)).unwrap_err();
-        assert_eq!(err, RuntimeError::HostPanicked(HostId(5)));
-        assert_eq!(dist.poisoned_by(), Some(HostId(5)));
-        // The fabric stays poisoned for later senders: updates and queries
-        // fail fast instead of routing into a dead network.
+        // The blocked client surfaces the lost op as a timeout, not a hang.
+        let err = client.recv_corr(777, Duration::from_secs(2)).unwrap_err();
+        assert_eq!(err, RuntimeError::Timeout);
+        await_dead(&dist, HostId(5));
+        let health = dist.health();
+        assert_eq!(health.dead, vec![HostId(5)]);
+        assert_eq!(health.replication, 2);
+        assert_eq!(health.alive.len(), 63);
+        // The deprecated shim still reports the first dead host.
+        #[allow(deprecated)]
+        let first = dist.poisoned_by();
+        assert_eq!(first, Some(HostId(5)));
+        // The crash is contained: with k = 2 the fabric keeps serving
+        // queries and updates from replicas instead of failing fast.
+        client.set_timeouts(Duration::from_secs(10), Duration::from_secs(30));
+        assert!(dist.insert(&client, 999).unwrap().applied);
+        let reply = dist.query(&client, 0, 998).unwrap();
+        assert_eq!(reply.answer, Some(999));
+        dist.shutdown();
+    }
+
+    #[test]
+    fn killing_a_host_with_replication_keeps_every_query_answerable() {
+        let keys: Vec<u64> = (0..120).map(|i| i * 10).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys)
+            .seed(32)
+            .replicate(2)
+            .build();
+        let dist = DistributedSkipWeb::spawn(web.inner());
+        let client = dist.client();
+        dist.kill_host(HostId(7));
+        for s in 0..40u64 {
+            let q = (s * 211) % 1300;
+            let origin = web.random_origin(s);
+            let want = web.nearest(origin, q).answer.nearest;
+            let reply = dist.query(&client, origin, q).unwrap();
+            assert_eq!(reply.answer, Some(want), "q={q} after crash");
+        }
+        // Origins homed on the dead host enter at a replica.
+        let dead_origin = 7usize;
+        assert!(dist
+            .query(&client, dead_origin, 75)
+            .unwrap()
+            .answer
+            .is_some());
+        dist.shutdown();
+    }
+
+    #[test]
+    fn unreplicated_crash_fails_fast_and_heal_restores_availability() {
+        let keys: Vec<u64> = (0..64).map(|i| i * 10).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(33).build();
+        let dist = DistributedSkipWeb::spawn(web.inner());
+        let client = dist.client();
+        client.set_timeout(Duration::from_secs(2));
+        dist.kill_host(HostId(9));
+        // Some query must need host 9's tower with k = 1: it reports
+        // Unavailable (fail fast) rather than timing out.
+        let mut saw_unavailable = false;
+        for s in 0..64u64 {
+            match dist.query(&client, web.random_origin(s), s * 10 + 5) {
+                Ok(_) => {}
+                Err(RuntimeError::Unavailable) => saw_unavailable = true,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_unavailable, "k = 1 cannot survive a crash everywhere");
+        // Healing re-homes the dead host's blocks; the web then answers
+        // every query again (from the rebuilt placement).
+        let v_before = dist.health().topology_version;
+        dist.heal();
+        assert!(dist.health().topology_version > v_before);
+        for s in 0..64u64 {
+            assert!(
+                dist.query(&client, web.random_origin(s), s * 10 + 5)
+                    .unwrap()
+                    .answer
+                    .is_some(),
+                "healed web must answer"
+            );
+        }
+        dist.shutdown();
+    }
+
+    #[test]
+    fn decommission_rehomes_blocks_and_keeps_answers() {
+        let keys: Vec<u64> = (0..80).map(|i| i * 5).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(34).build();
+        let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), 8);
+        let client = dist.client();
+        dist.decommission(HostId(3)).unwrap();
+        let health = dist.health();
+        assert_eq!(health.decommissioned, vec![HostId(3)]);
+        assert_eq!(health.alive.len(), 7);
+        // Double decommission and last-host decommission are rejected.
         assert_eq!(
-            dist.insert(&client, 999).unwrap_err(),
-            RuntimeError::HostPanicked(HostId(5))
+            dist.decommission(HostId(3)).unwrap_err(),
+            RuntimeError::HostDown(HostId(3))
         );
-        assert_eq!(
-            dist.query(&client, 0, 5).unwrap_err(),
-            RuntimeError::HostPanicked(HostId(5))
+        for s in 0..30u64 {
+            let q = (s * 97) % 450;
+            let origin = web.random_origin(s);
+            let want = web.nearest(origin, q).answer.nearest;
+            assert_eq!(dist.query(&client, origin, q).unwrap().answer, Some(want));
+        }
+        // After the drain, no new query traffic lands on host 3 (the old
+        // snapshot's in-flight ops are long gone).
+        let before = dist.traffic().received[3];
+        for s in 0..30u64 {
+            let _ = dist.query(&client, web.random_origin(s), s * 13).unwrap();
+        }
+        assert_eq!(dist.traffic().received[3], before);
+        dist.shutdown();
+    }
+
+    #[test]
+    fn spawn_host_grows_the_fabric_and_rebalances() {
+        let keys: Vec<u64> = (0..60).map(|i| i * 4).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(35).build();
+        let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), 4);
+        let client = dist.client();
+        let new = dist.spawn_host();
+        assert_eq!(new, HostId(4));
+        assert_eq!(dist.hosts(), 5);
+        for s in 0..30u64 {
+            let q = (s * 101) % 250;
+            let origin = web.random_origin(s);
+            let want = web.nearest(origin, q).answer.nearest;
+            assert_eq!(dist.query(&client, origin, q).unwrap().answer, Some(want));
+        }
+        // The new host actually participates in the rebalanced placement.
+        assert!(
+            dist.traffic().received[4] > 0,
+            "spawned host must receive traffic"
         );
+        assert!(dist.insert(&client, 999).unwrap().applied);
+        dist.shutdown();
+    }
+
+    #[test]
+    fn client_timeouts_are_configurable_per_client() {
+        let web = crate::onedim::OneDimSkipWeb::builder(vec![1, 2, 3])
+            .seed(36)
+            .build();
+        let dist = DistributedSkipWeb::spawn(web.inner());
+        let client = dist.client();
+        assert_eq!(client.query_timeout(), DEFAULT_QUERY_TIMEOUT);
+        assert_eq!(client.update_timeout(), DEFAULT_UPDATE_TIMEOUT);
+        client.set_timeout(Duration::from_millis(250));
+        assert_eq!(client.query_timeout(), Duration::from_millis(250));
+        assert_eq!(client.update_timeout(), Duration::from_millis(250));
+        client.set_timeouts(Duration::from_secs(1), Duration::from_secs(2));
+        assert_eq!(client.query_timeout(), Duration::from_secs(1));
+        assert_eq!(client.update_timeout(), Duration::from_secs(2));
+        // A second client keeps the defaults: the setting is per client.
+        let other = dist.client();
+        assert_eq!(other.query_timeout(), DEFAULT_QUERY_TIMEOUT);
         dist.shutdown();
     }
 }

@@ -11,7 +11,7 @@ use skipweb_structures::trapezoid::{Segment, Trapezoid, TrapezoidalMap};
 use skipweb_structures::trie::CompressedTrie;
 
 use crate::engine::{DistributedSkipWeb, Routable};
-use crate::placement::Blocking;
+use crate::placement::{Blocking, Replication};
 use crate::skipweb::{SkipWeb, SkipWebBuilder};
 
 /// A request routed through a distributed quadtree skip-web.
@@ -231,6 +231,23 @@ impl<D: RangeDetermined, W> WrappedBuilder<D, W> {
     /// Uses an explicit blocking strategy.
     pub fn blocking(mut self, blocking: Blocking) -> Self {
         self.inner = self.inner.blocking(blocking);
+        self
+    }
+
+    /// Uses an explicit replication policy.
+    pub fn replication(mut self, replication: Replication) -> Self {
+        self.inner = self.inner.replication(replication);
+        self
+    }
+
+    /// Places every range on `k` hosts so the served web survives up to
+    /// `k - 1` host crashes (see [`Replication`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn replicate(mut self, k: usize) -> Self {
+        self.inner = self.inner.replicate(k);
         self
     }
 

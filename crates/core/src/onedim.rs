@@ -10,7 +10,7 @@ use skipweb_structures::traits::{RangeDetermined, RangeId};
 use skipweb_structures::KeyInterval;
 
 use crate::engine::{DistributedSkipWeb, Routable};
-use crate::placement::Blocking;
+use crate::placement::{Blocking, Replication};
 use crate::skipweb::{SkipWeb, SkipWebBuilder};
 
 /// The 1-D skip-web routes plain keys and answers with the nearest stored
@@ -273,6 +273,23 @@ impl OneDimSkipWebBuilder {
     /// Uses an explicit blocking strategy.
     pub fn blocking(mut self, blocking: Blocking) -> Self {
         self.inner = self.inner.blocking(blocking);
+        self
+    }
+
+    /// Uses an explicit replication policy.
+    pub fn replication(mut self, replication: Replication) -> Self {
+        self.inner = self.inner.replication(replication);
+        self
+    }
+
+    /// Places every range on `k` hosts so the served web survives up to
+    /// `k - 1` host crashes (see [`Replication`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn replicate(mut self, k: usize) -> Self {
+        self.inner = self.inner.replicate(k);
         self
     }
 

@@ -73,6 +73,56 @@ impl fmt::Display for Blocking {
     }
 }
 
+/// Replication factor layered over a [`Blocking`] strategy: every range's
+/// replica set is extended to `k` distinct hosts (the primary plus its ring
+/// successors), so each `GlobalRef` resolves to a *replica set* instead of
+/// a single host and the structure stays available through up to `k - 1`
+/// host crashes.
+///
+/// `k = 1` (the default, [`Replication::NONE`]) reproduces the paper's
+/// fail-free model exactly: one authoritative copy per range (plus whatever
+/// co-location bucketed placement already does), and the engine's hop
+/// accounting stays in lock-step with the cost-model simulator. With
+/// `k ≥ 2` the placement trades that exact hop parity for availability:
+/// replicas create extra co-location, so live hop counts can only shrink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Replication {
+    /// Number of hosts storing a copy of every range (`k ≥ 1`).
+    pub k: usize,
+}
+
+impl Replication {
+    /// No replication: one copy per range, the paper's fail-free model.
+    pub const NONE: Replication = Replication { k: 1 };
+
+    /// Replication factor `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero (every range needs at least one copy).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "every range needs at least one copy");
+        Replication { k }
+    }
+
+    /// How many simultaneous host crashes this factor survives (`k - 1`).
+    pub fn survives_crashes(&self) -> usize {
+        self.k - 1
+    }
+}
+
+impl Default for Replication {
+    fn default() -> Self {
+        Replication::NONE
+    }
+}
+
+impl fmt::Display for Replication {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k = {}", self.k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +169,26 @@ mod tests {
         assert!(Blocking::Bucketed { memory: 8 }
             .to_string()
             .contains("M = 8"));
+    }
+
+    #[test]
+    fn replication_defaults_to_a_single_copy() {
+        assert_eq!(Replication::default(), Replication::NONE);
+        assert_eq!(Replication::NONE.k, 1);
+        assert_eq!(Replication::NONE.survives_crashes(), 0);
+    }
+
+    #[test]
+    fn replication_factor_names_its_crash_budget() {
+        let r = Replication::new(3);
+        assert_eq!(r.k, 3);
+        assert_eq!(r.survives_crashes(), 2);
+        assert_eq!(r.to_string(), "k = 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn zero_replication_is_rejected() {
+        let _ = Replication::new(0);
     }
 }

@@ -11,7 +11,7 @@ use skipweb_net::HostId;
 use skipweb_structures::traits::{RangeDetermined, RangeId};
 
 use crate::levels::{draw_bits, group_by_key, level_count, parent_key, set_key};
-use crate::placement::Blocking;
+use crate::placement::{Blocking, Replication};
 
 /// One level-`ℓ` set `S_b` with its structure `D(S_b)`, hyperlinks, and
 /// host placement.
@@ -71,6 +71,7 @@ pub struct SkipWeb<D: RangeDetermined> {
     host_of_item: Vec<HostId>,
     hosts: usize,
     blocking: Blocking,
+    replication: Replication,
     rng: StdRng,
 }
 
@@ -80,6 +81,7 @@ pub struct SkipWebBuilder<D: RangeDetermined> {
     items: Vec<D::Item>,
     seed: u64,
     blocking: Blocking,
+    replication: Replication,
 }
 
 impl<D: RangeDetermined> SkipWebBuilder<D> {
@@ -101,6 +103,22 @@ impl<D: RangeDetermined> SkipWebBuilder<D> {
         self.blocking(Blocking::Bucketed { memory })
     }
 
+    /// Chooses the replication policy (default [`Replication::NONE`]).
+    pub fn replication(mut self, replication: Replication) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Places every range on `k` hosts (the primary plus ring successors),
+    /// so the served structure survives up to `k - 1` host crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn replicate(self, k: usize) -> Self {
+        self.replication(Replication::new(k))
+    }
+
     /// Builds the skip-web.
     pub fn build(self) -> SkipWeb<D> {
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -114,6 +132,7 @@ impl<D: RangeDetermined> SkipWebBuilder<D> {
             host_of_item: Vec::new(),
             hosts: 0,
             blocking: self.blocking,
+            replication: self.replication,
             rng,
         };
         web.rebuild();
@@ -128,6 +147,7 @@ impl<D: RangeDetermined> SkipWeb<D> {
             items,
             seed: 0,
             blocking: Blocking::OwnerHosted,
+            replication: Replication::NONE,
         }
     }
 
@@ -159,6 +179,11 @@ impl<D: RangeDetermined> SkipWeb<D> {
     /// The blocking strategy in effect.
     pub fn blocking(&self) -> Blocking {
         self.blocking
+    }
+
+    /// The replication policy in effect.
+    pub fn replication(&self) -> Replication {
+        self.replication
     }
 
     /// Sizes of the sets at `level` (for the Figure 2 reproduction).
@@ -427,7 +452,9 @@ impl<D: RangeDetermined> SkipWeb<D> {
     /// materialize its node range.
     fn meter_update_neighbourhood(&self, item: &D::Item, bits: u64, meter: &mut MessageMeter) {
         let probe_range = D::probe_range(item);
-        walk_update_neighbourhood(
+        // The simulator models the paper's fail-free network, so every
+        // replica is alive and the walk cannot abort.
+        let complete = walk_update_neighbourhood(
             bits,
             self.blocking,
             self.levels.len(),
@@ -440,8 +467,10 @@ impl<D: RangeDetermined> SkipWeb<D> {
                     .map(|r| set.range_host[r.index()].clone())
                     .collect()
             },
+            |_| true,
             |host| meter.visit(host),
         );
+        debug_assert!(complete, "fail-free walks always complete");
     }
 
     /// Rebuilds levels, hyperlinks and placement from the current ground
@@ -561,6 +590,37 @@ impl<D: RangeDetermined> SkipWeb<D> {
                 }
             }
             Blocking::Bucketed { .. } => self.assign_bucketed(),
+        }
+        self.extend_replicas();
+    }
+
+    /// The replication pass layered over either blocking strategy: extends
+    /// every range's copy list to `k` distinct hosts by walking the ring of
+    /// host ids upward from the primary. The primary stays `copies[0]`, so
+    /// all single-copy accounting (and the `k = 1` default) is untouched.
+    fn extend_replicas(&mut self) {
+        let hosts = self.hosts.max(1) as u32;
+        let k = self.replication.k.min(hosts as usize);
+        if k <= 1 {
+            return;
+        }
+        for level in &mut self.levels {
+            for set in &mut level.sets {
+                for copies in &mut set.range_host {
+                    let primary = copies[0].0;
+                    let mut next = primary;
+                    while copies.len() < k {
+                        next = (next + 1) % hosts;
+                        if next == primary {
+                            break; // full circle: fewer hosts than k
+                        }
+                        let candidate = HostId(next);
+                        if !copies.contains(&candidate) {
+                            copies.push(candidate);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -742,15 +802,24 @@ impl<D: RangeDetermined> SkipWeb<D> {
 /// `set_of(level, key)` resolves the item's set at a level (`None` when the
 /// item opens a brand-new set there); `conflict_replicas(level, set)`
 /// yields the replica host list of each conflicting range, in conflict
-/// order; `visit` observes each acted-on host in walk order.
+/// order; `alive` filters which replicas may be acted on (the simulator's
+/// fail-free model passes `|_| true`; the engine passes its membership
+/// view, which is how a repair steers around crashed hosts); `visit`
+/// observes each acted-on host in walk order.
+///
+/// Returns `false` — aborting the walk — when some range has no alive
+/// replica: more hosts crashed than the replication factor covers, so the
+/// repair cannot complete. With every host alive the walk always returns
+/// `true` and visits exactly the hosts the pre-failover walk visited.
 pub(crate) fn walk_update_neighbourhood(
     bits: u64,
     blocking: Blocking,
     num_levels: usize,
     mut set_of: impl FnMut(u32, u64) -> Option<u32>,
     mut conflict_replicas: impl FnMut(u32, u32) -> Vec<Vec<HostId>>,
+    mut alive: impl FnMut(HostId) -> bool,
     mut visit: impl FnMut(HostId),
-) {
+) -> bool {
     let mut anchor: Option<HostId> = None;
     for level in 0..num_levels as u32 {
         let key = set_key(bits, level);
@@ -760,8 +829,11 @@ pub(crate) fn walk_update_neighbourhood(
         let basic = blocking.is_basic(level);
         for (i, replicas) in conflict_replicas(level, set_idx).into_iter().enumerate() {
             let host = match anchor {
-                Some(a) if replicas.contains(&a) => a,
-                _ => replicas[0],
+                Some(a) if replicas.contains(&a) && alive(a) => a,
+                _ => match replicas.iter().copied().find(|&h| alive(h)) {
+                    Some(h) => h,
+                    None => return false,
+                },
             };
             visit(host);
             if basic && i == 0 {
@@ -769,6 +841,7 @@ pub(crate) fn walk_update_neighbourhood(
             }
         }
     }
+    true
 }
 
 #[cfg(test)]
@@ -934,6 +1007,55 @@ mod tests {
             bucket_total * 2 < owner_total * 3,
             "bucketed ({bucket_total}) should beat owner-hosted ({owner_total}) on messages"
         );
+    }
+
+    #[test]
+    fn replication_places_every_range_on_k_distinct_hosts() {
+        let w = SkipWeb::<SortedLinkedList>::builder((0..64u64).map(|i| i * 10).collect())
+            .seed(5)
+            .replicate(3)
+            .build();
+        assert_eq!(w.replication().k, 3);
+        let plain = web(64, 5);
+        for (level, plain_level) in w.level_structs().iter().zip(plain.level_structs()) {
+            for (set, plain_set) in level.sets.iter().zip(&plain_level.sets) {
+                for (copies, plain_copies) in set.range_host.iter().zip(&plain_set.range_host) {
+                    assert!(copies.len() >= 3, "range has {} copies", copies.len());
+                    let mut unique = copies.clone();
+                    unique.sort_unstable();
+                    unique.dedup();
+                    assert_eq!(unique.len(), copies.len(), "replicas must be distinct");
+                    // The primary copy is exactly the unreplicated placement.
+                    assert_eq!(copies[0], plain_copies[0]);
+                }
+            }
+        }
+        // Owner-hosted metering reads primaries only, so the simulated
+        // Q(n) is untouched by the replication factor.
+        for s in 0..10u64 {
+            let q = s * 37 + 3;
+            let mut m_rep = MessageMeter::new();
+            let mut m_plain = MessageMeter::new();
+            let o_rep = w.query(w.random_origin(s), &q, &mut m_rep);
+            let o_plain = plain.query(plain.random_origin(s), &q, &mut m_plain);
+            assert_eq!(o_rep.locus, o_plain.locus);
+            assert_eq!(m_rep.messages(), m_plain.messages());
+        }
+    }
+
+    #[test]
+    fn replication_is_capped_by_the_host_count() {
+        let w = SkipWeb::<SortedLinkedList>::builder(vec![1, 2, 3])
+            .seed(6)
+            .replicate(64)
+            .build();
+        for level in w.level_structs() {
+            for set in &level.sets {
+                for copies in &set.range_host {
+                    assert!(copies.len() <= w.hosts());
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! 2. [`runtime`] — a threaded actor runtime (one OS thread per host,
 //!    crossbeam channels) used by examples and integration tests to
 //!    demonstrate that the very same routing steps work under real
-//!    concurrent message passing.
+//!    concurrent message passing. Unlike the paper's model, the runtime
+//!    *does* let hosts fail: a crash tombstones only that host
+//!    ([`runtime::HostState`]), the surviving fabric publishes a
+//!    [`runtime::Membership`] view for failover routing, and hosts can be
+//!    decommissioned or added live.
 //!
 //! # Example
 //!
@@ -48,4 +52,5 @@ mod host;
 
 pub use host::HostId;
 pub use metrics::{CostReport, Histogram, HostTraffic, SeriesStats};
+pub use runtime::{HostState, Membership};
 pub use sim::{MessageMeter, SimNetwork};

@@ -176,7 +176,9 @@ impl FromIterator<u64> for Histogram {
 /// runtime's global message count. `update_sent[h]` / `update_received[h]`
 /// break out the share tagged as update traffic (routing an insert/remove
 /// and its bottom-up repair) — the live counterpart of keeping the paper's
-/// `Q(n)` and `U(n)` columns apart.
+/// `Q(n)` and `U(n)` columns apart. `dropped[h]` counts messages addressed
+/// to host `h` *after it crashed* — lost on the wire, never delivered or
+/// counted as sent.
 ///
 /// # Example
 ///
@@ -187,10 +189,12 @@ impl FromIterator<u64> for Histogram {
 ///     received: vec![0, 4],
 ///     update_sent: vec![1, 0],
 ///     update_received: vec![0, 1],
+///     dropped: vec![0, 2],
 /// };
 /// assert_eq!(t.total_sent(), 4);
 /// assert_eq!(t.total_update_sent(), 1);
 /// assert_eq!(t.total_query_sent(), 3);
+/// assert_eq!(t.total_dropped(), 2);
 /// assert_eq!(t.hosts(), 2);
 /// assert_eq!(t.sent_stats().max, 3);
 /// ```
@@ -204,6 +208,9 @@ pub struct HostTraffic {
     pub update_sent: Vec<u64>,
     /// The update-tagged share of `received`, indexed by host id.
     pub update_received: Vec<u64>,
+    /// Messages lost at each host because it had crashed, indexed by host
+    /// id.
+    pub dropped: Vec<u64>,
 }
 
 impl HostTraffic {
@@ -228,6 +235,12 @@ impl HostTraffic {
     /// taken while traffic flows is not atomic across the two counters).
     pub fn total_query_sent(&self) -> u64 {
         self.total_sent().saturating_sub(self.total_update_sent())
+    }
+
+    /// Total messages lost at crashed hosts — the observable cost of the
+    /// crash window (zero on a healthy fabric).
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.iter().sum()
     }
 
     /// Distribution statistics of the per-host update-tagged sent counters.
@@ -372,11 +385,13 @@ mod tests {
             received: vec![3, 0, 4],
             update_sent: vec![0, 2, 0],
             update_received: vec![1, 0, 1],
+            dropped: vec![0, 0, 3],
         };
         assert_eq!(t.hosts(), 3);
         assert_eq!(t.total_sent(), 7);
         assert_eq!(t.total_update_sent(), 2);
         assert_eq!(t.total_query_sent(), 5);
+        assert_eq!(t.total_dropped(), 3);
         assert_eq!(t.update_sent_stats().max, 2);
         assert_eq!(t.busiest_host(), Some((0, 5)));
         let s = t.to_string();

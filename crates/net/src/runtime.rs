@@ -1,5 +1,5 @@
 //! Threaded actor runtime: one OS thread per host, crossbeam channels as the
-//! network fabric.
+//! network fabric — with a crash-tolerant failure model.
 //!
 //! The deterministic [`sim`](crate::sim) substrate measures costs; this
 //! runtime demonstrates that the same routing steps execute correctly under
@@ -7,6 +7,27 @@
 //! [`Client`]s inject requests at any host and receive replies on their own
 //! channel, mirroring the paper's "root node for that host" query entry
 //! points.
+//!
+//! # Failure model
+//!
+//! The paper assumes hosts never fail; this runtime does not. Every host is
+//! in one of three [`HostState`]s, published to actors and clients as a
+//! [`Membership`] snapshot:
+//!
+//! * **Alive** — processing messages normally.
+//! * **Dead** — the actor panicked (or was [`Runtime::kill`]ed for fault
+//!   injection). The tombstone is contained to that host: its mailbox is
+//!   drained and discarded, messages sent to it afterwards are dropped (and
+//!   counted per host in [`crate::HostTraffic::dropped`]), and every other
+//!   host keeps serving. Clients sending directly to a dead host get
+//!   [`RuntimeError::HostPanicked`] instead of a black hole.
+//! * **Decommissioned** — gracefully leaving via [`Runtime::decommission`].
+//!   The host still delivers and processes messages (so operations in
+//!   flight under old placements complete), but routing layers should stop
+//!   targeting it for new work — [`Membership::is_alive`] is `false`.
+//!
+//! Hosts can also be added live with [`Runtime::add_host`], so a fabric can
+//! grow while it serves traffic.
 //!
 //! # Example
 //!
@@ -38,18 +59,19 @@
 //! client.send(HostId(0), Msg::Hop { left: 6, client: client.id() });
 //! let landed = client.recv().unwrap();
 //! assert_eq!(landed, HostId(2));
+//! assert_eq!(rt.membership().alive_count(), 4);
 //! rt.shutdown();
 //! ```
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam_channel as channel;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::host::HostId;
 use crate::metrics::HostTraffic;
@@ -93,15 +115,20 @@ pub enum TrafficClass {
 /// Errors surfaced by the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuntimeError {
-    /// The destination host's mailbox is closed (runtime shut down).
+    /// The destination host's mailbox is closed (runtime shut down) or the
+    /// host id is unknown.
     HostDown(HostId),
     /// No reply arrived within the requested timeout.
     Timeout,
     /// The reply channel was disconnected.
     Disconnected,
-    /// A host's actor panicked; the runtime is poisoned and every blocked or
-    /// future client operation reports the first host that died.
+    /// The destination host's actor crashed (panic or injected kill); the
+    /// tombstone is contained to that host — the rest of the fabric keeps
+    /// serving.
     HostPanicked(HostId),
+    /// No alive host stores a copy of the data the operation needs (more
+    /// crashes than the replication factor tolerates).
+    Unavailable,
 }
 
 impl fmt::Display for RuntimeError {
@@ -110,14 +137,235 @@ impl fmt::Display for RuntimeError {
             RuntimeError::HostDown(h) => write!(f, "mailbox of {h} is closed"),
             RuntimeError::Timeout => write!(f, "timed out waiting for a reply"),
             RuntimeError::Disconnected => write!(f, "reply channel disconnected"),
-            RuntimeError::HostPanicked(h) => write!(f, "actor on {h} panicked"),
+            RuntimeError::HostPanicked(h) => write!(f, "actor on {h} crashed"),
+            RuntimeError::Unavailable => {
+                write!(f, "no alive replica can serve the operation")
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
 
-/// Handler context: lets an actor forward messages and reply to clients.
+/// Lifecycle state of one host, as published in a [`Membership`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostState {
+    /// Processing messages normally.
+    Alive,
+    /// Crashed (actor panic or injected [`Runtime::kill`]): mailbox drained,
+    /// later messages dropped.
+    Dead,
+    /// Gracefully leaving: still processes in-flight messages, but new work
+    /// should not be routed to it.
+    Decommissioned,
+}
+
+const STATE_ALIVE: u8 = 0;
+const STATE_DEAD: u8 = 1;
+const STATE_DECOMMISSIONED: u8 = 2;
+/// Sentinel for "no host has died yet" in the first-dead tracker.
+const NO_HOST: u32 = u32::MAX;
+
+fn decode_state(v: u8) -> HostState {
+    match v {
+        STATE_DEAD => HostState::Dead,
+        STATE_DECOMMISSIONED => HostState::Decommissioned,
+        _ => HostState::Alive,
+    }
+}
+
+/// A point-in-time view of every host's [`HostState`], published to actors
+/// (via [`Context::membership`]) and clients (via [`Runtime::membership`]).
+/// Routing layers use it to pick alive replicas and to steer around dead
+/// hosts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    states: Vec<HostState>,
+}
+
+impl Membership {
+    /// Number of hosts ever spawned (alive, dead, and decommissioned).
+    pub fn hosts(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The state of `host`.
+    ///
+    /// Hosts beyond this snapshot (added after it was taken) are reported
+    /// alive: a host is only ever added in the alive state.
+    pub fn state(&self, host: HostId) -> HostState {
+        self.states
+            .get(host.index())
+            .copied()
+            .unwrap_or(HostState::Alive)
+    }
+
+    /// Whether `host` should be routed new work (state == Alive).
+    pub fn is_alive(&self, host: HostId) -> bool {
+        self.state(host) == HostState::Alive
+    }
+
+    /// Whether `host` can still process messages: alive, or decommissioned
+    /// and draining (graceful leavers keep serving operations admitted
+    /// under older placements). Only dead hosts are unroutable.
+    pub fn is_routable(&self, host: HostId) -> bool {
+        self.state(host) != HostState::Dead
+    }
+
+    /// Number of alive hosts.
+    pub fn alive_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| **s == HostState::Alive)
+            .count()
+    }
+
+    fn hosts_in(&self, want: HostState) -> Vec<HostId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == want)
+            .map(|(i, _)| HostId(i as u32))
+            .collect()
+    }
+
+    /// All alive hosts, in id order.
+    pub fn alive_hosts(&self) -> Vec<HostId> {
+        self.hosts_in(HostState::Alive)
+    }
+
+    /// All crashed hosts, in id order.
+    pub fn dead_hosts(&self) -> Vec<HostId> {
+        self.hosts_in(HostState::Dead)
+    }
+
+    /// All decommissioned hosts, in id order.
+    pub fn decommissioned_hosts(&self) -> Vec<HostId> {
+        self.hosts_in(HostState::Decommissioned)
+    }
+
+    /// The lowest-id dead host, if any — the compatibility view the old
+    /// fabric-poisoning API exposed.
+    pub fn first_dead(&self) -> Option<HostId> {
+        self.dead_hosts().into_iter().next()
+    }
+}
+
+impl fmt::Display for Membership {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hosts={} alive={} dead={:?} decommissioned={:?}",
+            self.hosts(),
+            self.alive_count(),
+            self.dead_hosts(),
+            self.decommissioned_hosts()
+        )
+    }
+}
+
+/// One host's slot in the fabric: mailbox sender, lifecycle state, and
+/// per-host counters. Slots are only ever appended, never removed, so host
+/// ids stay dense and stable.
+struct HostSlot<M> {
+    tx: channel::Sender<Envelope<M>>,
+    /// `STATE_*` constant; shared with the host thread so a tombstone is
+    /// visible to it without locking.
+    state: Arc<AtomicU8>,
+    sent: AtomicU64,
+    received: AtomicU64,
+    update_sent: AtomicU64,
+    update_received: AtomicU64,
+    /// Messages addressed to this host after it died — lost, like packets
+    /// to a crashed machine.
+    dropped: AtomicU64,
+}
+
+impl<M> HostSlot<M> {
+    fn new(tx: channel::Sender<Envelope<M>>) -> Self {
+        HostSlot {
+            tx,
+            state: Arc::new(AtomicU8::new(STATE_ALIVE)),
+            sent: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            update_sent: AtomicU64::new(0),
+            update_received: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Fabric<M, R> {
+    slots: RwLock<Vec<HostSlot<M>>>,
+    clients: RwLock<HashMap<ClientId, channel::Sender<R>>>,
+    message_count: AtomicU64,
+    /// First host to crash ([`NO_HOST`] when none has).
+    first_dead: AtomicU32,
+    /// Cached membership snapshot, rebuilt only when a host's state changes
+    /// (crash, decommission, join) — so per-message membership reads are an
+    /// `Arc` clone, not an O(hosts) allocation.
+    membership_cache: RwLock<Arc<Membership>>,
+}
+
+impl<M, R> Fabric<M, R> {
+    fn membership(&self) -> Arc<Membership> {
+        self.membership_cache.read().clone()
+    }
+
+    /// Recomputes the cached membership snapshot from the slots. Called on
+    /// every host-state transition; readers keep whatever `Arc` they hold.
+    fn rebuild_membership(&self) {
+        let states = self
+            .slots
+            .read()
+            .iter()
+            .map(|s| decode_state(s.state.load(Ordering::Acquire)))
+            .collect();
+        *self.membership_cache.write() = Arc::new(Membership { states });
+    }
+
+    /// Tombstones `host` (crash semantics). Records the first crash and
+    /// wakes the host thread so it drains and exits. Idempotent.
+    fn mark_dead(&self, host: HostId) {
+        {
+            let slots = self.slots.read();
+            let Some(slot) = slots.get(host.index()) else {
+                return;
+            };
+            slot.state.store(STATE_DEAD, Ordering::Release);
+            let _ = self.first_dead.compare_exchange(
+                NO_HOST,
+                host.0,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            // Wake the thread (it may be blocked on an empty mailbox) so it
+            // observes the tombstone, discards its queue, and exits.
+            let _ = slot.tx.send(Envelope::Stop);
+        }
+        self.rebuild_membership();
+    }
+}
+
+/// Armed for the lifetime of a host thread; if the thread unwinds (actor
+/// panic), the drop handler tombstones *that host only*: its state flips to
+/// [`HostState::Dead`] and later messages to it are dropped, while every
+/// other host — and every client — keeps operating.
+struct PanicWatch<M, R> {
+    host: HostId,
+    net: Arc<Fabric<M, R>>,
+}
+
+impl<M, R> Drop for PanicWatch<M, R> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.net.mark_dead(self.host);
+        }
+    }
+}
+
+/// Handler context: lets an actor forward messages, reply to clients, and
+/// observe the membership view.
 pub struct Context<'a, M, R> {
     host: HostId,
     net: &'a Fabric<M, R>,
@@ -129,6 +377,20 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
         self.host
     }
 
+    /// A point-in-time membership snapshot (see [`Runtime::membership`]) —
+    /// an `Arc` clone of the cached view, cheap enough to take per message.
+    pub fn membership(&self) -> Arc<Membership> {
+        self.net.membership()
+    }
+
+    /// Whether `host` is alive and should be routed new work.
+    pub fn is_alive(&self, host: HostId) -> bool {
+        let slots = self.net.slots.read();
+        slots
+            .get(host.index())
+            .is_some_and(|s| s.state.load(Ordering::Acquire) == STATE_ALIVE)
+    }
+
     /// Sends `msg` to another host; counts one network message (both in the
     /// runtime total and in the per-host sent/received counters surfaced by
     /// [`Runtime::host_traffic`]). Counted as [`TrafficClass::Query`]; use
@@ -136,7 +398,9 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
     ///
     /// Sends to self are delivered through the mailbox too but are *not*
     /// counted, matching the simulated cost model where intra-host work is
-    /// free.
+    /// free. Sends to a dead host are dropped (and counted in that host's
+    /// [`crate::HostTraffic::dropped`] slot) — exactly a packet to a
+    /// crashed machine.
     pub fn send(&mut self, to: HostId, msg: M) {
         self.send_class(to, msg, TrafficClass::Query);
     }
@@ -145,17 +409,30 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
     /// [`TrafficClass`] so [`Runtime::host_traffic`] can split query from
     /// update traffic per host.
     pub fn send_class(&mut self, to: HostId, msg: M, class: TrafficClass) {
+        let slots = self.net.slots.read();
+        let Some(dest) = slots.get(to.index()) else {
+            return;
+        };
         if to != self.host {
+            if dest.state.load(Ordering::Acquire) == STATE_DEAD {
+                // Lost on the wire: the destination crashed.
+                dest.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             self.net.message_count.fetch_add(1, Ordering::Relaxed);
-            self.net.per_host_sent[self.host.index()].fetch_add(1, Ordering::Relaxed);
-            self.net.per_host_received[to.index()].fetch_add(1, Ordering::Relaxed);
+            slots[self.host.index()]
+                .sent
+                .fetch_add(1, Ordering::Relaxed);
+            dest.received.fetch_add(1, Ordering::Relaxed);
             if class == TrafficClass::Update {
-                self.net.per_host_update_sent[self.host.index()].fetch_add(1, Ordering::Relaxed);
-                self.net.per_host_update_received[to.index()].fetch_add(1, Ordering::Relaxed);
+                slots[self.host.index()]
+                    .update_sent
+                    .fetch_add(1, Ordering::Relaxed);
+                dest.update_received.fetch_add(1, Ordering::Relaxed);
             }
         }
         // Mailboxes are unbounded, so this cannot block inside a handler.
-        let _ = self.net.senders[to.index()].send(Envelope::User {
+        let _ = dest.tx.send(Envelope::User {
             from: Sender::Host(self.host),
             msg,
         });
@@ -168,41 +445,6 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
     pub fn reply(&mut self, client: ClientId, reply: R) {
         if let Some(tx) = self.net.clients.read().get(&client) {
             let _ = tx.send(reply);
-        }
-    }
-}
-
-struct Fabric<M, R> {
-    senders: Vec<channel::Sender<Envelope<M>>>,
-    clients: RwLock<HashMap<ClientId, channel::Sender<R>>>,
-    message_count: AtomicU64,
-    per_host_sent: Vec<AtomicU64>,
-    per_host_received: Vec<AtomicU64>,
-    per_host_update_sent: Vec<AtomicU64>,
-    per_host_update_received: Vec<AtomicU64>,
-    /// First host whose actor panicked, if any. Once set, the runtime is
-    /// poisoned: client sends and receives fail fast instead of hanging.
-    poisoned: RwLock<Option<HostId>>,
-}
-
-/// Armed for the lifetime of a host thread; if the thread unwinds (actor
-/// panic), the drop handler poisons the fabric and drops every client reply
-/// sender so blocked [`Client::recv`] callers wake with
-/// [`RuntimeError::HostPanicked`] instead of waiting forever.
-struct PanicWatch<M, R> {
-    host: HostId,
-    net: Arc<Fabric<M, R>>,
-}
-
-impl<M, R> Drop for PanicWatch<M, R> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            let mut poisoned = self.net.poisoned.write();
-            if poisoned.is_none() {
-                *poisoned = Some(self.host);
-            }
-            drop(poisoned);
-            self.net.clients.write().clear();
         }
     }
 }
@@ -237,18 +479,29 @@ impl<M: Send + 'static, R: Send + 'static> Client<M, R> {
         self.id
     }
 
+    /// A point-in-time membership snapshot (see [`Runtime::membership`]).
+    pub fn membership(&self) -> Arc<Membership> {
+        self.net.membership()
+    }
+
     /// Injects `msg` at `host`.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::HostDown`] if the runtime has shut down and
-    /// [`RuntimeError::HostPanicked`] if an actor died (the runtime is then
-    /// poisoned as a whole — no host will answer reliably).
+    /// Returns [`RuntimeError::HostPanicked`] if *that host* crashed (the
+    /// rest of the fabric keeps serving — pick another host) and
+    /// [`RuntimeError::HostDown`] if the host id is unknown or its mailbox
+    /// closed (runtime shut down).
     pub fn send(&self, host: HostId, msg: M) -> Result<(), RuntimeError> {
-        if let Some(h) = *self.net.poisoned.read() {
-            return Err(RuntimeError::HostPanicked(h));
+        let slots = self.net.slots.read();
+        let Some(dest) = slots.get(host.index()) else {
+            return Err(RuntimeError::HostDown(host));
+        };
+        if dest.state.load(Ordering::Acquire) == STATE_DEAD {
+            dest.dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(RuntimeError::HostPanicked(host));
         }
-        self.net.senders[host.index()]
+        dest.tx
             .send(Envelope::User {
                 from: Sender::Client(self.id),
                 msg,
@@ -256,73 +509,72 @@ impl<M: Send + 'static, R: Send + 'static> Client<M, R> {
             .map_err(|_| RuntimeError::HostDown(host))
     }
 
-    /// Maps a reply-channel disconnect to the most informative error: a
-    /// panicked host when the fabric is poisoned, plain disconnection
-    /// otherwise.
-    fn disconnect_error(&self) -> RuntimeError {
-        match *self.net.poisoned.read() {
-            Some(h) => RuntimeError::HostPanicked(h),
-            None => RuntimeError::Disconnected,
-        }
-    }
-
     /// Blocks until a reply arrives.
+    ///
+    /// A crash no longer poisons the whole fabric, so an operation lost in
+    /// a dead host's mailbox does *not* wake this call — use
+    /// [`recv_timeout`](Self::recv_timeout) when the fabric may see
+    /// failures.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::HostPanicked`] if an actor died (already
-    /// buffered replies are drained first) and [`RuntimeError::Disconnected`]
-    /// if the runtime dropped the reply channel.
+    /// Returns [`RuntimeError::Disconnected`] if the runtime dropped the
+    /// reply channel.
     pub fn recv(&self) -> Result<R, RuntimeError> {
-        match self.rx.try_recv() {
-            Ok(r) => return Ok(r),
-            Err(channel::TryRecvError::Disconnected) => return Err(self.disconnect_error()),
-            Err(channel::TryRecvError::Empty) => {}
-        }
-        if let Some(h) = *self.net.poisoned.read() {
-            // A reply may have been delivered between the probe above and
-            // the poison flag being raised; drain it rather than drop it.
-            return match self.rx.try_recv() {
-                Ok(r) => Ok(r),
-                Err(_) => Err(RuntimeError::HostPanicked(h)),
-            };
-        }
-        self.rx.recv().map_err(|_| self.disconnect_error())
+        self.rx.recv().map_err(|_| RuntimeError::Disconnected)
     }
 
     /// Waits up to `timeout` for a reply.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Timeout`] on timeout,
-    /// [`RuntimeError::HostPanicked`] if an actor died, and
+    /// Returns [`RuntimeError::Timeout`] on timeout (which is how a request
+    /// lost in a crashed host's mailbox surfaces) and
     /// [`RuntimeError::Disconnected`] if the channel closed.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<R, RuntimeError> {
-        match self.rx.try_recv() {
-            Ok(r) => return Ok(r),
-            Err(channel::TryRecvError::Disconnected) => return Err(self.disconnect_error()),
-            Err(channel::TryRecvError::Empty) => {}
-        }
-        if let Some(h) = *self.net.poisoned.read() {
-            // A reply may have been delivered between the probe above and
-            // the poison flag being raised; drain it rather than drop it.
-            return match self.rx.try_recv() {
-                Ok(r) => Ok(r),
-                Err(_) => Err(RuntimeError::HostPanicked(h)),
-            };
-        }
         self.rx.recv_timeout(timeout).map_err(|e| match e {
             channel::RecvTimeoutError::Timeout => RuntimeError::Timeout,
-            channel::RecvTimeoutError::Disconnected => self.disconnect_error(),
+            channel::RecvTimeoutError::Disconnected => RuntimeError::Disconnected,
         })
     }
 }
 
-/// The running network: `H` host threads plus client plumbing.
+/// The running network: host threads plus client plumbing. Hosts can crash
+/// ([`kill`](Self::kill) or an actor panic), leave gracefully
+/// ([`decommission`](Self::decommission)), and join live
+/// ([`add_host`](Self::add_host)); the rest of the fabric keeps serving
+/// throughout.
 pub struct Runtime<A: Actor> {
     net: Arc<Fabric<A::Msg, A::Reply>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
     next_client: AtomicU64,
+}
+
+fn run_host<A: Actor>(
+    host: HostId,
+    mut actor: A,
+    rx: channel::Receiver<Envelope<A::Msg>>,
+    net: Arc<Fabric<A::Msg, A::Reply>>,
+    state: Arc<AtomicU8>,
+) {
+    let _watch = PanicWatch {
+        host,
+        net: Arc::clone(&net),
+    };
+    while let Ok(envelope) = rx.recv() {
+        match envelope {
+            Envelope::Stop => break,
+            Envelope::User { from, msg } => {
+                if state.load(Ordering::Acquire) == STATE_DEAD {
+                    // Tombstoned by an injected kill: drain and discard the
+                    // mailbox, exactly like messages lost in a crash.
+                    continue;
+                }
+                let mut ctx = Context { host, net: &net };
+                actor.on_message(from, msg, &mut ctx);
+            }
+        }
+    }
 }
 
 impl<A: Actor> Runtime<A> {
@@ -333,54 +585,86 @@ impl<A: Actor> Runtime<A> {
     /// Panics if `hosts` is zero.
     pub fn spawn(hosts: usize, mut make_actor: impl FnMut(HostId) -> A) -> Self {
         assert!(hosts > 0, "a peer-to-peer network needs at least one host");
-        let mut senders = Vec::with_capacity(hosts);
-        let mut receivers = Vec::with_capacity(hosts);
-        for _ in 0..hosts {
-            let (tx, rx) = channel::unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
         let net = Arc::new(Fabric {
-            senders,
+            slots: RwLock::new(Vec::with_capacity(hosts)),
             clients: RwLock::new(HashMap::new()),
             message_count: AtomicU64::new(0),
-            per_host_sent: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
-            per_host_received: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
-            per_host_update_sent: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
-            per_host_update_received: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
-            poisoned: RwLock::new(None),
+            first_dead: AtomicU32::new(NO_HOST),
+            membership_cache: RwLock::new(Arc::new(Membership { states: Vec::new() })),
         });
-        let mut handles = Vec::with_capacity(hosts);
-        for (i, rx) in receivers.into_iter().enumerate() {
-            let host = HostId(i as u32);
-            let mut actor = make_actor(host);
-            let net = Arc::clone(&net);
-            handles.push(std::thread::spawn(move || {
-                let _watch = PanicWatch {
-                    host,
-                    net: Arc::clone(&net),
-                };
-                while let Ok(envelope) = rx.recv() {
-                    match envelope {
-                        Envelope::Stop => break,
-                        Envelope::User { from, msg } => {
-                            let mut ctx = Context { host, net: &net };
-                            actor.on_message(from, msg, &mut ctx);
-                        }
-                    }
-                }
-            }));
-        }
-        Runtime {
+        let runtime = Runtime {
             net,
-            handles,
+            handles: Mutex::new(Vec::with_capacity(hosts)),
             next_client: AtomicU64::new(0),
+        };
+        for i in 0..hosts {
+            runtime.add_host_inner(make_actor(HostId(i as u32)), false);
         }
+        runtime.net.rebuild_membership();
+        runtime
     }
 
-    /// Number of hosts.
+    /// Adds one host to the running fabric, returning its (dense, stable)
+    /// id. The host starts alive and immediately receives traffic.
+    pub fn add_host(&self, actor: A) -> HostId {
+        self.add_host_inner(actor, true)
+    }
+
+    fn add_host_inner(&self, actor: A, publish: bool) -> HostId {
+        let (tx, rx) = channel::unbounded();
+        let slot = HostSlot::new(tx);
+        let state = Arc::clone(&slot.state);
+        let host = {
+            let mut slots = self.net.slots.write();
+            let host = HostId(slots.len() as u32);
+            slots.push(slot);
+            host
+        };
+        let net = Arc::clone(&self.net);
+        let handle = std::thread::spawn(move || run_host(host, actor, rx, net, state));
+        self.handles.lock().push(handle);
+        if publish {
+            self.net.rebuild_membership();
+        }
+        host
+    }
+
+    /// Crashes `host` for fault injection: tombstones it, discards its
+    /// queued mailbox, and drops every later message addressed to it —
+    /// indistinguishable from an actor panic to the rest of the fabric.
+    /// Idempotent; unknown hosts are ignored.
+    pub fn kill(&self, host: HostId) {
+        self.net.mark_dead(host);
+    }
+
+    /// Marks `host` as gracefully leaving: it still processes everything
+    /// already routed to it, but [`Membership::is_alive`] turns false so
+    /// routing layers stop targeting it for new work. No-op unless the host
+    /// is currently alive.
+    pub fn decommission(&self, host: HostId) {
+        {
+            let slots = self.net.slots.read();
+            if let Some(slot) = slots.get(host.index()) {
+                let _ = slot.state.compare_exchange(
+                    STATE_ALIVE,
+                    STATE_DECOMMISSIONED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+        }
+        self.net.rebuild_membership();
+    }
+
+    /// Number of hosts ever spawned (alive, dead, and decommissioned).
     pub fn hosts(&self) -> usize {
-        self.net.senders.len()
+        self.net.slots.read().len()
+    }
+
+    /// A point-in-time snapshot of every host's lifecycle state — an `Arc`
+    /// clone of a cached view that is rebuilt only on state transitions.
+    pub fn membership(&self) -> Arc<Membership> {
+        self.net.membership()
     }
 
     /// Registers a new external client.
@@ -395,8 +679,9 @@ impl<A: Actor> Runtime<A> {
         }
     }
 
-    /// Total host-to-host messages sent so far (self-sends excluded),
-    /// comparable to the simulated meter counts.
+    /// Total host-to-host messages sent so far (self-sends and messages
+    /// dropped at dead hosts excluded), comparable to the simulated meter
+    /// counts.
     pub fn message_count(&self) -> u64 {
         self.net.message_count.load(Ordering::Relaxed)
     }
@@ -404,34 +689,51 @@ impl<A: Actor> Runtime<A> {
     /// Per-host message counters accumulated since spawn: how many network
     /// messages each host sent and received (self-sends and client traffic
     /// excluded, mirroring [`message_count`](Self::message_count)), with
-    /// the update-tagged share broken out per host.
+    /// the update-tagged share and the messages dropped at dead hosts
+    /// broken out per host.
     pub fn host_traffic(&self) -> HostTraffic {
-        let load = |v: &[AtomicU64]| v.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let slots = self.net.slots.read();
+        let load = |f: fn(&HostSlot<A::Msg>) -> &AtomicU64| -> Vec<u64> {
+            slots.iter().map(|s| f(s).load(Ordering::Relaxed)).collect()
+        };
         // Load the update share before the totals: `send_class` increments
         // the total first, so this order keeps a concurrent snapshot from
         // ever observing more update-tagged sends than sends.
-        let update_sent = load(&self.net.per_host_update_sent);
-        let update_received = load(&self.net.per_host_update_received);
+        let update_sent = load(|s| &s.update_sent);
+        let update_received = load(|s| &s.update_received);
         HostTraffic {
-            sent: load(&self.net.per_host_sent),
-            received: load(&self.net.per_host_received),
+            sent: load(|s| &s.sent),
+            received: load(|s| &s.received),
             update_sent,
             update_received,
+            dropped: load(|s| &s.dropped),
         }
     }
 
-    /// The host whose actor panicked, if any — the runtime is then poisoned.
+    /// The first host that crashed, if any.
+    #[deprecated(
+        since = "0.1.0",
+        note = "a crash no longer poisons the fabric; use `membership()` for the full \
+                alive/dead/decommissioned view"
+    )]
     pub fn poisoned_by(&self) -> Option<HostId> {
-        *self.net.poisoned.read()
+        match self.net.first_dead.load(Ordering::Acquire) {
+            NO_HOST => None,
+            h => Some(HostId(h)),
+        }
     }
 
     /// Stops all hosts and joins their threads. Queued messages ahead of the
-    /// stop marker are still processed.
+    /// stop marker are still processed (except on dead hosts, which already
+    /// discarded theirs).
     pub fn shutdown(self) {
-        for tx in &self.net.senders {
-            let _ = tx.send(Envelope::Stop);
+        {
+            let slots = self.net.slots.read();
+            for slot in slots.iter() {
+                let _ = slot.tx.send(Envelope::Stop);
+            }
         }
-        for handle in self.handles {
+        for handle in self.handles.into_inner() {
             let _ = handle.join();
         }
     }
@@ -587,6 +889,7 @@ mod tests {
         assert_eq!(traffic.received.iter().sum::<u64>(), 8);
         // The ring visits each of the 4 hosts twice.
         assert_eq!(traffic.sent, vec![2, 2, 2, 2]);
+        assert_eq!(traffic.total_dropped(), 0);
         rt.shutdown();
     }
 
@@ -599,45 +902,6 @@ mod tests {
         fn on_message(&mut self, _from: Sender, _msg: Ask, _ctx: &mut Context<'_, Ask, u64>) {
             panic!("boom");
         }
-    }
-
-    #[test]
-    fn blocked_recv_surfaces_a_host_panic() {
-        let rt = Runtime::spawn(2, |_| Grenade);
-        let c = rt.client();
-        c.send(HostId(1), Ask(c.id(), 7)).unwrap();
-        // recv must wake with an error once host 1 dies, not hang forever.
-        let err = c.recv_timeout(Duration::from_secs(10)).unwrap_err();
-        assert_eq!(err, RuntimeError::HostPanicked(HostId(1)));
-        assert_eq!(rt.poisoned_by(), Some(HostId(1)));
-        // Further client traffic fails fast on the poisoned runtime.
-        assert_eq!(
-            c.send(HostId(0), Ask(c.id(), 8)).unwrap_err(),
-            RuntimeError::HostPanicked(HostId(1))
-        );
-        assert_eq!(c.recv().unwrap_err(), RuntimeError::HostPanicked(HostId(1)));
-        rt.shutdown();
-    }
-
-    #[test]
-    fn buffered_replies_are_drained_before_panic_errors() {
-        // Host 0 echoes, host 1 panics: a reply already delivered must not be
-        // lost when the poison flag is raised afterwards.
-        let rt = Runtime::spawn(2, |h| {
-            if h == HostId(0) {
-                Ok(Echo)
-            } else {
-                Err(Grenade)
-            }
-        });
-        let c = rt.client();
-        c.send(HostId(0), Ask(c.id(), 5)).unwrap();
-        let got = c.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(got, (HostId(0), 5));
-        c.send(HostId(1), Ask(c.id(), 6)).unwrap();
-        let err = c.recv_timeout(Duration::from_secs(10)).unwrap_err();
-        assert_eq!(err, RuntimeError::HostPanicked(HostId(1)));
-        rt.shutdown();
     }
 
     impl Actor for Result<Echo, Grenade> {
@@ -654,5 +918,134 @@ mod tests {
                 Err(_) => panic!("boom"),
             }
         }
+    }
+
+    /// Waits until `host` is reported dead (the tombstone is raised by the
+    /// unwinding thread, so there is a tiny publication window).
+    fn await_dead<A: Actor>(rt: &Runtime<A>, host: HostId) {
+        for _ in 0..2000 {
+            if rt.membership().state(host) == HostState::Dead {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("{host} never tombstoned");
+    }
+
+    #[test]
+    fn a_panic_is_contained_to_its_host() {
+        // Host 0 echoes, host 1 panics: after the crash, host 0 (and the
+        // client) must keep working — the tombstone is per host.
+        let rt = Runtime::spawn(2, |h| {
+            if h == HostId(0) {
+                Ok(Echo)
+            } else {
+                Err(Grenade)
+            }
+        });
+        let c = rt.client();
+        c.send(HostId(1), Ask(c.id(), 6)).unwrap();
+        await_dead(&rt, HostId(1));
+        // The lost request surfaces as a timeout, not a hang or a poison.
+        assert_eq!(
+            c.recv_timeout(Duration::from_millis(50)).unwrap_err(),
+            RuntimeError::Timeout
+        );
+        // Sends to the dead host fail fast; the rest of the fabric serves.
+        assert_eq!(
+            c.send(HostId(1), Ask(c.id(), 7)).unwrap_err(),
+            RuntimeError::HostPanicked(HostId(1))
+        );
+        c.send(HostId(0), Ask(c.id(), 8)).unwrap();
+        assert_eq!(
+            c.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (HostId(0), 8)
+        );
+        let m = rt.membership();
+        assert_eq!(m.dead_hosts(), vec![HostId(1)]);
+        assert_eq!(m.alive_hosts(), vec![HostId(0)]);
+        assert_eq!(m.first_dead(), Some(HostId(1)));
+        #[allow(deprecated)]
+        let first = rt.poisoned_by();
+        assert_eq!(first, Some(HostId(1)));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn kill_discards_the_mailbox_and_drops_later_sends() {
+        let rt = Runtime::spawn(2, |_| Echo);
+        let c = rt.client();
+        rt.kill(HostId(1));
+        assert_eq!(rt.membership().state(HostId(1)), HostState::Dead);
+        assert_eq!(
+            c.send(HostId(1), Ask(c.id(), 1)).unwrap_err(),
+            RuntimeError::HostPanicked(HostId(1))
+        );
+        // The drop was counted against the dead host.
+        assert_eq!(rt.host_traffic().dropped, vec![0, 1]);
+        // The alive host still answers.
+        c.send(HostId(0), Ask(c.id(), 2)).unwrap();
+        assert_eq!(
+            c.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (HostId(0), 2)
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn actor_sends_to_a_dead_host_are_dropped_not_counted() {
+        // A 4-host forwarding ring with host 2 killed: the token vanishes at
+        // the crash boundary instead of wedging the fabric.
+        let rt = Runtime::spawn(4, |_| Forwarder { hops: 0 });
+        rt.kill(HostId(2));
+        let c = rt.client();
+        c.send(
+            HostId(0),
+            Fwd {
+                left: 8,
+                client: c.id(),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            c.recv_timeout(Duration::from_millis(100)).unwrap_err(),
+            RuntimeError::Timeout
+        );
+        let traffic = rt.host_traffic();
+        // 0 -> 1 and 1 -> 2 were attempted; only 0 -> 1 was delivered.
+        assert_eq!(traffic.total_sent(), 1);
+        assert_eq!(traffic.dropped[2], 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn decommissioned_hosts_still_deliver_in_flight_work() {
+        let rt = Runtime::spawn(2, |_| Echo);
+        let c = rt.client();
+        rt.decommission(HostId(1));
+        let m = rt.membership();
+        assert!(!m.is_alive(HostId(1)));
+        assert_eq!(m.decommissioned_hosts(), vec![HostId(1)]);
+        assert_eq!(m.first_dead(), None);
+        // Graceful leave: messages already routed to it still complete.
+        c.send(HostId(1), Ask(c.id(), 9)).unwrap();
+        assert_eq!(
+            c.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (HostId(1), 9)
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn hosts_can_join_the_running_fabric() {
+        let rt = Runtime::spawn(1, |_| Echo);
+        let c = rt.client();
+        let new = rt.add_host(Echo);
+        assert_eq!(new, HostId(1));
+        assert_eq!(rt.hosts(), 2);
+        assert!(rt.membership().is_alive(new));
+        c.send(new, Ask(c.id(), 3)).unwrap();
+        assert_eq!(c.recv_timeout(Duration::from_secs(5)).unwrap(), (new, 3));
+        rt.shutdown();
     }
 }

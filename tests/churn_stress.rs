@@ -5,6 +5,8 @@
 //! over the final ground set. This is the release-mode gate CI runs by
 //! name (`churn-stress` job).
 
+use std::time::Duration;
+
 use skipwebs::core::engine::DistributedSkipWeb;
 use skipwebs::core::multidim::TrieSkipWeb;
 use skipwebs::core::onedim::OneDimSkipWeb;
@@ -29,6 +31,9 @@ fn mixed_onedim_churn_under_concurrent_clients_stays_consistent() {
             let dist = &dist;
             scope.spawn(move || {
                 let client = dist.client();
+                // Generous but bounded per-client timeouts: a wedged fabric
+                // fails the test instead of hanging the CI job.
+                client.set_timeouts(Duration::from_secs(60), Duration::from_secs(120));
                 for i in 0..WRITER_OPS {
                     let key = 50 + w + ((w * 7919 + i * 997) % 5000) * 100;
                     if i % 3 == 2 {
@@ -47,6 +52,7 @@ fn mixed_onedim_churn_under_concurrent_clients_stays_consistent() {
             let dist = &dist;
             scope.spawn(move || {
                 let client = dist.client();
+                client.set_timeout(Duration::from_secs(60));
                 for i in 0..READER_OPS {
                     let q = (r * 131 + i * 977) % (INITIAL * 110);
                     // Origins index the initial keys, which writers never
@@ -92,7 +98,10 @@ fn mixed_onedim_churn_under_concurrent_clients_stays_consistent() {
     assert!(traffic.total_update_sent() > 0, "updates must pay messages");
     assert!(traffic.total_query_sent() > 0, "queries must pay messages");
     assert_eq!(traffic.total_sent(), dist.message_count());
-    assert!(dist.poisoned_by().is_none(), "no actor may die under churn");
+    assert!(
+        dist.health().dead.is_empty(),
+        "no actor may die under churn"
+    );
     dist.shutdown();
 }
 
@@ -106,6 +115,7 @@ fn mixed_trie_churn_under_concurrent_clients_stays_consistent() {
             let dist = &dist;
             scope.spawn(move || {
                 let client = dist.client();
+                client.set_timeouts(Duration::from_secs(60), Duration::from_secs(120));
                 for i in 0..24u64 {
                     let s = format!("live-{w}-{:03}", (i * 7) % 100);
                     if i % 4 == 3 {
@@ -151,6 +161,6 @@ fn mixed_trie_churn_under_concurrent_clients_stays_consistent() {
             .expect("runtime alive");
         assert_eq!(got.answer.matches, want.matches, "post-churn {prefix:?}");
     }
-    assert!(dist.poisoned_by().is_none());
+    assert!(dist.health().dead.is_empty());
     dist.shutdown();
 }

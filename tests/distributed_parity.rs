@@ -14,10 +14,21 @@ use proptest::collection;
 use proptest::prelude::*;
 
 use skipwebs::core::engine::DistributedSkipWeb;
-use skipwebs::core::multidim::{QuadtreeAnswer, QuadtreeRequest, QuadtreeSkipWeb, TrieSkipWeb};
+use skipwebs::core::multidim::{
+    QuadtreeAnswer, QuadtreeRequest, QuadtreeSkipWeb, TrapezoidSkipWeb, TrieSkipWeb,
+};
 use skipwebs::core::onedim::OneDimSkipWeb;
 use skipwebs::net::MessageMeter;
-use skipwebs::structures::PointKey;
+use skipwebs::structures::{PointKey, Segment};
+
+/// A deterministic general-position segment per slot: disjoint x-ranges,
+/// so any two distinct slots are always mutually admissible and the same
+/// slot is always an exact duplicate.
+fn slot_segment(slot: u32) -> Segment {
+    let x = i64::from(slot) * 1_000;
+    let y = i64::from(slot % 13) * 40;
+    Segment::new((x, y), (x + 600, y + 3))
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -286,6 +297,89 @@ proptest! {
             prop_assert!(!web.is_empty(), "churn never empties the web here");
         }
         prop_assert_eq!(dist.ground(), web.strings().to_vec());
+        dist.shutdown();
+    }
+
+    #[test]
+    fn trapezoid_churn_interleaving_matches_the_simulator(
+        slots in collection::vec(0u32..60, 12..28),
+        ops in collection::vec((0u32..60, any::<u64>(), 0u8..6), 6..14),
+        seed in 0u64..500,
+    ) {
+        let segments: Vec<Segment> = slots.iter().map(|&s| slot_segment(s)).collect();
+        let mut web = TrapezoidSkipWeb::builder(segments).seed(seed).build();
+        let capacity = web.len() + ops.len();
+        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), capacity);
+        let client = dist.client();
+        for (i, &(slot, bits, action)) in ops.iter().enumerate() {
+            let origin = (i * 7 + 3) % web.len();
+            let seg = slot_segment(slot);
+            // Keep at least two segments so removals never empty the web.
+            let action = if web.len() <= 2 { 0 } else { action % 3 };
+            match action {
+                0 => {
+                    // Query: exact answer parity; trapezoid step walks may
+                    // reroute on BFS tie-breaks, so hops get a budget
+                    // rather than exact parity (as in the static suite).
+                    let q = (
+                        i64::from(slot) * 997 % 61_000 - 200,
+                        i64::from(slot % 17) * 31 - 60,
+                    );
+                    let sim = web.locate_point(origin, q);
+                    let reply = dist.query(&client, origin, q).expect("runtime alive");
+                    prop_assert_eq!(reply.answer, sim.trapezoid, "locate {:?}", q);
+                    prop_assert!(
+                        u64::from(reply.hops) <= 4 * sim.messages + 16,
+                        "hops {} vs sim {} for {:?}", reply.hops, sim.messages, q
+                    );
+                }
+                1 => {
+                    // Insert with a shared (origin, bits) pair. Slots are in
+                    // general position by construction, so the simulator
+                    // (which has no admission gate) never panics.
+                    let mut meter = MessageMeter::new();
+                    let sim_applied =
+                        web.inner_mut().insert_with(Some(origin), seg, bits, &mut meter);
+                    let reply = dist
+                        .insert_with(&client, origin, seg, bits)
+                        .expect("runtime alive");
+                    prop_assert_eq!(reply.applied, sim_applied, "insert {:?}", seg);
+                    prop_assert!(
+                        u64::from(reply.hops) <= 4 * meter.messages() + 16,
+                        "insert hops {} vs sim {}", reply.hops, meter.messages()
+                    );
+                }
+                _ => {
+                    let target = if action % 2 == 0 {
+                        web.segments()[slot as usize % web.len()]
+                    } else {
+                        seg
+                    };
+                    let sim_origin = (web.len() > 1).then_some(origin);
+                    let mut meter = MessageMeter::new();
+                    let sim_applied =
+                        web.inner_mut().remove_with(sim_origin, &target, &mut meter);
+                    let reply = dist
+                        .remove_with(&client, origin, target)
+                        .expect("runtime alive");
+                    prop_assert_eq!(reply.applied, sim_applied, "remove {:?}", target);
+                    prop_assert!(
+                        u64::from(reply.hops) <= 4 * meter.messages() + 16,
+                        "remove hops {} vs sim {}", reply.hops, meter.messages()
+                    );
+                }
+            }
+            prop_assert!(!web.is_empty(), "churn never empties the web here");
+        }
+        prop_assert_eq!(dist.ground(), web.segments().to_vec());
+        // Engine-only admission gate: a segment sharing an endpoint
+        // x-coordinate with a stored one violates general position; the
+        // live insert must reject it as a no-op, never poison the fabric.
+        let (x, _) = web.segments()[0].left();
+        let bad = Segment::new((x, 999_983), (x + 77, 999_984));
+        let reply = dist.insert(&client, bad).expect("runtime alive");
+        prop_assert!(!reply.applied, "inadmissible insert must be rejected");
+        prop_assert_eq!(dist.ground(), web.segments().to_vec());
         dist.shutdown();
     }
 
