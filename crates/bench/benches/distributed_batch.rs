@@ -1,0 +1,51 @@
+//! Criterion bench for the batched operation layer: end-to-end latency of
+//! `query_batch` across batch sizes {1, 16, 256} and deployment sizes
+//! {1, 4, 16} hosts. Larger batches amortize the per-hop envelope cost —
+//! same answers, fewer metered host crossings — so batch size × host count
+//! maps the congestion lever of §2.5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipweb_bench::workloads;
+use skipweb_core::engine::DistributedSkipWeb;
+use skipweb_core::onedim::OneDimSkipWeb;
+
+const HOST_COUNTS: [usize; 3] = [1, 4, 16];
+const BATCH_SIZES: [usize; 3] = [1, 16, 256];
+
+fn bench_distributed_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_batch");
+    group.sample_size(10);
+
+    let n = 1024usize;
+    let web = OneDimSkipWeb::builder(workloads::uniform_keys(n, 61))
+        .seed(61)
+        .build();
+    let qs = workloads::query_keys(256, 61);
+
+    for hosts in HOST_COUNTS {
+        let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+        let client = dist.client();
+        let origin = web.random_origin(1);
+        for batch in BATCH_SIZES {
+            group.bench_function(
+                BenchmarkId::new(format!("onedim_qbatch_h{hosts}"), batch),
+                |b| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        i += 1;
+                        let reqs: Vec<u64> =
+                            (0..batch).map(|j| qs[(i * batch + j) % qs.len()]).collect();
+                        dist.query_batch(&client, origin, reqs)
+                            .expect("runtime alive")
+                    });
+                },
+            );
+        }
+        dist.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed_batch);
+criterion_main!(benches);

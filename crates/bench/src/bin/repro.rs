@@ -6,7 +6,7 @@
 //!
 //! experiments: table1 fig1 fig2 fig3 fig4 lemma1 lemma4 thm2 updates
 //!              buckets ablation chord congestion distributed churn
-//!              failover all (default: all)
+//!              failover batch all (default: all)
 //! --full: larger size sweeps (slower; used to fill EXPERIMENTS.md)
 //! ```
 
@@ -27,6 +27,8 @@ struct Config {
     failover_hosts: usize,
     failover_ks: Vec<usize>,
     failover_ops: usize,
+    batch_sizes: Vec<usize>,
+    batch_ops: usize,
     seed: u64,
 }
 
@@ -47,6 +49,8 @@ impl Config {
             failover_hosts: 8,
             failover_ks: vec![1, 2, 3],
             failover_ops: 200,
+            batch_sizes: vec![1, 16, 256],
+            batch_ops: 256,
             seed: 42,
         }
     }
@@ -67,6 +71,8 @@ impl Config {
             failover_hosts: 16,
             failover_ks: vec![1, 2, 3],
             failover_ops: 1000,
+            batch_sizes: vec![1, 16, 256],
+            batch_ops: 1024,
             seed: 42,
         }
     }
@@ -86,7 +92,7 @@ fn main() {
         Config::quick()
     };
 
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
         "all",
         "table1",
         "fig1",
@@ -104,6 +110,7 @@ fn main() {
         "distributed",
         "churn",
         "failover",
+        "batch",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment {which:?}");
@@ -193,6 +200,18 @@ fn main() {
                 cfg.dist_n,
                 &cfg.failover_ks,
                 cfg.failover_ops,
+                cfg.seed,
+            )
+        );
+    }
+    if run("batch") {
+        println!(
+            "{}",
+            experiments::batch(
+                &cfg.dist_hosts,
+                cfg.dist_n,
+                &cfg.batch_sizes,
+                cfg.batch_ops,
                 cfg.seed,
             )
         );

@@ -956,6 +956,92 @@ pub fn churn(host_counts: &[usize], n: usize, ops: usize, seed: u64) -> Table {
     t
 }
 
+/// Batched scatter-gather throughput: for each host count and batch size,
+/// the same query workload runs once serially and once through
+/// `query_batch`, reporting the metered host crossings of both, the saving,
+/// and the coalescing the batch counters observed (envelopes and mean ops
+/// per envelope). Answers are asserted identical along the way — the table
+/// is also a parity check.
+pub fn batch(
+    host_counts: &[usize],
+    n: usize,
+    batch_sizes: &[usize],
+    ops: usize,
+    seed: u64,
+) -> Table {
+    use skipweb_core::engine::DistributedSkipWeb;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "Batched operations: metered host crossings, serial vs coalesced envelopes",
+        &[
+            "structure",
+            "hosts",
+            "batch",
+            "ops",
+            "serial_msgs",
+            "batch_msgs",
+            "saved_pct",
+            "envelopes",
+            "ops_per_envelope",
+            "ops_per_sec",
+        ],
+    );
+    let web = OneDimSkipWeb::builder(workloads::uniform_keys(n, seed))
+        .seed(seed)
+        .build();
+    let qs = workloads::query_keys(ops.max(64), seed);
+    for &hosts in host_counts {
+        // Serial baseline, measured once per deployment size.
+        let serial = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+        let sc = serial.client();
+        let origin = web.random_origin(seed);
+        let want: Vec<Option<u64>> = qs
+            .iter()
+            .take(ops)
+            .map(|&q| serial.query(&sc, origin, q).expect("runtime alive").answer)
+            .collect();
+        let serial_msgs = serial.message_count();
+        serial.shutdown();
+        for &batch in batch_sizes {
+            let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+            let client = dist.client();
+            let start = Instant::now();
+            let mut got: Vec<Option<u64>> = Vec::with_capacity(ops);
+            for chunk in qs[..ops.min(qs.len())].chunks(batch.max(1)) {
+                got.extend(
+                    dist.query_batch(&client, origin, chunk.to_vec())
+                        .expect("runtime alive")
+                        .into_iter()
+                        .map(|r| r.answer),
+                );
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(got, want, "batch answers must match serial");
+            let traffic = dist.traffic();
+            let batch_msgs = dist.message_count();
+            t.push(vec![
+                "onedim-nearest".to_string(),
+                dist.hosts().to_string(),
+                batch.to_string(),
+                ops.to_string(),
+                serial_msgs.to_string(),
+                batch_msgs.to_string(),
+                f2(if serial_msgs == 0 {
+                    0.0
+                } else {
+                    100.0 * (1.0 - batch_msgs as f64 / serial_msgs as f64)
+                }),
+                traffic.total_batch_sent().to_string(),
+                f2(traffic.mean_batch_size()),
+                f2(ops as f64 / elapsed.max(f64::MIN_POSITIVE)),
+            ]);
+            dist.shutdown();
+        }
+    }
+    t
+}
+
 /// Failover throughput: for each replication factor `k`, one client drives
 /// `ops` queries per phase against a consolidated fabric — *before* a host
 /// crash, *during* the crash window (one host killed, nothing healed), and

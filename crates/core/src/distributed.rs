@@ -85,6 +85,64 @@ impl DistributedOneDim {
         self.inner.query(client, origin_item, q).map(|r| r.answer)
     }
 
+    /// Runs a whole batch of nearest-neighbour queries under one
+    /// correlation group (see [`DistributedSkipWeb::query_batch`]): the
+    /// keys enter at `origin_item`'s root in one envelope and keep sharing
+    /// envelopes wherever they agree on the next host, so the batch crosses
+    /// strictly fewer host boundaries than the same queries run serially —
+    /// with byte-identical answers, returned in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
+    pub fn nearest_batch(
+        &self,
+        client: &OneDimClient,
+        origin_item: usize,
+        qs: Vec<u64>,
+    ) -> Result<Vec<Option<u64>>, RuntimeError> {
+        Ok(self
+            .inner
+            .query_batch(client, origin_item, qs)?
+            .into_iter()
+            .map(|r| r.answer)
+            .collect())
+    }
+
+    /// Inserts a batch of keys through the live network, coalescing routing
+    /// and repair messages per destination host and applying the ones that
+    /// land together under a single rebuild (see
+    /// [`DistributedSkipWeb::insert_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
+    pub fn insert_batch(
+        &self,
+        client: &OneDimClient,
+        keys: Vec<u64>,
+    ) -> Result<Vec<UpdateReply>, RuntimeError> {
+        self.inner.insert_batch(client, keys)
+    }
+
+    /// Removes a batch of keys through the live network (see
+    /// [`DistributedSkipWeb::remove_batch`]). Absent keys complete as free
+    /// no-ops, like the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked, timeout,
+    /// disconnect).
+    pub fn remove_batch(
+        &self,
+        client: &OneDimClient,
+        keys: Vec<u64>,
+    ) -> Result<Vec<UpdateReply>, RuntimeError> {
+        self.inner.remove_batch(client, keys)
+    }
+
     /// Inserts `key` through the live network (§4): routes to the key's
     /// locus, walks the bottom-up repair, applies atomically. Returns the
     /// update outcome with its remote-hop cost.
@@ -259,6 +317,47 @@ mod tests {
             assert_eq!(reply.into_answer(), Some(want), "query {q}");
         }
         dist.shutdown();
+    }
+
+    #[test]
+    fn batched_nearest_matches_serial_with_fewer_crossings() {
+        let keys: Vec<u64> = (0..256).map(|i| i * 9 + 1).collect();
+        let web = OneDimSkipWeb::builder(keys).seed(19).build();
+        let serial = DistributedOneDim::spawn(&web);
+        let batched = DistributedOneDim::spawn(&web);
+        let (cs, cb) = (serial.client(), batched.client());
+        let qs: Vec<u64> = (0..48u64).map(|s| (s * 131) % 2400).collect();
+        let origin = web.random_origin(7);
+        let want: Vec<Option<u64>> = qs
+            .iter()
+            .map(|&q| serial.nearest(&cs, origin, q).expect("runtime alive"))
+            .collect();
+        let got = batched
+            .nearest_batch(&cb, origin, qs)
+            .expect("runtime alive");
+        assert_eq!(got, want);
+        assert!(
+            batched.message_count() < serial.message_count(),
+            "batch must cross fewer host boundaries: {} vs {}",
+            batched.message_count(),
+            serial.message_count()
+        );
+        assert!(
+            batched.traffic().total_batch_ops() > 0,
+            "coalescing metered"
+        );
+        // Batched updates round-trip through the same wrapper.
+        let ins = batched.insert_batch(&cb, vec![5_000, 5_002]).unwrap();
+        assert!(ins.iter().all(|r| r.applied));
+        let rem = batched
+            .remove_batch(&cb, vec![5_000, 5_002, 9_999])
+            .unwrap();
+        assert_eq!(
+            rem.iter().map(|r| r.applied).collect::<Vec<_>>(),
+            vec![true, true, false]
+        );
+        serial.shutdown();
+        batched.shutdown();
     }
 
     #[test]

@@ -93,6 +93,37 @@
 //! [`DistributedSkipWeb::health`] reports the whole picture: alive / dead /
 //! decommissioned hosts, the replication factor, and the topology version.
 //!
+//! # Batched operations and scatter-gather (§2.5 congestion)
+//!
+//! The paper's congestion analysis assumes many concurrent operations share
+//! the fabric; the batched layer makes them share *envelopes* too:
+//!
+//! * **Batching.** [`query_batch`](DistributedSkipWeb::query_batch) /
+//!   [`insert_batch`](DistributedSkipWeb::insert_batch) /
+//!   [`remove_batch`](DistributedSkipWeb::remove_batch) submit many keys
+//!   under one correlation group. All ops enter at the origin's root in one
+//!   message, and at every hop the ops that agree on their next host are
+//!   coalesced into a single [`FabricMsg::Batch`] envelope — metered as
+//!   **one** host crossing. Updates whose repair trails end on one host in
+//!   the same handler turn apply under one state lock, one structural
+//!   rebuild per same-kind run, and one snapshot publish. Answers, applied
+//!   flags, and final structures are byte-identical to the serial paths; a
+//!   batch of N ops crosses strictly fewer host boundaries.
+//! * **Scatter-gather reports.**
+//!   [`query_scatter`](DistributedSkipWeb::query_scatter) splits a range
+//!   report (quadtree box, trie prefix) at its locus across the hosts
+//!   owning the output ([`Routable::report_ranges`]); the partial answers
+//!   stream back to the client in parallel and merge
+//!   ([`Routable::merge_answers`]) into the serial answer, byte for byte —
+//!   instead of the locus walking the whole output serially.
+//! * **Exactly-once resubmits.** Blocking entry points resubmit once when
+//!   a wait times out while a host is dead. Queries are idempotent;
+//!   updates are re-tagged with the *original* op id, and the apply path
+//!   keeps an idempotence ledger keyed on `(client, op id)` — a resubmit
+//!   whose first attempt actually landed is echoed its recorded outcome,
+//!   never applied twice. Late replies of abandoned attempts are dropped
+//!   on arrival and counted in [`HostTraffic::stale_replies`].
+//!
 //! # Example
 //!
 //! ```
@@ -181,15 +212,73 @@ pub trait Routable: RangeDetermined<Item: Send + Sync + 'static> {
         let _ = item;
         true
     }
+
+    /// The level-0 ranges whose stored data supports the answer to `req`
+    /// at `locus` — `Some` for range-reporting requests whose answer set
+    /// spans many hosts and benefits from scatter-gather fan-out (quadtree
+    /// box reporting, trie prefix enumeration), `None` (the default) for
+    /// point queries answered entirely from the locus neighbourhood.
+    ///
+    /// When `Some`, a [`DistributedSkipWeb::query_scatter`] splits the
+    /// report at the locus: the engine groups the returned ranges by owning
+    /// host, sends each remote group one sub-scan message, and the partial
+    /// answers stream back to the client in parallel instead of the locus
+    /// walking the whole output serially. Implementors must override
+    /// [`partial_answer`](Self::partial_answer) and
+    /// [`merge_answers`](Self::merge_answers) alongside this, and the merge
+    /// of the partials over any partition of the ranges must equal
+    /// [`answer`](Self::answer) byte for byte.
+    fn report_ranges(&self, locus: RangeId, req: &Self::Request) -> Option<Vec<RangeId>> {
+        let _ = (locus, req);
+        None
+    }
+
+    /// Computes the partial answer supported by a subset of the ranges
+    /// [`report_ranges`](Self::report_ranges) returned — executed by the
+    /// host owning that subset during a scatter-gather report. Only called
+    /// when `report_ranges` is overridden to return `Some`.
+    fn partial_answer(&self, ranges: &[RangeId], req: &Self::Request) -> Self::Answer {
+        let _ = (ranges, req);
+        unreachable!("partial_answer must be overridden alongside report_ranges")
+    }
+
+    /// Merges the streamed partial answers of a scatter-gather report into
+    /// the final answer. Must be insensitive to arrival order (partials
+    /// stream back in parallel) and, over any partition of the report
+    /// ranges, equal the serial [`answer`](Self::answer). Only called when
+    /// `report_ranges` is overridden to return `Some`.
+    fn merge_answers(parts: Vec<Self::Answer>) -> Self::Answer {
+        let _ = parts;
+        unreachable!("merge_answers must be overridden alongside report_ranges")
+    }
 }
 
 /// What an [`EngineMsg`] is carrying through the fabric.
 #[derive(Debug)]
 pub(crate) enum EngineOp<D: Routable> {
-    /// A query descending toward its target's locus.
-    Query(D::Request),
+    /// A query descending toward its target's locus. With `gather` set, a
+    /// range-reporting request is split at the locus into per-host sub-scans
+    /// whose partial answers stream back to the client in parallel.
+    Query {
+        /// The structure-specific request.
+        req: D::Request,
+        /// Whether to scatter-gather the report at the locus (see
+        /// [`Routable::report_ranges`]).
+        gather: bool,
+    },
     /// An insert/remove routing to its locus, then repairing bottom-up.
     Update(UpdateOp<D>),
+    /// One scattered sub-scan of a range report: compute the partial answer
+    /// supported by `ranges` of the locus set and reply it to the client,
+    /// which gathers `of` partials in total.
+    Scatter {
+        /// The originating request.
+        req: D::Request,
+        /// The level-0 ranges this host's partial covers.
+        ranges: Vec<RangeId>,
+        /// Total partial replies the client must gather.
+        of: u32,
+    },
 }
 
 /// The update half of [`EngineOp`].
@@ -198,6 +287,11 @@ pub(crate) struct UpdateOp<D: Routable> {
     pub(crate) kind: UpdateKind,
     pub(crate) item: D::Item,
     pub(crate) phase: UpdatePhase,
+    /// Identity of the *logical* operation, stable across timeout-resubmits
+    /// (the correlation id of the first attempt). The apply path keys its
+    /// idempotence record on `(client, op_id)`, so a resubmitted update that
+    /// already landed is echoed, never applied twice.
+    pub(crate) op_id: u64,
 }
 
 /// Which structural change an update performs.
@@ -230,9 +324,9 @@ pub(crate) enum UpdatePhase {
     },
 }
 
-/// Host-to-host operation envelope of the engine. Carries the topology
-/// snapshot the operation was admitted under, so its [`GlobalRef`]s stay
-/// valid across concurrent updates.
+/// One in-flight operation of the engine. Carries the topology snapshot the
+/// operation was admitted under, so its [`GlobalRef`]s stay valid across
+/// concurrent updates.
 #[derive(Debug)]
 pub struct EngineMsg<D: Routable> {
     pub(crate) op: EngineOp<D>,
@@ -241,6 +335,26 @@ pub struct EngineMsg<D: Routable> {
     pub(crate) corr: u64,
     pub(crate) hops: u32,
     pub(crate) topo: Arc<Topology<D>>,
+}
+
+/// The wire envelope hosts exchange: a single operation, or a coalesced
+/// batch of operations that were all bound for the same next host. A batch
+/// envelope is metered as **one** host crossing however many ops it carries
+/// — the congestion lever of §2.5 the batched entry points
+/// ([`DistributedSkipWeb::query_batch`], `insert_batch`, `remove_batch`)
+/// pull: at every hop, ops that agree on their next host share an envelope.
+#[derive(Debug)]
+pub enum FabricMsg<D: Routable> {
+    /// One operation.
+    One(EngineMsg<D>),
+    /// Many operations bound for the same host, sharing one crossing.
+    Batch(BatchMsg<D>),
+}
+
+/// The multi-op body of a [`FabricMsg::Batch`] envelope.
+#[derive(Debug)]
+pub struct BatchMsg<D: Routable> {
+    pub(crate) ops: Vec<EngineMsg<D>>,
 }
 
 /// Reply delivered to the submitting client: the correlation id, the remote
@@ -261,6 +375,16 @@ pub struct EngineReply<D: Routable> {
 pub enum ReplyBody<D: Routable> {
     /// A query's structure-specific answer.
     Answer(D::Answer),
+    /// One partial answer of a scatter-gather range report: the client
+    /// gathers `of` partials for this correlation id and merges them with
+    /// [`Routable::merge_answers`]. Partials stream back in parallel from
+    /// the hosts owning the report's output.
+    Partial {
+        /// The partial answer.
+        answer: D::Answer,
+        /// Total partial replies to gather.
+        of: u32,
+    },
     /// An update's outcome.
     Updated {
         /// Whether the structure changed (`false` for duplicate inserts,
@@ -621,6 +745,10 @@ fn repair_trail<D: Routable + Send + Sync + 'static>(
     complete.then_some(trail)
 }
 
+/// Most recent update outcomes remembered for exactly-once resubmits; old
+/// entries are evicted FIFO once the ledger exceeds this.
+const APPLIED_OPS_CAP: usize = 1 << 16;
+
 /// The authoritative evolving web every host shares. Held only while an
 /// update applies (which includes the structural rebuild), so its lock is
 /// off the read path.
@@ -633,6 +761,30 @@ struct EngineState<D: Routable + Send + Sync + 'static> {
     /// The logical→physical host fold plus the excluded (decommissioned /
     /// healed-around) hosts.
     placement: PlacementCtl,
+    /// Outcomes of updates that reached the apply step, keyed by the
+    /// logical operation's `(client, op_id)`. A timeout-resubmit whose
+    /// first attempt actually landed finds its record here and is echoed
+    /// instead of applied again — the exactly-once guarantee.
+    applied_ops: HashMap<(ClientId, u64), bool>,
+    /// FIFO eviction order for `applied_ops` (bounded memory).
+    applied_order: std::collections::VecDeque<(ClientId, u64)>,
+}
+
+impl<D: Routable + Send + Sync + 'static> EngineState<D> {
+    /// Records the outcome of a logical update the first time it reaches
+    /// apply; replays keep the original outcome.
+    fn record_outcome(&mut self, key: (ClientId, u64), applied: bool) {
+        use std::collections::hash_map::Entry;
+        if let Entry::Vacant(slot) = self.applied_ops.entry(key) {
+            slot.insert(applied);
+            self.applied_order.push_back(key);
+            while self.applied_order.len() > APPLIED_OPS_CAP {
+                if let Some(old) = self.applied_order.pop_front() {
+                    self.applied_ops.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 struct Shared<D: Routable + Send + Sync + 'static> {
@@ -675,20 +827,62 @@ pub struct EngineActor<D: Routable + Send + Sync + 'static> {
     shared: Arc<Shared<D>>,
 }
 
+/// What one handler turn accumulates before anything leaves the host: ops
+/// to hand off — bucketed per `(class, destination)` so every destination
+/// gets exactly one envelope, the batching layer's coalescing — and updates
+/// whose repair trail ended here, applied together under one state lock and
+/// one snapshot publish.
+struct Turn<D: Routable> {
+    forwards: BTreeMap<(TrafficClass, HostId), Vec<EngineMsg<D>>>,
+    applies: Vec<EngineMsg<D>>,
+}
+
+impl<D: Routable> Turn<D> {
+    fn new() -> Self {
+        Turn {
+            forwards: BTreeMap::new(),
+            applies: Vec::new(),
+        }
+    }
+
+    fn forward(&mut self, host: HostId, msg: EngineMsg<D>, class: TrafficClass) {
+        self.forwards.entry((class, host)).or_default().push(msg);
+    }
+}
+
 impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
+    fn drive(
+        &self,
+        me: HostId,
+        msg: EngineMsg<D>,
+        ctx: &mut Context<'_, FabricMsg<D>, EngineReply<D>>,
+        membership: &Membership,
+        turn: &mut Turn<D>,
+    ) {
+        match msg.op {
+            EngineOp::Query { .. } => self.drive_query(me, msg, ctx, membership, turn),
+            EngineOp::Update(_) => self.drive_update(me, msg, ctx, membership, turn),
+            EngineOp::Scatter { .. } => self.drive_scatter(msg, ctx),
+        }
+    }
+
     fn drive_query(
         &self,
         me: HostId,
         mut msg: EngineMsg<D>,
-        ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+        ctx: &mut Context<'_, FabricMsg<D>, EngineReply<D>>,
         membership: &Membership,
+        turn: &mut Turn<D>,
     ) {
-        let EngineOp::Query(ref req) = msg.op else {
+        let EngineOp::Query { ref req, gather } = msg.op else {
             unreachable!("drive_query only sees queries");
         };
         let q = D::target(req);
         match route_step(&msg.topo, me, msg.at, &q, membership) {
             RouteOutcome::AtLocus(locus) => {
+                if gather && self.try_scatter(me, locus, &msg, ctx, membership, turn) {
+                    return;
+                }
                 let answer = msg
                     .topo
                     .set(locus)
@@ -706,7 +900,7 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
             RouteOutcome::Forward { next, host } => {
                 msg.at = next;
                 msg.hops += 1;
-                ctx.send_class(host, msg, TrafficClass::Query);
+                turn.forward(host, msg, TrafficClass::Query);
             }
             RouteOutcome::Unavailable => {
                 ctx.reply(
@@ -721,12 +915,124 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
         }
     }
 
+    /// Splits a range report at its locus: the supporting level-0 ranges
+    /// ([`Routable::report_ranges`]) are grouped by owning host; the local
+    /// group's partial is answered immediately, each remote group gets one
+    /// sub-scan message (one crossing per output host instead of a serial
+    /// walk), and the client gathers the partials. Returns `false` — leaving
+    /// the serial answer path to run — when the request is not a
+    /// scatterable report or the whole output is already local.
+    fn try_scatter(
+        &self,
+        me: HostId,
+        locus: GlobalRef,
+        msg: &EngineMsg<D>,
+        ctx: &mut Context<'_, FabricMsg<D>, EngineReply<D>>,
+        membership: &Membership,
+        turn: &mut Turn<D>,
+    ) -> bool {
+        let EngineOp::Query { ref req, .. } = msg.op else {
+            return false;
+        };
+        let set = msg.topo.set(locus);
+        let Some(ranges) = set.structure.report_ranges(RangeId(locus.range), req) else {
+            return false;
+        };
+        if ranges.is_empty() {
+            return false;
+        }
+        let mut local: Vec<RangeId> = Vec::new();
+        let mut remote: BTreeMap<HostId, Vec<RangeId>> = BTreeMap::new();
+        for r in ranges {
+            match pick_alive(&set.hosts[r.index()], me, membership) {
+                Some(h) if h == me => local.push(r),
+                Some(h) => remote.entry(h).or_default().push(r),
+                None => {
+                    // Part of the output lost every replica: fail the whole
+                    // report fast instead of returning a silently truncated
+                    // answer.
+                    ctx.reply(
+                        msg.client,
+                        EngineReply {
+                            corr: msg.corr,
+                            hops: msg.hops,
+                            body: ReplyBody::Unavailable,
+                        },
+                    );
+                    return true;
+                }
+            }
+        }
+        if remote.is_empty() {
+            return false;
+        }
+        let of = remote.len() as u32 + u32::from(!local.is_empty());
+        for (host, ranges) in remote {
+            turn.forward(
+                host,
+                EngineMsg {
+                    op: EngineOp::Scatter {
+                        req: req.clone(),
+                        ranges,
+                        of,
+                    },
+                    at: locus,
+                    client: msg.client,
+                    corr: msg.corr,
+                    hops: msg.hops + 1,
+                    topo: Arc::clone(&msg.topo),
+                },
+                TrafficClass::Query,
+            );
+        }
+        if !local.is_empty() {
+            let answer = set.structure.partial_answer(&local, req);
+            ctx.reply(
+                msg.client,
+                EngineReply {
+                    corr: msg.corr,
+                    hops: msg.hops,
+                    body: ReplyBody::Partial { answer, of },
+                },
+            );
+        }
+        true
+    }
+
+    /// Executes one scattered sub-scan: the partial answer supported by this
+    /// host's share of the report's ranges, streamed straight back to the
+    /// client.
+    fn drive_scatter(
+        &self,
+        msg: EngineMsg<D>,
+        ctx: &mut Context<'_, FabricMsg<D>, EngineReply<D>>,
+    ) {
+        let EngineOp::Scatter {
+            ref req,
+            ref ranges,
+            of,
+        } = msg.op
+        else {
+            unreachable!("drive_scatter only sees scatters");
+        };
+        let answer = msg.topo.set(msg.at).structure.partial_answer(ranges, req);
+        ctx.reply(
+            msg.client,
+            EngineReply {
+                corr: msg.corr,
+                hops: msg.hops,
+                body: ReplyBody::Partial { answer, of },
+            },
+        );
+    }
+
     fn drive_update(
         &self,
         me: HostId,
         mut msg: EngineMsg<D>,
-        ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+        ctx: &mut Context<'_, FabricMsg<D>, EngineReply<D>>,
         membership: &Membership,
+        turn: &mut Turn<D>,
     ) {
         let EngineOp::Update(ref u) = msg.op else {
             unreachable!("drive_update only sees updates");
@@ -738,7 +1044,7 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
                     RouteOutcome::Forward { next, host } => {
                         msg.at = next;
                         msg.hops += 1;
-                        ctx.send_class(host, msg, TrafficClass::Update);
+                        turn.forward(host, msg, TrafficClass::Update);
                     }
                     RouteOutcome::AtLocus(_) => {
                         // A duplicate insert (or a remove that lost its
@@ -764,7 +1070,7 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
                             // message from now on.
                             match repair_trail(&msg.topo, &u.item, u.kind, membership) {
                                 Some(trail) => {
-                                    self.continue_repair(me, 0, trail, msg, ctx, membership)
+                                    self.continue_repair(me, 0, trail, msg, membership, turn)
                                 }
                                 None => ctx.reply(
                                     msg.client,
@@ -791,7 +1097,7 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
             }
             UpdatePhase::Repair { cursor, ref trail } => {
                 let trail = trail.clone();
-                self.continue_repair(me, cursor, trail, msg, ctx, membership);
+                self.continue_repair(me, cursor, trail, msg, membership, turn);
             }
         }
     }
@@ -801,16 +1107,17 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
     /// the trail was computed (their copy is stale until the snapshot swap
     /// heals it; forwarding there would black-hole the update) — then
     /// either forwards to the next alive host (one message — exactly a
-    /// meter host transition) or, with the trail exhausted, applies the
-    /// structural change and replies.
+    /// meter host transition, coalesced with other ops bound there) or,
+    /// with the trail exhausted, queues the structural change for this
+    /// turn's apply step.
     fn continue_repair(
         &self,
         me: HostId,
         start: usize,
         trail: Vec<HostId>,
         mut msg: EngineMsg<D>,
-        ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
         membership: &Membership,
+        turn: &mut Turn<D>,
     ) {
         let mut cursor = start;
         while cursor < trail.len()
@@ -825,71 +1132,163 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
             };
             u.phase = UpdatePhase::Repair { cursor, trail };
             msg.hops += 1;
-            ctx.send_class(host, msg, TrafficClass::Update);
+            turn.forward(host, msg, TrafficClass::Update);
         } else {
-            self.apply_and_reply(msg, ctx, membership);
+            turn.applies.push(msg);
         }
     }
 
-    /// The final step of an update: atomically apply the structural change
-    /// to the authoritative web, publish the new topology snapshot (with a
-    /// bumped version, excluding hosts that have died — so every replica,
-    /// stale or not, catches up at the swap), and reply. In-flight
+    /// The final step of the turn's updates: atomically apply every
+    /// structural change that completed its repair here — consecutive
+    /// same-kind runs install with **one** structural rebuild each
+    /// ([`SkipWeb::apply_insert_batch`]) and the whole group publishes
+    /// **one** new topology snapshot — then reply per op. In-flight
     /// operations keep their old snapshots, so none of them ever observes
-    /// the update half-applied.
-    fn apply_and_reply(
+    /// an update half-applied.
+    ///
+    /// Exactly-once: each op's `(client, op_id)` is looked up in the
+    /// idempotence ledger first. A timeout-resubmit whose first attempt
+    /// already landed is *echoed* with the recorded outcome instead of
+    /// applied again — without this, a resubmitted insert could double-apply
+    /// (e.g. re-insert an item a concurrent remove had since deleted).
+    fn apply_turn(
         &self,
-        msg: EngineMsg<D>,
-        ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+        applies: Vec<EngineMsg<D>>,
+        ctx: &mut Context<'_, FabricMsg<D>, EngineReply<D>>,
         membership: &Membership,
     ) {
-        let EngineOp::Update(u) = msg.op else {
-            unreachable!("applies are updates");
-        };
-        let applied = {
-            let st = &mut *self.shared.state.lock();
-            let applied = match u.kind {
-                UpdateKind::Insert { bits } => {
-                    st.web.base().admissible(&u.item) && st.web.apply_insert(u.item, bits)
-                }
-                UpdateKind::Remove => st.web.apply_remove(&u.item),
+        let n = applies.len();
+        let mut metas: Vec<(ClientId, u64, u32, (ClientId, u64))> = Vec::with_capacity(n);
+        let mut ops: Vec<(UpdateKind, D::Item)> = Vec::with_capacity(n);
+        for msg in applies {
+            let EngineMsg {
+                op: EngineOp::Update(u),
+                client,
+                corr,
+                hops,
+                ..
+            } = msg
+            else {
+                unreachable!("applies are updates");
             };
-            if applied {
+            metas.push((client, corr, hops, (client, u.op_id)));
+            ops.push((u.kind, u.item));
+        }
+        let mut outcomes: Vec<bool> = vec![false; n];
+        {
+            let st = &mut *self.shared.state.lock();
+            let mut any_applied = false;
+            let mut i = 0;
+            while i < n {
+                let key = metas[i].3;
+                if let Some(&a) = st.applied_ops.get(&key) {
+                    // Resubmit of an op that already landed: echo, don't
+                    // re-apply.
+                    outcomes[i] = a;
+                    i += 1;
+                    continue;
+                }
+                // Accumulate the longest run of un-replayed same-kind ops;
+                // each run costs one rebuild.
+                let inserting = matches!(ops[i].0, UpdateKind::Insert { .. });
+                let mut run: Vec<usize> = Vec::new();
+                while i < n
+                    && !st.applied_ops.contains_key(&metas[i].3)
+                    && matches!(ops[i].0, UpdateKind::Insert { .. }) == inserting
+                {
+                    run.push(i);
+                    i += 1;
+                }
+                if inserting {
+                    let mut batch: Vec<(D::Item, u64)> = Vec::with_capacity(run.len());
+                    let mut slots: Vec<usize> = Vec::with_capacity(run.len());
+                    for &j in &run {
+                        let UpdateKind::Insert { bits } = ops[j].0 else {
+                            unreachable!("insert runs hold inserts");
+                        };
+                        if st.web.base().admissible(&ops[j].1) {
+                            batch.push((ops[j].1.clone(), bits));
+                            slots.push(j);
+                        } else {
+                            st.record_outcome(metas[j].3, false);
+                        }
+                    }
+                    for (j, a) in slots.into_iter().zip(st.web.apply_insert_batch(batch)) {
+                        outcomes[j] = a;
+                        st.record_outcome(metas[j].3, a);
+                        any_applied |= a;
+                    }
+                } else {
+                    let items: Vec<D::Item> = run.iter().map(|&j| ops[j].1.clone()).collect();
+                    for (&j, a) in run.iter().zip(st.web.apply_remove_batch(&items)) {
+                        outcomes[j] = a;
+                        st.record_outcome(metas[j].3, a);
+                        any_applied |= a;
+                    }
+                }
+            }
+            if any_applied {
                 // Publish while still holding the state lock so snapshot
                 // order equals apply order; the topo lock itself is only
                 // held for the pointer swap.
                 self.shared.republish(st, membership);
             }
-            applied
-        };
-        ctx.reply(
-            msg.client,
-            EngineReply {
-                corr: msg.corr,
-                hops: msg.hops,
-                body: ReplyBody::Updated { applied },
-            },
-        );
+        }
+        for (i, (client, corr, hops, _)) in metas.into_iter().enumerate() {
+            ctx.reply(
+                client,
+                EngineReply {
+                    corr,
+                    hops,
+                    body: ReplyBody::Updated {
+                        applied: outcomes[i],
+                    },
+                },
+            );
+        }
     }
 }
 
 impl<D: Routable + Send + Sync + 'static> Actor for EngineActor<D> {
-    type Msg = EngineMsg<D>;
+    type Msg = FabricMsg<D>;
     type Reply = EngineReply<D>;
 
     fn on_message(
         &mut self,
         _from: Sender,
-        msg: EngineMsg<D>,
-        ctx: &mut Context<'_, EngineMsg<D>, EngineReply<D>>,
+        msg: FabricMsg<D>,
+        ctx: &mut Context<'_, FabricMsg<D>, EngineReply<D>>,
     ) {
         let me = ctx.host();
         // One membership snapshot per hop: each forward re-checks liveness,
         // which is what lets routing steer around hosts that die mid-query.
         let membership = ctx.membership();
-        match msg.op {
-            EngineOp::Query(_) => self.drive_query(me, msg, ctx, &membership),
-            EngineOp::Update(_) => self.drive_update(me, msg, ctx, &membership),
+        let mut turn = Turn::new();
+        match msg {
+            FabricMsg::One(m) => self.drive(me, m, ctx, &membership, &mut turn),
+            FabricMsg::Batch(batch) => {
+                // Every op advances "as far as it can internally" here, then
+                // re-coalesces with the others by next destination below.
+                for m in batch.ops {
+                    self.drive(me, m, ctx, &membership, &mut turn);
+                }
+            }
+        }
+        if !turn.applies.is_empty() {
+            let applies = std::mem::take(&mut turn.applies);
+            self.apply_turn(applies, ctx, &membership);
+        }
+        for ((class, host), mut msgs) in turn.forwards {
+            if msgs.len() == 1 {
+                ctx.send_class(
+                    host,
+                    FabricMsg::One(msgs.pop().expect("len checked")),
+                    class,
+                );
+            } else {
+                let ops = msgs.len() as u32;
+                ctx.send_multi(host, FabricMsg::Batch(BatchMsg { ops: msgs }), class, ops);
+            }
         }
     }
 }
@@ -905,17 +1304,27 @@ impl<D: Routable + Send + Sync + 'static> Actor for EngineActor<D> {
 /// [`set_timeout`](Self::set_timeout) — stress and fault-injection suites
 /// shorten them so a lost operation surfaces quickly.
 pub struct EngineClient<D: Routable + Send + Sync + 'static> {
-    inner: Client<EngineMsg<D>, EngineReply<D>>,
+    inner: Client<FabricMsg<D>, EngineReply<D>>,
     next_corr: AtomicU64,
     pending: Mutex<Vec<EngineReply<D>>>,
-    /// Correlation ids abandoned by a timeout-resubmit: should their late
-    /// replies ever arrive, they are discarded instead of parked forever.
-    stale: Mutex<std::collections::HashSet<u64>>,
+    /// Correlation ids abandoned by a timeout-resubmit. Their late replies
+    /// — already-parked ones *and* every later arrival, of which a
+    /// scatter-gather op can produce several — are dropped and counted in
+    /// [`HostTraffic::stale_replies`], so `recv_any` can never hand a stale
+    /// reply to a later operation and nothing accumulates in the mailbox
+    /// forever. Bounded: the oldest markers are pruned past
+    /// [`STALE_MARKER_CAP`] (correlation ids are monotone, so the smallest
+    /// entries are the oldest).
+    stale: Mutex<std::collections::BTreeSet<u64>>,
     /// Blocking-query timeout in milliseconds.
     query_timeout_ms: AtomicU64,
     /// Blocking-update timeout in milliseconds.
     update_timeout_ms: AtomicU64,
 }
+
+/// Most abandoned correlation ids remembered per client (see
+/// [`EngineClient`]'s stale tracking).
+const STALE_MARKER_CAP: usize = 1024;
 
 /// Default blocking-query timeout (10 s).
 pub const DEFAULT_QUERY_TIMEOUT: Duration = Duration::from_secs(10);
@@ -953,18 +1362,33 @@ impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
         Duration::from_millis(self.update_timeout_ms.load(Ordering::Relaxed))
     }
 
-    /// Abandons `corr`: any already-parked reply is dropped, and a late
-    /// reply is discarded on arrival instead of accumulating in the
-    /// pending buffer. Used when an operation is resubmitted after a
-    /// timeout.
+    /// Abandons `corr`: already-parked replies are dropped now, and every
+    /// late reply is discarded on arrival instead of accumulating in the
+    /// pending buffer — each drop counted in
+    /// [`HostTraffic::stale_replies`]. Used when an operation is
+    /// resubmitted after a timeout. The marker persists (a scattered report
+    /// can produce several late partials), bounded by
+    /// [`STALE_MARKER_CAP`].
     fn mark_stale(&self, corr: u64) {
-        self.pending.lock().retain(|r| r.corr != corr);
-        self.stale.lock().insert(corr);
+        {
+            let mut pending = self.pending.lock();
+            let before = pending.len();
+            pending.retain(|r| r.corr != corr);
+            for _ in pending.len()..before {
+                self.inner.note_stale_reply();
+            }
+        }
+        let mut stale = self.stale.lock();
+        stale.insert(corr);
+        while stale.len() > STALE_MARKER_CAP {
+            let oldest = *stale.iter().next().expect("nonempty past the cap");
+            stale.remove(&oldest);
+        }
     }
 
-    /// Whether `corr` was abandoned; consumes the marker when it was.
-    fn take_stale(&self, corr: u64) -> bool {
-        self.stale.lock().remove(&corr)
+    /// Whether `corr` was abandoned by a timeout-resubmit.
+    fn is_stale(&self, corr: u64) -> bool {
+        self.stale.lock().contains(&corr)
     }
 
     /// Receives the next reply for *any* of this client's in-flight
@@ -992,7 +1416,8 @@ impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
             // channel and parked in the pending buffer.
             let slice = (deadline - now).min(Duration::from_millis(25));
             match self.inner.recv_timeout(slice) {
-                Ok(reply) if self.take_stale(reply.corr) => {} // late duplicate
+                // Late reply to an abandoned correlation id: drop and count.
+                Ok(reply) if self.is_stale(reply.corr) => self.inner.note_stale_reply(),
                 Ok(reply) => return Ok(reply),
                 Err(RuntimeError::Timeout) => {}
                 Err(e) => return Err(e),
@@ -1028,7 +1453,10 @@ impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
             match self.inner.recv_timeout(slice) {
                 Ok(reply) if reply.corr == corr => return Ok(reply),
                 Ok(reply) => {
-                    if !self.take_stale(reply.corr) {
+                    if self.is_stale(reply.corr) {
+                        // Late reply to an abandoned id: drop and count.
+                        self.inner.note_stale_reply();
+                    } else {
                         self.pending.lock().push(reply);
                     }
                 }
@@ -1101,6 +1529,8 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
                 web: web.clone(),
                 rng: StdRng::seed_from_u64(0x736b_6970_7765_6221),
                 placement,
+                applied_ops: HashMap::new(),
+                applied_order: std::collections::VecDeque::new(),
             }),
             topo: Mutex::new(topo),
         });
@@ -1116,7 +1546,7 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
             inner: self.runtime.client(),
             next_corr: AtomicU64::new(0),
             pending: Mutex::new(Vec::new()),
-            stale: Mutex::new(std::collections::HashSet::new()),
+            stale: Mutex::new(std::collections::BTreeSet::new()),
             query_timeout_ms: AtomicU64::new(DEFAULT_QUERY_TIMEOUT.as_millis() as u64),
             update_timeout_ms: AtomicU64::new(DEFAULT_UPDATE_TIMEOUT.as_millis() as u64),
         }
@@ -1143,6 +1573,38 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         origin_item: usize,
         req: D::Request,
     ) -> Result<u64, RuntimeError> {
+        self.submit_query(client, origin_item, req, false)
+    }
+
+    /// Like [`submit`](Self::submit), but the query scatter-gathers at its
+    /// locus when the request is a range report (see
+    /// [`Routable::report_ranges`]): the receiver must gather the streamed
+    /// [`ReplyBody::Partial`]s — which the blocking
+    /// [`query_scatter`](Self::query_scatter) does.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin_item` is out of bounds.
+    pub fn submit_scatter(
+        &self,
+        client: &EngineClient<D>,
+        origin_item: usize,
+        req: D::Request,
+    ) -> Result<u64, RuntimeError> {
+        self.submit_query(client, origin_item, req, true)
+    }
+
+    fn submit_query(
+        &self,
+        client: &EngineClient<D>,
+        origin_item: usize,
+        req: D::Request,
+        gather: bool,
+    ) -> Result<u64, RuntimeError> {
         let topo = self.shared.current_topo();
         assert!(
             origin_item < topo.origins.len(),
@@ -1156,14 +1618,17 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
             let (host, at) = self.entry_point(&topo, origin_item)?;
             match client.inner.send(
                 host,
-                EngineMsg {
-                    op: EngineOp::Query(req.clone()),
+                FabricMsg::One(EngineMsg {
+                    op: EngineOp::Query {
+                        req: req.clone(),
+                        gather,
+                    },
                     at,
                     client: client.id(),
                     corr,
                     hops: 0,
                     topo: Arc::clone(&topo),
-                },
+                }),
             ) {
                 Ok(()) => return Ok(corr),
                 Err(RuntimeError::HostPanicked(_)) => {}
@@ -1171,6 +1636,80 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
             }
         }
         Err(RuntimeError::Unavailable)
+    }
+
+    /// Submits a whole batch of queries under one correlation group without
+    /// waiting, returning the per-op correlation ids in submission order.
+    /// All ops enter at `origin_item`'s root in **one** envelope, and at
+    /// every later hop the ops that agree on their next host keep sharing
+    /// an envelope ([`FabricMsg::Batch`], metered as a single crossing) —
+    /// so a batch of N queries crosses strictly fewer host boundaries than
+    /// N serial submissions while returning byte-identical answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (host down or panicked), and
+    /// [`RuntimeError::Unavailable`] when every replica of the origin range
+    /// has crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin_item` is out of bounds (e.g. on an empty web).
+    pub fn submit_batch(
+        &self,
+        client: &EngineClient<D>,
+        origin_item: usize,
+        reqs: Vec<D::Request>,
+    ) -> Result<Vec<u64>, RuntimeError> {
+        let topo = self.shared.current_topo();
+        assert!(
+            origin_item < topo.origins.len(),
+            "origin item out of bounds"
+        );
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let corrs: Vec<u64> = reqs
+            .iter()
+            .map(|_| client.next_corr.fetch_add(1, Ordering::Relaxed))
+            .collect();
+        // A host can die between resolution and send (which consumes the
+        // envelope): rebuild against the fresh membership and retry, as in
+        // `submit`.
+        for _ in 0..4 {
+            let (host, at) = self.entry_point(&topo, origin_item)?;
+            let ops: Vec<EngineMsg<D>> = reqs
+                .iter()
+                .zip(&corrs)
+                .map(|(req, &corr)| EngineMsg {
+                    op: EngineOp::Query {
+                        req: req.clone(),
+                        gather: false,
+                    },
+                    at,
+                    client: client.id(),
+                    corr,
+                    hops: 0,
+                    topo: Arc::clone(&topo),
+                })
+                .collect();
+            match client.inner.send(host, Self::envelope(ops)) {
+                Ok(()) => return Ok(corrs),
+                Err(RuntimeError::HostPanicked(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Err(RuntimeError::Unavailable)
+    }
+
+    /// Wraps a group of ops bound for one host: a bare message for a single
+    /// op, a coalesced batch envelope otherwise.
+    fn envelope(mut ops: Vec<EngineMsg<D>>) -> FabricMsg<D> {
+        if ops.len() == 1 {
+            FabricMsg::One(ops.pop().expect("len checked"))
+        } else {
+            FabricMsg::Batch(BatchMsg { ops })
+        }
     }
 
     /// Resolves `origin_item`'s entry host under `topo`, failing over to an
@@ -1216,35 +1755,154 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         origin_item: usize,
         req: D::Request,
     ) -> Result<QueryReply<D>, RuntimeError> {
+        let corr = self.submit(client, origin_item, req.clone())?;
+        self.collect_query(client, corr, origin_item, req, false)
+    }
+
+    /// Runs one scatter-gather range report end to end: the descent routes
+    /// to the locus as usual, the locus splits the report across the hosts
+    /// owning the output (one sub-scan message per host instead of a serial
+    /// walk), the partial answers stream back in parallel, and this call
+    /// merges them with [`Routable::merge_answers`] — byte-identical to
+    /// [`query`](Self::query) for the same request. Requests that are not
+    /// range reports ([`Routable::report_ranges`] returns `None`), and
+    /// reports whose whole output is local to the locus host, fall back to
+    /// the serial answer transparently.
+    ///
+    /// The reply's `hops` count the longest descent+fan-out chain (the
+    /// latency the client observed), not the total crossings the fan-out
+    /// paid — those are metered per host in [`traffic`](Self::traffic).
+    ///
+    /// # Errors
+    ///
+    /// As [`query`](Self::query); additionally
+    /// [`RuntimeError::Unavailable`] when part of the report's output lost
+    /// every replica (never a silently truncated answer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin_item` is out of bounds.
+    pub fn query_scatter(
+        &self,
+        client: &EngineClient<D>,
+        origin_item: usize,
+        req: D::Request,
+    ) -> Result<QueryReply<D>, RuntimeError> {
+        let corr = self.submit_scatter(client, origin_item, req.clone())?;
+        self.collect_query(client, corr, origin_item, req, true)
+    }
+
+    /// Runs a whole batch of queries end to end (see
+    /// [`submit_batch`](Self::submit_batch) for the coalescing), returning
+    /// the replies in submission order — answers byte-identical to running
+    /// each request through [`query`](Self::query) serially, while crossing
+    /// strictly fewer host boundaries. Each op that times out while a host
+    /// is dead is resubmitted once individually, like `query`.
+    ///
+    /// # Errors
+    ///
+    /// As [`query`](Self::query), per op — the first failing op aborts the
+    /// collection, abandoning the remaining in-flight ops (their late
+    /// replies are dropped on arrival and counted, never parked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin_item` is out of bounds.
+    pub fn query_batch(
+        &self,
+        client: &EngineClient<D>,
+        origin_item: usize,
+        reqs: Vec<D::Request>,
+    ) -> Result<Vec<QueryReply<D>>, RuntimeError> {
+        let corrs = self.submit_batch(client, origin_item, reqs.clone())?;
+        let mut replies = Vec::with_capacity(corrs.len());
+        for (i, (&corr, req)) in corrs.iter().zip(reqs).enumerate() {
+            match self.collect_query(client, corr, origin_item, req, false) {
+                Ok(reply) => replies.push(reply),
+                Err(e) => {
+                    // Abandon the uncollected tail: their replies must not
+                    // sit in the pending buffer where a later recv would
+                    // misread them.
+                    for &stale in &corrs[i + 1..] {
+                        client.mark_stale(stale);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(replies)
+    }
+
+    /// Waits for one query's outcome: gathers scatter partials when the
+    /// locus split the report, and resubmits once on a timeout while a host
+    /// is dead — the signature of a request (or partial) lost in a crashed
+    /// host's mailbox. Queries are idempotent, so the retry is always safe;
+    /// the abandoned correlation id's late replies are dropped and counted.
+    fn collect_query(
+        &self,
+        client: &EngineClient<D>,
+        mut corr: u64,
+        origin_item: usize,
+        req: D::Request,
+        scatter: bool,
+    ) -> Result<QueryReply<D>, RuntimeError> {
         let timeout = client.query_timeout();
-        let mut corr = self.submit(client, origin_item, req.clone())?;
         let mut retried = false;
+        let mut parts: Vec<D::Answer> = Vec::new();
+        let mut hops_max = 0u32;
         loop {
             match client.recv_corr(corr, timeout) {
                 Ok(reply) => {
-                    return match reply.body {
-                        ReplyBody::Answer(answer) => Ok(QueryReply {
-                            corr,
-                            answer,
-                            hops: reply.hops,
-                        }),
-                        ReplyBody::Unavailable => Err(RuntimeError::Unavailable),
+                    hops_max = hops_max.max(reply.hops);
+                    match reply.body {
+                        ReplyBody::Answer(answer) => {
+                            return Ok(QueryReply {
+                                corr,
+                                answer,
+                                hops: reply.hops,
+                            })
+                        }
+                        ReplyBody::Partial { answer, of } => {
+                            parts.push(answer);
+                            if parts.len() as u32 >= of {
+                                return Ok(QueryReply {
+                                    corr,
+                                    answer: D::merge_answers(std::mem::take(&mut parts)),
+                                    hops: hops_max,
+                                });
+                            }
+                        }
+                        ReplyBody::Unavailable => {
+                            // Stragglers of a partially-delivered report are
+                            // dropped on arrival, not parked.
+                            client.mark_stale(corr);
+                            return Err(RuntimeError::Unavailable);
+                        }
                         ReplyBody::Updated { .. } => {
                             unreachable!("query correlation id matched an update")
                         }
-                    };
+                    }
                 }
                 Err(RuntimeError::Timeout)
                     if !retried && self.runtime.membership().first_dead().is_some() =>
                 {
                     retried = true;
                     // The first attempt is abandoned: if it was merely slow
-                    // (not lost), its late reply is discarded rather than
+                    // (not lost), its late replies are discarded rather than
                     // parked in the pending buffer forever.
                     client.mark_stale(corr);
-                    corr = self.submit(client, origin_item, req.clone())?;
+                    parts.clear();
+                    hops_max = 0;
+                    corr = if scatter {
+                        self.submit_scatter(client, origin_item, req.clone())?
+                    } else {
+                        self.submit(client, origin_item, req.clone())?
+                    };
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    client.mark_stale(corr);
+                    return Err(e);
+                }
             }
         }
     }
@@ -1305,13 +1963,63 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         item: D::Item,
     ) -> Result<u64, RuntimeError> {
         let topo = self.shared.current_topo();
-        self.submit_update_at(client, topo, origin, kind, item)
+        self.submit_update_at(client, topo, origin, kind, item, None)
+    }
+
+    /// Resolves where an update enters the fabric under `topo`: the origin's
+    /// root for the lookup phase, or the head of the repair trail when the
+    /// simulator's lookup rule skips the lookup (empty web, absent remove,
+    /// single-item web).
+    fn plan_update(
+        &self,
+        topo: &Topology<D>,
+        origin: usize,
+        kind: UpdateKind,
+        item: &D::Item,
+    ) -> Result<(HostId, GlobalRef, UpdatePhase), RuntimeError> {
+        // Mirror the simulator's lookup rule: inserts route on a non-empty
+        // web; removes route when the item is present and not the last one.
+        let routes = match kind {
+            UpdateKind::Insert { .. } => !topo.origins.is_empty(),
+            UpdateKind::Remove => topo.origins.len() > 1 && topo.membership.contains_key(item),
+        };
+        if routes {
+            assert!(origin < topo.origins.len(), "origin item out of bounds");
+            let (host, at) = self.entry_point(topo, origin)?;
+            Ok((host, at, UpdatePhase::Route))
+        } else {
+            // No lookup phase: enter the repair trail directly. The client
+            // injection is free (as is the meter's first visit), so hops
+            // still equal the simulator's messages.
+            let membership = self.runtime.membership();
+            let trail =
+                repair_trail(topo, item, kind, &membership).ok_or(RuntimeError::Unavailable)?;
+            let host = match trail.first().copied() {
+                Some(h) => h,
+                // Empty trail (e.g. an absent remove): any alive host can
+                // complete the no-op.
+                None => membership
+                    .alive_hosts()
+                    .into_iter()
+                    .next()
+                    .ok_or(RuntimeError::Unavailable)?,
+            };
+            let at = GlobalRef {
+                level: 0,
+                set: 0,
+                range: 0,
+            };
+            Ok((host, at, UpdatePhase::Repair { cursor: 0, trail }))
+        }
     }
 
     /// Admits an update against an already-captured snapshot, so callers
     /// that derived `origin` from that same snapshot (the convenience
     /// `insert`/`remove`) can never race a concurrent apply into an
-    /// out-of-bounds origin.
+    /// out-of-bounds origin. `op_id` is `None` for a first attempt (the
+    /// fresh correlation id becomes the logical op id) and `Some` on a
+    /// timeout-resubmit, which re-tags the new attempt with the *original*
+    /// op id so the apply path stays exactly-once.
     fn submit_update_at(
         &self,
         client: &EngineClient<D>,
@@ -1319,60 +2027,30 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         origin: usize,
         kind: UpdateKind,
         item: D::Item,
+        op_id: Option<u64>,
     ) -> Result<u64, RuntimeError> {
         let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
-        // Mirror the simulator's lookup rule: inserts route on a non-empty
-        // web; removes route when the item is present and not the last one.
-        let routes = match kind {
-            UpdateKind::Insert { .. } => !topo.origins.is_empty(),
-            UpdateKind::Remove => topo.origins.len() > 1 && topo.membership.contains_key(&item),
-        };
+        let op_id = op_id.unwrap_or(corr);
         // As in `submit`: a host dying between resolution and send makes
         // the send fail fast, and re-resolving against the now-updated
         // membership converges on a replica.
         for _ in 0..4 {
-            let (host, at, phase) = if routes {
-                assert!(origin < topo.origins.len(), "origin item out of bounds");
-                let (host, at) = self.entry_point(&topo, origin)?;
-                (host, at, UpdatePhase::Route)
-            } else {
-                // No lookup phase: enter the repair trail directly. The
-                // client injection is free (as is the meter's first visit),
-                // so hops still equal the simulator's messages.
-                let membership = self.runtime.membership();
-                let trail = repair_trail(&topo, &item, kind, &membership)
-                    .ok_or(RuntimeError::Unavailable)?;
-                let host = match trail.first().copied() {
-                    Some(h) => h,
-                    // Empty trail (e.g. an absent remove): any alive host
-                    // can complete the no-op.
-                    None => membership
-                        .alive_hosts()
-                        .into_iter()
-                        .next()
-                        .ok_or(RuntimeError::Unavailable)?,
-                };
-                let at = GlobalRef {
-                    level: 0,
-                    set: 0,
-                    range: 0,
-                };
-                (host, at, UpdatePhase::Repair { cursor: 0, trail })
-            };
+            let (host, at, phase) = self.plan_update(&topo, origin, kind, &item)?;
             match client.inner.send(
                 host,
-                EngineMsg {
+                FabricMsg::One(EngineMsg {
                     op: EngineOp::Update(UpdateOp {
                         kind,
                         item: item.clone(),
                         phase,
+                        op_id,
                     }),
                     at,
                     client: client.id(),
                     corr,
                     hops: 0,
                     topo: Arc::clone(&topo),
-                },
+                }),
             ) {
                 Ok(()) => return Ok(corr),
                 Err(RuntimeError::HostPanicked(_)) => {}
@@ -1382,16 +2060,156 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         Err(RuntimeError::Unavailable)
     }
 
-    fn await_update(client: &EngineClient<D>, corr: u64) -> Result<UpdateReply, RuntimeError> {
-        let reply = client.recv_corr(corr, client.update_timeout())?;
-        match reply.body {
-            ReplyBody::Updated { applied } => Ok(UpdateReply {
-                corr,
-                applied,
-                hops: reply.hops,
-            }),
-            ReplyBody::Unavailable => Err(RuntimeError::Unavailable),
-            ReplyBody::Answer(_) => unreachable!("update correlation id matched a query"),
+    /// Submits a batch of updates under one snapshot without waiting,
+    /// returning the per-op correlation ids in submission order. Ops whose
+    /// entry host agrees are injected as **one** envelope, and the fabric
+    /// keeps coalescing them per destination at every later hop (routing,
+    /// repair, and the final applies — which install under a single state
+    /// lock with one structural rebuild per same-kind run and one snapshot
+    /// publish).
+    fn submit_update_batch(
+        &self,
+        client: &EngineClient<D>,
+        ops: &[(usize, UpdateKind, D::Item)],
+    ) -> Result<Vec<u64>, RuntimeError> {
+        let topo = self.shared.current_topo();
+        let corrs: Vec<u64> = ops
+            .iter()
+            .map(|_| client.next_corr.fetch_add(1, Ordering::Relaxed))
+            .collect();
+        let make = |i: usize, at: GlobalRef, phase: UpdatePhase| {
+            let (_, kind, ref item) = ops[i];
+            EngineMsg {
+                op: EngineOp::Update(UpdateOp {
+                    kind,
+                    item: item.clone(),
+                    phase,
+                    op_id: corrs[i],
+                }),
+                at,
+                client: client.id(),
+                corr: corrs[i],
+                hops: 0,
+                topo: Arc::clone(&topo),
+            }
+        };
+        // Plan every op under the shared snapshot, then bucket by entry
+        // host so each host receives one envelope.
+        let mut groups: BTreeMap<HostId, Vec<usize>> = BTreeMap::new();
+        let mut plans: Vec<(GlobalRef, UpdatePhase)> = Vec::with_capacity(ops.len());
+        let sent = (|| -> Result<(), RuntimeError> {
+            for (i, (origin, kind, item)) in ops.iter().enumerate() {
+                let (host, at, phase) = self.plan_update(&topo, *origin, *kind, item)?;
+                groups.entry(host).or_default().push(i);
+                plans.push((at, phase));
+            }
+            for (host, idxs) in groups {
+                let msgs: Vec<EngineMsg<D>> = idxs
+                    .iter()
+                    .map(|&i| make(i, plans[i].0, plans[i].1.clone()))
+                    .collect();
+                match client.inner.send(host, Self::envelope(msgs)) {
+                    Ok(()) => continue,
+                    Err(RuntimeError::HostPanicked(_)) => {}
+                    Err(e) => return Err(e),
+                }
+                // The group's entry host died between planning and send,
+                // taking the envelope with it: immediately re-plan each op
+                // against the fresh membership and deliver it individually
+                // — as the serial submit path would — instead of leaving
+                // the whole group to crawl through per-op timeout
+                // resubmits.
+                for &i in &idxs {
+                    let (origin, kind, item) = &ops[i];
+                    let mut delivered = false;
+                    for _ in 0..4 {
+                        let (h, at, phase) = self.plan_update(&topo, *origin, *kind, item)?;
+                        match client.inner.send(h, FabricMsg::One(make(i, at, phase))) {
+                            Ok(()) => {
+                                delivered = true;
+                                break;
+                            }
+                            Err(RuntimeError::HostPanicked(_)) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    if !delivered {
+                        return Err(RuntimeError::Unavailable);
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = sent {
+            // Some ops may already be in flight: abandon every correlation
+            // id of the failed batch so their replies are dropped on
+            // arrival instead of parked.
+            for &corr in &corrs {
+                client.mark_stale(corr);
+            }
+            return Err(e);
+        }
+        Ok(corrs)
+    }
+
+    /// Waits for one update's outcome, resubmitting once — re-tagged with
+    /// the original `op_id` — when the wait times out while a host is dead
+    /// (the signature of an update lost in a crashed host's mailbox). The
+    /// apply path's idempotence ledger makes the retry exactly-once: if the
+    /// first attempt actually landed, the resubmit is echoed its recorded
+    /// outcome instead of applying again.
+    fn collect_update(
+        &self,
+        client: &EngineClient<D>,
+        mut corr: u64,
+        op_id: u64,
+        origin: usize,
+        kind: UpdateKind,
+        item: &D::Item,
+    ) -> Result<UpdateReply, RuntimeError> {
+        let timeout = client.update_timeout();
+        let mut retried = false;
+        loop {
+            match client.recv_corr(corr, timeout) {
+                Ok(reply) => {
+                    return match reply.body {
+                        ReplyBody::Updated { applied } => Ok(UpdateReply {
+                            corr,
+                            applied,
+                            hops: reply.hops,
+                        }),
+                        ReplyBody::Unavailable => Err(RuntimeError::Unavailable),
+                        ReplyBody::Answer(_) | ReplyBody::Partial { .. } => {
+                            unreachable!("update correlation id matched a query")
+                        }
+                    };
+                }
+                Err(RuntimeError::Timeout)
+                    if !retried && self.runtime.membership().first_dead().is_some() =>
+                {
+                    retried = true;
+                    // Abandon the first attempt: its late reply (if it was
+                    // merely slow, not lost) is dropped and counted.
+                    client.mark_stale(corr);
+                    let topo = self.shared.current_topo();
+                    // The snapshot may have shrunk since the origin was
+                    // chosen; clamp it — the lookup origin only seeds the
+                    // descent, any valid item works.
+                    let origin = origin.min(topo.origins.len().saturating_sub(1));
+                    corr = self.submit_update_at(
+                        client,
+                        topo,
+                        origin,
+                        kind,
+                        item.clone(),
+                        Some(op_id),
+                    )?;
+                }
+                Err(e) => {
+                    client.mark_stale(corr);
+                    return Err(e);
+                }
+            }
         }
     }
 
@@ -1414,8 +2232,9 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         item: D::Item,
         bits: u64,
     ) -> Result<UpdateReply, RuntimeError> {
-        let corr = self.submit_insert(client, origin, item, bits)?;
-        Self::await_update(client, corr)
+        let kind = UpdateKind::Insert { bits };
+        let corr = self.submit_update(client, origin, kind, item.clone())?;
+        self.collect_update(client, corr, corr, origin, kind, &item)
     }
 
     /// Runs one remove end to end with an explicit origin (see
@@ -1436,8 +2255,8 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         origin: usize,
         item: D::Item,
     ) -> Result<UpdateReply, RuntimeError> {
-        let corr = self.submit_remove(client, origin, item)?;
-        Self::await_update(client, corr)
+        let corr = self.submit_remove(client, origin, item.clone())?;
+        self.collect_update(client, corr, corr, origin, UpdateKind::Remove, &item)
     }
 
     /// Runs one insert end to end, drawing the lookup origin and the
@@ -1462,9 +2281,9 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
             let origin = if len > 0 { st.rng.gen_range(0..len) } else { 0 };
             (origin, st.rng.gen())
         };
-        let corr =
-            self.submit_update_at(client, topo, origin, UpdateKind::Insert { bits }, item)?;
-        Self::await_update(client, corr)
+        let kind = UpdateKind::Insert { bits };
+        let corr = self.submit_update_at(client, topo, origin, kind, item.clone(), None)?;
+        self.collect_update(client, corr, corr, origin, kind, &item)
     }
 
     /// Runs one remove end to end, drawing the lookup origin from the
@@ -1488,8 +2307,143 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         } else {
             0
         };
-        let corr = self.submit_update_at(client, topo, origin, UpdateKind::Remove, item)?;
-        Self::await_update(client, corr)
+        let corr =
+            self.submit_update_at(client, topo, origin, UpdateKind::Remove, item.clone(), None)?;
+        self.collect_update(client, corr, corr, origin, UpdateKind::Remove, &item)
+    }
+
+    /// Runs a batch of inserts with explicit `(origin, item, bits)` triples
+    /// end to end — the deterministic batched counterpart of
+    /// [`insert_with`](Self::insert_with), returning per-op outcomes in
+    /// submission order. All ops are admitted under one snapshot, coalesce
+    /// per destination host at every hop ([`FabricMsg::Batch`]), and the
+    /// applies that land on one host together install with a single
+    /// structural rebuild and a single snapshot publish — so a batch of N
+    /// inserts crosses fewer host boundaries than N serial calls while
+    /// leaving byte-identical state and applied flags (for distinct items;
+    /// ops on the *same* item race by arrival order, as concurrent serial
+    /// clients would). Lost ops resubmit exactly-once like `insert_with`.
+    ///
+    /// # Errors
+    ///
+    /// As [`insert_with`](Self::insert_with), per op — the first failing op
+    /// aborts the collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an origin is out of bounds on a non-empty web.
+    pub fn insert_batch_with(
+        &self,
+        client: &EngineClient<D>,
+        ops: Vec<(usize, D::Item, u64)>,
+    ) -> Result<Vec<UpdateReply>, RuntimeError> {
+        let planned: Vec<(usize, UpdateKind, D::Item)> = ops
+            .into_iter()
+            .map(|(origin, item, bits)| (origin, UpdateKind::Insert { bits }, item))
+            .collect();
+        self.update_batch(client, planned)
+    }
+
+    /// Runs a batch of inserts end to end, drawing each op's lookup origin
+    /// and level bits from the engine's seeded generator — the batched
+    /// counterpart of [`insert`](Self::insert).
+    ///
+    /// # Errors
+    ///
+    /// As [`insert`](Self::insert), per op.
+    pub fn insert_batch(
+        &self,
+        client: &EngineClient<D>,
+        items: Vec<D::Item>,
+    ) -> Result<Vec<UpdateReply>, RuntimeError> {
+        let len = self.shared.current_topo().origins.len();
+        let planned: Vec<(usize, UpdateKind, D::Item)> = {
+            let mut st = self.shared.state.lock();
+            items
+                .into_iter()
+                .map(|item| {
+                    let origin = if len > 0 { st.rng.gen_range(0..len) } else { 0 };
+                    let bits: u64 = st.rng.gen();
+                    (origin, UpdateKind::Insert { bits }, item)
+                })
+                .collect()
+        };
+        self.update_batch(client, planned)
+    }
+
+    /// Runs a batch of removes with explicit `(origin, item)` pairs end to
+    /// end — the batched counterpart of [`remove_with`](Self::remove_with);
+    /// see [`insert_batch_with`](Self::insert_batch_with) for the batching
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`remove_with`](Self::remove_with), per op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an origin is out of bounds when its lookup phase runs.
+    pub fn remove_batch_with(
+        &self,
+        client: &EngineClient<D>,
+        ops: Vec<(usize, D::Item)>,
+    ) -> Result<Vec<UpdateReply>, RuntimeError> {
+        let planned: Vec<(usize, UpdateKind, D::Item)> = ops
+            .into_iter()
+            .map(|(origin, item)| (origin, UpdateKind::Remove, item))
+            .collect();
+        self.update_batch(client, planned)
+    }
+
+    /// Runs a batch of removes end to end, drawing lookup origins from the
+    /// engine's seeded generator — the batched counterpart of
+    /// [`remove`](Self::remove).
+    ///
+    /// # Errors
+    ///
+    /// As [`remove`](Self::remove), per op.
+    pub fn remove_batch(
+        &self,
+        client: &EngineClient<D>,
+        items: Vec<D::Item>,
+    ) -> Result<Vec<UpdateReply>, RuntimeError> {
+        let len = self.shared.current_topo().origins.len();
+        let planned: Vec<(usize, UpdateKind, D::Item)> = {
+            let mut st = self.shared.state.lock();
+            items
+                .into_iter()
+                .map(|item| {
+                    let origin = if len > 0 { st.rng.gen_range(0..len) } else { 0 };
+                    (origin, UpdateKind::Remove, item)
+                })
+                .collect()
+        };
+        self.update_batch(client, planned)
+    }
+
+    fn update_batch(
+        &self,
+        client: &EngineClient<D>,
+        ops: Vec<(usize, UpdateKind, D::Item)>,
+    ) -> Result<Vec<UpdateReply>, RuntimeError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let corrs = self.submit_update_batch(client, &ops)?;
+        let mut replies = Vec::with_capacity(corrs.len());
+        for (i, (&corr, (origin, kind, item))) in corrs.iter().zip(ops).enumerate() {
+            match self.collect_update(client, corr, corr, origin, kind, &item) {
+                Ok(reply) => replies.push(reply),
+                Err(e) => {
+                    // Abandon the uncollected tail (see `query_batch`).
+                    for &stale in &corrs[i + 1..] {
+                        client.mark_stale(stale);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(replies)
     }
 
     /// A snapshot of the current ground set, in canonical order.
@@ -1543,16 +2497,6 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
             replication,
             topology_version: self.shared.current_topo().version,
         }
-    }
-
-    /// The first host whose actor crashed, if any.
-    #[deprecated(
-        since = "0.1.0",
-        note = "a crash no longer poisons the fabric; use `health()` for the full \
-                alive/dead/decommissioned report"
-    )]
-    pub fn poisoned_by(&self) -> Option<HostId> {
-        self.runtime.membership().first_dead()
     }
 
     /// Crashes `host` for fault injection: its mailbox is discarded and
@@ -1991,11 +2935,12 @@ mod tests {
             .inner
             .send(
                 HostId(5),
-                EngineMsg {
+                FabricMsg::One(EngineMsg {
                     op: EngineOp::Update(UpdateOp {
                         kind: UpdateKind::Insert { bits: 1 },
                         item: 7,
                         phase: UpdatePhase::Route,
+                        op_id: 777,
                     }),
                     at: GlobalRef {
                         level: 0,
@@ -2006,7 +2951,7 @@ mod tests {
                     corr: 777,
                     hops: 0,
                     topo,
-                },
+                }),
             )
             .unwrap();
         // The blocked client surfaces the lost op as a timeout, not a hang.
@@ -2017,10 +2962,9 @@ mod tests {
         assert_eq!(health.dead, vec![HostId(5)]);
         assert_eq!(health.replication, 2);
         assert_eq!(health.alive.len(), 63);
-        // The deprecated shim still reports the first dead host.
-        #[allow(deprecated)]
-        let first = dist.poisoned_by();
-        assert_eq!(first, Some(HostId(5)));
+        // The membership view exposes the same first-crash signal the old
+        // `poisoned_by` shim used to.
+        assert_eq!(dist.membership().first_dead(), Some(HostId(5)));
         // The crash is contained: with k = 2 the fabric keeps serving
         // queries and updates from replicas instead of failing fast.
         client.set_timeouts(Duration::from_secs(10), Duration::from_secs(30));
@@ -2145,6 +3089,312 @@ mod tests {
             "spawned host must receive traffic"
         );
         assert!(dist.insert(&client, 999).unwrap().applied);
+        dist.shutdown();
+    }
+
+    #[test]
+    fn batched_queries_and_updates_match_serial_with_fewer_crossings() {
+        let keys: Vec<u64> = (0..200).map(|i| i * 10).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(41).build();
+        let serial = DistributedSkipWeb::spawn_with_capacity(web.inner(), 200 + 16);
+        let batched = DistributedSkipWeb::spawn_with_capacity(web.inner(), 200 + 16);
+        let (cs, cb) = (serial.client(), batched.client());
+        // Queries: byte-identical answers, strictly fewer crossings.
+        let qs: Vec<u64> = (0..64u64).map(|s| (s * 157) % 2100).collect();
+        let want: Vec<Option<u64>> = qs
+            .iter()
+            .map(|&q| serial.query(&cs, 3, q).unwrap().answer)
+            .collect();
+        let got: Vec<Option<u64>> = batched
+            .query_batch(&cb, 3, qs.clone())
+            .unwrap()
+            .into_iter()
+            .map(|r| r.answer)
+            .collect();
+        assert_eq!(got, want);
+        let (q_serial, q_batched) = (serial.message_count(), batched.message_count());
+        assert!(
+            q_batched < q_serial,
+            "batch crossings {q_batched} must undercut serial {q_serial}"
+        );
+        // Per-op hops still equal the serial route length: the envelope is
+        // what got cheaper, not the route.
+        for (reply, &q) in batched
+            .query_batch(&cb, 5, qs.clone())
+            .unwrap()
+            .iter()
+            .zip(&qs)
+        {
+            let serial_reply = serial.query(&cs, 5, q).unwrap();
+            assert_eq!(reply.hops, serial_reply.hops, "route length for q={q}");
+        }
+        // Updates: same (origin, item, bits) triples through both paths
+        // leave identical flags and ground sets, with coalesced envelopes
+        // metered on the batch side. One shared origin and clustered keys
+        // keep the routes overlapping, so the batch demonstrably coalesces.
+        let ins: Vec<(usize, u64, u64)> = (0..12u64)
+            .map(|i| (3usize, 901 + i * 2, i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        let serial_flags: Vec<bool> = ins
+            .iter()
+            .map(|&(o, k, b)| serial.insert_with(&cs, o, k, b).unwrap().applied)
+            .collect();
+        let batch_flags: Vec<bool> = batched
+            .insert_batch_with(&cb, ins.clone())
+            .unwrap()
+            .into_iter()
+            .map(|r| r.applied)
+            .collect();
+        assert_eq!(batch_flags, serial_flags);
+        assert_eq!(batched.ground(), serial.ground());
+        let rem: Vec<(usize, u64)> = ins.iter().map(|&(o, k, _)| (o, k)).collect();
+        let serial_flags: Vec<bool> = rem
+            .iter()
+            .map(|&(o, k)| serial.remove_with(&cs, o, k).unwrap().applied)
+            .collect();
+        let batch_flags: Vec<bool> = batched
+            .remove_batch_with(&cb, rem)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.applied)
+            .collect();
+        assert_eq!(batch_flags, serial_flags);
+        assert_eq!(batched.ground(), serial.ground());
+        assert!(
+            batched.traffic().total_update_batch_ops() > 0,
+            "update coalescing must be metered"
+        );
+        serial.shutdown();
+        batched.shutdown();
+    }
+
+    #[test]
+    fn scattered_box_and_prefix_reports_match_the_serial_answers() {
+        // Quadtree: scatter-gathered box reports are byte-identical to the
+        // locus-computed ones, while the fan-out pays real crossings.
+        let web = QuadtreeSkipWeb::builder(grid_points(180)).seed(42).build();
+        let dist = web.serve();
+        let client = dist.client();
+        let boxes: [([u32; 2], [u32; 2]); 3] = [
+            ([0, 0], [u32::MAX / 2, u32::MAX / 2]),
+            ([1 << 20, 1 << 20], [1 << 26, 1 << 26]),
+            ([0, 0], [u32::MAX, u32::MAX]),
+        ];
+        for (lo, hi) in boxes {
+            let origin = web.random_origin(5);
+            let serial = dist
+                .query(&client, origin, QuadtreeRequest::InBox { lo, hi })
+                .unwrap();
+            let scattered = dist
+                .query_scatter(&client, origin, QuadtreeRequest::InBox { lo, hi })
+                .unwrap();
+            assert_eq!(scattered.answer, serial.answer, "box {lo:?}..{hi:?}");
+        }
+        // A locate request has nothing to scatter and falls back serially.
+        let q = PointKey::new([7, 9]);
+        let serial = dist.query(&client, 0, QuadtreeRequest::Locate(q)).unwrap();
+        let scattered = dist
+            .query_scatter(&client, 0, QuadtreeRequest::Locate(q))
+            .unwrap();
+        assert_eq!(scattered.answer, serial.answer);
+        assert_eq!(scattered.hops, serial.hops);
+        dist.shutdown();
+
+        // Trie: prefix enumeration scatter-gathers across the hosts owning
+        // the matches.
+        let strings: Vec<String> = (0..90).map(|i| format!("isbn-97802{i:03}x")).collect();
+        let web = TrieSkipWeb::builder(strings).seed(43).build();
+        let dist = web.serve();
+        let client = dist.client();
+        for prefix in ["isbn-97802", "isbn-978020", "isbn", "nope", ""] {
+            let origin = web.random_origin(prefix.len() as u64);
+            let serial = dist.query(&client, origin, prefix.to_string()).unwrap();
+            let scattered = dist
+                .query_scatter(&client, origin, prefix.to_string())
+                .unwrap();
+            assert_eq!(
+                scattered.answer.matched_len, serial.answer.matched_len,
+                "len {prefix:?}"
+            );
+            assert_eq!(
+                scattered.answer.matches, serial.answer.matches,
+                "matches {prefix:?}"
+            );
+        }
+        dist.shutdown();
+    }
+
+    #[test]
+    fn scattered_reports_survive_a_crash_with_replicas() {
+        let web = QuadtreeSkipWeb::builder(grid_points(120))
+            .seed(44)
+            .replicate(2)
+            .build();
+        let dist = web.serve();
+        let client = dist.client();
+        let (lo, hi) = ([0u32, 0u32], [u32::MAX, u32::MAX]);
+        let want = dist
+            .query(
+                &client,
+                web.random_origin(1),
+                QuadtreeRequest::InBox { lo, hi },
+            )
+            .unwrap();
+        dist.kill_host(HostId(9));
+        let got = dist
+            .query_scatter(
+                &client,
+                web.random_origin(1),
+                QuadtreeRequest::InBox { lo, hi },
+            )
+            .unwrap();
+        assert_eq!(got.answer, want.answer, "scatter steers around the crash");
+        dist.shutdown();
+    }
+
+    #[test]
+    fn resubmitted_update_with_same_op_id_never_double_applies() {
+        let keys: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(45).build();
+        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), 40);
+        let client = dist.client();
+        // First attempt of the logical insert lands normally.
+        let topo = dist.shared.current_topo();
+        let corr0 = dist
+            .submit_update_at(
+                &client,
+                topo,
+                3,
+                UpdateKind::Insert { bits: 0xBEEF },
+                333,
+                None,
+            )
+            .unwrap();
+        let first = dist
+            .collect_update(
+                &client,
+                corr0,
+                corr0,
+                3,
+                UpdateKind::Insert { bits: 0xBEEF },
+                &333,
+            )
+            .unwrap();
+        assert!(first.applied);
+        assert!(dist.ground().contains(&333));
+        // A concurrent client removes the key before the (simulated)
+        // timeout-resubmit of the original attempt arrives.
+        let other = dist.client();
+        assert!(dist.remove(&other, 333).unwrap().applied);
+        let version = dist.health().topology_version;
+        // The resubmit carries the original op id: the apply path finds the
+        // recorded outcome and echoes it instead of re-inserting — without
+        // the ledger this second attempt would double-apply and resurrect
+        // the removed key.
+        let topo = dist.shared.current_topo();
+        let corr1 = dist
+            .submit_update_at(
+                &client,
+                topo,
+                3,
+                UpdateKind::Insert { bits: 0xBEEF },
+                333,
+                Some(corr0),
+            )
+            .unwrap();
+        let replay = dist
+            .collect_update(
+                &client,
+                corr1,
+                corr0,
+                3,
+                UpdateKind::Insert { bits: 0xBEEF },
+                &333,
+            )
+            .unwrap();
+        assert!(replay.applied, "echoed outcome reports the first landing");
+        assert!(
+            !dist.ground().contains(&333),
+            "the resubmit must not re-apply the insert"
+        );
+        assert_eq!(
+            dist.health().topology_version,
+            version,
+            "an echoed replay publishes no new snapshot"
+        );
+        dist.shutdown();
+    }
+
+    #[test]
+    fn lost_update_is_resubmitted_and_applies_exactly_once() {
+        let keys: Vec<u64> = (0..48).map(|i| i * 10).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys)
+            .seed(46)
+            .replicate(2)
+            .build();
+        let dist = DistributedSkipWeb::spawn(web.inner());
+        let client = dist.client();
+        client.set_timeouts(Duration::from_millis(400), Duration::from_millis(400));
+        // Poison the origin's entry host with a corrupt address, then race
+        // the real insert into its mailbox: whether the insert queues
+        // behind the poison (lost with the crash → timeout → resubmit) or
+        // the tombstone beats the send (failover at submit), the blocking
+        // call must land the insert exactly once.
+        let topo = dist.shared.current_topo();
+        let (entry_host, _) = topo.origins[0];
+        client
+            .inner
+            .send(
+                entry_host,
+                FabricMsg::One(EngineMsg {
+                    op: EngineOp::Query {
+                        req: 0u64,
+                        gather: false,
+                    },
+                    at: GlobalRef {
+                        level: 0,
+                        set: 0,
+                        range: u32::MAX,
+                    },
+                    client: client.id(),
+                    corr: u64::MAX,
+                    hops: 0,
+                    topo: Arc::clone(&topo),
+                }),
+            )
+            .unwrap();
+        let before = dist.health().topology_version;
+        let reply = dist.insert_with(&client, 0, 7, 0xF00D).unwrap();
+        assert!(reply.applied);
+        assert!(dist.ground().contains(&7));
+        assert_eq!(
+            dist.health().topology_version,
+            before + 1,
+            "exactly one apply published exactly one snapshot"
+        );
+        await_dead(&dist, entry_host);
+        dist.shutdown();
+    }
+
+    #[test]
+    fn late_replies_for_abandoned_correlations_are_dropped_and_counted() {
+        let keys: Vec<u64> = (0..64).map(|i| i * 3).collect();
+        let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(47).build();
+        let dist = DistributedSkipWeb::spawn(web.inner());
+        let client = dist.client();
+        let corr = dist.submit(&client, 0, 55u64).unwrap();
+        // Abandon the operation before draining its reply: the late answer
+        // must be dropped on arrival — and counted — instead of sitting in
+        // the pending buffer where a later recv_any would misread it.
+        client.mark_stale(corr);
+        let err = client.recv_any(Duration::from_millis(600)).unwrap_err();
+        assert_eq!(err, RuntimeError::Timeout);
+        assert_eq!(dist.traffic().stale_replies, 1, "drop is observable");
+        assert!(client.pending.lock().is_empty(), "nothing parked");
+        // A fresh operation on the same client is unaffected.
+        let reply = dist.query(&client, 0, 55).unwrap();
+        assert_eq!(reply.corr, corr + 1);
+        assert!(reply.answer.is_some());
         dist.shutdown();
     }
 

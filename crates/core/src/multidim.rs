@@ -93,6 +93,43 @@ impl<const D: usize> Routable for CompressedQuadtree<D> {
             }
         }
     }
+
+    fn report_ranges(&self, locus: RangeId, req: &QuadtreeRequest<D>) -> Option<Vec<RangeId>> {
+        match req {
+            QuadtreeRequest::Locate(_) => None,
+            QuadtreeRequest::InBox { lo, hi } => {
+                let (lo, hi) = normalized_box(lo, hi);
+                Some(box_report_nodes(self, locus, &lo, &hi, |_| {}))
+            }
+        }
+    }
+
+    fn partial_answer(&self, ranges: &[RangeId], req: &QuadtreeRequest<D>) -> QuadtreeAnswer<D> {
+        match req {
+            // Wire input is never trusted enough to panic on: a locate can
+            // only reach here through a malformed message, so degrade to an
+            // empty report.
+            QuadtreeRequest::Locate(_) => QuadtreeAnswer::Points(Vec::new()),
+            QuadtreeRequest::InBox { lo, hi } => {
+                let (lo, hi) = normalized_box(lo, hi);
+                QuadtreeAnswer::Points(points_from_nodes(self, ranges, &lo, &hi))
+            }
+        }
+    }
+
+    fn merge_answers(parts: Vec<QuadtreeAnswer<D>>) -> QuadtreeAnswer<D> {
+        // Partials cover disjoint node sets, so a merge is concatenation
+        // back into Morton order — byte-identical to the serial scan.
+        let mut points: Vec<PointKey<D>> = parts
+            .into_iter()
+            .flat_map(|p| match p {
+                QuadtreeAnswer::Points(pts) => pts,
+                QuadtreeAnswer::Located { .. } => Vec::new(),
+            })
+            .collect();
+        points.sort_by_key(PointKey::morton);
+        QuadtreeAnswer::Points(points)
+    }
 }
 
 /// The answer to a distributed trie prefix query.
@@ -128,6 +165,52 @@ impl Routable for CompressedTrie {
             matches,
         }
     }
+
+    fn report_ranges(&self, _locus: RangeId, req: &String) -> Option<Vec<RangeId>> {
+        if self.matched_len(req.as_bytes()) != req.len() {
+            // Off-trie prefix: the answer is an empty match list, computed
+            // for free at the locus — nothing to scatter.
+            return None;
+        }
+        // The matching strings are a contiguous run of the sorted ground
+        // set; each item's node range names the host storing it.
+        let items = self.items();
+        let start = items.partition_point(|s| s.as_str() < req.as_str());
+        let ids: Vec<RangeId> = items[start..]
+            .iter()
+            .take_while(|s| s.starts_with(req.as_str()))
+            .enumerate()
+            .map(|(off, _)| self.entry_of_item(start + off))
+            .collect();
+        (!ids.is_empty()).then_some(ids)
+    }
+
+    fn partial_answer(&self, ranges: &[RangeId], req: &String) -> PrefixAnswer {
+        let matched_len = self.matched_len(req.as_bytes());
+        let mut matches: Vec<String> = ranges
+            .iter()
+            .map(|&r| self.items()[self.owner(r)].clone())
+            .filter(|s| s.starts_with(req.as_str()))
+            .collect();
+        matches.sort();
+        PrefixAnswer {
+            matched_len,
+            matches,
+        }
+    }
+
+    fn merge_answers(parts: Vec<PrefixAnswer>) -> PrefixAnswer {
+        // Every partial computes matched_len from the shared structure
+        // description, so any of them carries the right value.
+        let matched_len = parts.iter().map(|p| p.matched_len).max().unwrap_or(0);
+        let mut matches: Vec<String> = parts.into_iter().flat_map(|p| p.matches).collect();
+        matches.sort();
+        matches.dedup();
+        PrefixAnswer {
+            matched_len,
+            matches,
+        }
+    }
 }
 
 impl Routable for TrapezoidalMap {
@@ -152,14 +235,32 @@ impl Routable for TrapezoidalMap {
 /// Ascends from the descent locus to the smallest cell covering the whole
 /// box, then reports stored points output-sensitively by DFS with subtree
 /// pruning. `touch` observes every range acted on (the simulator meters its
-/// host; the distributed engine executes the scan on the anchoring host).
+/// host; the distributed engine executes the scan on the anchoring host —
+/// or, under scatter-gather, splits [`box_report_nodes`] across the hosts
+/// owning them).
 pub(crate) fn scan_box<const D: usize>(
     base: &CompressedQuadtree<D>,
     locus: RangeId,
     lo: &[u32; D],
     hi: &[u32; D],
-    mut touch: impl FnMut(RangeId),
+    touch: impl FnMut(RangeId),
 ) -> Vec<PointKey<D>> {
+    let nodes = box_report_nodes(base, locus, lo, hi, touch);
+    points_from_nodes(base, &nodes, lo, hi)
+}
+
+/// The node ranges supporting a box report: ascend from `locus` to the
+/// smallest cell covering the whole box, then DFS with subtree pruning —
+/// every node visited in walk order. The stored points of exactly these
+/// nodes (filtered through the box) are the report's answer, which is what
+/// lets a scatter-gather split them across owning hosts.
+pub(crate) fn box_report_nodes<const D: usize>(
+    base: &CompressedQuadtree<D>,
+    locus: RangeId,
+    lo: &[u32; D],
+    hi: &[u32; D],
+    mut touch: impl FnMut(RangeId),
+) -> Vec<RangeId> {
     let lo_pt = PointKey::new(*lo);
     let hi_pt = PointKey::new(*hi);
     // Ascend to the smallest node whose cell covers the whole box.
@@ -176,18 +277,14 @@ pub(crate) fn scan_box<const D: usize>(
         }
     }
     // Output-sensitive DFS, pruning subtrees outside the box.
-    let mut points = Vec::new();
+    let mut visited = Vec::new();
     let mut stack = vec![node];
     while let Some(v) = stack.pop() {
         if !base.node_cell(v).intersects_box(lo, hi) {
             continue;
         }
         touch(v);
-        if let Some(p) = base.leaf_point(v) {
-            if p.in_box(lo, hi) {
-                points.push(p);
-            }
-        }
+        visited.push(v);
         for nb in base.neighbors(v) {
             // children sit behind the node's child links
             if nb.index() >= base.num_nodes() {
@@ -204,6 +301,22 @@ pub(crate) fn scan_box<const D: usize>(
             }
         }
     }
+    visited
+}
+
+/// The stored points of `nodes` inside the box, in Morton order — the
+/// answer (or one scattered partial of it) of a box report.
+pub(crate) fn points_from_nodes<const D: usize>(
+    base: &CompressedQuadtree<D>,
+    nodes: &[RangeId],
+    lo: &[u32; D],
+    hi: &[u32; D],
+) -> Vec<PointKey<D>> {
+    let mut points: Vec<PointKey<D>> = nodes
+        .iter()
+        .filter_map(|&v| base.leaf_point(v))
+        .filter(|p| p.in_box(lo, hi))
+        .collect();
     points.sort_by_key(PointKey::morton);
     points
 }

@@ -419,26 +419,59 @@ impl<D: RangeDetermined> SkipWeb<D> {
     /// distributed engine once its repair walk has already paid the
     /// messages. Returns `false` for duplicates.
     pub(crate) fn apply_insert(&mut self, item: D::Item, bits: u64) -> bool {
-        if self.ground.contains(&item) {
-            return false;
-        }
-        self.ground.push(item);
-        self.item_bits.push(bits);
-        self.rebuild();
-        true
+        self.apply_insert_batch(vec![(item, bits)])[0]
     }
 
-    /// Structural half of a remove (no metering); the distributed
-    /// counterpart of [`apply_insert`](Self::apply_insert). Returns `false`
-    /// when the item was absent.
-    pub(crate) fn apply_remove(&mut self, item: &D::Item) -> bool {
-        let Some(pos) = self.ground.iter().position(|g| g == item) else {
-            return false;
-        };
-        self.ground.remove(pos);
-        self.item_bits.remove(pos);
-        self.rebuild();
-        true
+    /// Installs a batch of `(item, bits)` pairs in **one** structural
+    /// rebuild — the apply half of the engine's batched update path. The
+    /// final structure is identical to applying the pairs one at a time
+    /// (the hierarchy is fully determined by the surviving ground set and
+    /// its bit strings), but the rebuild cost is paid once instead of once
+    /// per item. Returns the per-item applied flags in input order;
+    /// duplicates — against the stored set or earlier in the same batch —
+    /// come back `false`.
+    pub(crate) fn apply_insert_batch(&mut self, items: Vec<(D::Item, u64)>) -> Vec<bool> {
+        let mut applied = Vec::with_capacity(items.len());
+        let mut any = false;
+        for (item, bits) in items {
+            if self.ground.contains(&item) {
+                applied.push(false);
+                continue;
+            }
+            self.ground.push(item);
+            self.item_bits.push(bits);
+            applied.push(true);
+            any = true;
+        }
+        if any {
+            self.rebuild();
+        }
+        applied
+    }
+
+    /// Removes a batch of items in **one** structural rebuild — the
+    /// structural half of distributed removes, the counterpart of
+    /// [`apply_insert_batch`](Self::apply_insert_batch). Returns the
+    /// per-item applied flags in input order (`false` for absent items and
+    /// repeats within the batch).
+    pub(crate) fn apply_remove_batch(&mut self, items: &[D::Item]) -> Vec<bool> {
+        let mut applied = Vec::with_capacity(items.len());
+        let mut any = false;
+        for item in items {
+            match self.ground.iter().position(|g| g == item) {
+                Some(pos) => {
+                    self.ground.remove(pos);
+                    self.item_bits.remove(pos);
+                    applied.push(true);
+                    any = true;
+                }
+                None => applied.push(false),
+            }
+        }
+        if any {
+            self.rebuild();
+        }
+        applied
     }
 
     /// Per-item level bit strings, aligned with [`ground`](Self::ground).
@@ -1101,6 +1134,42 @@ mod tests {
         }
         assert_eq!(w.len(), 32);
         assert_eq!(w.top_level(), 5);
+    }
+
+    #[test]
+    fn batch_applies_match_sequential_applies() {
+        let mut batch = web(24, 13);
+        let mut seq = web(24, 13);
+        let inserts: Vec<(u64, u64)> = (0..6).map(|i| (5 + i * 37, i * 0x9E37 + 11)).collect();
+        // A mid-batch duplicate (value already inserted earlier in the same
+        // batch) and a stored duplicate must both come back `false`.
+        let mut with_dups = inserts.clone();
+        with_dups.push(inserts[0]);
+        with_dups.push((10, 0));
+        let flags = batch.apply_insert_batch(with_dups.clone());
+        let want: Vec<bool> = with_dups
+            .iter()
+            .map(|&(k, b)| seq.apply_insert(k, b))
+            .collect();
+        assert_eq!(flags, want);
+        assert_eq!(batch.ground(), seq.ground());
+        let removes: Vec<u64> = vec![5, 100, 99_999, 5];
+        let flags = batch.apply_remove_batch(&removes);
+        let want: Vec<bool> = removes
+            .iter()
+            .map(|k| seq.apply_remove_batch(std::slice::from_ref(k))[0])
+            .collect();
+        assert_eq!(flags, want);
+        assert_eq!(batch.ground(), seq.ground());
+        // Identical hierarchies: same query loci everywhere.
+        for q in [0u64, 42, 151, 500] {
+            let mut m1 = MessageMeter::new();
+            let mut m2 = MessageMeter::new();
+            assert_eq!(
+                batch.query(0, &q, &mut m1).locus,
+                seq.query(0, &q, &mut m2).locus
+            );
+        }
     }
 
     #[test]

@@ -180,6 +180,16 @@ impl FromIterator<u64> for Histogram {
 /// to host `h` *after it crashed* — lost on the wire, never delivered or
 /// counted as sent.
 ///
+/// A coalesced multi-op envelope (batched operations sharing one host
+/// crossing) counts once in `sent`/`received` — that is the point of
+/// batching — and additionally in `batch_sent[h]` (envelopes) and
+/// `batch_ops[h]` (the operations that rode inside them), with the
+/// update-class share broken out in `update_batch_sent` /
+/// `update_batch_ops`. `stale_replies` counts late replies that clients
+/// discarded on arrival because their correlation id had been abandoned by
+/// a timeout-resubmit (a fabric-wide scalar: the runtime cannot attribute a
+/// client-side drop to one host).
+///
 /// # Example
 ///
 /// ```
@@ -190,11 +200,19 @@ impl FromIterator<u64> for Histogram {
 ///     update_sent: vec![1, 0],
 ///     update_received: vec![0, 1],
 ///     dropped: vec![0, 2],
+///     batch_sent: vec![1, 0],
+///     batch_ops: vec![4, 0],
+///     update_batch_sent: vec![0, 0],
+///     update_batch_ops: vec![0, 0],
+///     stale_replies: 1,
 /// };
 /// assert_eq!(t.total_sent(), 4);
 /// assert_eq!(t.total_update_sent(), 1);
 /// assert_eq!(t.total_query_sent(), 3);
 /// assert_eq!(t.total_dropped(), 2);
+/// assert_eq!(t.total_batch_sent(), 1);
+/// assert_eq!(t.total_batch_ops(), 4);
+/// assert_eq!(t.mean_batch_size(), 4.0);
 /// assert_eq!(t.hosts(), 2);
 /// assert_eq!(t.sent_stats().max, 3);
 /// ```
@@ -211,6 +229,18 @@ pub struct HostTraffic {
     /// Messages lost at each host because it had crashed, indexed by host
     /// id.
     pub dropped: Vec<u64>,
+    /// Coalesced multi-op envelopes sent by each host (each also counted
+    /// once in `sent` — one envelope is one host crossing).
+    pub batch_sent: Vec<u64>,
+    /// Operations that rode inside `batch_sent` envelopes, per host.
+    pub batch_ops: Vec<u64>,
+    /// The update-tagged share of `batch_sent`, indexed by host id.
+    pub update_batch_sent: Vec<u64>,
+    /// The update-tagged share of `batch_ops`, indexed by host id.
+    pub update_batch_ops: Vec<u64>,
+    /// Late replies clients dropped on arrival because their correlation id
+    /// was abandoned by a timeout-resubmit (fabric-wide).
+    pub stale_replies: u64,
 }
 
 impl HostTraffic {
@@ -243,6 +273,36 @@ impl HostTraffic {
         self.dropped.iter().sum()
     }
 
+    /// Total coalesced multi-op envelopes sent across all hosts.
+    pub fn total_batch_sent(&self) -> u64 {
+        self.batch_sent.iter().sum()
+    }
+
+    /// Total operations that rode inside multi-op envelopes.
+    pub fn total_batch_ops(&self) -> u64 {
+        self.batch_ops.iter().sum()
+    }
+
+    /// Total update-class multi-op envelopes sent across all hosts.
+    pub fn total_update_batch_sent(&self) -> u64 {
+        self.update_batch_sent.iter().sum()
+    }
+
+    /// Total update-class operations that rode inside multi-op envelopes.
+    pub fn total_update_batch_ops(&self) -> u64 {
+        self.update_batch_ops.iter().sum()
+    }
+
+    /// Mean operations per multi-op envelope (0 when no envelope was sent)
+    /// — how much coalescing the batching layer actually achieved.
+    pub fn mean_batch_size(&self) -> f64 {
+        let envelopes = self.total_batch_sent();
+        if envelopes == 0 {
+            return 0.0;
+        }
+        self.total_batch_ops() as f64 / envelopes as f64
+    }
+
     /// Distribution statistics of the per-host update-tagged sent counters.
     pub fn update_sent_stats(&self) -> SeriesStats {
         SeriesStats::from_samples(&self.update_sent)
@@ -271,10 +331,13 @@ impl fmt::Display for HostTraffic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "hosts={} total={} updates={} sent[{}] recv[{}]",
+            "hosts={} total={} updates={} batches={} batched_ops={} stale={} sent[{}] recv[{}]",
             self.hosts(),
             self.total_sent(),
             self.total_update_sent(),
+            self.total_batch_sent(),
+            self.total_batch_ops(),
+            self.stale_replies,
             self.sent_stats(),
             self.received_stats()
         )
@@ -386,18 +449,30 @@ mod tests {
             update_sent: vec![0, 2, 0],
             update_received: vec![1, 0, 1],
             dropped: vec![0, 0, 3],
+            batch_sent: vec![1, 1, 0],
+            batch_ops: vec![3, 2, 0],
+            update_batch_sent: vec![0, 1, 0],
+            update_batch_ops: vec![0, 2, 0],
+            stale_replies: 2,
         };
         assert_eq!(t.hosts(), 3);
         assert_eq!(t.total_sent(), 7);
         assert_eq!(t.total_update_sent(), 2);
         assert_eq!(t.total_query_sent(), 5);
         assert_eq!(t.total_dropped(), 3);
+        assert_eq!(t.total_batch_sent(), 2);
+        assert_eq!(t.total_batch_ops(), 5);
+        assert_eq!(t.total_update_batch_sent(), 1);
+        assert_eq!(t.total_update_batch_ops(), 2);
+        assert!((t.mean_batch_size() - 2.5).abs() < 1e-12);
         assert_eq!(t.update_sent_stats().max, 2);
         assert_eq!(t.busiest_host(), Some((0, 5)));
         let s = t.to_string();
         assert!(s.contains("hosts=3"));
         assert!(s.contains("total=7"));
         assert!(s.contains("updates=2"));
+        assert!(s.contains("batches=2"));
+        assert!(s.contains("stale=2"));
     }
 
     #[test]

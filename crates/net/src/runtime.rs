@@ -65,7 +65,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -103,7 +103,7 @@ enum Envelope<M> {
 /// What a host-to-host message carries, for the per-host traffic split the
 /// paper's `Q(n)` / `U(n)` columns keep apart: query routing versus update
 /// routing and repair. Purely an accounting tag — delivery is identical.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum TrafficClass {
     /// Query descent traffic (the default for [`Context::send`]).
     #[default]
@@ -163,8 +163,6 @@ pub enum HostState {
 const STATE_ALIVE: u8 = 0;
 const STATE_DEAD: u8 = 1;
 const STATE_DECOMMISSIONED: u8 = 2;
-/// Sentinel for "no host has died yet" in the first-dead tracker.
-const NO_HOST: u32 = u32::MAX;
 
 fn decode_state(v: u8) -> HostState {
     match v {
@@ -279,6 +277,15 @@ struct HostSlot<M> {
     /// Messages addressed to this host after it died — lost, like packets
     /// to a crashed machine.
     dropped: AtomicU64,
+    /// Coalesced multi-op envelopes this host sent (each also counted once
+    /// in `sent`: one envelope is one host crossing).
+    batch_sent: AtomicU64,
+    /// Operations that rode inside this host's multi-op envelopes.
+    batch_ops: AtomicU64,
+    /// The update-class share of `batch_sent`.
+    update_batch_sent: AtomicU64,
+    /// The update-class share of `batch_ops`.
+    update_batch_ops: AtomicU64,
 }
 
 impl<M> HostSlot<M> {
@@ -291,6 +298,10 @@ impl<M> HostSlot<M> {
             update_sent: AtomicU64::new(0),
             update_received: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            batch_sent: AtomicU64::new(0),
+            batch_ops: AtomicU64::new(0),
+            update_batch_sent: AtomicU64::new(0),
+            update_batch_ops: AtomicU64::new(0),
         }
     }
 }
@@ -299,8 +310,9 @@ struct Fabric<M, R> {
     slots: RwLock<Vec<HostSlot<M>>>,
     clients: RwLock<HashMap<ClientId, channel::Sender<R>>>,
     message_count: AtomicU64,
-    /// First host to crash ([`NO_HOST`] when none has).
-    first_dead: AtomicU32,
+    /// Late replies clients discarded on arrival because the correlation id
+    /// they answered was abandoned by a timeout-resubmit.
+    stale_replies: AtomicU64,
     /// Cached membership snapshot, rebuilt only when a host's state changes
     /// (crash, decommission, join) — so per-message membership reads are an
     /// `Arc` clone, not an O(hosts) allocation.
@@ -324,8 +336,8 @@ impl<M, R> Fabric<M, R> {
         *self.membership_cache.write() = Arc::new(Membership { states });
     }
 
-    /// Tombstones `host` (crash semantics). Records the first crash and
-    /// wakes the host thread so it drains and exits. Idempotent.
+    /// Tombstones `host` (crash semantics) and wakes the host thread so it
+    /// drains and exits. Idempotent.
     fn mark_dead(&self, host: HostId) {
         {
             let slots = self.slots.read();
@@ -333,12 +345,6 @@ impl<M, R> Fabric<M, R> {
                 return;
             };
             slot.state.store(STATE_DEAD, Ordering::Release);
-            let _ = self.first_dead.compare_exchange(
-                NO_HOST,
-                host.0,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            );
             // Wake the thread (it may be blocked on an empty mailbox) so it
             // observes the tombstone, discards its queue, and exits.
             let _ = slot.tx.send(Envelope::Stop);
@@ -409,26 +415,48 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
     /// [`TrafficClass`] so [`Runtime::host_traffic`] can split query from
     /// update traffic per host.
     pub fn send_class(&mut self, to: HostId, msg: M, class: TrafficClass) {
+        self.transmit(to, msg, class, None);
+    }
+
+    /// Sends a coalesced multi-op envelope: one message carrying `ops`
+    /// operations bound for the same destination host. Metered as a
+    /// *single* host crossing (that is the point of batching), and
+    /// additionally recorded in the per-class batch counters of
+    /// [`crate::HostTraffic`] (`batch_sent` / `batch_ops`, with the update
+    /// share broken out) so experiments can observe how much coalescing the
+    /// batching layer achieved.
+    pub fn send_multi(&mut self, to: HostId, msg: M, class: TrafficClass, ops: u32) {
+        self.transmit(to, msg, class, Some(ops));
+    }
+
+    fn transmit(&mut self, to: HostId, msg: M, class: TrafficClass, batch: Option<u32>) {
         let slots = self.net.slots.read();
         let Some(dest) = slots.get(to.index()) else {
             return;
         };
         if to != self.host {
             if dest.state.load(Ordering::Acquire) == STATE_DEAD {
-                // Lost on the wire: the destination crashed.
+                // Lost on the wire: the destination crashed. One envelope,
+                // one loss — however many ops rode inside it.
                 dest.dropped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
             self.net.message_count.fetch_add(1, Ordering::Relaxed);
-            slots[self.host.index()]
-                .sent
-                .fetch_add(1, Ordering::Relaxed);
+            let me = &slots[self.host.index()];
+            me.sent.fetch_add(1, Ordering::Relaxed);
             dest.received.fetch_add(1, Ordering::Relaxed);
             if class == TrafficClass::Update {
-                slots[self.host.index()]
-                    .update_sent
-                    .fetch_add(1, Ordering::Relaxed);
+                me.update_sent.fetch_add(1, Ordering::Relaxed);
                 dest.update_received.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(ops) = batch {
+                me.batch_sent.fetch_add(1, Ordering::Relaxed);
+                me.batch_ops.fetch_add(u64::from(ops), Ordering::Relaxed);
+                if class == TrafficClass::Update {
+                    me.update_batch_sent.fetch_add(1, Ordering::Relaxed);
+                    me.update_batch_ops
+                        .fetch_add(u64::from(ops), Ordering::Relaxed);
+                }
             }
         }
         // Mailboxes are unbounded, so this cannot block inside a handler.
@@ -524,6 +552,15 @@ impl<M: Send + 'static, R: Send + 'static> Client<M, R> {
         self.rx.recv().map_err(|_| RuntimeError::Disconnected)
     }
 
+    /// Records that this client discarded a late reply on arrival because
+    /// its correlation id had been abandoned by a timeout-resubmit. The
+    /// count is surfaced fabric-wide as
+    /// [`crate::HostTraffic::stale_replies`], so lost-and-retried
+    /// operations leave an observable trace instead of silently vanishing.
+    pub fn note_stale_reply(&self) {
+        self.net.stale_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Waits up to `timeout` for a reply.
     ///
     /// # Errors
@@ -589,7 +626,7 @@ impl<A: Actor> Runtime<A> {
             slots: RwLock::new(Vec::with_capacity(hosts)),
             clients: RwLock::new(HashMap::new()),
             message_count: AtomicU64::new(0),
-            first_dead: AtomicU32::new(NO_HOST),
+            stale_replies: AtomicU64::new(0),
             membership_cache: RwLock::new(Arc::new(Membership { states: Vec::new() })),
         });
         let runtime = Runtime {
@@ -701,25 +738,19 @@ impl<A: Actor> Runtime<A> {
         // ever observing more update-tagged sends than sends.
         let update_sent = load(|s| &s.update_sent);
         let update_received = load(|s| &s.update_received);
+        let update_batch_sent = load(|s| &s.update_batch_sent);
+        let update_batch_ops = load(|s| &s.update_batch_ops);
         HostTraffic {
             sent: load(|s| &s.sent),
             received: load(|s| &s.received),
             update_sent,
             update_received,
             dropped: load(|s| &s.dropped),
-        }
-    }
-
-    /// The first host that crashed, if any.
-    #[deprecated(
-        since = "0.1.0",
-        note = "a crash no longer poisons the fabric; use `membership()` for the full \
-                alive/dead/decommissioned view"
-    )]
-    pub fn poisoned_by(&self) -> Option<HostId> {
-        match self.net.first_dead.load(Ordering::Acquire) {
-            NO_HOST => None,
-            h => Some(HostId(h)),
+            batch_sent: load(|s| &s.batch_sent),
+            batch_ops: load(|s| &s.batch_ops),
+            update_batch_sent,
+            update_batch_ops,
+            stale_replies: self.net.stale_replies.load(Ordering::Relaxed),
         }
     }
 
@@ -893,6 +924,76 @@ mod tests {
         rt.shutdown();
     }
 
+    /// Fans a packed envelope out to host 1, which unpacks and replies once
+    /// per carried op.
+    struct Fan;
+    #[derive(Debug)]
+    enum FanMsg {
+        Go { client: ClientId, ops: u32 },
+        Packed { client: ClientId, ops: u32 },
+    }
+
+    impl Actor for Fan {
+        type Msg = FanMsg;
+        type Reply = u32;
+        fn on_message(&mut self, _from: Sender, msg: FanMsg, ctx: &mut Context<'_, FanMsg, u32>) {
+            match msg {
+                FanMsg::Go { client, ops } => {
+                    ctx.send_multi(
+                        HostId(1),
+                        FanMsg::Packed { client, ops },
+                        TrafficClass::Update,
+                        ops,
+                    );
+                }
+                FanMsg::Packed { client, ops } => {
+                    for i in 0..ops {
+                        ctx.reply(client, i);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_multi_op_envelope_is_one_crossing_with_batch_counters() {
+        let rt = Runtime::spawn(2, |_| Fan);
+        let c = rt.client();
+        c.send(
+            HostId(0),
+            FanMsg::Go {
+                client: c.id(),
+                ops: 3,
+            },
+        )
+        .unwrap();
+        for _ in 0..3 {
+            c.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        // One envelope carried three ops: one metered crossing, three in the
+        // batch-op counter, all of it update-class.
+        assert_eq!(rt.message_count(), 1);
+        let traffic = rt.host_traffic();
+        assert_eq!(traffic.sent, vec![1, 0]);
+        assert_eq!(traffic.batch_sent, vec![1, 0]);
+        assert_eq!(traffic.batch_ops, vec![3, 0]);
+        assert_eq!(traffic.update_batch_sent, vec![1, 0]);
+        assert_eq!(traffic.update_batch_ops, vec![3, 0]);
+        assert!((traffic.mean_batch_size() - 3.0).abs() < 1e-12);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stale_reply_drops_are_counted_fabric_wide() {
+        let rt = Runtime::spawn(1, |_| Echo);
+        let c = rt.client();
+        assert_eq!(rt.host_traffic().stale_replies, 0);
+        c.note_stale_reply();
+        c.note_stale_reply();
+        assert_eq!(rt.host_traffic().stale_replies, 2);
+        rt.shutdown();
+    }
+
     /// Panics whenever it hears anything.
     struct Grenade;
 
@@ -965,9 +1066,6 @@ mod tests {
         assert_eq!(m.dead_hosts(), vec![HostId(1)]);
         assert_eq!(m.alive_hosts(), vec![HostId(0)]);
         assert_eq!(m.first_dead(), Some(HostId(1)));
-        #[allow(deprecated)]
-        let first = rt.poisoned_by();
-        assert_eq!(first, Some(HostId(1)));
         rt.shutdown();
     }
 

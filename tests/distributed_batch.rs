@@ -1,0 +1,212 @@
+//! Batch/serial parity, property-tested: driving the same mixed churn
+//! workload through the `*_batch` entry points and the one-at-a-time paths
+//! must return byte-identical answers, identical applied flags, and
+//! identical final structures on every deployment size — while the batch
+//! side's coalesced envelopes cross *fewer* metered host boundaries. This
+//! is the release-mode gate CI runs by name alongside the parity suite.
+//!
+//! The acceptance pin: a batch of 256 queries on 16 hosts crosses
+//! measurably fewer host boundaries than the same 256 queries run
+//! serially, observable in `HostTraffic`.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use skipwebs::core::engine::DistributedSkipWeb;
+use skipwebs::core::multidim::{QuadtreeRequest, QuadtreeSkipWeb, TrieSkipWeb};
+use skipwebs::core::onedim::OneDimSkipWeb;
+
+const HOST_COUNTS: [usize; 3] = [1, 4, 16];
+
+#[test]
+fn batch_of_256_queries_on_16_hosts_crosses_measurably_fewer_boundaries() {
+    let keys: Vec<u64> = (0..1024).map(|i| i * 7 + 1).collect();
+    let web = OneDimSkipWeb::builder(keys).seed(81).build();
+    let serial = DistributedSkipWeb::spawn_consolidated(web.inner(), 16);
+    let batched = DistributedSkipWeb::spawn_consolidated(web.inner(), 16);
+    let (cs, cb) = (serial.client(), batched.client());
+    let qs: Vec<u64> = (0..256u64).map(|s| (s * 2741) % 7200).collect();
+    let origin = web.random_origin(3);
+    let want: Vec<Option<u64>> = qs
+        .iter()
+        .map(|&q| serial.query(&cs, origin, q).expect("runtime alive").answer)
+        .collect();
+    let got: Vec<Option<u64>> = batched
+        .query_batch(&cb, origin, qs)
+        .expect("runtime alive")
+        .into_iter()
+        .map(|r| r.answer)
+        .collect();
+    assert_eq!(got, want, "batch answers must be byte-identical");
+    let (s, b) = (serial.traffic(), batched.traffic());
+    assert_eq!(s.total_sent(), serial.message_count());
+    assert_eq!(b.total_sent(), batched.message_count());
+    assert!(
+        b.total_sent() * 2 <= s.total_sent(),
+        "256-query batch on 16 hosts must cross measurably fewer boundaries: \
+         batched {} vs serial {}",
+        b.total_sent(),
+        s.total_sent()
+    );
+    assert!(
+        b.mean_batch_size() > 1.0,
+        "coalescing must be observable in the batch counters: {b}"
+    );
+    assert_eq!(
+        s.total_batch_sent(),
+        0,
+        "serial path sends no batch envelopes"
+    );
+    serial.shutdown();
+    batched.shutdown();
+}
+
+#[test]
+fn scattered_reports_match_serial_answers_on_consolidated_fabrics() {
+    // Quadtree box reporting, folded onto 4 physical hosts.
+    let points: Vec<_> = (0..160u32)
+        .map(|i| skipwebs::structures::PointKey::new([i * 104_729 + 13, i * 49_979 + 7]))
+        .collect();
+    let web = QuadtreeSkipWeb::builder(points).seed(82).build();
+    let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), 4);
+    let client = dist.client();
+    for (lo, hi) in [
+        ([0u32, 0u32], [u32::MAX / 2, u32::MAX / 2]),
+        ([0, 0], [u32::MAX, u32::MAX]),
+    ] {
+        let serial = dist
+            .query(
+                &client,
+                web.random_origin(1),
+                QuadtreeRequest::InBox { lo, hi },
+            )
+            .expect("runtime alive");
+        let scattered = dist
+            .query_scatter(
+                &client,
+                web.random_origin(1),
+                QuadtreeRequest::InBox { lo, hi },
+            )
+            .expect("runtime alive");
+        assert_eq!(scattered.answer, serial.answer, "box {lo:?}..{hi:?}");
+    }
+    dist.shutdown();
+
+    // Trie prefix enumeration, folded onto 4 physical hosts.
+    let strings: Vec<String> = (0..96).map(|i| format!("isbn-{i:04}")).collect();
+    let web = TrieSkipWeb::builder(strings).seed(83).build();
+    let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), 4);
+    let client = dist.client();
+    for prefix in ["isbn-00", "isbn", "zzz", ""] {
+        let serial = dist
+            .query(&client, web.random_origin(2), prefix.to_string())
+            .expect("runtime alive");
+        let scattered = dist
+            .query_scatter(&client, web.random_origin(2), prefix.to_string())
+            .expect("runtime alive");
+        assert_eq!(scattered.answer.matched_len, serial.answer.matched_len);
+        assert_eq!(
+            scattered.answer.matches, serial.answer.matches,
+            "{prefix:?}"
+        );
+    }
+    dist.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The satellite gate: the same randomized mixed churn workload —
+    /// query rounds, insert rounds, remove rounds — through `query_batch` /
+    /// `insert_batch_with` / `remove_batch_with` versus the serial
+    /// `query` / `insert_with` / `remove_with`, on {1, 4, 16} hosts:
+    /// identical answers, identical applied flags, identical final ground
+    /// sets, and never more metered crossings on the batch side.
+    #[test]
+    fn batched_churn_matches_serial_on_every_host_count(
+        keys in collection::vec(0u64..50_000, 24..64),
+        rounds in collection::vec(
+            (collection::vec(0u64..50_000, 4..12), any::<u64>()),
+            2..4,
+        ),
+        seed in 0u64..500,
+    ) {
+        for hosts in HOST_COUNTS {
+            let web = OneDimSkipWeb::builder(keys.clone()).seed(seed).build();
+            let serial = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+            let batched = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+            let (cs, cb) = (serial.client(), batched.client());
+            for (round, &(ref values, bitseed)) in rounds.iter().enumerate() {
+                // Query round: byte-identical answers in submission order.
+                let qs: Vec<u64> = values.iter().map(|v| v * 3 % 60_000).collect();
+                let origin = (round * 13 + 1) % web.len();
+                let want: Vec<Option<u64>> = qs
+                    .iter()
+                    .map(|&q| serial.query(&cs, origin, q).expect("runtime alive").answer)
+                    .collect();
+                let got: Vec<Option<u64>> = batched
+                    .query_batch(&cb, origin, qs)
+                    .expect("runtime alive")
+                    .into_iter()
+                    .map(|r| r.answer)
+                    .collect();
+                prop_assert_eq!(got, want, "query round {}", round);
+
+                // Insert round: distinct items (batch ops on the same item
+                // would race by arrival order, exactly like concurrent
+                // serial clients), explicit (origin, bits) so both engines
+                // make identical deterministic choices.
+                let mut fresh: Vec<u64> = values.iter().map(|v| (v * 2 + 1) % 99_991).collect();
+                fresh.sort_unstable();
+                fresh.dedup();
+                let ins: Vec<(usize, u64, u64)> = fresh
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &k)| (origin, k, bitseed.wrapping_mul(i as u64 + 1)))
+                    .collect();
+                let serial_flags: Vec<bool> = ins
+                    .iter()
+                    .map(|&(o, k, b)| {
+                        serial.insert_with(&cs, o, k, b).expect("runtime alive").applied
+                    })
+                    .collect();
+                let batch_flags: Vec<bool> = batched
+                    .insert_batch_with(&cb, ins)
+                    .expect("runtime alive")
+                    .into_iter()
+                    .map(|r| r.applied)
+                    .collect();
+                prop_assert_eq!(batch_flags, serial_flags, "insert round {}", round);
+                prop_assert_eq!(batched.ground(), serial.ground(), "after inserts {}", round);
+
+                // Remove round: the freshly inserted keys plus one absent
+                // probe — applied flags and final state must agree.
+                let mut rem: Vec<(usize, u64)> =
+                    fresh.iter().map(|&k| (origin, k)).collect();
+                rem.push((origin, 999_999));
+                let serial_flags: Vec<bool> = rem
+                    .iter()
+                    .map(|&(o, k)| serial.remove_with(&cs, o, k).expect("runtime alive").applied)
+                    .collect();
+                let batch_flags: Vec<bool> = batched
+                    .remove_batch_with(&cb, rem)
+                    .expect("runtime alive")
+                    .into_iter()
+                    .map(|r| r.applied)
+                    .collect();
+                prop_assert_eq!(batch_flags, serial_flags, "remove round {}", round);
+                prop_assert_eq!(batched.ground(), serial.ground(), "after removes {}", round);
+            }
+            // Coalescing can only remove crossings, never add them.
+            prop_assert!(
+                batched.message_count() <= serial.message_count(),
+                "hosts={}: batched {} vs serial {}",
+                hosts,
+                batched.message_count(),
+                serial.message_count()
+            );
+            serial.shutdown();
+            batched.shutdown();
+        }
+    }
+}
