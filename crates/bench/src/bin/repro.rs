@@ -6,7 +6,7 @@
 //!
 //! experiments: table1 fig1 fig2 fig3 fig4 lemma1 lemma4 thm2 updates
 //!              buckets ablation chord congestion distributed churn
-//!              failover batch all (default: all)
+//!              failover batch wan tcp all (default: all)
 //! --full: larger size sweeps (slower; used to fill EXPERIMENTS.md)
 //! ```
 
@@ -29,6 +29,12 @@ struct Config {
     failover_ops: usize,
     batch_sizes: Vec<usize>,
     batch_ops: usize,
+    wan_latencies_us: Vec<u64>,
+    wan_clients: usize,
+    wan_queries: usize,
+    tcp_workers: usize,
+    tcp_hosts_per_worker: usize,
+    tcp_queries: usize,
     seed: u64,
 }
 
@@ -51,6 +57,12 @@ impl Config {
             failover_ops: 200,
             batch_sizes: vec![1, 16, 256],
             batch_ops: 256,
+            wan_latencies_us: vec![0, 200, 1000, 3000],
+            wan_clients: 4,
+            wan_queries: 50,
+            tcp_workers: 4,
+            tcp_hosts_per_worker: 2,
+            tcp_queries: 50,
             seed: 42,
         }
     }
@@ -73,6 +85,12 @@ impl Config {
             failover_ops: 1000,
             batch_sizes: vec![1, 16, 256],
             batch_ops: 1024,
+            wan_latencies_us: vec![0, 200, 1000, 3000, 10_000],
+            wan_clients: 8,
+            wan_queries: 100,
+            tcp_workers: 4,
+            tcp_hosts_per_worker: 4,
+            tcp_queries: 200,
             seed: 42,
         }
     }
@@ -80,6 +98,27 @@ impl Config {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Worker-process re-entry for the TCP deployment experiment: the
+    // driver spawns copies of this binary as
+    // `repro tcp-host <me> <hosts_per_worker> <n> <seed> <ports_csv>`.
+    if args.first().map(String::as_str) == Some("tcp-host") {
+        let parse = |i: usize| -> u64 { args[i].parse().expect("tcp-host: numeric argument") };
+        let (me, hosts_per_worker, n, seed) = (
+            parse(1) as usize,
+            parse(2) as usize,
+            parse(3) as usize,
+            parse(4),
+        );
+        let ports: Vec<u16> = args[5]
+            .split(',')
+            .map(|p| p.parse().expect("tcp-host: port list"))
+            .collect();
+        let bye = experiments::tcp_host(&ports, me, hosts_per_worker, n, seed)
+            .expect("tcp-host: joining the deployment");
+        std::process::exit(if bye { 0 } else { 1 });
+    }
+
     let full = args.iter().any(|a| a == "--full");
     let which = args
         .iter()
@@ -92,7 +131,7 @@ fn main() {
         Config::quick()
     };
 
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 20] = [
         "all",
         "table1",
         "fig1",
@@ -111,6 +150,8 @@ fn main() {
         "churn",
         "failover",
         "batch",
+        "wan",
+        "tcp",
     ];
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment {which:?}");
@@ -215,5 +256,34 @@ fn main() {
                 cfg.seed,
             )
         );
+    }
+    if run("wan") {
+        println!(
+            "{}",
+            experiments::wan(
+                &cfg.wan_latencies_us,
+                4,
+                cfg.dist_n,
+                cfg.wan_clients,
+                cfg.wan_queries,
+                cfg.seed,
+            )
+        );
+    }
+    // Spawns worker OS processes, so it only runs when named explicitly —
+    // never as part of `all`.
+    if which == "tcp" {
+        let exe = std::env::current_exe().expect("tcp: resolving own binary");
+        let table = experiments::tcp(
+            &exe,
+            cfg.tcp_workers,
+            cfg.tcp_hosts_per_worker,
+            cfg.dist_n,
+            cfg.dist_clients,
+            cfg.tcp_queries,
+            cfg.seed,
+        )
+        .expect("tcp: deployment must come up on loopback");
+        println!("{table}");
     }
 }

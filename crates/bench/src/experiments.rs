@@ -1117,6 +1117,260 @@ pub fn failover(hosts: usize, n: usize, ks: &[usize], ops: usize, seed: u64) -> 
     t
 }
 
+/// **WAN sweep** — query throughput over the simulated-WAN transport as
+/// per-link latency grows, at a fixed 5% probabilistic loss with jitter
+/// equal to the base latency. Loss applies to every row (the resubmit
+/// path absorbs it end to end), so the sweep isolates latency's cost;
+/// each row also reports the transport's own frame accounting — how many
+/// crossings the schedule dropped and how many arrived out of order.
+pub fn wan(
+    latencies_us: &[u64],
+    hosts: usize,
+    n: usize,
+    clients: usize,
+    queries: usize,
+    seed: u64,
+) -> Table {
+    use skipweb_core::engine::DistributedSkipWeb;
+    use skipweb_net::wan::SimWanConfig;
+    use std::time::{Duration, Instant};
+
+    let mut t = Table::new(
+        "WAN sweep: queries/sec over SimWanTransport at 5% loss by link latency",
+        &[
+            "latency_us",
+            "jitter_us",
+            "loss",
+            "hosts",
+            "queries",
+            "queries_per_sec",
+            "carried",
+            "lost",
+            "reordered",
+        ],
+    );
+    let web = OneDimSkipWeb::builder(workloads::uniform_keys(n, seed))
+        .seed(seed)
+        .build();
+    let qs = workloads::query_keys(queries.max(64), seed);
+    for &latency_us in latencies_us {
+        let cfg = SimWanConfig {
+            seed,
+            latency: Duration::from_micros(latency_us),
+            jitter: Duration::from_micros(latency_us),
+            loss: 0.05,
+        };
+        let dist = DistributedSkipWeb::spawn_wan(web.inner(), hosts, cfg);
+        // The resubmit timeout must dominate the worst jittered round trip
+        // but stay short enough that a lost frame costs little.
+        let timeout = Duration::from_millis(150) + Duration::from_micros(latency_us * 50);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let client = dist.client();
+                let (dist, web, qs) = (&dist, &web, &qs);
+                scope.spawn(move || {
+                    client.set_timeouts(timeout, timeout * 2);
+                    for i in 0..queries {
+                        let k = c * queries + i;
+                        dist.query(&client, web.random_origin(k as u64), qs[k % qs.len()])
+                            .expect("resubmits must mask loss");
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = dist.transport_stats();
+        let total = (clients * queries) as f64;
+        t.push(vec![
+            latency_us.to_string(),
+            latency_us.to_string(),
+            "0.05".to_string(),
+            dist.hosts().to_string(),
+            (clients * queries).to_string(),
+            f2(total / elapsed.max(f64::MIN_POSITIVE)),
+            stats.carried.to_string(),
+            stats.lost.to_string(),
+            stats.reordered.to_string(),
+        ]);
+        dist.shutdown();
+    }
+    t
+}
+
+/// Builds the shared loopback-TCP deployment plan: `workers` worker
+/// processes owning `hosts_per_worker` engine hosts each, plus one
+/// driver endpoint (the last) that owns no hosts and receives every
+/// reply. Every process derives the same plan from the same arguments —
+/// the TCP analogue of the range-determined topology rebuild.
+pub fn tcp_plan(ports: &[u16], me: usize, hosts_per_worker: usize) -> skipweb_net::tcp::TcpConfig {
+    use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+    let endpoints: Vec<SocketAddr> = ports
+        .iter()
+        .map(|&p| SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), p))
+        .collect();
+    let workers = endpoints.len() - 1;
+    let owners: Vec<usize> = (0..workers)
+        .flat_map(|w| std::iter::repeat_n(w, hosts_per_worker))
+        .collect();
+    skipweb_net::tcp::TcpConfig {
+        endpoints,
+        me,
+        owners,
+        reply_endpoint: workers,
+    }
+}
+
+/// The worker-process entry point behind `repro tcp-host`: rebuilds the
+/// deterministic web from `(n, seed)`, joins the deployment at endpoint
+/// `me`, and serves queries until the driver broadcasts shutdown.
+/// Returns whether the shutdown arrived as an orderly goodbye (`true`)
+/// rather than a timeout.
+pub fn tcp_host(
+    ports: &[u16],
+    me: usize,
+    hosts_per_worker: usize,
+    n: usize,
+    seed: u64,
+) -> std::io::Result<bool> {
+    use skipweb_core::engine::DistributedSkipWeb;
+    let web = OneDimSkipWeb::builder(workloads::uniform_keys(n, seed))
+        .seed(seed)
+        .build();
+    let dist = DistributedSkipWeb::spawn_tcp(web.inner(), tcp_plan(ports, me, hosts_per_worker))?;
+    Ok(dist.serve_until_peer_shutdown(std::time::Duration::from_secs(120)))
+}
+
+/// **TCP deployment** — hosts as separate OS processes over loopback
+/// TCP: spawns `workers` copies of `exe` (re-entering through its
+/// `tcp-host` argument), each owning `hosts_per_worker` engine hosts,
+/// then drives `queries` nearest-neighbour queries per client thread
+/// from this process and reports throughput plus the driver's wire-level
+/// byte counts. Answers are checked against the locally rebuilt web's
+/// serial fabric before anything is reported.
+pub fn tcp(
+    exe: &std::path::Path,
+    workers: usize,
+    hosts_per_worker: usize,
+    n: usize,
+    clients: usize,
+    queries: usize,
+    seed: u64,
+) -> std::io::Result<Table> {
+    use skipweb_core::engine::DistributedSkipWeb;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "TCP deployment: queries/sec across separate worker processes on loopback",
+        &[
+            "workers",
+            "hosts",
+            "clients",
+            "queries",
+            "queries_per_sec",
+            "driver_tx_bytes",
+            "driver_rx_bytes",
+        ],
+    );
+
+    // Reserve one loopback port per process by binding and releasing;
+    // the spawned workers re-bind them by number.
+    let ports: Vec<u16> = (0..workers + 1)
+        .map(|_| {
+            TcpListener::bind("127.0.0.1:0")
+                .and_then(|l| l.local_addr())
+                .map(|a| a.port())
+        })
+        .collect::<std::io::Result<_>>()?;
+    let mut children: Vec<std::process::Child> = Vec::with_capacity(workers);
+    let ports_csv = ports
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    for w in 0..workers {
+        children.push(
+            std::process::Command::new(exe)
+                .arg("tcp-host")
+                .arg(w.to_string())
+                .arg(hosts_per_worker.to_string())
+                .arg(n.to_string())
+                .arg(seed.to_string())
+                .arg(&ports_csv)
+                .spawn()?,
+        );
+    }
+    let reap = |mut children: Vec<std::process::Child>| {
+        for child in &mut children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    };
+
+    let web = OneDimSkipWeb::builder(workloads::uniform_keys(n, seed))
+        .seed(seed)
+        .build();
+    let dist = match DistributedSkipWeb::spawn_tcp(
+        web.inner(),
+        tcp_plan(&ports, workers, hosts_per_worker),
+    ) {
+        Ok(dist) => dist,
+        Err(e) => {
+            reap(children);
+            return Err(e);
+        }
+    };
+    let serial = DistributedSkipWeb::spawn_consolidated(web.inner(), workers * hosts_per_worker);
+    let qs = workloads::query_keys(queries.max(64), seed);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let client = dist.client();
+            let check = serial.client();
+            let (dist, serial, web, qs) = (&dist, &serial, &web, &qs);
+            scope.spawn(move || {
+                for i in 0..queries {
+                    let k = c * queries + i;
+                    let origin = web.random_origin(k as u64);
+                    let got = dist
+                        .query(&client, origin, qs[k % qs.len()])
+                        .expect("tcp fabric alive")
+                        .answer;
+                    let want = serial
+                        .query(&check, origin, qs[k % qs.len()])
+                        .expect("runtime alive")
+                        .answer;
+                    assert_eq!(got, want, "tcp answer diverged from local fabric");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = dist.transport_stats();
+    let total = (clients * queries) as f64;
+    t.push(vec![
+        workers.to_string(),
+        (workers * hosts_per_worker).to_string(),
+        clients.to_string(),
+        (clients * queries).to_string(),
+        f2(total / elapsed.max(f64::MIN_POSITIVE)),
+        stats.bytes_sent.to_string(),
+        stats.bytes_received.to_string(),
+    ]);
+    serial.shutdown();
+    dist.shutdown();
+    for child in &mut children {
+        let status = child.wait()?;
+        if !status.success() {
+            return Err(std::io::Error::other(format!(
+                "tcp worker exited with {status}"
+            )));
+        }
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -287,8 +287,8 @@ mod tests {
         dist.engine().submit(&b, 1, 1100).unwrap();
         let ans_a = a.recv_any(Duration::from_secs(10)).unwrap();
         let ans_b = b.recv_any(Duration::from_secs(10)).unwrap();
-        assert_eq!(ans_a.into_answer(), Some(55));
-        assert_eq!(ans_b.into_answer(), Some(1100));
+        assert_eq!(ans_a.try_into_answer().unwrap(), Some(55));
+        assert_eq!(ans_b.try_into_answer().unwrap(), Some(1100));
         dist.shutdown();
     }
 
@@ -314,7 +314,7 @@ mod tests {
             let reply = client.recv_corr(corr, Duration::from_secs(10)).unwrap();
             assert_eq!(reply.corr, corr);
             let want = web.nearest(0, q).answer.nearest;
-            assert_eq!(reply.into_answer(), Some(want), "query {q}");
+            assert_eq!(reply.try_into_answer().unwrap(), Some(want), "query {q}");
         }
         dist.shutdown();
     }

@@ -156,7 +156,10 @@ use rand::{Rng, SeedableRng};
 use skipweb_net::runtime::{
     Actor, Client, ClientId, Context, Membership, Runtime, RuntimeError, Sender, TrafficClass,
 };
-use skipweb_net::{HostId, HostTraffic};
+use skipweb_net::tcp::{TcpCodec, TcpConfig, TcpTransport};
+use skipweb_net::transport::Transport;
+use skipweb_net::wan::{SimWanConfig, SimWanTransport};
+use skipweb_net::{HostId, HostTraffic, TransportStats};
 use skipweb_structures::traits::{RangeDetermined, RangeId};
 
 use crate::levels::parent_key;
@@ -398,12 +401,114 @@ pub enum ReplyBody<D: Routable> {
     Unavailable,
 }
 
+/// Which kind of payload a [`ReplyBody`] carried — the vocabulary of
+/// [`ReplyMismatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyKind {
+    /// A full query answer.
+    Answer,
+    /// One scatter-gather partial.
+    Partial,
+    /// An update outcome.
+    Updated,
+    /// A fail-fast unavailability notice.
+    Unavailable,
+}
+
+impl<D: Routable> ReplyBody<D> {
+    /// The kind of payload this body carries.
+    pub fn kind(&self) -> ReplyKind {
+        match self {
+            ReplyBody::Answer(_) => ReplyKind::Answer,
+            ReplyBody::Partial { .. } => ReplyKind::Partial,
+            ReplyBody::Updated { .. } => ReplyKind::Updated,
+            ReplyBody::Unavailable => ReplyKind::Unavailable,
+        }
+    }
+}
+
+/// A reply carried a different payload than the accessor asked for. With
+/// the wire path, mismatched replies are a real input (a confused or
+/// malicious peer can send anything), so the `try_*` accessors surface
+/// this as a value instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyMismatch {
+    /// The payload kind the accessor asked for.
+    pub expected: ReplyKind,
+    /// The payload kind the reply actually carried.
+    pub got: ReplyKind,
+}
+
+impl fmt::Display for ReplyMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reply carries {:?}, accessor expected {:?}",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ReplyMismatch {}
+
 impl<D: Routable> EngineReply<D> {
+    /// The query answer, or a [`ReplyMismatch`] if this reply belongs to an
+    /// update, a scatter partial, or was unavailable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatch describing what the reply actually carried.
+    pub fn try_answer(&self) -> Result<&D::Answer, ReplyMismatch> {
+        match &self.body {
+            ReplyBody::Answer(a) => Ok(a),
+            other => Err(ReplyMismatch {
+                expected: ReplyKind::Answer,
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Consumes the reply, returning the query answer, or a
+    /// [`ReplyMismatch`] if the reply carried something else.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatch describing what the reply actually carried.
+    pub fn try_into_answer(self) -> Result<D::Answer, ReplyMismatch> {
+        match self.body {
+            ReplyBody::Answer(a) => Ok(a),
+            other => Err(ReplyMismatch {
+                expected: ReplyKind::Answer,
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Whether the update changed the structure, or a [`ReplyMismatch`] if
+    /// this reply belongs to a query or was unavailable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatch describing what the reply actually carried.
+    pub fn try_applied(&self) -> Result<bool, ReplyMismatch> {
+        match &self.body {
+            ReplyBody::Updated { applied } => Ok(*applied),
+            other => Err(ReplyMismatch {
+                expected: ReplyKind::Updated,
+                got: other.kind(),
+            }),
+        }
+    }
+
     /// The query answer.
     ///
     /// # Panics
     ///
     /// Panics if this reply belongs to an update.
+    #[deprecated(
+        since = "0.6.0",
+        note = "mismatched replies are a real wire input; use `try_answer`"
+    )]
     pub fn answer(&self) -> &D::Answer {
         match &self.body {
             ReplyBody::Answer(a) => a,
@@ -416,6 +521,10 @@ impl<D: Routable> EngineReply<D> {
     /// # Panics
     ///
     /// Panics if this reply belongs to an update or was unavailable.
+    #[deprecated(
+        since = "0.6.0",
+        note = "mismatched replies are a real wire input; use `try_into_answer`"
+    )]
     pub fn into_answer(self) -> D::Answer {
         match self.body {
             ReplyBody::Answer(a) => a,
@@ -428,6 +537,10 @@ impl<D: Routable> EngineReply<D> {
     /// # Panics
     ///
     /// Panics if this reply belongs to a query or was unavailable.
+    #[deprecated(
+        since = "0.6.0",
+        note = "mismatched replies are a real wire input; use `try_applied`"
+    )]
     pub fn applied(&self) -> bool {
         match self.body {
             ReplyBody::Updated { applied } => applied,
@@ -510,7 +623,7 @@ impl<D: RangeDetermined> Topology<D> {
 /// hosts healed around). Part of the engine's evolving state, serialized by
 /// the state lock.
 #[derive(Debug, Clone)]
-struct PlacementCtl {
+pub(crate) struct PlacementCtl {
     /// Number of physical actor threads; logical hosts fold onto them
     /// (`logical % phys`), so the web may grow past the thread count.
     phys: usize,
@@ -520,7 +633,7 @@ struct PlacementCtl {
 }
 
 impl PlacementCtl {
-    fn new(phys: usize) -> Self {
+    pub(crate) fn new(phys: usize) -> Self {
         PlacementCtl {
             phys: phys.max(1),
             excluded: BTreeSet::new(),
@@ -547,7 +660,7 @@ impl PlacementCtl {
 /// the web's host count stays within `ctl.phys` and nothing is excluded,
 /// the fold is the identity, so owner-hosted message accounting matches the
 /// simulator exactly.
-fn build_topology<D: Routable + Send + Sync + 'static>(
+pub(crate) fn build_topology<D: Routable + Send + Sync + 'static>(
     web: &SkipWeb<D>,
     ctl: &PlacementCtl,
     version: u64,
@@ -1056,12 +1169,26 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
                             UpdateKind::Remove => !present,
                         };
                         if noop {
+                            // The locus's current view can be the *result*
+                            // of this very op's first attempt (applied, but
+                            // its reply was lost in transit): consult the
+                            // idempotence ledger so a timeout-resubmit is
+                            // echoed the recorded outcome instead of being
+                            // misreported as a no-op.
+                            let applied = self
+                                .shared
+                                .state
+                                .lock()
+                                .applied_ops
+                                .get(&(msg.client, u.op_id))
+                                .copied()
+                                .unwrap_or(false);
                             ctx.reply(
                                 msg.client,
                                 EngineReply {
                                     corr: msg.corr,
                                     hops: msg.hops,
-                                    body: ReplyBody::Updated { applied: false },
+                                    body: ReplyBody::Updated { applied },
                                 },
                             );
                         } else {
@@ -1331,6 +1458,13 @@ pub const DEFAULT_QUERY_TIMEOUT: Duration = Duration::from_secs(10);
 /// Default blocking-update timeout (30 s).
 pub const DEFAULT_UPDATE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Timeout-resubmit budget per blocking operation on a lossy transport. An
+/// operation survives a crossing with probability `(1 - loss)^2` (message
+/// plus its share of the reply), so at 5% loss an attempt over ~7 crossings
+/// fails with probability ≈ 0.26 — twelve attempts push the residual
+/// failure rate below `10^-6`, far under what any test run can observe.
+const LOSSY_RESUBMITS: usize = 12;
+
 impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
     /// This client's runtime identifier.
     pub fn id(&self) -> ClientId {
@@ -1482,6 +1616,9 @@ impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
 pub struct DistributedSkipWeb<D: Routable + Send + Sync + 'static> {
     runtime: Runtime<EngineActor<D>>,
     shared: Arc<Shared<D>>,
+    /// Present on TCP deployments: the socket transport, kept for the
+    /// driver's shutdown broadcast and the workers' teardown wait.
+    tcp: Option<Arc<TcpTransport<FabricMsg<D>, EngineReply<D>>>>,
 }
 
 impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
@@ -1521,10 +1658,62 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
     ///
     /// Panics if `capacity` is zero.
     pub fn spawn_with_capacity(web: &SkipWeb<D>, capacity: usize) -> Self {
+        let shared = Self::build_shared(web, capacity);
+        let runtime = Runtime::spawn(capacity, |_h| EngineActor {
+            shared: Arc::clone(&shared),
+        });
+        DistributedSkipWeb {
+            runtime,
+            shared,
+            tcp: None,
+        }
+    }
+
+    /// Like [`spawn_with_capacity`](Self::spawn_with_capacity), but routes
+    /// every message through `transport` instead of the default in-process
+    /// channel path — the hook the WAN fault model plugs into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn spawn_with_transport(
+        web: &SkipWeb<D>,
+        capacity: usize,
+        transport: Arc<dyn Transport<FabricMsg<D>, EngineReply<D>>>,
+    ) -> Self {
+        let shared = Self::build_shared(web, capacity);
+        let runtime = Runtime::spawn_with_transport(capacity, transport, |_h| EngineActor {
+            shared: Arc::clone(&shared),
+        });
+        DistributedSkipWeb {
+            runtime,
+            shared,
+            tcp: None,
+        }
+    }
+
+    /// Serves the web over a [`SimWanTransport`] with the given fault
+    /// model, folded onto at most `hosts` actor threads like
+    /// [`spawn_consolidated`](Self::spawn_consolidated). Under loss, the
+    /// blocking entry points leak no failures: timeouts trigger
+    /// exactly-once resubmits until the operation lands (see the module
+    /// docs on the idempotence ledger).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero or the loss probability is outside
+    /// `[0, 1]`.
+    pub fn spawn_wan(web: &SkipWeb<D>, hosts: usize, cfg: SimWanConfig) -> Self {
+        assert!(hosts > 0, "a network needs at least one host");
+        let capacity = hosts.min(web.hosts().max(1));
+        Self::spawn_with_transport(web, capacity, Arc::new(SimWanTransport::new(cfg)))
+    }
+
+    fn build_shared(web: &SkipWeb<D>, capacity: usize) -> Arc<Shared<D>> {
         assert!(capacity > 0, "a network needs at least one host");
         let placement = PlacementCtl::new(capacity);
         let topo = Arc::new(build_topology(web, &placement, 0));
-        let shared = Arc::new(Shared {
+        Arc::new(Shared {
             state: Mutex::new(EngineState {
                 web: web.clone(),
                 rng: StdRng::seed_from_u64(0x736b_6970_7765_6221),
@@ -1533,11 +1722,7 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
                 applied_order: std::collections::VecDeque::new(),
             }),
             topo: Mutex::new(topo),
-        });
-        let runtime = Runtime::spawn(capacity, |_h| EngineActor {
-            shared: Arc::clone(&shared),
-        });
-        DistributedSkipWeb { runtime, shared }
+        })
     }
 
     /// Registers a client.
@@ -1847,7 +2032,16 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         scatter: bool,
     ) -> Result<QueryReply<D>, RuntimeError> {
         let timeout = client.query_timeout();
-        let mut retried = false;
+        // A timeout normally signals a request lost in a crashed host's
+        // mailbox, so one resubmit after a crash suffices. On a lossy
+        // transport *any* hop can silently drop the operation even with
+        // every host alive, so the resubmit gate widens: retry on every
+        // timeout, enough times to push the residual failure probability
+        // below observability (at 5% per-message loss, each extra attempt
+        // multiplies it by roughly a quarter).
+        let lossy = self.runtime.transport_lossy();
+        let max_resubmits = if lossy { LOSSY_RESUBMITS } else { 1 };
+        let mut resubmits = 0usize;
         let mut parts: Vec<D::Answer> = Vec::new();
         let mut hops_max = 0u32;
         loop {
@@ -1884,9 +2078,10 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
                     }
                 }
                 Err(RuntimeError::Timeout)
-                    if !retried && self.runtime.membership().first_dead().is_some() =>
+                    if resubmits < max_resubmits
+                        && (lossy || self.runtime.membership().first_dead().is_some()) =>
                 {
-                    retried = true;
+                    resubmits += 1;
                     // The first attempt is abandoned: if it was merely slow
                     // (not lost), its late replies are discarded rather than
                     // parked in the pending buffer forever.
@@ -2168,7 +2363,12 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         item: &D::Item,
     ) -> Result<UpdateReply, RuntimeError> {
         let timeout = client.update_timeout();
-        let mut retried = false;
+        // Same gate-widening as `collect_query` under a lossy transport;
+        // resubmitted updates stay exactly-once through the idempotence
+        // ledger keyed on `(client, op_id)`.
+        let lossy = self.runtime.transport_lossy();
+        let max_resubmits = if lossy { LOSSY_RESUBMITS } else { 1 };
+        let mut resubmits = 0usize;
         loop {
             match client.recv_corr(corr, timeout) {
                 Ok(reply) => {
@@ -2185,9 +2385,10 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
                     };
                 }
                 Err(RuntimeError::Timeout)
-                    if !retried && self.runtime.membership().first_dead().is_some() =>
+                    if resubmits < max_resubmits
+                        && (lossy || self.runtime.membership().first_dead().is_some()) =>
                 {
-                    retried = true;
+                    resubmits += 1;
                     // Abandon the first attempt: its late reply (if it was
                     // merely slow, not lost) is dropped and counted.
                     client.mark_stale(corr);
@@ -2561,9 +2762,102 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         self.shared.republish(st, &self.runtime.membership());
     }
 
-    /// Stops all host threads.
+    /// Cumulative transport-level counters (messages carried, losses,
+    /// reorders, bytes on the wire). All zeros for the default in-process
+    /// channel transport, which has nothing to count.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.runtime.transport_stats()
+    }
+
+    /// Stops all host threads. On a TCP deployment this first broadcasts
+    /// the teardown to every peer process, so their
+    /// [`serve_until_peer_shutdown`](Self::serve_until_peer_shutdown)
+    /// calls return instead of reporting a severed transport.
     pub fn shutdown(self) {
+        if let Some(tcp) = &self.tcp {
+            tcp.broadcast_shutdown();
+        }
         self.runtime.shutdown()
+    }
+}
+
+impl<D: crate::wire::WireCodec + Send + Sync + 'static> DistributedSkipWeb<D> {
+    /// Serves this process's share of the web over loopback (or any) TCP:
+    /// one OS process per endpoint of `cfg`, each running actor threads
+    /// only for the hosts `cfg.owners` assigns it, with every cross-process
+    /// message serialized through [`WireCodec`](crate::wire::WireCodec)
+    /// and framed by [`skipweb_net::wire`].
+    ///
+    /// Every process must be started from the **same** ground set and build
+    /// seed: skip-webs are range-determined (§2.1), so each process
+    /// rebuilds an identical topology locally and the wire carries only
+    /// operation envelopes, never structure. Because each process also
+    /// holds its own engine state, TCP deployments serve **query**
+    /// workloads; updates require a single-process transport (channel or
+    /// WAN), where state is shared.
+    ///
+    /// The process owning `cfg.reply_endpoint` is the *driver*: it creates
+    /// the clients and eventually calls [`shutdown`](Self::shutdown)
+    /// (which broadcasts the teardown). Every other process is a *worker*
+    /// and parks in
+    /// [`serve_until_peer_shutdown`](Self::serve_until_peer_shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Fails if this process's endpoint cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.owners` does not assign this process a contiguous
+    /// (possibly empty) host range, or the config indexes are out of range.
+    pub fn spawn_tcp(web: &SkipWeb<D>, cfg: TcpConfig) -> std::io::Result<Self> {
+        let capacity = cfg.owners.len().max(1);
+        let shared = Self::build_shared(web, capacity);
+        let codec = {
+            let enc_shared = Arc::clone(&shared);
+            TcpCodec {
+                encode_msg: Box::new(|m: &FabricMsg<D>| crate::wire::encode_fabric_msg(m)),
+                decode_msg: Box::new(move |b: &[u8]| {
+                    crate::wire::decode_fabric_msg(b, &enc_shared.current_topo())
+                }),
+                encode_reply: Box::new(|r: &EngineReply<D>| crate::wire::encode_reply(r)),
+                decode_reply: Box::new(|b: &[u8]| crate::wire::decode_reply(b)),
+            }
+        };
+        let tcp = Arc::new(TcpTransport::new(cfg.clone(), codec)?);
+        let local = cfg.local_hosts();
+        let range = match (local.first(), local.last()) {
+            (Some(&first), Some(&last)) => {
+                assert!(
+                    local == (first..=last).collect::<Vec<_>>(),
+                    "each endpoint must own a contiguous host range"
+                );
+                first..last + 1
+            }
+            _ => 0..0,
+        };
+        let transport: Arc<dyn Transport<FabricMsg<D>, EngineReply<D>>> = tcp.clone();
+        let runtime = Runtime::spawn_partitioned(capacity, range, transport, |_h| EngineActor {
+            shared: Arc::clone(&shared),
+        });
+        Ok(DistributedSkipWeb {
+            runtime,
+            shared,
+            tcp: Some(tcp),
+        })
+    }
+
+    /// Worker-side teardown: blocks until the driver broadcasts shutdown
+    /// (or `timeout` elapses), then stops the local host threads. Returns
+    /// `true` when the deployment was torn down on purpose, `false` on
+    /// timeout.
+    pub fn serve_until_peer_shutdown(self, timeout: Duration) -> bool {
+        let closed = match &self.tcp {
+            Some(tcp) => tcp.wait_closed(timeout),
+            None => false,
+        };
+        self.runtime.shutdown();
+        closed
     }
 }
 

@@ -45,6 +45,7 @@ pub mod multidim;
 pub mod onedim;
 pub mod placement;
 pub mod skipweb;
+pub mod wire;
 
 pub use placement::Blocking;
 pub use skipweb::{QueryOutcome, SkipWeb, SkipWebBuilder};

@@ -232,6 +232,263 @@ impl Routable for TrapezoidalMap {
     }
 }
 
+mod codecs {
+    //! [`WireCodec`] layouts for the multi-dimensional webs. Decoders guard
+    //! every constructor precondition (cell depth bounds, segment general
+    //! position) so malformed wire bytes degrade to `None`, never a panic.
+
+    use skipweb_net::wire::{put_i64, put_str, put_u128, put_u32, put_u8, WireReader};
+    use skipweb_structures::geometry::MAX_DEPTH;
+
+    use super::*;
+    use crate::wire::WireCodec;
+
+    fn put_point<const D: usize>(p: &PointKey<D>, buf: &mut Vec<u8>) {
+        for c in p.coords() {
+            put_u32(buf, c);
+        }
+    }
+
+    fn read_point<const D: usize>(r: &mut WireReader<'_>) -> Option<PointKey<D>> {
+        let mut coords = [0u32; D];
+        for c in &mut coords {
+            *c = r.read_u32()?;
+        }
+        Some(PointKey::new(coords))
+    }
+
+    fn put_cell<const D: usize>(cell: &Cell<D>, buf: &mut Vec<u8>) {
+        put_u128(buf, cell.prefix());
+        put_u32(buf, cell.depth());
+    }
+
+    fn read_cell<const D: usize>(r: &mut WireReader<'_>) -> Option<Cell<D>> {
+        let prefix = r.read_u128()?;
+        let depth = r.read_u32()?;
+        (depth <= MAX_DEPTH).then(|| Cell::at_depth(prefix, depth))
+    }
+
+    /// Requests and items are raw per-axis `u32` coordinates (1 or 2 point
+    /// tuples behind a variant tag); answers tag `Located`/`Points`.
+    impl<const D: usize> WireCodec for CompressedQuadtree<D> {
+        fn encode_request(req: &QuadtreeRequest<D>, buf: &mut Vec<u8>) {
+            match req {
+                QuadtreeRequest::Locate(p) => {
+                    put_u8(buf, 0);
+                    put_point(p, buf);
+                }
+                QuadtreeRequest::InBox { lo, hi } => {
+                    put_u8(buf, 1);
+                    put_point(&PointKey::new(*lo), buf);
+                    put_point(&PointKey::new(*hi), buf);
+                }
+            }
+        }
+
+        fn decode_request(r: &mut WireReader<'_>) -> Option<QuadtreeRequest<D>> {
+            match r.read_u8()? {
+                0 => Some(QuadtreeRequest::Locate(read_point(r)?)),
+                1 => Some(QuadtreeRequest::InBox {
+                    lo: read_point::<D>(r)?.coords(),
+                    hi: read_point::<D>(r)?.coords(),
+                }),
+                _ => None,
+            }
+        }
+
+        fn encode_answer(ans: &QuadtreeAnswer<D>, buf: &mut Vec<u8>) {
+            match ans {
+                QuadtreeAnswer::Located {
+                    cell,
+                    approx_nearest,
+                } => {
+                    put_u8(buf, 0);
+                    put_cell(cell, buf);
+                    match approx_nearest {
+                        None => put_u8(buf, 0),
+                        Some(p) => {
+                            put_u8(buf, 1);
+                            put_point(p, buf);
+                        }
+                    }
+                }
+                QuadtreeAnswer::Points(ps) => {
+                    put_u8(buf, 1);
+                    put_u32(buf, ps.len() as u32);
+                    for p in ps {
+                        put_point(p, buf);
+                    }
+                }
+            }
+        }
+
+        fn decode_answer(r: &mut WireReader<'_>) -> Option<QuadtreeAnswer<D>> {
+            match r.read_u8()? {
+                0 => {
+                    let cell = read_cell(r)?;
+                    let approx_nearest = match r.read_u8()? {
+                        0 => None,
+                        1 => Some(read_point(r)?),
+                        _ => return None,
+                    };
+                    Some(QuadtreeAnswer::Located {
+                        cell,
+                        approx_nearest,
+                    })
+                }
+                1 => {
+                    let len = r.read_u32()? as usize;
+                    let mut ps = Vec::with_capacity(len.min(1024));
+                    for _ in 0..len {
+                        ps.push(read_point(r)?);
+                    }
+                    Some(QuadtreeAnswer::Points(ps))
+                }
+                _ => None,
+            }
+        }
+
+        fn encode_item(item: &PointKey<D>, buf: &mut Vec<u8>) {
+            put_point(item, buf);
+        }
+
+        fn decode_item(r: &mut WireReader<'_>) -> Option<PointKey<D>> {
+            read_point(r)
+        }
+    }
+
+    /// Requests and items are length-prefixed UTF-8; the answer is the
+    /// matched length followed by the sorted match list.
+    impl WireCodec for CompressedTrie {
+        fn encode_request(req: &String, buf: &mut Vec<u8>) {
+            put_str(buf, req);
+        }
+
+        fn decode_request(r: &mut WireReader<'_>) -> Option<String> {
+            r.read_str()
+        }
+
+        fn encode_answer(ans: &PrefixAnswer, buf: &mut Vec<u8>) {
+            put_u32(buf, ans.matched_len as u32);
+            put_u32(buf, ans.matches.len() as u32);
+            for m in &ans.matches {
+                put_str(buf, m);
+            }
+        }
+
+        fn decode_answer(r: &mut WireReader<'_>) -> Option<PrefixAnswer> {
+            let matched_len = r.read_u32()? as usize;
+            let len = r.read_u32()? as usize;
+            let mut matches = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                matches.push(r.read_str()?);
+            }
+            Some(PrefixAnswer {
+                matched_len,
+                matches,
+            })
+        }
+
+        fn encode_item(item: &String, buf: &mut Vec<u8>) {
+            put_str(buf, item);
+        }
+
+        fn decode_item(r: &mut WireReader<'_>) -> Option<String> {
+            r.read_str()
+        }
+    }
+
+    fn put_segment(s: &Segment, buf: &mut Vec<u8>) {
+        let (lx, ly) = s.left();
+        let (rx, ry) = s.right();
+        put_i64(buf, lx);
+        put_i64(buf, ly);
+        put_i64(buf, rx);
+        put_i64(buf, ry);
+    }
+
+    fn read_segment(r: &mut WireReader<'_>) -> Option<Segment> {
+        let p = (r.read_i64()?, r.read_i64()?);
+        let q = (r.read_i64()?, r.read_i64()?);
+        // Segment::new asserts general position and i32-range coordinates;
+        // check both so wire input cannot panic the host.
+        let in_range = [p.0, p.1, q.0, q.1]
+            .iter()
+            .all(|&v| i32::try_from(v).is_ok());
+        (p.0 != q.0 && in_range).then(|| Segment::new(p, q))
+    }
+
+    fn put_opt_i64(v: &Option<i64>, buf: &mut Vec<u8>) {
+        match v {
+            None => put_u8(buf, 0),
+            Some(x) => {
+                put_u8(buf, 1);
+                put_i64(buf, *x);
+            }
+        }
+    }
+
+    fn read_opt_i64(r: &mut WireReader<'_>) -> Option<Option<i64>> {
+        match r.read_u8()? {
+            0 => Some(None),
+            1 => Some(Some(r.read_i64()?)),
+            _ => None,
+        }
+    }
+
+    /// Requests are `(x, y)` query points; answers serialize the four
+    /// optional trapezoid bounds; items are segments as two endpoints.
+    impl WireCodec for TrapezoidalMap {
+        fn encode_request(req: &(i64, i64), buf: &mut Vec<u8>) {
+            put_i64(buf, req.0);
+            put_i64(buf, req.1);
+        }
+
+        fn decode_request(r: &mut WireReader<'_>) -> Option<(i64, i64)> {
+            Some((r.read_i64()?, r.read_i64()?))
+        }
+
+        fn encode_answer(ans: &Trapezoid, buf: &mut Vec<u8>) {
+            for side in [&ans.top, &ans.bottom] {
+                match side {
+                    None => put_u8(buf, 0),
+                    Some(s) => {
+                        put_u8(buf, 1);
+                        put_segment(s, buf);
+                    }
+                }
+            }
+            put_opt_i64(&ans.left_x, buf);
+            put_opt_i64(&ans.right_x, buf);
+        }
+
+        fn decode_answer(r: &mut WireReader<'_>) -> Option<Trapezoid> {
+            let mut sides = [None, None];
+            for side in &mut sides {
+                *side = match r.read_u8()? {
+                    0 => None,
+                    1 => Some(read_segment(r)?),
+                    _ => return None,
+                };
+            }
+            Some(Trapezoid {
+                top: sides[0],
+                bottom: sides[1],
+                left_x: read_opt_i64(r)?,
+                right_x: read_opt_i64(r)?,
+            })
+        }
+
+        fn encode_item(item: &Segment, buf: &mut Vec<u8>) {
+            put_segment(item, buf);
+        }
+
+        fn decode_item(r: &mut WireReader<'_>) -> Option<Segment> {
+            read_segment(r)
+        }
+    }
+}
+
 /// Ascends from the descent locus to the smallest cell covering the whole
 /// box, then reports stored points output-sensitively by DFS with subtree
 /// pruning. `touch` observes every range acted on (the simulator meters its

@@ -30,6 +30,44 @@ impl Routable for SortedLinkedList {
     }
 }
 
+/// Wire layout: requests and items are bare `u64` keys; the answer is an
+/// option tag byte followed by the key when present.
+impl crate::wire::WireCodec for SortedLinkedList {
+    fn encode_request(req: &u64, buf: &mut Vec<u8>) {
+        skipweb_net::wire::put_u64(buf, *req);
+    }
+
+    fn decode_request(r: &mut skipweb_net::wire::WireReader<'_>) -> Option<u64> {
+        r.read_u64()
+    }
+
+    fn encode_answer(ans: &Option<u64>, buf: &mut Vec<u8>) {
+        match ans {
+            None => skipweb_net::wire::put_u8(buf, 0),
+            Some(k) => {
+                skipweb_net::wire::put_u8(buf, 1);
+                skipweb_net::wire::put_u64(buf, *k);
+            }
+        }
+    }
+
+    fn decode_answer(r: &mut skipweb_net::wire::WireReader<'_>) -> Option<Option<u64>> {
+        match r.read_u8()? {
+            0 => Some(None),
+            1 => Some(Some(r.read_u64()?)),
+            _ => None,
+        }
+    }
+
+    fn encode_item(item: &u64, buf: &mut Vec<u8>) {
+        skipweb_net::wire::put_u64(buf, *item);
+    }
+
+    fn decode_item(r: &mut skipweb_net::wire::WireReader<'_>) -> Option<u64> {
+        r.read_u64()
+    }
+}
+
 /// The answer of a 1-D nearest-neighbour query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NearestAnswer {

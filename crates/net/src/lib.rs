@@ -26,6 +26,12 @@
 //!    [`runtime::Membership`] view for failover routing, and hosts can be
 //!    decommissioned or added live.
 //!
+//! Message delivery inside the runtime is pluggable through the
+//! [`Transport`] trait: [`ChannelTransport`] keeps the original in-process
+//! path, [`SimWanTransport`] injects seeded latency/reordering/loss, and
+//! [`TcpTransport`] moves hosts into separate OS processes over loopback
+//! TCP using the [`wire`] framing layer.
+//!
 //! # Example
 //!
 //! ```
@@ -46,11 +52,18 @@
 pub mod metrics;
 pub mod runtime;
 pub mod sim;
+pub mod tcp;
 pub mod topology;
+pub mod transport;
+pub mod wan;
+pub mod wire;
 
 mod host;
 
 pub use host::HostId;
-pub use metrics::{CostReport, Histogram, HostTraffic, SeriesStats};
+pub use metrics::{CostReport, Histogram, HostTraffic, SeriesStats, TransportStats};
 pub use runtime::{HostState, Membership};
 pub use sim::{MessageMeter, SimNetwork};
+pub use tcp::{TcpCodec, TcpConfig, TcpTransport};
+pub use transport::{CarryStatus, ChannelTransport, Transport};
+pub use wan::{SimWanConfig, SimWanTransport};

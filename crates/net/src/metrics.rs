@@ -344,6 +344,47 @@ impl fmt::Display for HostTraffic {
     }
 }
 
+/// Cumulative counters of a [`Transport`](crate::transport::Transport):
+/// what the wire itself did, as opposed to the per-host routing accounting
+/// of [`HostTraffic`]. The in-process
+/// [`ChannelTransport`](crate::ChannelTransport) reports all zeros; the
+/// simulated WAN counts its fault-model decisions; the TCP transport counts
+/// frames and bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Messages handed to the transport (host-to-host sends, client
+    /// injections, and replies).
+    pub carried: u64,
+    /// Messages the transport injected into a destination mailbox itself
+    /// (asynchronous transports; synchronous in-process delivery and frames
+    /// handed to a peer process are not re-counted here).
+    pub delivered: u64,
+    /// Messages the fault model dropped on the wire.
+    pub lost: u64,
+    /// Messages scheduled to arrive before an earlier message of the same
+    /// link (latency-jitter reordering).
+    pub reordered: u64,
+    /// Wire bytes sent to peer processes (frame headers included).
+    pub bytes_sent: u64,
+    /// Wire bytes received from peer processes (frame headers included).
+    pub bytes_received: u64,
+}
+
+impl fmt::Display for TransportStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "carried={} delivered={} lost={} reordered={} tx_bytes={} rx_bytes={}",
+            self.carried,
+            self.delivered,
+            self.lost,
+            self.reordered,
+            self.bytes_sent,
+            self.bytes_received
+        )
+    }
+}
+
 /// The full cost report for one structure at one size — a row of Table 1.
 ///
 /// `H`, `M`, `C(n)` are properties of the built structure; `Q(n)`/`U(n)` are

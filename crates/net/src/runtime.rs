@@ -74,7 +74,8 @@ use crossbeam_channel as channel;
 use parking_lot::{Mutex, RwLock};
 
 use crate::host::HostId;
-use crate::metrics::HostTraffic;
+use crate::metrics::{HostTraffic, TransportStats};
+use crate::transport::{CarryStatus, ChannelTransport, Transport};
 
 /// Identifier for an external client attached to the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -95,7 +96,7 @@ pub enum Sender {
     Client(ClientId),
 }
 
-enum Envelope<M> {
+pub(crate) enum Envelope<M> {
     User { from: Sender, msg: M },
     Stop,
 }
@@ -122,6 +123,12 @@ pub enum RuntimeError {
     Timeout,
     /// The reply channel was disconnected.
     Disconnected,
+    /// The transport lost its link to a peer that had not announced
+    /// shutdown (e.g. a TCP connection closed mid-reply). Distinct from
+    /// [`Timeout`](Self::Timeout) — the wait did not merely expire, the
+    /// wire is gone — and from [`Disconnected`](Self::Disconnected), which
+    /// is about this client's local reply channel.
+    TransportClosed,
     /// The destination host's actor crashed (panic or injected kill); the
     /// tombstone is contained to that host — the rest of the fabric keeps
     /// serving.
@@ -137,6 +144,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::HostDown(h) => write!(f, "mailbox of {h} is closed"),
             RuntimeError::Timeout => write!(f, "timed out waiting for a reply"),
             RuntimeError::Disconnected => write!(f, "reply channel disconnected"),
+            RuntimeError::TransportClosed => {
+                write!(f, "transport lost its link to a peer")
+            }
             RuntimeError::HostPanicked(h) => write!(f, "actor on {h} crashed"),
             RuntimeError::Unavailable => {
                 write!(f, "no alive replica can serve the operation")
@@ -317,6 +327,14 @@ struct Fabric<M, R> {
     /// (crash, decommission, join) — so per-message membership reads are an
     /// `Arc` clone, not an O(hosts) allocation.
     membership_cache: RwLock<Arc<Membership>>,
+    /// How user messages and replies travel (see [`Transport`]). Lifecycle
+    /// traffic — stop markers, tombstones — bypasses it by design, so a
+    /// lossy transport can never wedge shutdown.
+    transport: Arc<dyn Transport<M, R>>,
+    /// Raised by a transport that lost a peer link without a shutdown
+    /// announcement; surfaces as [`RuntimeError::TransportClosed`] on
+    /// client waits instead of an indistinguishable timeout.
+    transport_closed: std::sync::atomic::AtomicBool,
 }
 
 impl<M, R> Fabric<M, R> {
@@ -353,6 +371,144 @@ impl<M, R> Fabric<M, R> {
     }
 }
 
+/// A one-shot handle a [`Transport`] uses to inject one host-bound message
+/// into its destination mailbox. Carries the link metadata (sender,
+/// destination, traffic class) so byte-moving transports can address their
+/// frames; [`deliver`](Self::deliver) does the failure-model and metering
+/// bookkeeping (received counters, drops at dead hosts) at the moment the
+/// message actually arrives — so a message a transport loses is charged as
+/// sent but never as received.
+pub struct Delivery<M, R> {
+    net: Arc<Fabric<M, R>>,
+    from: Sender,
+    to: HostId,
+    class: TrafficClass,
+}
+
+impl<M, R> Delivery<M, R> {
+    /// Who sent the message.
+    pub fn from(&self) -> Sender {
+        self.from
+    }
+
+    /// The destination host.
+    pub fn to(&self) -> HostId {
+        self.to
+    }
+
+    /// The accounting class the sender tagged the message with.
+    pub fn class(&self) -> TrafficClass {
+        self.class
+    }
+
+    /// Injects the message into the destination mailbox. Messages arriving
+    /// at a dead host are dropped (and counted in
+    /// [`crate::HostTraffic::dropped`]), like packets to a crashed machine.
+    pub fn deliver(self, msg: M) -> CarryStatus {
+        let slots = self.net.slots.read();
+        let Some(dest) = slots.get(self.to.index()) else {
+            return CarryStatus::Closed;
+        };
+        if dest.state.load(Ordering::Acquire) == STATE_DEAD {
+            dest.dropped.fetch_add(1, Ordering::Relaxed);
+            return CarryStatus::InFlight;
+        }
+        if matches!(self.from, Sender::Host(_)) {
+            dest.received.fetch_add(1, Ordering::Relaxed);
+            if self.class == TrafficClass::Update {
+                dest.update_received.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        match dest.tx.send(Envelope::User {
+            from: self.from,
+            msg,
+        }) {
+            Ok(()) => CarryStatus::Delivered,
+            Err(_) => CarryStatus::Closed,
+        }
+    }
+}
+
+/// A one-shot handle a [`Transport`] uses to deliver one reply to the
+/// external client that is waiting for it.
+pub struct ReplyDelivery<M, R> {
+    net: Arc<Fabric<M, R>>,
+    from: HostId,
+    client: ClientId,
+}
+
+impl<M, R> ReplyDelivery<M, R> {
+    /// The host that produced the reply.
+    pub fn from(&self) -> HostId {
+        self.from
+    }
+
+    /// The client the reply is addressed to.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Hands the reply to the client's channel. Replies to unknown clients
+    /// (e.g. one that lives in another process) are dropped silently.
+    pub fn deliver(self, reply: R) {
+        if let Some(tx) = self.net.clients.read().get(&self.client) {
+            let _ = tx.send(reply);
+        }
+    }
+}
+
+/// The injection handle a multi-process [`Transport`] receives from
+/// [`Transport::attach`]: how frames arriving from remote peers re-enter
+/// this process's fabric.
+pub struct Inbound<M, R> {
+    net: Arc<Fabric<M, R>>,
+}
+
+impl<M, R> Clone for Inbound<M, R> {
+    fn clone(&self) -> Self {
+        Inbound {
+            net: Arc::clone(&self.net),
+        }
+    }
+}
+
+impl<M, R> Inbound<M, R> {
+    /// Delivers a message that arrived from a remote peer into the local
+    /// destination mailbox, with the same bookkeeping as an in-process
+    /// delivery.
+    pub fn deliver_msg(
+        &self,
+        from: Sender,
+        to: HostId,
+        class: TrafficClass,
+        msg: M,
+    ) -> CarryStatus {
+        Delivery {
+            net: Arc::clone(&self.net),
+            from,
+            to,
+            class,
+        }
+        .deliver(msg)
+    }
+
+    /// Delivers a reply that arrived from a remote peer to a local client.
+    pub fn deliver_reply(&self, client: ClientId, reply: R) {
+        if let Some(tx) = self.net.clients.read().get(&client) {
+            let _ = tx.send(reply);
+        }
+    }
+
+    /// Records that the transport lost a peer link it did not expect to
+    /// lose: local client waits surface [`RuntimeError::TransportClosed`]
+    /// instead of an indistinguishable timeout.
+    pub fn note_transport_closed(&self) {
+        self.net
+            .transport_closed
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+}
+
 /// Armed for the lifetime of a host thread; if the thread unwinds (actor
 /// panic), the drop handler tombstones *that host only*: its state flips to
 /// [`HostState::Dead`] and later messages to it are dropped, while every
@@ -374,7 +530,7 @@ impl<M, R> Drop for PanicWatch<M, R> {
 /// observe the membership view.
 pub struct Context<'a, M, R> {
     host: HostId,
-    net: &'a Fabric<M, R>,
+    net: &'a Arc<Fabric<M, R>>,
 }
 
 impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
@@ -430,24 +586,38 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
     }
 
     fn transmit(&mut self, to: HostId, msg: M, class: TrafficClass, batch: Option<u32>) {
-        let slots = self.net.slots.read();
-        let Some(dest) = slots.get(to.index()) else {
+        if to == self.host {
+            // Intra-host work is free and never exposed to the transport's
+            // fault model: deliver straight to our own mailbox (unbounded,
+            // so this cannot block inside a handler).
+            let slots = self.net.slots.read();
+            if let Some(dest) = slots.get(to.index()) {
+                let _ = dest.tx.send(Envelope::User {
+                    from: Sender::Host(self.host),
+                    msg,
+                });
+            }
             return;
-        };
-        if to != self.host {
+        }
+        {
+            let slots = self.net.slots.read();
+            let Some(dest) = slots.get(to.index()) else {
+                return;
+            };
             if dest.state.load(Ordering::Acquire) == STATE_DEAD {
                 // Lost on the wire: the destination crashed. One envelope,
                 // one loss — however many ops rode inside it.
                 dest.dropped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
+            // Sends are charged here; the receive side is charged by
+            // `Delivery::deliver` when the message actually arrives, so a
+            // message the transport loses is never counted as received.
             self.net.message_count.fetch_add(1, Ordering::Relaxed);
             let me = &slots[self.host.index()];
             me.sent.fetch_add(1, Ordering::Relaxed);
-            dest.received.fetch_add(1, Ordering::Relaxed);
             if class == TrafficClass::Update {
                 me.update_sent.fetch_add(1, Ordering::Relaxed);
-                dest.update_received.fetch_add(1, Ordering::Relaxed);
             }
             if let Some(ops) = batch {
                 me.batch_sent.fetch_add(1, Ordering::Relaxed);
@@ -459,21 +629,26 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
                 }
             }
         }
-        // Mailboxes are unbounded, so this cannot block inside a handler.
-        let _ = dest.tx.send(Envelope::User {
+        let delivery = Delivery {
+            net: Arc::clone(self.net),
             from: Sender::Host(self.host),
-            msg,
-        });
+            to,
+            class,
+        };
+        let _ = self.net.transport.carry(msg, delivery);
     }
 
-    /// Delivers a reply to an external client. Replies are not counted as
-    /// network messages (the paper's `Q(n)` counts routing messages only;
-    /// experiments that want to charge for the final answer hop do so
-    /// explicitly).
+    /// Delivers a reply to an external client through the transport.
+    /// Replies are not counted as network messages (the paper's `Q(n)`
+    /// counts routing messages only; experiments that want to charge for
+    /// the final answer hop do so explicitly).
     pub fn reply(&mut self, client: ClientId, reply: R) {
-        if let Some(tx) = self.net.clients.read().get(&client) {
-            let _ = tx.send(reply);
-        }
+        let delivery = ReplyDelivery {
+            net: Arc::clone(self.net),
+            from: self.host,
+            client,
+        };
+        self.net.transport.carry_reply(reply, delivery);
     }
 }
 
@@ -521,20 +696,30 @@ impl<M: Send + 'static, R: Send + 'static> Client<M, R> {
     /// [`RuntimeError::HostDown`] if the host id is unknown or its mailbox
     /// closed (runtime shut down).
     pub fn send(&self, host: HostId, msg: M) -> Result<(), RuntimeError> {
-        let slots = self.net.slots.read();
-        let Some(dest) = slots.get(host.index()) else {
-            return Err(RuntimeError::HostDown(host));
-        };
-        if dest.state.load(Ordering::Acquire) == STATE_DEAD {
-            dest.dropped.fetch_add(1, Ordering::Relaxed);
-            return Err(RuntimeError::HostPanicked(host));
+        {
+            let slots = self.net.slots.read();
+            let Some(dest) = slots.get(host.index()) else {
+                return Err(RuntimeError::HostDown(host));
+            };
+            if dest.state.load(Ordering::Acquire) == STATE_DEAD {
+                dest.dropped.fetch_add(1, Ordering::Relaxed);
+                return Err(RuntimeError::HostPanicked(host));
+            }
         }
-        dest.tx
-            .send(Envelope::User {
-                from: Sender::Client(self.id),
-                msg,
-            })
-            .map_err(|_| RuntimeError::HostDown(host))
+        // Client injections ride the transport like any other message (they
+        // are not metered: the paper's entry at "the root node for that
+        // host" is free), so a lossy transport can lose them and a TCP
+        // transport can inject at a remote process.
+        let delivery = Delivery {
+            net: Arc::clone(&self.net),
+            from: Sender::Client(self.id),
+            to: host,
+            class: TrafficClass::Query,
+        };
+        match self.net.transport.carry(msg, delivery) {
+            CarryStatus::Closed => Err(RuntimeError::HostDown(host)),
+            CarryStatus::Delivered | CarryStatus::InFlight => Ok(()),
+        }
     }
 
     /// Blocks until a reply arrives.
@@ -566,11 +751,24 @@ impl<M: Send + 'static, R: Send + 'static> Client<M, R> {
     /// # Errors
     ///
     /// Returns [`RuntimeError::Timeout`] on timeout (which is how a request
-    /// lost in a crashed host's mailbox surfaces) and
+    /// lost in a crashed host's mailbox surfaces),
+    /// [`RuntimeError::TransportClosed`] when the wait expired *after* the
+    /// transport lost a peer link it did not expect to lose (a reply will
+    /// never come — resubmitting is pointless), and
     /// [`RuntimeError::Disconnected`] if the channel closed.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<R, RuntimeError> {
         self.rx.recv_timeout(timeout).map_err(|e| match e {
-            channel::RecvTimeoutError::Timeout => RuntimeError::Timeout,
+            channel::RecvTimeoutError::Timeout => {
+                if self
+                    .net
+                    .transport_closed
+                    .load(std::sync::atomic::Ordering::Acquire)
+                {
+                    RuntimeError::TransportClosed
+                } else {
+                    RuntimeError::Timeout
+                }
+            }
             channel::RecvTimeoutError::Disconnected => RuntimeError::Disconnected,
         })
     }
@@ -615,30 +813,89 @@ fn run_host<A: Actor>(
 }
 
 impl<A: Actor> Runtime<A> {
-    /// Spawns `hosts` actor threads; `make_actor` builds the per-host state.
+    /// Spawns `hosts` actor threads over the default [`ChannelTransport`];
+    /// `make_actor` builds the per-host state.
     ///
     /// # Panics
     ///
     /// Panics if `hosts` is zero.
-    pub fn spawn(hosts: usize, mut make_actor: impl FnMut(HostId) -> A) -> Self {
+    pub fn spawn(hosts: usize, make_actor: impl FnMut(HostId) -> A) -> Self {
+        Self::spawn_with_transport(hosts, Arc::new(ChannelTransport), make_actor)
+    }
+
+    /// Like [`spawn`](Self::spawn), but message delivery goes through
+    /// `transport` — the in-process default, a simulated WAN with a fault
+    /// model ([`crate::SimWanTransport`]), loopback TCP
+    /// ([`crate::TcpTransport`]), or any custom [`Transport`] impl.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn spawn_with_transport(
+        hosts: usize,
+        transport: Arc<dyn Transport<A::Msg, A::Reply>>,
+        make_actor: impl FnMut(HostId) -> A,
+    ) -> Self {
+        Self::spawn_partitioned(hosts, 0..hosts, transport, make_actor)
+    }
+
+    /// Spawns a fabric of `hosts` slots but actor threads only for the
+    /// `local` id range — the multi-process deployment shape: every process
+    /// holds the full (dense, stable) slot table so addressing and
+    /// membership work globally, while only its own partition executes.
+    /// Messages to non-local hosts are the transport's problem (a byte-
+    /// moving transport like [`crate::TcpTransport`] ships them to the
+    /// owning process; remote mailboxes in this process are never used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero or `local` reaches past `hosts`. An empty
+    /// `local` range is allowed: a pure client/driver process.
+    pub fn spawn_partitioned(
+        hosts: usize,
+        local: std::ops::Range<usize>,
+        transport: Arc<dyn Transport<A::Msg, A::Reply>>,
+        mut make_actor: impl FnMut(HostId) -> A,
+    ) -> Self {
         assert!(hosts > 0, "a peer-to-peer network needs at least one host");
+        assert!(
+            local.end <= hosts,
+            "local partition reaches past the fabric"
+        );
         let net = Arc::new(Fabric {
             slots: RwLock::new(Vec::with_capacity(hosts)),
             clients: RwLock::new(HashMap::new()),
             message_count: AtomicU64::new(0),
             stale_replies: AtomicU64::new(0),
             membership_cache: RwLock::new(Arc::new(Membership { states: Vec::new() })),
+            transport,
+            transport_closed: std::sync::atomic::AtomicBool::new(false),
+        });
+        net.transport.attach(Inbound {
+            net: Arc::clone(&net),
         });
         let runtime = Runtime {
             net,
-            handles: Mutex::new(Vec::with_capacity(hosts)),
+            handles: Mutex::new(Vec::with_capacity(local.len())),
             next_client: AtomicU64::new(0),
         };
         for i in 0..hosts {
-            runtime.add_host_inner(make_actor(HostId(i as u32)), false);
+            if local.contains(&i) {
+                runtime.add_host_inner(make_actor(HostId(i as u32)), false);
+            } else {
+                runtime.add_remote_slot();
+            }
         }
         runtime.net.rebuild_membership();
         runtime
+    }
+
+    /// Appends a slot for a host that executes in another process: it has
+    /// an address and counters, but no thread — its mailbox receiver is
+    /// dropped so nothing can queue behind it.
+    fn add_remote_slot(&self) {
+        let (tx, _rx) = channel::unbounded();
+        self.net.slots.write().push(HostSlot::new(tx));
     }
 
     /// Adds one host to the running fabric, returning its (dense, stable)
@@ -754,9 +1011,24 @@ impl<A: Actor> Runtime<A> {
         }
     }
 
-    /// Stops all hosts and joins their threads. Queued messages ahead of the
-    /// stop marker are still processed (except on dead hosts, which already
-    /// discarded theirs).
+    /// Cumulative counters of the transport carrying this fabric's messages
+    /// (all zero for the default in-process [`ChannelTransport`]).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.net.transport.stats()
+    }
+
+    /// Whether this fabric's transport can lose messages (see
+    /// [`Transport::is_lossy`]). Retry layers widen their timeout-resubmit
+    /// gates when this is `true`.
+    pub fn transport_lossy(&self) -> bool {
+        self.net.transport.is_lossy()
+    }
+
+    /// Stops all hosts, joins their threads, then shuts the transport down.
+    /// Queued messages ahead of the stop marker are still processed (except
+    /// on dead hosts, which already discarded theirs). Stop markers go
+    /// straight to the mailboxes — a lossy or wedged transport cannot block
+    /// shutdown.
     pub fn shutdown(self) {
         {
             let slots = self.net.slots.read();
@@ -767,6 +1039,7 @@ impl<A: Actor> Runtime<A> {
         for handle in self.handles.into_inner() {
             let _ = handle.join();
         }
+        self.net.transport.shutdown();
     }
 }
 
@@ -898,6 +1171,27 @@ mod tests {
         let c = rt.client();
         let err = c.recv_timeout(Duration::from_millis(10)).unwrap_err();
         assert_eq!(err, RuntimeError::Timeout);
+        rt.shutdown();
+    }
+
+    /// A transport that swallows every message and marks the wire dead,
+    /// like a TCP peer vanishing mid-conversation.
+    struct SeveredWire;
+    impl<M, R> crate::transport::Transport<M, R> for SeveredWire {
+        fn carry(&self, _msg: M, delivery: Delivery<M, R>) -> crate::transport::CarryStatus {
+            delivery.net.transport_closed.store(true, Ordering::Release);
+            crate::transport::CarryStatus::InFlight
+        }
+        fn carry_reply(&self, _reply: R, _delivery: ReplyDelivery<M, R>) {}
+    }
+
+    #[test]
+    fn severed_transport_surfaces_transport_closed_not_timeout() {
+        let rt = Runtime::spawn_with_transport(1, Arc::new(SeveredWire), |_| Echo);
+        let c = rt.client();
+        c.send(HostId(0), Ask(c.id(), 1)).unwrap();
+        let err = c.recv_timeout(Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, RuntimeError::TransportClosed);
         rt.shutdown();
     }
 

@@ -1,0 +1,289 @@
+//! Wire-format primitives: little-endian scalar encoding and
+//! length-prefixed framing.
+//!
+//! The workspace is offline (no serde); every serializable type hand-rolls
+//! its byte layout from these helpers. All scalars are little-endian.
+//! Strings and byte blobs are a `u32` length followed by the raw bytes. A
+//! *frame* — the unit a streaming transport reads — is a `u32` payload
+//! length followed by the payload, capped at [`MAX_FRAME`] so a corrupt
+//! header cannot trigger an unbounded allocation.
+//!
+//! # Example
+//!
+//! ```
+//! use skipweb_net::wire::{put_str, put_u64, WireReader};
+//!
+//! let mut buf = Vec::new();
+//! put_u64(&mut buf, 42);
+//! put_str(&mut buf, "skip-web");
+//!
+//! let mut r = WireReader::new(&buf);
+//! assert_eq!(r.read_u64(), Some(42));
+//! assert_eq!(r.read_str().as_deref(), Some("skip-web"));
+//! assert!(r.is_empty());
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame payload (64 MiB): a sanity bound against corrupt
+/// length headers, far above any envelope the engine produces.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Appends a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a `u16`, little-endian.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u128`, little-endian.
+pub fn put_u128(buf: &mut Vec<u8>, v: u128) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64`, little-endian two's complement.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `bool` as one byte (0 or 1).
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+/// Appends a length-prefixed byte blob.
+pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+/// A cursor over an encoded buffer. Every read returns `None` on truncated
+/// or malformed input instead of panicking — decoders serve wire input.
+#[derive(Debug, Clone, Copy)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps `buf` for reading from its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+
+    /// Reads a `u8`.
+    pub fn read_u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn read_u128(&mut self) -> Option<u128> {
+        Some(u128::from_le_bytes(self.take(16)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn read_i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads a `bool`; any byte other than 0/1 is malformed.
+    pub fn read_bool(&mut self) -> Option<bool> {
+        match self.read_u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn read_bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.read_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Option<String> {
+        let bytes = self.read_bytes()?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// The not-yet-consumed remainder.
+    pub fn rest(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Whether the whole buffer was consumed — decoders check this to
+    /// reject trailing garbage.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME`] with
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean
+/// end-of-stream at a frame boundary (the peer closed between frames).
+///
+/// # Errors
+///
+/// Propagates I/O errors; a stream ending mid-frame surfaces as
+/// [`io::ErrorKind::UnexpectedEof`], an oversized length header as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    // Distinguish clean EOF (zero bytes of the next header) from a
+    // truncated header.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => return Err(io::ErrorKind::UnexpectedEof.into()),
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u16(&mut buf, 515);
+        put_u32(&mut buf, 70_000);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_u128(&mut buf, u128::MAX / 3);
+        put_i64(&mut buf, -42);
+        put_bool(&mut buf, true);
+        put_bytes(&mut buf, b"raw");
+        put_str(&mut buf, "héllo");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.read_u8(), Some(7));
+        assert_eq!(r.read_u16(), Some(515));
+        assert_eq!(r.read_u32(), Some(70_000));
+        assert_eq!(r.read_u64(), Some(u64::MAX - 1));
+        assert_eq!(r.read_u128(), Some(u128::MAX / 3));
+        assert_eq!(r.read_i64(), Some(-42));
+        assert_eq!(r.read_bool(), Some(true));
+        assert_eq!(r.read_bytes(), Some(&b"raw"[..]));
+        assert_eq!(r.read_str().as_deref(), Some("héllo"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_reads_none_not_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 9);
+        let mut r = WireReader::new(&buf[..5]);
+        assert_eq!(r.read_u64(), None);
+        // A length prefix pointing past the end is malformed, not fatal.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 100);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.read_bytes(), None);
+        // Non-boolean bytes are rejected.
+        let mut r = WireReader::new(&[2]);
+        assert_eq!(r.read_bool(), None);
+    }
+
+    #[test]
+    fn frames_round_trip_and_detect_clean_eof() {
+        let mut pipe: Vec<u8> = Vec::new();
+        write_frame(&mut pipe, b"first").unwrap();
+        write_frame(&mut pipe, b"").unwrap();
+        write_frame(&mut pipe, &[9u8; 1000]).unwrap();
+        let mut r = &pipe[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"first"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().len(), 1000);
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_are_errors() {
+        let mut pipe: Vec<u8> = Vec::new();
+        write_frame(&mut pipe, b"whole").unwrap();
+        // Tear the last byte off: mid-frame EOF.
+        let mut r = &pipe[..pipe.len() - 1];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+        // A header past MAX_FRAME is rejected before allocating.
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut r = &huge[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -49,7 +49,7 @@ fn main() {
             .expect("reply");
         let sim = quadtree.locate_point(0, q);
         total_hops += u64::from(reply.hops);
-        match reply.into_answer() {
+        match reply.try_into_answer().unwrap() {
             QuadtreeAnswer::Located { cell, .. } => assert_eq!(cell, sim.cell),
             QuadtreeAnswer::Points(_) => unreachable!("asked for point location"),
         }

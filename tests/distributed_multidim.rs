@@ -154,7 +154,10 @@ fn trie_client_interleaves_in_flight_queries_by_correlation_id() {
             .recv_corr(*corr, Duration::from_secs(10))
             .expect("reply");
         assert_eq!(reply.corr, *corr);
-        assert_eq!(reply.into_answer().matches, vec![format!("{prefix}tail")]);
+        assert_eq!(
+            reply.try_into_answer().unwrap().matches,
+            vec![format!("{prefix}tail")]
+        );
     }
     dist.shutdown();
 }
