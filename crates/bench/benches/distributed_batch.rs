@@ -23,7 +23,9 @@ fn bench_distributed_batch(c: &mut Criterion) {
     let qs = workloads::query_keys(256, 61);
 
     for hosts in HOST_COUNTS {
-        let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+        let dist = DistributedSkipWeb::builder(web.inner())
+            .consolidated(hosts)
+            .spawn();
         let client = dist.client();
         let origin = web.random_origin(1);
         for batch in BATCH_SIZES {

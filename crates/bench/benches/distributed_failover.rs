@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use skipweb_bench::workloads;
-use skipweb_core::engine::DistributedSkipWeb;
+use skipweb_core::engine::{DistributedSkipWeb, Timeouts};
 use skipweb_core::onedim::OneDimSkipWeb;
 use skipweb_net::HostId;
 
@@ -27,9 +27,11 @@ fn bench_failover(c: &mut Criterion) {
             .replicate(k)
             .build();
 
-        let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), HOSTS);
+        let dist = DistributedSkipWeb::builder(web.inner())
+            .consolidated(HOSTS)
+            .spawn();
         let client = dist.client();
-        client.set_timeout(std::time::Duration::from_secs(2));
+        client.set_timeouts(Timeouts::uniform(std::time::Duration::from_secs(2)));
         group.bench_function(BenchmarkId::new("before_crash", k), |b| {
             let mut i = 0usize;
             b.iter(|| {

@@ -23,7 +23,9 @@ fn bench_distributed(c: &mut Criterion) {
         .build();
     let qs = workloads::query_keys(64, 51);
     for hosts in HOST_COUNTS {
-        let dist = DistributedSkipWeb::spawn_consolidated(onedim.inner(), hosts);
+        let dist = DistributedSkipWeb::builder(onedim.inner())
+            .consolidated(hosts)
+            .spawn();
         let client = dist.client();
         group.bench_function(BenchmarkId::new("onedim_nearest", hosts), |b| {
             let mut i = 0usize;
@@ -41,7 +43,9 @@ fn bench_distributed(c: &mut Criterion) {
         .collect();
     let quadtree = QuadtreeSkipWeb::builder(points).seed(52).build();
     for hosts in HOST_COUNTS {
-        let dist = DistributedSkipWeb::spawn_consolidated(quadtree.inner(), hosts);
+        let dist = DistributedSkipWeb::builder(quadtree.inner())
+            .consolidated(hosts)
+            .spawn();
         let client = dist.client();
         group.bench_function(BenchmarkId::new("quadtree_locate", hosts), |b| {
             let mut i = 0u64;
@@ -65,7 +69,9 @@ fn bench_distributed(c: &mut Criterion) {
     let strings: Vec<String> = (0..512usize).map(|i| format!("isbn-{i:05}")).collect();
     let trie = TrieSkipWeb::builder(strings).seed(53).build();
     for hosts in HOST_COUNTS {
-        let dist = DistributedSkipWeb::spawn_consolidated(trie.inner(), hosts);
+        let dist = DistributedSkipWeb::builder(trie.inner())
+            .consolidated(hosts)
+            .spawn();
         let client = dist.client();
         group.bench_function(BenchmarkId::new("trie_prefix", hosts), |b| {
             let mut i = 0usize;

@@ -60,7 +60,9 @@ fn bench_distributed_updates(c: &mut Criterion) {
     let web = OneDimSkipWeb::builder(keys).seed(23).build();
     for hosts in [1usize, 4, 16] {
         for (mix, write_pct) in [("mix90_10", 10u64), ("mix50_50", 50u64)] {
-            let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+            let dist = DistributedSkipWeb::builder(web.inner())
+                .consolidated(hosts)
+                .spawn();
             let client = dist.client();
             group.bench_function(BenchmarkId::new(format!("onedim_{mix}"), hosts), |b| {
                 let mut i = 0u64;

@@ -6,7 +6,7 @@
 //!
 //! experiments: table1 fig1 fig2 fig3 fig4 lemma1 lemma4 thm2 updates
 //!              buckets ablation chord congestion distributed churn
-//!              failover batch wan tcp all (default: all)
+//!              failover batch wan store tcp all (default: all)
 //! --full: larger size sweeps (slower; used to fill EXPERIMENTS.md)
 //! ```
 
@@ -32,6 +32,9 @@ struct Config {
     wan_latencies_us: Vec<u64>,
     wan_clients: usize,
     wan_queries: usize,
+    store_ns: Vec<usize>,
+    store_hosts: usize,
+    store_gets: usize,
     tcp_workers: usize,
     tcp_hosts_per_worker: usize,
     tcp_queries: usize,
@@ -60,6 +63,9 @@ impl Config {
             wan_latencies_us: vec![0, 200, 1000, 3000],
             wan_clients: 4,
             wan_queries: 50,
+            store_ns: vec![256, 1024],
+            store_hosts: 4,
+            store_gets: 100,
             tcp_workers: 4,
             tcp_hosts_per_worker: 2,
             tcp_queries: 50,
@@ -88,6 +94,9 @@ impl Config {
             wan_latencies_us: vec![0, 200, 1000, 3000, 10_000],
             wan_clients: 8,
             wan_queries: 100,
+            store_ns: vec![1024, 4096],
+            store_hosts: 8,
+            store_gets: 400,
             tcp_workers: 4,
             tcp_hosts_per_worker: 4,
             tcp_queries: 200,
@@ -131,7 +140,7 @@ fn main() {
         Config::quick()
     };
 
-    const KNOWN: [&str; 20] = [
+    const KNOWN: [&str; 21] = [
         "all",
         "table1",
         "fig1",
@@ -151,6 +160,7 @@ fn main() {
         "failover",
         "batch",
         "wan",
+        "store",
         "tcp",
     ];
     if !KNOWN.contains(&which.as_str()) {
@@ -269,6 +279,15 @@ fn main() {
                 cfg.seed,
             )
         );
+    }
+    if run("store") {
+        let table = experiments::store(&cfg.store_ns, cfg.store_hosts, cfg.store_gets, cfg.seed);
+        // Emitted next to the TSV so the bench-report job (and the
+        // committed BENCH_store.json artifact) can pick it up.
+        if let Err(e) = std::fs::write("BENCH_store.json", table.to_json("store")) {
+            eprintln!("warning: could not write BENCH_store.json: {e}");
+        }
+        println!("{table}");
     }
     // Spawns worker OS processes, so it only runs when named explicitly —
     // never as part of `all`.

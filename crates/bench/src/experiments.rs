@@ -49,6 +49,30 @@ impl Table {
         debug_assert_eq!(row.len(), self.header.len());
         self.rows.push(row);
     }
+
+    /// Renders the table in the `BENCH_*.json` artifact schema committed at
+    /// the repo root and uploaded by the bench-report CI job.
+    pub fn to_json(&self, experiment: &str) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn arr(cells: &[String]) -> String {
+            let quoted: Vec<String> = cells.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+            format!("[{}]", quoted.join(", "))
+        }
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| format!("    {}", arr(r)))
+            .collect();
+        format!(
+            "{{\n  \"experiment\": \"{}\",\n  \"title\": \"{}\",\n  \"header\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            esc(experiment),
+            esc(&self.title),
+            arr(&self.header),
+            rows.join(",\n")
+        )
+    }
 }
 
 impl fmt::Display for Table {
@@ -805,7 +829,7 @@ pub fn distributed(
         F: Fn(usize) -> D::Request + Sync,
     {
         for &hosts in host_counts {
-            let dist = DistributedSkipWeb::spawn_consolidated(web, hosts);
+            let dist = DistributedSkipWeb::builder(web).consolidated(hosts).spawn();
             let start = Instant::now();
             std::thread::scope(|scope| {
                 for c in 0..clients {
@@ -911,7 +935,9 @@ pub fn churn(host_counts: &[usize], n: usize, ops: usize, seed: u64) -> Table {
     let web = OneDimSkipWeb::builder(keys).seed(seed).build();
     for &hosts in host_counts {
         for (mix, write_pct) in [("90/10", 10usize), ("50/50", 50usize)] {
-            let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+            let dist = DistributedSkipWeb::builder(web.inner())
+                .consolidated(hosts)
+                .spawn();
             let client = dist.client();
             let mut applied = 0usize;
             let mut queries = 0usize;
@@ -993,7 +1019,9 @@ pub fn batch(
     let qs = workloads::query_keys(ops.max(64), seed);
     for &hosts in host_counts {
         // Serial baseline, measured once per deployment size.
-        let serial = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+        let serial = DistributedSkipWeb::builder(web.inner())
+            .consolidated(hosts)
+            .spawn();
         let sc = serial.client();
         let origin = web.random_origin(seed);
         let want: Vec<Option<u64>> = qs
@@ -1004,7 +1032,9 @@ pub fn batch(
         let serial_msgs = serial.message_count();
         serial.shutdown();
         for &batch in batch_sizes {
-            let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+            let dist = DistributedSkipWeb::builder(web.inner())
+                .consolidated(hosts)
+                .spawn();
             let client = dist.client();
             let start = Instant::now();
             let mut got: Vec<Option<u64>> = Vec::with_capacity(ops);
@@ -1050,7 +1080,7 @@ pub fn batch(
 /// queries/sec per phase. With `k ≥ 2` the during-crash throughput stays
 /// nonzero and error-free: every query answers from a replica.
 pub fn failover(hosts: usize, n: usize, ks: &[usize], ops: usize, seed: u64) -> Table {
-    use skipweb_core::engine::DistributedSkipWeb;
+    use skipweb_core::engine::{DistributedSkipWeb, Timeouts};
     use skipweb_net::runtime::RuntimeError;
     use skipweb_net::HostId;
     use std::time::Instant;
@@ -1076,10 +1106,12 @@ pub fn failover(hosts: usize, n: usize, ks: &[usize], ops: usize, seed: u64) -> 
             .seed(seed)
             .replicate(k)
             .build();
-        let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+        let dist = DistributedSkipWeb::builder(web.inner())
+            .consolidated(hosts)
+            .spawn();
         let client = dist.client();
         // Short timeouts so lost requests surface as data, not stalls.
-        client.set_timeout(std::time::Duration::from_millis(2_000));
+        client.set_timeouts(Timeouts::uniform(std::time::Duration::from_millis(2_000)));
         let phase = |t: &mut Table, name: &str| {
             let mut ok = 0usize;
             let mut unavailable = 0usize;
@@ -1131,7 +1163,7 @@ pub fn wan(
     queries: usize,
     seed: u64,
 ) -> Table {
-    use skipweb_core::engine::DistributedSkipWeb;
+    use skipweb_core::engine::{DistributedSkipWeb, Timeouts};
     use skipweb_net::wan::SimWanConfig;
     use std::time::{Duration, Instant};
 
@@ -1160,7 +1192,10 @@ pub fn wan(
             jitter: Duration::from_micros(latency_us),
             loss: 0.05,
         };
-        let dist = DistributedSkipWeb::spawn_wan(web.inner(), hosts, cfg);
+        let dist = DistributedSkipWeb::builder(web.inner())
+            .consolidated(hosts)
+            .wan(cfg)
+            .spawn();
         // The resubmit timeout must dominate the worst jittered round trip
         // but stay short enough that a lost frame costs little.
         let timeout = Duration::from_millis(150) + Duration::from_micros(latency_us * 50);
@@ -1170,7 +1205,7 @@ pub fn wan(
                 let client = dist.client();
                 let (dist, web, qs) = (&dist, &web, &qs);
                 scope.spawn(move || {
-                    client.set_timeouts(timeout, timeout * 2);
+                    client.set_timeouts(Timeouts::new(timeout, timeout * 2));
                     for i in 0..queries {
                         let k = c * queries + i;
                         dist.query(&client, web.random_origin(k as u64), qs[k % qs.len()])
@@ -1237,7 +1272,11 @@ pub fn tcp_host(
     let web = OneDimSkipWeb::builder(workloads::uniform_keys(n, seed))
         .seed(seed)
         .build();
-    let dist = DistributedSkipWeb::spawn_tcp(web.inner(), tcp_plan(ports, me, hosts_per_worker))?;
+    let dist = DistributedSkipWeb::builder(web.inner()).spawn_tcp(tcp_plan(
+        ports,
+        me,
+        hosts_per_worker,
+    ))?;
     Ok(dist.serve_until_peer_shutdown(std::time::Duration::from_secs(120)))
 }
 
@@ -1311,17 +1350,20 @@ pub fn tcp(
     let web = OneDimSkipWeb::builder(workloads::uniform_keys(n, seed))
         .seed(seed)
         .build();
-    let dist = match DistributedSkipWeb::spawn_tcp(
-        web.inner(),
-        tcp_plan(&ports, workers, hosts_per_worker),
-    ) {
+    let dist = match DistributedSkipWeb::builder(web.inner()).spawn_tcp(tcp_plan(
+        &ports,
+        workers,
+        hosts_per_worker,
+    )) {
         Ok(dist) => dist,
         Err(e) => {
             reap(children);
             return Err(e);
         }
     };
-    let serial = DistributedSkipWeb::spawn_consolidated(web.inner(), workers * hosts_per_worker);
+    let serial = DistributedSkipWeb::builder(web.inner())
+        .consolidated(workers * hosts_per_worker)
+        .spawn();
     let qs = workloads::query_keys(queries.max(64), seed);
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -1369,6 +1411,80 @@ pub fn tcp(
         }
     }
     Ok(t)
+}
+
+/// Durable-store throughput and crash recovery: for each store size `n`,
+/// time `n` fresh puts and `gets` routed lookups through the WAL-backed
+/// store, then kill **every** host and time
+/// [`recover`](skipweb_store::Store::recover) — checkpoint read, WAL replay, web
+/// rebuild, host rejoin, and heal — verifying the recovered store is
+/// scan-identical before reporting the row.
+pub fn store(ns: &[usize], hosts: usize, gets: usize, seed: u64) -> Table {
+    use skipweb_store::StoreBuilder;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "Durable store: put/get throughput and total-crash WAL recovery by store size",
+        &[
+            "n",
+            "hosts",
+            "puts_per_sec",
+            "gets_per_sec",
+            "wal_records",
+            "replayed",
+            "rejoined",
+            "recovery_ms",
+        ],
+    );
+    for &n in ns {
+        let dir =
+            std::env::temp_dir().join(format!("skipweb-bench-store-{}-{n}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = StoreBuilder::new(&dir)
+            .hosts(hosts)
+            .seed(seed)
+            .checkpoint_every(0)
+            .open()
+            .expect("open bench store");
+
+        let put_start = Instant::now();
+        for i in 0..n {
+            let key = i as u64 * 10 + 1;
+            store
+                .put(key, key.to_le_bytes().to_vec())
+                .expect("bench put");
+        }
+        let put_secs = put_start.elapsed().as_secs_f64();
+
+        let get_start = Instant::now();
+        for i in 0..gets {
+            let key = ((i * 37) % n) as u64 * 10 + 1;
+            let got = store.get(key).expect("bench get");
+            assert_eq!(got, Some(key.to_le_bytes().to_vec()));
+        }
+        let get_secs = get_start.elapsed().as_secs_f64();
+
+        let before = store.scan(..);
+        for host in store.fabric().health().alive {
+            store.fabric().kill_host(host);
+        }
+        let report = store.recover().expect("bench recovery");
+        assert_eq!(store.scan(..), before, "recovery must be scan-identical");
+
+        t.push(vec![
+            n.to_string(),
+            hosts.to_string(),
+            f2(n as f64 / put_secs.max(f64::MIN_POSITIVE)),
+            f2(gets as f64 / get_secs.max(f64::MIN_POSITIVE)),
+            report.wal_records.to_string(),
+            report.replayed.to_string(),
+            report.rejoined.to_string(),
+            f2(report.duration.as_secs_f64() * 1e3),
+        ]);
+        store.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    t
 }
 
 #[cfg(test)]
@@ -1530,5 +1646,33 @@ mod tests {
         let s = t.to_string();
         assert!(s.starts_with("# Lemma 1"));
         assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn tables_render_as_bench_json() {
+        let t = lemma1(&[128], 5);
+        let json = t.to_json("lemma1");
+        assert!(json.starts_with("{\n  \"experiment\": \"lemma1\""));
+        assert!(json.contains("\"header\": ["));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn store_experiment_reports_throughput_and_recovery() {
+        let t = store(&[64], 3, 20, 11);
+        assert_eq!(t.rows.len(), 1);
+        let row = &t.rows[0];
+        assert_eq!(row[0], "64");
+        assert!(row[2].parse::<f64>().unwrap() > 0.0, "puts/sec ({row:?})");
+        assert!(row[3].parse::<f64>().unwrap() > 0.0, "gets/sec ({row:?})");
+        assert!(
+            row[4].parse::<usize>().unwrap() >= 64,
+            "wal records ({row:?})"
+        );
+        assert_eq!(row[6], "3", "every killed host must rejoin ({row:?})");
+        assert!(
+            row[7].parse::<f64>().unwrap() > 0.0,
+            "recovery ms ({row:?})"
+        );
     }
 }

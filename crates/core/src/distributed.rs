@@ -30,36 +30,41 @@ pub struct DistributedOneDim {
 }
 
 impl DistributedOneDim {
-    /// Shards a built skip-web across actor threads and starts them.
+    /// Shards a built skip-web across actor threads and starts them
+    /// (routes through [`FabricBuilder`](crate::engine::FabricBuilder)).
     pub fn spawn(web: &OneDimSkipWeb) -> Self {
         DistributedOneDim {
-            inner: DistributedSkipWeb::spawn(web.inner()),
+            inner: DistributedSkipWeb::builder(web.inner()).spawn(),
         }
     }
 
     /// Like [`spawn`](Self::spawn) but folding the web's logical hosts onto
     /// at most `hosts` actor threads (see
-    /// [`DistributedSkipWeb::spawn_consolidated`]).
+    /// [`FabricBuilder::consolidated`](crate::engine::FabricBuilder::consolidated)).
     ///
     /// # Panics
     ///
     /// Panics if `hosts` is zero.
     pub fn spawn_consolidated(web: &OneDimSkipWeb, hosts: usize) -> Self {
         DistributedOneDim {
-            inner: DistributedSkipWeb::spawn_consolidated(web.inner(), hosts),
+            inner: DistributedSkipWeb::builder(web.inner())
+                .consolidated(hosts)
+                .spawn(),
         }
     }
 
     /// Like [`spawn`](Self::spawn) but with `capacity` actor threads, which
     /// may exceed the web's host count to leave headroom for live inserts
-    /// (see [`DistributedSkipWeb::spawn_with_capacity`]).
+    /// (see [`FabricBuilder::capacity`](crate::engine::FabricBuilder::capacity)).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn spawn_with_capacity(web: &OneDimSkipWeb, capacity: usize) -> Self {
         DistributedOneDim {
-            inner: DistributedSkipWeb::spawn_with_capacity(web.inner(), capacity),
+            inner: DistributedSkipWeb::builder(web.inner())
+                .capacity(capacity)
+                .spawn(),
         }
     }
 
@@ -70,7 +75,7 @@ impl DistributedOneDim {
 
     /// Runs one nearest-neighbour query end to end, blocking up to the
     /// client's query timeout (default 10 s, see
-    /// [`EngineClient::set_timeout`]).
+    /// [`EngineClient::set_timeouts`]).
     ///
     /// # Errors
     ///

@@ -65,7 +65,7 @@
 //! make the served structure survive crashes:
 //!
 //! * **`k`-replica placement.** Building the web with
-//!   [`Replication`](crate::placement::Replication) (`.replicate(k)` on any
+//!   [`Replication`] (`.replicate(k)` on any
 //!   builder) puts every range on `k` hosts, so each [`GlobalRef`] resolves
 //!   to a replica set. With `k = 1` (the default) hop accounting matches
 //!   the cost-model simulator exactly; with `k ≥ 2` replicas add
@@ -131,7 +131,7 @@
 //! use skipweb_core::onedim::OneDimSkipWeb;
 //!
 //! let web = OneDimSkipWeb::builder((0..64).map(|i| i * 10).collect()).build();
-//! let dist = DistributedSkipWeb::spawn(web.inner());
+//! let dist = DistributedSkipWeb::builder(web.inner()).spawn();
 //! let client = dist.client();
 //! let reply = dist.query(&client, web.random_origin(1), 137).unwrap();
 //! assert_eq!(reply.answer, Some(140));
@@ -163,7 +163,7 @@ use skipweb_net::{HostId, HostTraffic, TransportStats};
 use skipweb_structures::traits::{RangeDetermined, RangeId};
 
 use crate::levels::parent_key;
-use crate::placement::Blocking;
+use crate::placement::{Blocking, Replication};
 use crate::skipweb::SkipWeb;
 
 /// Globally unique address of a range: level, set index, range index — the
@@ -497,54 +497,6 @@ impl<D: Routable> EngineReply<D> {
                 expected: ReplyKind::Updated,
                 got: other.kind(),
             }),
-        }
-    }
-
-    /// The query answer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if this reply belongs to an update.
-    #[deprecated(
-        since = "0.6.0",
-        note = "mismatched replies are a real wire input; use `try_answer`"
-    )]
-    pub fn answer(&self) -> &D::Answer {
-        match &self.body {
-            ReplyBody::Answer(a) => a,
-            _ => panic!("reply carries no query answer"),
-        }
-    }
-
-    /// Consumes the reply, returning the query answer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if this reply belongs to an update or was unavailable.
-    #[deprecated(
-        since = "0.6.0",
-        note = "mismatched replies are a real wire input; use `try_into_answer`"
-    )]
-    pub fn into_answer(self) -> D::Answer {
-        match self.body {
-            ReplyBody::Answer(a) => a,
-            _ => panic!("reply carries no query answer"),
-        }
-    }
-
-    /// Whether the update changed the structure.
-    ///
-    /// # Panics
-    ///
-    /// Panics if this reply belongs to a query or was unavailable.
-    #[deprecated(
-        since = "0.6.0",
-        note = "mismatched replies are a real wire input; use `try_applied`"
-    )]
-    pub fn applied(&self) -> bool {
-        match self.body {
-            ReplyBody::Updated { applied } => applied,
-            _ => panic!("reply carries no update outcome"),
         }
     }
 }
@@ -900,6 +852,57 @@ impl<D: Routable + Send + Sync + 'static> EngineState<D> {
     }
 }
 
+/// The structural change one durable record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurableKind {
+    /// An insert, with the level bit string that shapes the item's tower —
+    /// logged so recovery can rebuild the identical hierarchy
+    /// ([`SkipWebBuilder::bits`](crate::skipweb::SkipWebBuilder::bits)).
+    Insert {
+        /// The tower's level bits.
+        bits: u64,
+    },
+    /// A remove.
+    Remove,
+}
+
+/// One update that reached the apply step, as handed to a [`Durability`]
+/// sink: the logical operation identity the idempotence ledger keys on,
+/// the structural change, and whether it actually changed the web.
+#[derive(Debug)]
+pub struct DurableOp<'a, D: Routable> {
+    /// The submitting client.
+    pub client: ClientId,
+    /// The client-scoped operation id (resubmits reuse it).
+    pub op_id: u64,
+    /// Insert (with tower bits) or remove.
+    pub kind: DurableKind,
+    /// The item the operation targets.
+    pub item: &'a D::Item,
+    /// Whether the web changed (`false` for duplicate inserts, absent
+    /// removes, and inadmissible items — logged anyway so replay restores
+    /// the ledger entry and keeps resubmits exactly-once across a crash).
+    pub applied: bool,
+}
+
+/// A write-ahead sink for the engine's apply path. [`FabricBuilder::
+/// durability`](FabricBuilder::durability) installs one per deployment;
+/// the applying host then calls [`append`](Self::append) **under the same
+/// state lock as the structural change** (`apply_insert_batch` /
+/// `apply_remove_batch`), before the new topology snapshot publishes. Log
+/// order therefore equals apply order, and no operation can be observed by
+/// queries before it is logged.
+///
+/// Only operations that reach the apply step arrive here: idempotence-
+/// ledger echoes (timeout-resubmits of already-landed ops) and locus-side
+/// no-op short-circuits are not re-logged. Implementations must not call
+/// back into the fabric (the state lock is held).
+pub trait Durability<D: Routable + Send + Sync + 'static>: Send + Sync {
+    /// Appends one apply turn's operations to the log, in apply order, on
+    /// behalf of `host` (the host whose repair walk completed them).
+    fn append(&self, host: HostId, ops: &[DurableOp<'_, D>]);
+}
+
 struct Shared<D: Routable + Send + Sync + 'static> {
     state: Mutex<EngineState<D>>,
     /// The current topology snapshot, in its own cell so submits only pay
@@ -907,6 +910,12 @@ struct Shared<D: Routable + Send + Sync + 'static> {
     /// the applier *while still holding the state lock* (lock order is
     /// always `state` then `topo`), so publish order equals apply order.
     topo: Mutex<Arc<Topology<D>>>,
+    /// Write-ahead sink fed by the apply path, when the deployment was
+    /// built with one ([`FabricBuilder::durability`]).
+    durability: Option<Arc<dyn Durability<D>>>,
+    /// The wait-and-retry policy newly registered clients start with
+    /// ([`FabricBuilder::timeouts`]).
+    default_timeouts: Timeouts,
 }
 
 impl<D: Routable + Send + Sync + 'static> Shared<D> {
@@ -1305,12 +1314,15 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
         {
             let st = &mut *self.shared.state.lock();
             let mut any_applied = false;
+            // Ops that reach the apply step this turn (ledger echoes are
+            // excluded): what a durability sink gets to log.
+            let mut fresh: Vec<usize> = Vec::new();
             let mut i = 0;
             while i < n {
                 let key = metas[i].3;
                 if let Some(&a) = st.applied_ops.get(&key) {
                     // Resubmit of an op that already landed: echo, don't
-                    // re-apply.
+                    // re-apply (and don't re-log).
                     outcomes[i] = a;
                     i += 1;
                     continue;
@@ -1352,6 +1364,29 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
                         st.record_outcome(metas[j].3, a);
                         any_applied |= a;
                     }
+                }
+                fresh.extend(run);
+            }
+            if let Some(durability) = &self.shared.durability {
+                // Write-ahead append under the same state lock as the
+                // structural change, before the snapshot publishes: log
+                // order equals apply order, and nothing is observable by
+                // queries before it is durable.
+                let records: Vec<DurableOp<'_, D>> = fresh
+                    .iter()
+                    .map(|&j| DurableOp {
+                        client: metas[j].3 .0,
+                        op_id: metas[j].3 .1,
+                        kind: match ops[j].0 {
+                            UpdateKind::Insert { bits } => DurableKind::Insert { bits },
+                            UpdateKind::Remove => DurableKind::Remove,
+                        },
+                        item: &ops[j].1,
+                        applied: outcomes[j],
+                    })
+                    .collect();
+                if !records.is_empty() {
+                    durability.append(ctx.host(), &records);
                 }
             }
             if any_applied {
@@ -1426,10 +1461,12 @@ impl<D: Routable + Send + Sync + 'static> Actor for EngineActor<D> {
 /// buffer.
 ///
 /// The blocking entry points ([`DistributedSkipWeb::query`],
-/// [`DistributedSkipWeb::insert`], …) wait up to this client's query /
-/// update timeout (defaults: 10 s / 30 s), configurable per client with
-/// [`set_timeout`](Self::set_timeout) — stress and fault-injection suites
-/// shorten them so a lost operation surfaces quickly.
+/// [`DistributedSkipWeb::insert`], …) wait and retry per this client's
+/// [`Timeouts`] policy (defaults: 10 s queries / 30 s updates),
+/// configurable per client with [`set_timeouts`](Self::set_timeouts) or
+/// for a whole deployment with [`FabricBuilder::timeouts`] — stress and
+/// fault-injection suites shorten the waits so a lost operation surfaces
+/// quickly.
 pub struct EngineClient<D: Routable + Send + Sync + 'static> {
     inner: Client<FabricMsg<D>, EngineReply<D>>,
     next_corr: AtomicU64,
@@ -1443,10 +1480,9 @@ pub struct EngineClient<D: Routable + Send + Sync + 'static> {
     /// [`STALE_MARKER_CAP`] (correlation ids are monotone, so the smallest
     /// entries are the oldest).
     stale: Mutex<std::collections::BTreeSet<u64>>,
-    /// Blocking-query timeout in milliseconds.
-    query_timeout_ms: AtomicU64,
-    /// Blocking-update timeout in milliseconds.
-    update_timeout_ms: AtomicU64,
+    /// This client's wait-and-retry policy. Operations already blocking
+    /// keep the policy they started with.
+    timeouts: Mutex<Timeouts>,
 }
 
 /// Most abandoned correlation ids remembered per client (see
@@ -1458,12 +1494,70 @@ pub const DEFAULT_QUERY_TIMEOUT: Duration = Duration::from_secs(10);
 /// Default blocking-update timeout (30 s).
 pub const DEFAULT_UPDATE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Timeout-resubmit budget per blocking operation on a lossy transport. An
-/// operation survives a crossing with probability `(1 - loss)^2` (message
-/// plus its share of the reply), so at 5% loss an attempt over ~7 crossings
-/// fails with probability ≈ 0.26 — twelve attempts push the residual
-/// failure rate below `10^-6`, far under what any test run can observe.
-const LOSSY_RESUBMITS: usize = 12;
+/// The complete wait-and-retry policy of a blocking client call, settable
+/// per client ([`EngineClient::set_timeouts`]) or for every client of a
+/// deployment ([`FabricBuilder::timeouts`]). Consolidates what used to be
+/// two setter methods plus a hardcoded lossy-transport resubmit constant:
+/// the resubmit widening is now configuration, not a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeouts {
+    /// Blocking-query wait per attempt (default 10 s).
+    pub query: Duration,
+    /// Blocking-update wait per attempt (default 30 s).
+    pub update: Duration,
+    /// Timeout-resubmit budget on a lossless transport, where a timeout
+    /// signals an operation lost in a crashed host's mailbox — one retry
+    /// after the crash suffices (default 1). Resubmits only fire while a
+    /// host is dead.
+    pub resubmits: usize,
+    /// Timeout-resubmit budget on a lossy transport, where *any* hop can
+    /// silently drop the operation even with every host alive, so the gate
+    /// widens: retry on every timeout. An operation survives a crossing
+    /// with probability `(1 - loss)^2` (message plus its share of the
+    /// reply), so at 5% loss an attempt over ~7 crossings fails with
+    /// probability ≈ 0.26 — the default twelve attempts push the residual
+    /// failure rate below `10^-6`, far under what any test run can observe.
+    pub lossy_resubmits: usize,
+}
+
+impl Timeouts {
+    /// The defaults: 10 s queries, 30 s updates, 1 lossless / 12 lossy
+    /// resubmits.
+    pub const DEFAULT: Timeouts = Timeouts {
+        query: DEFAULT_QUERY_TIMEOUT,
+        update: DEFAULT_UPDATE_TIMEOUT,
+        resubmits: 1,
+        lossy_resubmits: 12,
+    };
+
+    /// Default resubmit budgets with explicit query and update waits.
+    pub fn new(query: Duration, update: Duration) -> Self {
+        Timeouts {
+            query,
+            update,
+            ..Self::DEFAULT
+        }
+    }
+
+    /// One wait for both queries and updates — the stress-suite shape,
+    /// where short timeouts surface lost operations quickly.
+    pub fn uniform(timeout: Duration) -> Self {
+        Self::new(timeout, timeout)
+    }
+
+    /// Overrides both resubmit budgets.
+    pub fn with_resubmits(mut self, lossless: usize, lossy: usize) -> Self {
+        self.resubmits = lossless;
+        self.lossy_resubmits = lossy;
+        self
+    }
+}
+
+impl Default for Timeouts {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
 
 impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
     /// This client's runtime identifier.
@@ -1471,29 +1565,38 @@ impl<D: Routable + Send + Sync + 'static> EngineClient<D> {
         self.inner.id()
     }
 
-    /// Sets both blocking timeouts (query and update) to `timeout`.
-    /// Operations already blocking keep the timeout they started with.
-    pub fn set_timeout(&self, timeout: Duration) {
-        self.set_timeouts(timeout, timeout);
+    /// Raises this client's next operation id to at least `floor`.
+    ///
+    /// A freshly spawned runtime hands out the same client ids as the one
+    /// before it, so a deployment cold-started from a durability log
+    /// ([`FabricBuilder::restore_ledger`]) would mint `(client, op id)`
+    /// pairs already present in the recovered idempotence ledger — and the
+    /// ledger would echo the old outcome instead of applying the new
+    /// operation. Recovery layers call this with one past the highest
+    /// logged op id to keep the two incarnations' identities disjoint.
+    pub fn advance_corr(&self, floor: u64) {
+        self.next_corr.fetch_max(floor, Ordering::Relaxed);
     }
 
-    /// Sets the blocking timeouts separately (defaults:
-    /// [`DEFAULT_QUERY_TIMEOUT`] / [`DEFAULT_UPDATE_TIMEOUT`]).
-    pub fn set_timeouts(&self, query: Duration, update: Duration) {
-        self.query_timeout_ms
-            .store(query.as_millis() as u64, Ordering::Relaxed);
-        self.update_timeout_ms
-            .store(update.as_millis() as u64, Ordering::Relaxed);
+    /// Replaces this client's wait-and-retry policy. Operations already
+    /// blocking keep the policy they started with.
+    pub fn set_timeouts(&self, timeouts: Timeouts) {
+        *self.timeouts.lock() = timeouts;
+    }
+
+    /// The current wait-and-retry policy.
+    pub fn timeouts(&self) -> Timeouts {
+        *self.timeouts.lock()
     }
 
     /// The current blocking-query timeout.
     pub fn query_timeout(&self) -> Duration {
-        Duration::from_millis(self.query_timeout_ms.load(Ordering::Relaxed))
+        self.timeouts.lock().query
     }
 
     /// The current blocking-update timeout.
     pub fn update_timeout(&self) -> Duration {
-        Duration::from_millis(self.update_timeout_ms.load(Ordering::Relaxed))
+        self.timeouts.lock().update
     }
 
     /// Abandons `corr`: already-parked replies are dropped now, and every
@@ -1621,31 +1724,83 @@ pub struct DistributedSkipWeb<D: Routable + Send + Sync + 'static> {
     tcp: Option<Arc<TcpTransport<FabricMsg<D>, EngineReply<D>>>>,
 }
 
-impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
-    /// Shards `web` across one actor thread per host of its placement and
-    /// starts them.
-    ///
-    /// Live inserts can grow the web past its spawn-time host count; the
-    /// new logical hosts fold onto the existing threads. Use
-    /// [`spawn_with_capacity`](Self::spawn_with_capacity) to reserve
-    /// headroom so owner-hosted message accounting stays exact under
-    /// growth.
-    pub fn spawn(web: &SkipWeb<D>) -> Self {
-        Self::spawn_with_capacity(web, web.hosts().max(1))
+/// How many actor threads a [`FabricBuilder`] deployment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Threads {
+    /// One thread per host of the web's placement (the default).
+    PerHost,
+    /// Fold the web's logical hosts onto at most this many threads.
+    Consolidated(usize),
+    /// Exactly this many threads, possibly exceeding the web's host count
+    /// to leave headroom for live inserts.
+    Capacity(usize),
+}
+
+/// The one way to stand up a fabric: collects every deployment-time choice
+/// — thread count ([`consolidated`](Self::consolidated) /
+/// [`capacity`](Self::capacity)), replication override
+/// ([`replicate`](Self::replicate)), transport ([`wan`](Self::wan) /
+/// [`transport`](Self::transport) / [`spawn_tcp`](Self::spawn_tcp)),
+/// client timeout policy ([`timeouts`](Self::timeouts)), and durability
+/// ([`durability`](Self::durability) /
+/// [`restore_ledger`](Self::restore_ledger)) — then
+/// [`spawn`](Self::spawn)s the actor threads.
+///
+/// The former constructor zoo (`spawn`, `spawn_consolidated`,
+/// `spawn_with_capacity`, `spawn_with_transport`, `spawn_wan`,
+/// `spawn_tcp`) survives as thin deprecated wrappers over this builder.
+///
+/// ```
+/// use skipweb_core::engine::DistributedSkipWeb;
+/// use skipweb_core::onedim::OneDimSkipWeb;
+///
+/// let web = OneDimSkipWeb::builder((0..64).map(|i| i * 10).collect()).build();
+/// let dist = DistributedSkipWeb::builder(web.inner())
+///     .consolidated(8)
+///     .spawn();
+/// let client = dist.client();
+/// assert_eq!(dist.query(&client, 0, 137).unwrap().answer, Some(140));
+/// dist.shutdown();
+/// ```
+pub struct FabricBuilder<'w, D: Routable + Send + Sync + 'static> {
+    web: &'w SkipWeb<D>,
+    threads: Threads,
+    replication: Option<Replication>,
+    transport: Option<Arc<dyn Transport<FabricMsg<D>, EngineReply<D>>>>,
+    timeouts: Timeouts,
+    durability: Option<Arc<dyn Durability<D>>>,
+    ledger: Vec<((ClientId, u64), bool)>,
+}
+
+impl<'w, D: Routable + Send + Sync + 'static> FabricBuilder<'w, D> {
+    /// Starts a deployment of `web` with the defaults: one actor thread
+    /// per host, the in-process channel transport, default [`Timeouts`],
+    /// no durability.
+    pub fn new(web: &'w SkipWeb<D>) -> Self {
+        FabricBuilder {
+            web,
+            threads: Threads::PerHost,
+            replication: None,
+            transport: None,
+            timeouts: Timeouts::DEFAULT,
+            durability: None,
+            ledger: Vec::new(),
+        }
     }
 
-    /// Like [`spawn`](Self::spawn), but folds the web's logical hosts onto
-    /// at most `hosts` physical actor threads (`logical % hosts`), so the
-    /// same structure can be served — and its throughput measured — at any
-    /// deployment size. Operations between ranges folded onto the same
-    /// physical host become free, exactly like any other co-location.
+    /// Folds the web's logical hosts onto at most `hosts` physical actor
+    /// threads (`logical % hosts`), so the same structure can be served —
+    /// and its throughput measured — at any deployment size. Operations
+    /// between ranges folded onto the same physical host become free,
+    /// exactly like any other co-location.
     ///
     /// # Panics
     ///
     /// Panics if `hosts` is zero.
-    pub fn spawn_consolidated(web: &SkipWeb<D>, hosts: usize) -> Self {
+    pub fn consolidated(mut self, hosts: usize) -> Self {
         assert!(hosts > 0, "a network needs at least one host");
-        Self::spawn_with_capacity(web, hosts.min(web.hosts().max(1)))
+        self.threads = Threads::Consolidated(hosts);
+        self
     }
 
     /// Spawns exactly `capacity` actor threads, which may exceed the web's
@@ -1657,83 +1812,282 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
-    pub fn spawn_with_capacity(web: &SkipWeb<D>, capacity: usize) -> Self {
-        let shared = Self::build_shared(web, capacity);
-        let runtime = Runtime::spawn(capacity, |_h| EngineActor {
-            shared: Arc::clone(&shared),
-        });
-        DistributedSkipWeb {
-            runtime,
-            shared,
-            tcp: None,
-        }
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "a network needs at least one host");
+        self.threads = Threads::Capacity(capacity);
+        self
     }
 
-    /// Like [`spawn_with_capacity`](Self::spawn_with_capacity), but routes
-    /// every message through `transport` instead of the default in-process
-    /// channel path — the hook the WAN fault model plugs into.
+    /// Overrides the web's replication policy for this deployment: the web
+    /// is re-placed (same ground set, same towers) with every range on `k`
+    /// hosts before serving, so any `k - 1` hosts may crash without losing
+    /// availability. Replication is otherwise a build-time property
+    /// ([`SkipWebBuilder::replicate`](crate::skipweb::SkipWebBuilder::replicate)).
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
-    pub fn spawn_with_transport(
-        web: &SkipWeb<D>,
-        capacity: usize,
-        transport: Arc<dyn Transport<FabricMsg<D>, EngineReply<D>>>,
-    ) -> Self {
-        let shared = Self::build_shared(web, capacity);
-        let runtime = Runtime::spawn_with_transport(capacity, transport, |_h| EngineActor {
-            shared: Arc::clone(&shared),
-        });
-        DistributedSkipWeb {
-            runtime,
-            shared,
-            tcp: None,
-        }
+    /// Panics if `k` is zero.
+    pub fn replicate(mut self, k: usize) -> Self {
+        self.replication = Some(Replication::new(k));
+        self
     }
 
-    /// Serves the web over a [`SimWanTransport`] with the given fault
-    /// model, folded onto at most `hosts` actor threads like
-    /// [`spawn_consolidated`](Self::spawn_consolidated). Under loss, the
-    /// blocking entry points leak no failures: timeouts trigger
+    /// Routes every message through `transport` instead of the default
+    /// in-process channel path — the hook custom fault models plug into.
+    pub fn transport(
+        mut self,
+        transport: Arc<dyn Transport<FabricMsg<D>, EngineReply<D>>>,
+    ) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Serves over a [`SimWanTransport`] with fault model `cfg`. Under
+    /// loss, the blocking entry points leak no failures: timeouts trigger
     /// exactly-once resubmits until the operation lands (see the module
     /// docs on the idempotence ledger).
     ///
     /// # Panics
     ///
-    /// Panics if `hosts` is zero or the loss probability is outside
-    /// `[0, 1]`.
-    pub fn spawn_wan(web: &SkipWeb<D>, hosts: usize, cfg: SimWanConfig) -> Self {
-        assert!(hosts > 0, "a network needs at least one host");
-        let capacity = hosts.min(web.hosts().max(1));
-        Self::spawn_with_transport(web, capacity, Arc::new(SimWanTransport::new(cfg)))
+    /// Panics if the loss probability is outside `[0, 1]`.
+    pub fn wan(self, cfg: SimWanConfig) -> Self {
+        self.transport(Arc::new(SimWanTransport::new(cfg)))
     }
 
-    fn build_shared(web: &SkipWeb<D>, capacity: usize) -> Arc<Shared<D>> {
+    /// The wait-and-retry policy every client of this deployment starts
+    /// with (individually overridable via
+    /// [`EngineClient::set_timeouts`]).
+    pub fn timeouts(mut self, timeouts: Timeouts) -> Self {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Installs a write-ahead sink on the apply path: every update that
+    /// reaches the apply step is handed to `durability` under the same
+    /// state lock as the structural change (see [`Durability`]).
+    pub fn durability(mut self, durability: Arc<dyn Durability<D>>) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// Seeds the idempotence ledger with outcomes recovered from a log, so
+    /// replayed operations resubmitted after the recovery are echoed their
+    /// original outcome instead of double-applied.
+    pub fn restore_ledger(mut self, entries: Vec<((ClientId, u64), bool)>) -> Self {
+        self.ledger = entries;
+        self
+    }
+
+    fn resolve_capacity(&self, web: &SkipWeb<D>) -> usize {
+        match self.threads {
+            Threads::PerHost => web.hosts().max(1),
+            Threads::Consolidated(hosts) => hosts.min(web.hosts().max(1)),
+            Threads::Capacity(capacity) => capacity,
+        }
+    }
+
+    fn resolve_web(&self) -> std::borrow::Cow<'w, SkipWeb<D>> {
+        match self.replication {
+            Some(r) if r != self.web.replication() => {
+                std::borrow::Cow::Owned(self.web.with_replication(r))
+            }
+            _ => std::borrow::Cow::Borrowed(self.web),
+        }
+    }
+
+    fn build_shared(&self, web: &SkipWeb<D>, capacity: usize) -> Arc<Shared<D>> {
         assert!(capacity > 0, "a network needs at least one host");
         let placement = PlacementCtl::new(capacity);
         let topo = Arc::new(build_topology(web, &placement, 0));
+        let mut applied_ops = HashMap::new();
+        let mut applied_order = std::collections::VecDeque::new();
+        for &(key, applied) in &self.ledger {
+            if applied_ops.insert(key, applied).is_none() {
+                applied_order.push_back(key);
+            }
+        }
         Arc::new(Shared {
             state: Mutex::new(EngineState {
                 web: web.clone(),
                 rng: StdRng::seed_from_u64(0x736b_6970_7765_6221),
                 placement,
-                applied_ops: HashMap::new(),
-                applied_order: std::collections::VecDeque::new(),
+                applied_ops,
+                applied_order,
             }),
             topo: Mutex::new(topo),
+            durability: self.durability.clone(),
+            default_timeouts: self.timeouts,
         })
     }
 
-    /// Registers a client.
+    /// Spawns the actor threads and starts serving.
+    pub fn spawn(self) -> DistributedSkipWeb<D> {
+        let web = self.resolve_web();
+        let capacity = self.resolve_capacity(&web);
+        let shared = self.build_shared(&web, capacity);
+        let runtime = match self.transport {
+            Some(transport) => {
+                Runtime::spawn_with_transport(capacity, transport, |_h| EngineActor {
+                    shared: Arc::clone(&shared),
+                })
+            }
+            None => Runtime::spawn(capacity, |_h| EngineActor {
+                shared: Arc::clone(&shared),
+            }),
+        };
+        DistributedSkipWeb {
+            runtime,
+            shared,
+            tcp: None,
+        }
+    }
+}
+
+impl<'w, D: crate::wire::WireCodec + Send + Sync + 'static> FabricBuilder<'w, D> {
+    /// Serves this process's share of the web over loopback (or any) TCP —
+    /// see the former constructor's contract on
+    /// [`DistributedSkipWeb::serve_until_peer_shutdown`]. The thread count
+    /// comes from `cfg.owners` (one actor thread per locally-owned host),
+    /// so [`consolidated`](Self::consolidated) /
+    /// [`capacity`](Self::capacity) do not apply; any
+    /// [`transport`](Self::transport) choice is
+    /// replaced by the TCP transport. Timeouts, durability, and a restored
+    /// ledger are honored.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this process's endpoint cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.owners` does not assign this process a contiguous
+    /// (possibly empty) host range, or the config indexes are out of range.
+    pub fn spawn_tcp(self, cfg: TcpConfig) -> std::io::Result<DistributedSkipWeb<D>> {
+        let web = self.resolve_web();
+        let capacity = cfg.owners.len().max(1);
+        let shared = self.build_shared(&web, capacity);
+        let codec = {
+            let enc_shared = Arc::clone(&shared);
+            TcpCodec {
+                encode_msg: Box::new(|m: &FabricMsg<D>| crate::wire::encode_fabric_msg(m)),
+                decode_msg: Box::new(move |b: &[u8]| {
+                    crate::wire::decode_fabric_msg(b, &enc_shared.current_topo())
+                }),
+                encode_reply: Box::new(|r: &EngineReply<D>| crate::wire::encode_reply(r)),
+                decode_reply: Box::new(|b: &[u8]| crate::wire::decode_reply(b)),
+            }
+        };
+        let tcp = Arc::new(TcpTransport::new(cfg.clone(), codec)?);
+        let local = cfg.local_hosts();
+        let range = match (local.first(), local.last()) {
+            (Some(&first), Some(&last)) => {
+                assert!(
+                    local == (first..=last).collect::<Vec<_>>(),
+                    "each endpoint must own a contiguous host range"
+                );
+                first..last + 1
+            }
+            _ => 0..0,
+        };
+        let transport: Arc<dyn Transport<FabricMsg<D>, EngineReply<D>>> = tcp.clone();
+        let runtime = Runtime::spawn_partitioned(capacity, range, transport, |_h| EngineActor {
+            shared: Arc::clone(&shared),
+        });
+        Ok(DistributedSkipWeb {
+            runtime,
+            shared,
+            tcp: Some(tcp),
+        })
+    }
+}
+
+impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
+    /// Starts configuring a deployment of `web` — the one entry point for
+    /// standing up a fabric (see [`FabricBuilder`]).
+    pub fn builder(web: &SkipWeb<D>) -> FabricBuilder<'_, D> {
+        FabricBuilder::new(web)
+    }
+
+    /// Shards `web` across one actor thread per host of its placement and
+    /// starts them.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the fabric builder: `DistributedSkipWeb::builder(web).spawn()`"
+    )]
+    pub fn spawn(web: &SkipWeb<D>) -> Self {
+        Self::builder(web).spawn()
+    }
+
+    /// Folds the web onto at most `hosts` actor threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the fabric builder: `DistributedSkipWeb::builder(web).consolidated(hosts).spawn()`"
+    )]
+    pub fn spawn_consolidated(web: &SkipWeb<D>, hosts: usize) -> Self {
+        Self::builder(web).consolidated(hosts).spawn()
+    }
+
+    /// Spawns exactly `capacity` actor threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the fabric builder: `DistributedSkipWeb::builder(web).capacity(capacity).spawn()`"
+    )]
+    pub fn spawn_with_capacity(web: &SkipWeb<D>, capacity: usize) -> Self {
+        Self::builder(web).capacity(capacity).spawn()
+    }
+
+    /// Routes every message through `transport`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the fabric builder: `DistributedSkipWeb::builder(web).capacity(capacity).transport(t).spawn()`"
+    )]
+    pub fn spawn_with_transport(
+        web: &SkipWeb<D>,
+        capacity: usize,
+        transport: Arc<dyn Transport<FabricMsg<D>, EngineReply<D>>>,
+    ) -> Self {
+        Self::builder(web)
+            .capacity(capacity)
+            .transport(transport)
+            .spawn()
+    }
+
+    /// Serves the web over a [`SimWanTransport`] with the given fault
+    /// model, folded onto at most `hosts` actor threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero or the loss probability is outside
+    /// `[0, 1]`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the fabric builder: `DistributedSkipWeb::builder(web).consolidated(hosts).wan(cfg).spawn()`"
+    )]
+    pub fn spawn_wan(web: &SkipWeb<D>, hosts: usize, cfg: SimWanConfig) -> Self {
+        Self::builder(web).consolidated(hosts).wan(cfg).spawn()
+    }
+
+    /// Registers a client, starting from the deployment's default
+    /// [`Timeouts`] policy.
     pub fn client(&self) -> EngineClient<D> {
         EngineClient {
             inner: self.runtime.client(),
             next_corr: AtomicU64::new(0),
             pending: Mutex::new(Vec::new()),
             stale: Mutex::new(std::collections::BTreeSet::new()),
-            query_timeout_ms: AtomicU64::new(DEFAULT_QUERY_TIMEOUT.as_millis() as u64),
-            update_timeout_ms: AtomicU64::new(DEFAULT_UPDATE_TIMEOUT.as_millis() as u64),
+            timeouts: Mutex::new(self.shared.default_timeouts),
         }
     }
 
@@ -1918,7 +2272,7 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
     }
 
     /// Runs one query end to end, blocking up to the client's query timeout
-    /// (default 10 s, see [`EngineClient::set_timeout`]) for the reply.
+    /// (default 10 s, see [`EngineClient::set_timeouts`]) for the reply.
     ///
     /// If the wait times out while some host is dead — the signature of a
     /// request lost in a crashed host's mailbox — the query is resubmitted
@@ -2031,16 +2385,20 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         req: D::Request,
         scatter: bool,
     ) -> Result<QueryReply<D>, RuntimeError> {
-        let timeout = client.query_timeout();
+        let policy = client.timeouts();
+        let timeout = policy.query;
         // A timeout normally signals a request lost in a crashed host's
-        // mailbox, so one resubmit after a crash suffices. On a lossy
-        // transport *any* hop can silently drop the operation even with
-        // every host alive, so the resubmit gate widens: retry on every
-        // timeout, enough times to push the residual failure probability
-        // below observability (at 5% per-message loss, each extra attempt
-        // multiplies it by roughly a quarter).
+        // mailbox, so the small lossless budget (default 1, spent only
+        // while a host is dead) suffices. On a lossy transport *any* hop
+        // can silently drop the operation even with every host alive, so
+        // the wider lossy budget applies: retry on every timeout (see
+        // [`Timeouts::lossy_resubmits`] for the residual-failure math).
         let lossy = self.runtime.transport_lossy();
-        let max_resubmits = if lossy { LOSSY_RESUBMITS } else { 1 };
+        let max_resubmits = if lossy {
+            policy.lossy_resubmits
+        } else {
+            policy.resubmits
+        };
         let mut resubmits = 0usize;
         let mut parts: Vec<D::Answer> = Vec::new();
         let mut hops_max = 0u32;
@@ -2362,12 +2720,17 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         kind: UpdateKind,
         item: &D::Item,
     ) -> Result<UpdateReply, RuntimeError> {
-        let timeout = client.update_timeout();
-        // Same gate-widening as `collect_query` under a lossy transport;
+        let policy = client.timeouts();
+        let timeout = policy.update;
+        // Same budget split as `collect_query` under a lossy transport;
         // resubmitted updates stay exactly-once through the idempotence
         // ledger keyed on `(client, op_id)`.
         let lossy = self.runtime.transport_lossy();
-        let max_resubmits = if lossy { LOSSY_RESUBMITS } else { 1 };
+        let max_resubmits = if lossy {
+            policy.lossy_resubmits
+        } else {
+            policy.resubmits
+        };
         let mut resubmits = 0usize;
         loop {
             match client.recv_corr(corr, timeout) {
@@ -2762,6 +3125,70 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
         self.shared.republish(st, &self.runtime.membership());
     }
 
+    /// The current ground set zipped with each item's level bit string, in
+    /// canonical order — exactly what a durability layer checkpoints so
+    /// recovery can rebuild the identical web, tower for tower
+    /// ([`SkipWebBuilder::bits`](crate::skipweb::SkipWebBuilder::bits)).
+    pub fn ground_with_bits(&self) -> Vec<(D::Item, u64)> {
+        let st = self.shared.state.lock();
+        st.web
+            .ground()
+            .iter()
+            .cloned()
+            .zip(st.web.item_bits().iter().copied())
+            .collect()
+    }
+
+    /// The idempotence ledger in eviction (FIFO) order: identity and
+    /// recorded outcome of every remembered update that reached the apply
+    /// step. Durability layers checkpoint this alongside the ground set and
+    /// seed it back via [`FabricBuilder::restore_ledger`] (cold start) or
+    /// [`restore`](Self::restore) (in-place recovery), so resubmits stay
+    /// exactly-once across a crash.
+    pub fn applied_ledger(&self) -> Vec<((ClientId, u64), bool)> {
+        let st = self.shared.state.lock();
+        st.applied_order
+            .iter()
+            .map(|key| (*key, st.applied_ops[key]))
+            .collect()
+    }
+
+    /// Replaces the authoritative web and idempotence ledger with state
+    /// recovered from a log, publishing a fresh topology snapshot — the
+    /// state half of crash recovery. Pair with
+    /// [`rejoin_host`](Self::rejoin_host) to bring the crashed hosts
+    /// themselves back.
+    pub fn restore(&self, web: SkipWeb<D>, ledger: Vec<((ClientId, u64), bool)>) {
+        let st = &mut *self.shared.state.lock();
+        st.web = web;
+        st.applied_ops.clear();
+        st.applied_order.clear();
+        for (key, applied) in ledger {
+            st.record_outcome(key, applied);
+        }
+        self.shared.republish(st, &self.runtime.membership());
+    }
+
+    /// Revives a crashed host in place (fresh mailbox and actor thread,
+    /// same id — see [`Runtime::revive`]) and publishes a topology
+    /// snapshot that routes to it again: the rejoin-with-state path, so a
+    /// recovered host returns to live membership instead of staying
+    /// tombstoned forever. Returns `false` unless the host is currently
+    /// dead.
+    pub fn rejoin_host(&self, host: HostId) -> bool {
+        let st = &*self.shared.state.lock();
+        let revived = self.runtime.revive(
+            host,
+            EngineActor {
+                shared: Arc::clone(&self.shared),
+            },
+        );
+        if revived {
+            self.shared.republish(st, &self.runtime.membership());
+        }
+        revived
+    }
+
     /// Cumulative transport-level counters (messages carried, losses,
     /// reorders, bytes on the wire). All zeros for the default in-process
     /// channel transport, which has nothing to count.
@@ -2810,41 +3237,12 @@ impl<D: crate::wire::WireCodec + Send + Sync + 'static> DistributedSkipWeb<D> {
     ///
     /// Panics if `cfg.owners` does not assign this process a contiguous
     /// (possibly empty) host range, or the config indexes are out of range.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the fabric builder: `DistributedSkipWeb::builder(web).spawn_tcp(cfg)`"
+    )]
     pub fn spawn_tcp(web: &SkipWeb<D>, cfg: TcpConfig) -> std::io::Result<Self> {
-        let capacity = cfg.owners.len().max(1);
-        let shared = Self::build_shared(web, capacity);
-        let codec = {
-            let enc_shared = Arc::clone(&shared);
-            TcpCodec {
-                encode_msg: Box::new(|m: &FabricMsg<D>| crate::wire::encode_fabric_msg(m)),
-                decode_msg: Box::new(move |b: &[u8]| {
-                    crate::wire::decode_fabric_msg(b, &enc_shared.current_topo())
-                }),
-                encode_reply: Box::new(|r: &EngineReply<D>| crate::wire::encode_reply(r)),
-                decode_reply: Box::new(|b: &[u8]| crate::wire::decode_reply(b)),
-            }
-        };
-        let tcp = Arc::new(TcpTransport::new(cfg.clone(), codec)?);
-        let local = cfg.local_hosts();
-        let range = match (local.first(), local.last()) {
-            (Some(&first), Some(&last)) => {
-                assert!(
-                    local == (first..=last).collect::<Vec<_>>(),
-                    "each endpoint must own a contiguous host range"
-                );
-                first..last + 1
-            }
-            _ => 0..0,
-        };
-        let transport: Arc<dyn Transport<FabricMsg<D>, EngineReply<D>>> = tcp.clone();
-        let runtime = Runtime::spawn_partitioned(capacity, range, transport, |_h| EngineActor {
-            shared: Arc::clone(&shared),
-        });
-        Ok(DistributedSkipWeb {
-            runtime,
-            shared,
-            tcp: Some(tcp),
-        })
+        Self::builder(web).spawn_tcp(cfg)
     }
 
     /// Worker-side teardown: blocks until the driver broadcasts shutdown
@@ -3021,9 +3419,13 @@ mod tests {
     fn consolidation_caps_hosts_and_keeps_answers() {
         let keys: Vec<u64> = (0..300).map(|i| i * 3 + 1).collect();
         let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(25).build();
-        let full = DistributedSkipWeb::spawn(web.inner());
-        let four = DistributedSkipWeb::spawn_consolidated(web.inner(), 4);
-        let one = DistributedSkipWeb::spawn_consolidated(web.inner(), 1);
+        let full = DistributedSkipWeb::builder(web.inner()).spawn();
+        let four = DistributedSkipWeb::builder(web.inner())
+            .consolidated(4)
+            .spawn();
+        let one = DistributedSkipWeb::builder(web.inner())
+            .consolidated(1)
+            .spawn();
         assert_eq!(full.hosts(), 300);
         assert_eq!(four.hosts(), 4);
         assert_eq!(one.hosts(), 1);
@@ -3056,7 +3458,9 @@ mod tests {
         let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(26).build();
         let mut sim = web.inner().clone();
         // Headroom so inserted items get their own hosts, as in the sim.
-        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), 80 + 16);
+        let dist = DistributedSkipWeb::builder(web.inner())
+            .capacity(80 + 16)
+            .spawn();
         let client = dist.client();
         for i in 0..16u64 {
             let key = 5 + i * 37;
@@ -3103,7 +3507,7 @@ mod tests {
     fn duplicate_inserts_and_absent_removes_are_noops() {
         let keys: Vec<u64> = (0..32).map(|i| i * 4).collect();
         let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(27).build();
-        let dist = DistributedSkipWeb::spawn(web.inner());
+        let dist = DistributedSkipWeb::builder(web.inner()).spawn();
         let client = dist.client();
         // Duplicate insert: pays the lookup, applies nothing.
         let dup = dist.insert_with(&client, 3, 16, 0xBEEF).unwrap();
@@ -3122,7 +3526,7 @@ mod tests {
         let web = crate::onedim::OneDimSkipWeb::builder(vec![7])
             .seed(28)
             .build();
-        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), 8);
+        let dist = DistributedSkipWeb::builder(web.inner()).capacity(8).spawn();
         let client = dist.client();
         // Remove the last item (no lookup phase, like the simulator).
         assert!(dist.remove(&client, 7).unwrap().applied);
@@ -3142,7 +3546,9 @@ mod tests {
             .map(|i| Segment::new((i * 100, i * 10), (i * 100 + 60, i * 10 + 3)))
             .collect();
         let web = TrapezoidSkipWeb::builder(segments).seed(29).build();
-        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), 16);
+        let dist = DistributedSkipWeb::builder(web.inner())
+            .capacity(16)
+            .spawn();
         let client = dist.client();
         // Shares an endpoint x-coordinate with a stored segment: violates
         // general position. The actor must reject it, not panic.
@@ -3166,7 +3572,9 @@ mod tests {
         // and nothing may hang or panic.
         let keys: Vec<u64> = (0..100).map(|i| i * 100).collect();
         let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(30).build();
-        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), 100 + 32);
+        let dist = DistributedSkipWeb::builder(web.inner())
+            .capacity(100 + 32)
+            .spawn();
         std::thread::scope(|scope| {
             let writer = {
                 let dist = &dist;
@@ -3220,9 +3628,9 @@ mod tests {
             .seed(31)
             .replicate(2)
             .build();
-        let dist = DistributedSkipWeb::spawn(web.inner());
+        let dist = DistributedSkipWeb::builder(web.inner()).spawn();
         let client = dist.client();
-        client.set_timeout(Duration::from_millis(300));
+        client.set_timeouts(Timeouts::uniform(Duration::from_millis(300)));
         // A corrupt address makes host 5 die mid-update processing.
         let topo = dist.shared.current_topo();
         client
@@ -3261,7 +3669,10 @@ mod tests {
         assert_eq!(dist.membership().first_dead(), Some(HostId(5)));
         // The crash is contained: with k = 2 the fabric keeps serving
         // queries and updates from replicas instead of failing fast.
-        client.set_timeouts(Duration::from_secs(10), Duration::from_secs(30));
+        client.set_timeouts(Timeouts::new(
+            Duration::from_secs(10),
+            Duration::from_secs(30),
+        ));
         assert!(dist.insert(&client, 999).unwrap().applied);
         let reply = dist.query(&client, 0, 998).unwrap();
         assert_eq!(reply.answer, Some(999));
@@ -3275,7 +3686,7 @@ mod tests {
             .seed(32)
             .replicate(2)
             .build();
-        let dist = DistributedSkipWeb::spawn(web.inner());
+        let dist = DistributedSkipWeb::builder(web.inner()).spawn();
         let client = dist.client();
         dist.kill_host(HostId(7));
         for s in 0..40u64 {
@@ -3299,9 +3710,9 @@ mod tests {
     fn unreplicated_crash_fails_fast_and_heal_restores_availability() {
         let keys: Vec<u64> = (0..64).map(|i| i * 10).collect();
         let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(33).build();
-        let dist = DistributedSkipWeb::spawn(web.inner());
+        let dist = DistributedSkipWeb::builder(web.inner()).spawn();
         let client = dist.client();
-        client.set_timeout(Duration::from_secs(2));
+        client.set_timeouts(Timeouts::uniform(Duration::from_secs(2)));
         dist.kill_host(HostId(9));
         // Some query must need host 9's tower with k = 1: it reports
         // Unavailable (fail fast) rather than timing out.
@@ -3335,7 +3746,9 @@ mod tests {
     fn decommission_rehomes_blocks_and_keeps_answers() {
         let keys: Vec<u64> = (0..80).map(|i| i * 5).collect();
         let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(34).build();
-        let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), 8);
+        let dist = DistributedSkipWeb::builder(web.inner())
+            .consolidated(8)
+            .spawn();
         let client = dist.client();
         dist.decommission(HostId(3)).unwrap();
         let health = dist.health();
@@ -3366,7 +3779,9 @@ mod tests {
     fn spawn_host_grows_the_fabric_and_rebalances() {
         let keys: Vec<u64> = (0..60).map(|i| i * 4).collect();
         let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(35).build();
-        let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), 4);
+        let dist = DistributedSkipWeb::builder(web.inner())
+            .consolidated(4)
+            .spawn();
         let client = dist.client();
         let new = dist.spawn_host();
         assert_eq!(new, HostId(4));
@@ -3390,8 +3805,12 @@ mod tests {
     fn batched_queries_and_updates_match_serial_with_fewer_crossings() {
         let keys: Vec<u64> = (0..200).map(|i| i * 10).collect();
         let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(41).build();
-        let serial = DistributedSkipWeb::spawn_with_capacity(web.inner(), 200 + 16);
-        let batched = DistributedSkipWeb::spawn_with_capacity(web.inner(), 200 + 16);
+        let serial = DistributedSkipWeb::builder(web.inner())
+            .capacity(200 + 16)
+            .spawn();
+        let batched = DistributedSkipWeb::builder(web.inner())
+            .capacity(200 + 16)
+            .spawn();
         let (cs, cb) = (serial.client(), batched.client());
         // Queries: byte-identical answers, strictly fewer crossings.
         let qs: Vec<u64> = (0..64u64).map(|s| (s * 157) % 2100).collect();
@@ -3550,7 +3969,9 @@ mod tests {
     fn resubmitted_update_with_same_op_id_never_double_applies() {
         let keys: Vec<u64> = (0..32).map(|i| i * 4).collect();
         let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(45).build();
-        let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), 40);
+        let dist = DistributedSkipWeb::builder(web.inner())
+            .capacity(40)
+            .spawn();
         let client = dist.client();
         // First attempt of the logical insert lands normally.
         let topo = dist.shared.current_topo();
@@ -3626,9 +4047,12 @@ mod tests {
             .seed(46)
             .replicate(2)
             .build();
-        let dist = DistributedSkipWeb::spawn(web.inner());
+        let dist = DistributedSkipWeb::builder(web.inner()).spawn();
         let client = dist.client();
-        client.set_timeouts(Duration::from_millis(400), Duration::from_millis(400));
+        client.set_timeouts(Timeouts::new(
+            Duration::from_millis(400),
+            Duration::from_millis(400),
+        ));
         // Poison the origin's entry host with a corrupt address, then race
         // the real insert into its mailbox: whether the insert queues
         // behind the poison (lost with the crash → timeout → resubmit) or
@@ -3674,7 +4098,7 @@ mod tests {
     fn late_replies_for_abandoned_correlations_are_dropped_and_counted() {
         let keys: Vec<u64> = (0..64).map(|i| i * 3).collect();
         let web = crate::onedim::OneDimSkipWeb::builder(keys).seed(47).build();
-        let dist = DistributedSkipWeb::spawn(web.inner());
+        let dist = DistributedSkipWeb::builder(web.inner()).spawn();
         let client = dist.client();
         let corr = dist.submit(&client, 0, 55u64).unwrap();
         // Abandon the operation before draining its reply: the late answer
@@ -3697,14 +4121,17 @@ mod tests {
         let web = crate::onedim::OneDimSkipWeb::builder(vec![1, 2, 3])
             .seed(36)
             .build();
-        let dist = DistributedSkipWeb::spawn(web.inner());
+        let dist = DistributedSkipWeb::builder(web.inner()).spawn();
         let client = dist.client();
         assert_eq!(client.query_timeout(), DEFAULT_QUERY_TIMEOUT);
         assert_eq!(client.update_timeout(), DEFAULT_UPDATE_TIMEOUT);
-        client.set_timeout(Duration::from_millis(250));
+        client.set_timeouts(Timeouts::uniform(Duration::from_millis(250)));
         assert_eq!(client.query_timeout(), Duration::from_millis(250));
         assert_eq!(client.update_timeout(), Duration::from_millis(250));
-        client.set_timeouts(Duration::from_secs(1), Duration::from_secs(2));
+        client.set_timeouts(Timeouts::new(
+            Duration::from_secs(1),
+            Duration::from_secs(2),
+        ));
         assert_eq!(client.query_timeout(), Duration::from_secs(1));
         assert_eq!(client.update_timeout(), Duration::from_secs(2));
         // A second client keeps the defaults: the setting is per client.

@@ -756,7 +756,7 @@ impl<const D: usize> QuadtreeSkipWeb<D> {
     /// live point inserts/removes — are routed with real concurrent message
     /// passing.
     pub fn serve(&self) -> DistributedSkipWeb<CompressedQuadtree<D>> {
-        DistributedSkipWeb::spawn(&self.web)
+        DistributedSkipWeb::builder(&self.web).spawn()
     }
 
     /// Inserts a point, returning the update's message cost (`None` for
@@ -918,7 +918,7 @@ impl TrieSkipWeb {
     /// [`crate::engine`]): prefix requests — and live string
     /// inserts/removes — are routed with real concurrent message passing.
     pub fn serve(&self) -> DistributedSkipWeb<CompressedTrie> {
-        DistributedSkipWeb::spawn(&self.web)
+        DistributedSkipWeb::builder(&self.web).spawn()
     }
 
     /// A simulated network with accounting applied.
@@ -1046,7 +1046,7 @@ impl TrapezoidSkipWeb {
     /// segment inserts/removes, gated by the general-position admission
     /// check — are routed with real concurrent message passing.
     pub fn serve(&self) -> DistributedSkipWeb<TrapezoidalMap> {
-        DistributedSkipWeb::spawn(&self.web)
+        DistributedSkipWeb::builder(&self.web).spawn()
     }
 
     /// A simulated network with accounting applied.

@@ -274,7 +274,7 @@ impl OneDimSkipWeb {
     /// thread per host executing the same routing decisions under real
     /// concurrent message passing (see [`crate::engine`]).
     pub fn serve(&self) -> DistributedSkipWeb<SortedLinkedList> {
-        DistributedSkipWeb::spawn(&self.web)
+        DistributedSkipWeb::builder(&self.web).spawn()
     }
 
     /// The underlying generic skip-web.

@@ -82,6 +82,7 @@ pub struct SkipWebBuilder<D: RangeDetermined> {
     seed: u64,
     blocking: Blocking,
     replication: Replication,
+    bits: Option<Vec<u64>>,
 }
 
 impl<D: RangeDetermined> SkipWebBuilder<D> {
@@ -119,12 +120,41 @@ impl<D: RangeDetermined> SkipWebBuilder<D> {
         self.replication(Replication::new(k))
     }
 
+    /// Pins the per-item level bit strings instead of drawing them from the
+    /// seed, matched positionally to the **canonical** (structure-sorted)
+    /// ground order. Skip-webs are range-determined (§2.1): items plus bits
+    /// uniquely determine the whole hierarchy, so a recovery layer that
+    /// logged each item's bits can rebuild the exact pre-crash web —
+    /// tower-for-tower — rather than a freshly randomized one.
+    pub fn bits(mut self, bits: Vec<u64>) -> Self {
+        self.bits = Some(bits);
+        self
+    }
+
     /// Builds the skip-web.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`bits`](Self::bits) was given a vector whose length does
+    /// not match the canonical ground set.
     pub fn build(self) -> SkipWeb<D> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Canonicalize the ground set through the structure's own builder.
         let ground = D::build(self.items).items().to_vec();
-        let item_bits = draw_bits(ground.len(), &mut rng);
+        let item_bits = match self.bits {
+            Some(bits) => {
+                assert_eq!(
+                    bits.len(),
+                    ground.len(),
+                    "explicit bits must cover the canonical ground set"
+                );
+                // Advance the rng exactly as the drawing path would, so
+                // later live inserts draw the same towers either way.
+                let _ = draw_bits(ground.len(), &mut rng);
+                bits
+            }
+            None => draw_bits(ground.len(), &mut rng),
+        };
         let mut web = SkipWeb {
             ground,
             item_bits,
@@ -148,7 +178,20 @@ impl<D: RangeDetermined> SkipWeb<D> {
             seed: 0,
             blocking: Blocking::OwnerHosted,
             replication: Replication::NONE,
+            bits: None,
         }
+    }
+
+    /// A copy of this web rebuilt under replication policy `replication` —
+    /// same ground set, same towers (the level bits are kept), different
+    /// range-to-host placement. This is how
+    /// [`FabricBuilder::replicate`](crate::engine::FabricBuilder::replicate)
+    /// overrides a build-time policy at deployment time.
+    pub fn with_replication(&self, replication: Replication) -> SkipWeb<D> {
+        let mut web = self.clone();
+        web.replication = replication;
+        web.rebuild();
+        web
     }
 
     /// The canonical ground set.

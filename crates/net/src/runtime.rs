@@ -931,6 +931,42 @@ impl<A: Actor> Runtime<A> {
         self.net.mark_dead(host);
     }
 
+    /// Restarts a crashed host in place: the tombstoned slot gets a fresh
+    /// mailbox and a fresh actor thread, and the host rejoins the live
+    /// membership under its original id — the rejoin-with-state path a
+    /// durability layer uses after replaying the host's write-ahead log.
+    /// Returns `false` (without spawning anything) unless the host is
+    /// currently [`Dead`](HostState::Dead): alive and decommissioned hosts
+    /// cannot be revived, and unknown ids are ignored.
+    ///
+    /// The slot keeps its lifetime counters across the revival (traffic
+    /// accounting spans crashes, like a persistent host name). The old
+    /// thread — which may still be draining its pre-crash mailbox — keeps
+    /// observing its own tombstoned state cell and exits on the stop marker
+    /// [`kill`](Self::kill) queued; the revived thread watches a fresh cell,
+    /// so a slow drain can never resurrect pre-crash messages into the
+    /// recovered host.
+    pub fn revive(&self, host: HostId, actor: A) -> bool {
+        let handle = {
+            let mut slots = self.net.slots.write();
+            let Some(slot) = slots.get_mut(host.index()) else {
+                return false;
+            };
+            if decode_state(slot.state.load(Ordering::Acquire)) != HostState::Dead {
+                return false;
+            }
+            let (tx, rx) = channel::unbounded();
+            let state = Arc::new(AtomicU8::new(STATE_ALIVE));
+            slot.tx = tx;
+            slot.state = Arc::clone(&state);
+            let net = Arc::clone(&self.net);
+            std::thread::spawn(move || run_host(host, actor, rx, net, state))
+        };
+        self.handles.lock().push(handle);
+        self.net.rebuild_membership();
+        true
+    }
+
     /// Marks `host` as gracefully leaving: it still processes everything
     /// already routed to it, but [`Membership::is_alive`] turns false so
     /// routing layers stop targeting it for new work. No-op unless the host
@@ -1424,6 +1460,57 @@ mod tests {
         assert_eq!(
             c.recv_timeout(Duration::from_secs(5)).unwrap(),
             (HostId(1), 9)
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn revive_restarts_a_killed_host_under_its_original_id() {
+        let rt = Runtime::spawn(2, |_| Echo);
+        let c = rt.client();
+        rt.kill(HostId(1));
+        assert_eq!(rt.membership().state(HostId(1)), HostState::Dead);
+        assert!(rt.revive(HostId(1), Echo));
+        let m = rt.membership();
+        assert!(m.is_alive(HostId(1)));
+        assert_eq!(m.dead_hosts(), Vec::<HostId>::new());
+        // The revived host serves again under the same id.
+        c.send(HostId(1), Ask(c.id(), 4)).unwrap();
+        assert_eq!(
+            c.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (HostId(1), 4)
+        );
+        // Only dead hosts can be revived.
+        assert!(!rt.revive(HostId(1), Echo));
+        rt.decommission(HostId(1));
+        assert!(!rt.revive(HostId(1), Echo));
+        assert!(!rt.revive(HostId(9), Echo));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn revive_does_not_resurrect_pre_crash_mailbox_messages() {
+        // Kill a host with work queued behind a slow first message: the old
+        // thread must drain-and-discard under its tombstone while the revived
+        // thread starts from an empty mailbox.
+        let rt = Runtime::spawn(1, |_| Echo);
+        let c = rt.client();
+        rt.kill(HostId(0));
+        // Queued while dead: dropped at delivery, never seen by the revival.
+        assert_eq!(
+            c.send(HostId(0), Ask(c.id(), 1)).unwrap_err(),
+            RuntimeError::HostPanicked(HostId(0))
+        );
+        assert!(rt.revive(HostId(0), Echo));
+        c.send(HostId(0), Ask(c.id(), 2)).unwrap();
+        assert_eq!(
+            c.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (HostId(0), 2)
+        );
+        // Nothing else arrives: the pre-revival message stayed dead.
+        assert_eq!(
+            c.recv_timeout(Duration::from_millis(50)).unwrap_err(),
+            RuntimeError::Timeout
         );
         rt.shutdown();
     }

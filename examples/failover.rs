@@ -6,7 +6,7 @@
 
 use std::time::Duration;
 
-use skipwebs::core::engine::DistributedSkipWeb;
+use skipwebs::core::engine::{DistributedSkipWeb, Timeouts};
 use skipwebs::core::onedim::OneDimSkipWeb;
 use skipwebs::net::HostId;
 
@@ -16,9 +16,11 @@ fn main() {
         .seed(9)
         .replicate(2)
         .build();
-    let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), 10);
+    let dist = DistributedSkipWeb::builder(web.inner())
+        .consolidated(10)
+        .spawn();
     let client = dist.client();
-    client.set_timeout(Duration::from_secs(3)); // fail fast, not hang
+    client.set_timeouts(Timeouts::uniform(Duration::from_secs(3))); // fail fast, not hang
     println!(
         "serving n = {} on {} hosts, {}",
         web.len(),
@@ -28,7 +30,7 @@ fn main() {
 
     let check = |label: &str| {
         let c = dist.client();
-        c.set_timeout(Duration::from_secs(3));
+        c.set_timeouts(Timeouts::uniform(Duration::from_secs(3)));
         let mut ok = 0;
         for s in 0..50u64 {
             let q = (s * 397) % 2_100;

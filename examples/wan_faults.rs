@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use skipwebs::core::engine::DistributedSkipWeb;
+use skipwebs::core::engine::{DistributedSkipWeb, Timeouts};
 use skipwebs::core::onedim::OneDimSkipWeb;
 use skipwebs::net::wan::SimWanConfig;
 
@@ -23,13 +23,19 @@ fn main() {
         jitter: Duration::from_micros(1500),
         loss: 0.05,
     };
-    let dist = DistributedSkipWeb::spawn_wan(web.inner(), 8, wan);
+    let dist = DistributedSkipWeb::builder(web.inner())
+        .consolidated(8)
+        .wan(wan)
+        .spawn();
     println!("skip-web on 8 hosts behind a simulated WAN: 500µs links, ±1.5ms jitter, 5% loss");
 
     // Short timeouts keep each lost frame cheap: a drop costs one timeout
     // and a resubmit, not a stalled client.
     let client = dist.client();
-    client.set_timeouts(Duration::from_millis(150), Duration::from_millis(300));
+    client.set_timeouts(Timeouts::new(
+        Duration::from_millis(150),
+        Duration::from_millis(300),
+    ));
 
     let started = Instant::now();
     let mut hits = 0;

@@ -36,4 +36,5 @@
 pub use skipweb_baselines as baselines;
 pub use skipweb_core as core;
 pub use skipweb_net as net;
+pub use skipweb_store as store;
 pub use skipweb_structures as structures;

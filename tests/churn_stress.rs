@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use skipwebs::core::engine::DistributedSkipWeb;
+use skipwebs::core::engine::{DistributedSkipWeb, Timeouts};
 use skipwebs::core::multidim::TrieSkipWeb;
 use skipwebs::core::onedim::OneDimSkipWeb;
 
@@ -25,7 +25,9 @@ fn mixed_onedim_churn_under_concurrent_clients_stays_consistent() {
         .seed(41)
         .build();
     let capacity = web.len() + WRITERS * WRITER_OPS as usize;
-    let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), capacity);
+    let dist = DistributedSkipWeb::builder(web.inner())
+        .capacity(capacity)
+        .spawn();
     std::thread::scope(|scope| {
         for w in 0..WRITERS as u64 {
             let dist = &dist;
@@ -33,7 +35,10 @@ fn mixed_onedim_churn_under_concurrent_clients_stays_consistent() {
                 let client = dist.client();
                 // Generous but bounded per-client timeouts: a wedged fabric
                 // fails the test instead of hanging the CI job.
-                client.set_timeouts(Duration::from_secs(60), Duration::from_secs(120));
+                client.set_timeouts(Timeouts::new(
+                    Duration::from_secs(60),
+                    Duration::from_secs(120),
+                ));
                 for i in 0..WRITER_OPS {
                     let key = 50 + w + ((w * 7919 + i * 997) % 5000) * 100;
                     if i % 3 == 2 {
@@ -52,7 +57,7 @@ fn mixed_onedim_churn_under_concurrent_clients_stays_consistent() {
             let dist = &dist;
             scope.spawn(move || {
                 let client = dist.client();
-                client.set_timeout(Duration::from_secs(60));
+                client.set_timeouts(Timeouts::uniform(Duration::from_secs(60)));
                 for i in 0..READER_OPS {
                     let q = (r * 131 + i * 977) % (INITIAL * 110);
                     // Origins index the initial keys, which writers never
@@ -109,13 +114,18 @@ fn mixed_onedim_churn_under_concurrent_clients_stays_consistent() {
 fn mixed_trie_churn_under_concurrent_clients_stays_consistent() {
     let strings: Vec<String> = (0..96).map(|i| format!("base-{i:04}")).collect();
     let web = TrieSkipWeb::builder(strings).seed(42).build();
-    let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), web.len() + 64);
+    let dist = DistributedSkipWeb::builder(web.inner())
+        .capacity(web.len() + 64)
+        .spawn();
     std::thread::scope(|scope| {
         for w in 0..2u64 {
             let dist = &dist;
             scope.spawn(move || {
                 let client = dist.client();
-                client.set_timeouts(Duration::from_secs(60), Duration::from_secs(120));
+                client.set_timeouts(Timeouts::new(
+                    Duration::from_secs(60),
+                    Duration::from_secs(120),
+                ));
                 for i in 0..24u64 {
                     let s = format!("live-{w}-{:03}", (i * 7) % 100);
                     if i % 4 == 3 {

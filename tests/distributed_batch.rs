@@ -22,8 +22,12 @@ const HOST_COUNTS: [usize; 3] = [1, 4, 16];
 fn batch_of_256_queries_on_16_hosts_crosses_measurably_fewer_boundaries() {
     let keys: Vec<u64> = (0..1024).map(|i| i * 7 + 1).collect();
     let web = OneDimSkipWeb::builder(keys).seed(81).build();
-    let serial = DistributedSkipWeb::spawn_consolidated(web.inner(), 16);
-    let batched = DistributedSkipWeb::spawn_consolidated(web.inner(), 16);
+    let serial = DistributedSkipWeb::builder(web.inner())
+        .consolidated(16)
+        .spawn();
+    let batched = DistributedSkipWeb::builder(web.inner())
+        .consolidated(16)
+        .spawn();
     let (cs, cb) = (serial.client(), batched.client());
     let qs: Vec<u64> = (0..256u64).map(|s| (s * 2741) % 7200).collect();
     let origin = web.random_origin(3);
@@ -68,7 +72,9 @@ fn scattered_reports_match_serial_answers_on_consolidated_fabrics() {
         .map(|i| skipwebs::structures::PointKey::new([i * 104_729 + 13, i * 49_979 + 7]))
         .collect();
     let web = QuadtreeSkipWeb::builder(points).seed(82).build();
-    let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), 4);
+    let dist = DistributedSkipWeb::builder(web.inner())
+        .consolidated(4)
+        .spawn();
     let client = dist.client();
     for (lo, hi) in [
         ([0u32, 0u32], [u32::MAX / 2, u32::MAX / 2]),
@@ -95,7 +101,9 @@ fn scattered_reports_match_serial_answers_on_consolidated_fabrics() {
     // Trie prefix enumeration, folded onto 4 physical hosts.
     let strings: Vec<String> = (0..96).map(|i| format!("isbn-{i:04}")).collect();
     let web = TrieSkipWeb::builder(strings).seed(83).build();
-    let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), 4);
+    let dist = DistributedSkipWeb::builder(web.inner())
+        .consolidated(4)
+        .spawn();
     let client = dist.client();
     for prefix in ["isbn-00", "isbn", "zzz", ""] {
         let serial = dist
@@ -133,8 +141,8 @@ proptest! {
     ) {
         for hosts in HOST_COUNTS {
             let web = OneDimSkipWeb::builder(keys.clone()).seed(seed).build();
-            let serial = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
-            let batched = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
+            let serial = DistributedSkipWeb::builder(web.inner()).consolidated(hosts).spawn();
+            let batched = DistributedSkipWeb::builder(web.inner()).consolidated(hosts).spawn();
             let (cs, cb) = (serial.client(), batched.client());
             for (round, &(ref values, bitseed)) in rounds.iter().enumerate() {
                 // Query round: byte-identical answers in submission order.

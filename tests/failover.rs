@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use skipwebs::core::engine::DistributedSkipWeb;
+use skipwebs::core::engine::{DistributedSkipWeb, Timeouts};
 use skipwebs::core::multidim::TrieSkipWeb;
 use skipwebs::core::onedim::OneDimSkipWeb;
 use skipwebs::net::runtime::RuntimeError;
@@ -28,9 +28,14 @@ fn killing_one_host_mid_churn_keeps_queries_and_updates_answering() {
         .seed(71)
         .replicate(2)
         .build();
-    let dist = DistributedSkipWeb::spawn_with_capacity(web.inner(), web.hosts() + 32);
+    let dist = DistributedSkipWeb::builder(web.inner())
+        .capacity(web.hosts() + 32)
+        .spawn();
     let client = dist.client();
-    client.set_timeouts(Duration::from_secs(20), Duration::from_secs(40));
+    client.set_timeouts(Timeouts::new(
+        Duration::from_secs(20),
+        Duration::from_secs(40),
+    ));
 
     // Phase 1: healthy mixed workload.
     for i in 0..40u64 {
@@ -101,7 +106,7 @@ fn concurrent_readers_survive_a_mid_stream_crash() {
         .seed(72)
         .replicate(3)
         .build();
-    let dist = DistributedSkipWeb::spawn(web.inner());
+    let dist = DistributedSkipWeb::builder(web.inner()).spawn();
     let killed = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for r in 0..4u64 {
@@ -109,7 +114,7 @@ fn concurrent_readers_survive_a_mid_stream_crash() {
             let killed = &killed;
             scope.spawn(move || {
                 let client = dist.client();
-                client.set_timeout(Duration::from_secs(20));
+                client.set_timeouts(Timeouts::uniform(Duration::from_secs(20)));
                 for i in 0..80u64 {
                     let q = (r * 131 + i * 97) % 1_100;
                     match dist.query(&client, (i as usize) % 96, q) {
@@ -158,7 +163,7 @@ fn k3_replication_survives_two_crashes() {
         .seed(73)
         .replicate(3)
         .build();
-    let dist = DistributedSkipWeb::spawn(web.inner());
+    let dist = DistributedSkipWeb::builder(web.inner()).spawn();
     let client = dist.client();
     dist.kill_host(HostId(5));
     dist.kill_host(HostId(6));
@@ -183,13 +188,18 @@ fn live_decommission_and_spawn_under_mixed_load() {
     let web = OneDimSkipWeb::builder((0..100).map(|i| i * 50).collect())
         .seed(74)
         .build();
-    let dist = DistributedSkipWeb::spawn_consolidated(web.inner(), 8);
+    let dist = DistributedSkipWeb::builder(web.inner())
+        .consolidated(8)
+        .spawn();
     std::thread::scope(|scope| {
         for r in 0..3u64 {
             let dist = &dist;
             scope.spawn(move || {
                 let client = dist.client();
-                client.set_timeouts(Duration::from_secs(30), Duration::from_secs(60));
+                client.set_timeouts(Timeouts::new(
+                    Duration::from_secs(30),
+                    Duration::from_secs(60),
+                ));
                 for i in 0..60u64 {
                     if i % 5 == 4 {
                         let key = 25 + (r * 1_000 + i) * 50;
@@ -236,7 +246,7 @@ fn live_decommission_and_spawn_under_mixed_load() {
 fn trie_prefix_queries_survive_a_crash_with_replicas() {
     let strings: Vec<String> = (0..72).map(|i| format!("isbn-{i:04}")).collect();
     let web = TrieSkipWeb::builder(strings).seed(75).replicate(2).build();
-    let dist = DistributedSkipWeb::spawn(web.inner());
+    let dist = DistributedSkipWeb::builder(web.inner()).spawn();
     let client = dist.client();
     dist.kill_host(HostId(11));
     for s in 0..30usize {
@@ -258,9 +268,9 @@ fn unreplicated_crash_reports_unavailable_then_heals() {
     let web = OneDimSkipWeb::builder((0..48).map(|i| i * 3).collect())
         .seed(76)
         .build();
-    let dist = DistributedSkipWeb::spawn(web.inner());
+    let dist = DistributedSkipWeb::builder(web.inner()).spawn();
     let client = dist.client();
-    client.set_timeout(Duration::from_secs(3));
+    client.set_timeouts(Timeouts::uniform(Duration::from_secs(3)));
     dist.kill_host(HostId(17));
     let mut unavailable = 0usize;
     for s in 0..48u64 {

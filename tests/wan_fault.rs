@@ -18,7 +18,7 @@ use std::time::Duration;
 use proptest::collection;
 use proptest::prelude::*;
 
-use skipwebs::core::engine::DistributedSkipWeb;
+use skipwebs::core::engine::{DistributedSkipWeb, Timeouts};
 use skipwebs::core::onedim::OneDimSkipWeb;
 use skipwebs::net::wan::SimWanConfig;
 
@@ -39,10 +39,18 @@ fn faulty(seed: u64) -> SimWanConfig {
 fn lossy_wan_reports_loss_and_reordering_in_transport_stats() {
     let keys: Vec<u64> = (0..512).map(|i| i * 11 + 3).collect();
     let web = OneDimSkipWeb::builder(keys).seed(91).build();
-    let clean = DistributedSkipWeb::spawn_consolidated(web.inner(), 4);
-    let dist = DistributedSkipWeb::spawn_wan(web.inner(), 4, faulty(7));
+    let clean = DistributedSkipWeb::builder(web.inner())
+        .consolidated(4)
+        .spawn();
+    let dist = DistributedSkipWeb::builder(web.inner())
+        .consolidated(4)
+        .wan(faulty(7))
+        .spawn();
     let (cc, client) = (clean.client(), dist.client());
-    client.set_timeouts(Duration::from_millis(150), Duration::from_millis(300));
+    client.set_timeouts(Timeouts::new(
+        Duration::from_millis(150),
+        Duration::from_millis(300),
+    ));
     for q in 0..128u64 {
         let (origin, key) = (web.random_origin(q), q * 97 % 6_000);
         let got = dist
@@ -64,7 +72,10 @@ fn lossy_wan_reports_loss_and_reordering_in_transport_stats() {
             let dist = &dist;
             s.spawn(move || {
                 let c = dist.client();
-                c.set_timeouts(Duration::from_millis(150), Duration::from_millis(300));
+                c.set_timeouts(Timeouts::new(
+                    Duration::from_millis(150),
+                    Duration::from_millis(300),
+                ));
                 for q in 0..128u64 {
                     let key = (q * 131 + t * 29) % 6_000;
                     dist.query(&c, web.random_origin(q ^ t), key)
@@ -109,12 +120,12 @@ proptest! {
     ) {
         for hosts in HOST_COUNTS {
             let web = OneDimSkipWeb::builder(keys.clone()).seed(seed).build();
-            let clean = DistributedSkipWeb::spawn_consolidated(web.inner(), hosts);
-            let wan = DistributedSkipWeb::spawn_wan(web.inner(), hosts, faulty(seed ^ 0x57414e));
+            let clean = DistributedSkipWeb::builder(web.inner()).consolidated(hosts).spawn();
+            let wan = DistributedSkipWeb::builder(web.inner()).consolidated(hosts).wan(faulty(seed ^ 0x57414e)).spawn();
             let (cc, cw) = (clean.client(), wan.client());
             // Short timeouts keep lost frames cheap to resubmit; they must
             // still dominate the worst-case jittered round trip.
-            cw.set_timeouts(Duration::from_millis(150), Duration::from_millis(300));
+            cw.set_timeouts(Timeouts::new(Duration::from_millis(150), Duration::from_millis(300)));
             for (round, &(ref values, bitseed)) in rounds.iter().enumerate() {
                 let origin = (round * 13 + 1) % web.len();
 
