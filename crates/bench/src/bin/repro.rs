@@ -6,7 +6,7 @@
 //!
 //! experiments: table1 fig1 fig2 fig3 fig4 lemma1 lemma4 thm2 updates
 //!              buckets ablation chord congestion distributed churn
-//!              failover batch wan store tcp all (default: all)
+//!              failover batch wan store rebuild tcp all (default: all)
 //! --full: larger size sweeps (slower; used to fill EXPERIMENTS.md)
 //! ```
 
@@ -35,6 +35,10 @@ struct Config {
     store_ns: Vec<usize>,
     store_hosts: usize,
     store_gets: usize,
+    rebuild_ns: Vec<usize>,
+    rebuild_trap_n: usize,
+    rebuild_threads: Vec<usize>,
+    rebuild_reps: usize,
     tcp_workers: usize,
     tcp_hosts_per_worker: usize,
     tcp_queries: usize,
@@ -66,6 +70,13 @@ impl Config {
             store_ns: vec![256, 1024],
             store_hosts: 4,
             store_gets: 100,
+            // 1024 and 4096 sit exactly on level-count boundaries (inserts
+            // there pay for a whole new top level); 3072 shows the
+            // boundary-free cost.
+            rebuild_ns: vec![1024, 3072, 4096],
+            rebuild_trap_n: 128,
+            rebuild_threads: vec![1, 4],
+            rebuild_reps: 5,
             tcp_workers: 4,
             tcp_hosts_per_worker: 2,
             tcp_queries: 50,
@@ -97,6 +108,10 @@ impl Config {
             store_ns: vec![1024, 4096],
             store_hosts: 8,
             store_gets: 400,
+            rebuild_ns: vec![3072, 4096, 16_384],
+            rebuild_trap_n: 128,
+            rebuild_threads: vec![1, 4],
+            rebuild_reps: 5,
             tcp_workers: 4,
             tcp_hosts_per_worker: 4,
             tcp_queries: 200,
@@ -140,7 +155,7 @@ fn main() {
         Config::quick()
     };
 
-    const KNOWN: [&str; 21] = [
+    const KNOWN: [&str; 22] = [
         "all",
         "table1",
         "fig1",
@@ -161,6 +176,7 @@ fn main() {
         "batch",
         "wan",
         "store",
+        "rebuild",
         "tcp",
     ];
     if !KNOWN.contains(&which.as_str()) {
@@ -286,6 +302,22 @@ fn main() {
         // committed BENCH_store.json artifact) can pick it up.
         if let Err(e) = std::fs::write("BENCH_store.json", table.to_json("store")) {
             eprintln!("warning: could not write BENCH_store.json: {e}");
+        }
+        println!("{table}");
+    }
+    if run("rebuild") {
+        let table = experiments::rebuild(
+            &cfg.rebuild_ns,
+            cfg.rebuild_trap_n,
+            &cfg.batch_sizes,
+            &cfg.rebuild_threads,
+            cfg.rebuild_reps,
+            cfg.seed,
+        );
+        // Emitted next to the TSV so the bench-report job (and the
+        // committed BENCH_rebuild.json artifact) can pick it up.
+        if let Err(e) = std::fs::write("BENCH_rebuild.json", table.to_json("rebuild")) {
+            eprintln!("warning: could not write BENCH_rebuild.json: {e}");
         }
         println!("{table}");
     }

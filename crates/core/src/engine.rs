@@ -916,6 +916,10 @@ struct Shared<D: Routable + Send + Sync + 'static> {
     /// The wait-and-retry policy newly registered clients start with
     /// ([`FabricBuilder::timeouts`]).
     default_timeouts: Timeouts,
+    /// Worker threads for the apply path's dirty-set rebuild stage
+    /// ([`FabricBuilder::apply_threads`]); `1` repairs on the applying
+    /// host's own actor thread.
+    apply_threads: usize,
 }
 
 impl<D: Routable + Send + Sync + 'static> Shared<D> {
@@ -1352,14 +1356,20 @@ impl<D: Routable + Send + Sync + 'static> EngineActor<D> {
                             st.record_outcome(metas[j].3, false);
                         }
                     }
-                    for (j, a) in slots.into_iter().zip(st.web.apply_insert_batch(batch)) {
+                    let applied = st
+                        .web
+                        .apply_insert_batch_threads(batch, self.shared.apply_threads);
+                    for (j, a) in slots.into_iter().zip(applied) {
                         outcomes[j] = a;
                         st.record_outcome(metas[j].3, a);
                         any_applied |= a;
                     }
                 } else {
                     let items: Vec<D::Item> = run.iter().map(|&j| ops[j].1.clone()).collect();
-                    for (&j, a) in run.iter().zip(st.web.apply_remove_batch(&items)) {
+                    let applied = st
+                        .web
+                        .apply_remove_batch_threads(&items, self.shared.apply_threads);
+                    for (&j, a) in run.iter().zip(applied) {
                         outcomes[j] = a;
                         st.record_outcome(metas[j].3, a);
                         any_applied |= a;
@@ -1741,14 +1751,11 @@ enum Threads {
 /// [`capacity`](Self::capacity)), replication override
 /// ([`replicate`](Self::replicate)), transport ([`wan`](Self::wan) /
 /// [`transport`](Self::transport) / [`spawn_tcp`](Self::spawn_tcp)),
+/// apply-path parallelism ([`apply_threads`](Self::apply_threads)),
 /// client timeout policy ([`timeouts`](Self::timeouts)), and durability
 /// ([`durability`](Self::durability) /
 /// [`restore_ledger`](Self::restore_ledger)) — then
 /// [`spawn`](Self::spawn)s the actor threads.
-///
-/// The former constructor zoo (`spawn`, `spawn_consolidated`,
-/// `spawn_with_capacity`, `spawn_with_transport`, `spawn_wan`,
-/// `spawn_tcp`) survives as thin deprecated wrappers over this builder.
 ///
 /// ```
 /// use skipweb_core::engine::DistributedSkipWeb;
@@ -1770,6 +1777,7 @@ pub struct FabricBuilder<'w, D: Routable + Send + Sync + 'static> {
     timeouts: Timeouts,
     durability: Option<Arc<dyn Durability<D>>>,
     ledger: Vec<((ClientId, u64), bool)>,
+    apply_threads: usize,
 }
 
 impl<'w, D: Routable + Send + Sync + 'static> FabricBuilder<'w, D> {
@@ -1785,7 +1793,24 @@ impl<'w, D: Routable + Send + Sync + 'static> FabricBuilder<'w, D> {
             timeouts: Timeouts::DEFAULT,
             durability: None,
             ledger: Vec::new(),
+            apply_threads: 1,
         }
+    }
+
+    /// Fans the apply path's dirty-set rebuild stage out over `t` worker
+    /// threads (default 1: the applying host repairs on its own actor
+    /// thread). The repaired structure is byte-identical at any thread
+    /// count — only the wall-clock cost of large batches changes — and the
+    /// workers live only for the duration of one apply, inside the state
+    /// lock, so snapshot-publish and WAL ordering are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero.
+    pub fn apply_threads(mut self, t: usize) -> Self {
+        assert!(t > 0, "the apply path needs at least one thread");
+        self.apply_threads = t;
+        self
     }
 
     /// Folds the web's logical hosts onto at most `hosts` physical actor
@@ -1917,6 +1942,7 @@ impl<'w, D: Routable + Send + Sync + 'static> FabricBuilder<'w, D> {
             topo: Mutex::new(topo),
             durability: self.durability.clone(),
             default_timeouts: self.timeouts,
+            apply_threads: self.apply_threads,
         })
     }
 
@@ -1944,11 +1970,28 @@ impl<'w, D: Routable + Send + Sync + 'static> FabricBuilder<'w, D> {
 }
 
 impl<'w, D: crate::wire::WireCodec + Send + Sync + 'static> FabricBuilder<'w, D> {
-    /// Serves this process's share of the web over loopback (or any) TCP —
-    /// see the former constructor's contract on
-    /// [`DistributedSkipWeb::serve_until_peer_shutdown`]. The thread count
-    /// comes from `cfg.owners` (one actor thread per locally-owned host),
-    /// so [`consolidated`](Self::consolidated) /
+    /// Serves this process's share of the web over loopback (or any) TCP:
+    /// one OS process per endpoint of `cfg`, each running actor threads
+    /// only for the hosts `cfg.owners` assigns it, with every cross-process
+    /// message serialized through [`WireCodec`](crate::wire::WireCodec)
+    /// and framed by [`skipweb_net::wire`].
+    ///
+    /// Every process must be started from the **same** ground set and build
+    /// seed: skip-webs are range-determined (§2.1), so each process
+    /// rebuilds an identical topology locally and the wire carries only
+    /// operation envelopes, never structure. Because each process also
+    /// holds its own engine state, TCP deployments serve **query**
+    /// workloads; updates require a single-process transport (channel or
+    /// WAN), where state is shared.
+    ///
+    /// The process owning `cfg.reply_endpoint` is the *driver*: it creates
+    /// the clients and eventually calls
+    /// [`shutdown`](DistributedSkipWeb::shutdown) (which broadcasts the
+    /// teardown). Every other process is a *worker* and parks in
+    /// [`DistributedSkipWeb::serve_until_peer_shutdown`].
+    ///
+    /// The thread count comes from `cfg.owners` (one actor thread per
+    /// locally-owned host), so [`consolidated`](Self::consolidated) /
     /// [`capacity`](Self::capacity) do not apply; any
     /// [`transport`](Self::transport) choice is
     /// replaced by the TCP transport. Timeouts, durability, and a restored
@@ -2006,77 +2049,6 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
     /// standing up a fabric (see [`FabricBuilder`]).
     pub fn builder(web: &SkipWeb<D>) -> FabricBuilder<'_, D> {
         FabricBuilder::new(web)
-    }
-
-    /// Shards `web` across one actor thread per host of its placement and
-    /// starts them.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the fabric builder: `DistributedSkipWeb::builder(web).spawn()`"
-    )]
-    pub fn spawn(web: &SkipWeb<D>) -> Self {
-        Self::builder(web).spawn()
-    }
-
-    /// Folds the web onto at most `hosts` actor threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `hosts` is zero.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the fabric builder: `DistributedSkipWeb::builder(web).consolidated(hosts).spawn()`"
-    )]
-    pub fn spawn_consolidated(web: &SkipWeb<D>, hosts: usize) -> Self {
-        Self::builder(web).consolidated(hosts).spawn()
-    }
-
-    /// Spawns exactly `capacity` actor threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the fabric builder: `DistributedSkipWeb::builder(web).capacity(capacity).spawn()`"
-    )]
-    pub fn spawn_with_capacity(web: &SkipWeb<D>, capacity: usize) -> Self {
-        Self::builder(web).capacity(capacity).spawn()
-    }
-
-    /// Routes every message through `transport`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the fabric builder: `DistributedSkipWeb::builder(web).capacity(capacity).transport(t).spawn()`"
-    )]
-    pub fn spawn_with_transport(
-        web: &SkipWeb<D>,
-        capacity: usize,
-        transport: Arc<dyn Transport<FabricMsg<D>, EngineReply<D>>>,
-    ) -> Self {
-        Self::builder(web)
-            .capacity(capacity)
-            .transport(transport)
-            .spawn()
-    }
-
-    /// Serves the web over a [`SimWanTransport`] with the given fault
-    /// model, folded onto at most `hosts` actor threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `hosts` is zero or the loss probability is outside
-    /// `[0, 1]`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the fabric builder: `DistributedSkipWeb::builder(web).consolidated(hosts).wan(cfg).spawn()`"
-    )]
-    pub fn spawn_wan(web: &SkipWeb<D>, hosts: usize, cfg: SimWanConfig) -> Self {
-        Self::builder(web).consolidated(hosts).wan(cfg).spawn()
     }
 
     /// Registers a client, starting from the deployment's default
@@ -3209,42 +3181,6 @@ impl<D: Routable + Send + Sync + 'static> DistributedSkipWeb<D> {
 }
 
 impl<D: crate::wire::WireCodec + Send + Sync + 'static> DistributedSkipWeb<D> {
-    /// Serves this process's share of the web over loopback (or any) TCP:
-    /// one OS process per endpoint of `cfg`, each running actor threads
-    /// only for the hosts `cfg.owners` assigns it, with every cross-process
-    /// message serialized through [`WireCodec`](crate::wire::WireCodec)
-    /// and framed by [`skipweb_net::wire`].
-    ///
-    /// Every process must be started from the **same** ground set and build
-    /// seed: skip-webs are range-determined (§2.1), so each process
-    /// rebuilds an identical topology locally and the wire carries only
-    /// operation envelopes, never structure. Because each process also
-    /// holds its own engine state, TCP deployments serve **query**
-    /// workloads; updates require a single-process transport (channel or
-    /// WAN), where state is shared.
-    ///
-    /// The process owning `cfg.reply_endpoint` is the *driver*: it creates
-    /// the clients and eventually calls [`shutdown`](Self::shutdown)
-    /// (which broadcasts the teardown). Every other process is a *worker*
-    /// and parks in
-    /// [`serve_until_peer_shutdown`](Self::serve_until_peer_shutdown).
-    ///
-    /// # Errors
-    ///
-    /// Fails if this process's endpoint cannot be bound.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg.owners` does not assign this process a contiguous
-    /// (possibly empty) host range, or the config indexes are out of range.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use the fabric builder: `DistributedSkipWeb::builder(web).spawn_tcp(cfg)`"
-    )]
-    pub fn spawn_tcp(web: &SkipWeb<D>, cfg: TcpConfig) -> std::io::Result<Self> {
-        Self::builder(web).spawn_tcp(cfg)
-    }
-
     /// Worker-side teardown: blocks until the driver broadcasts shutdown
     /// (or `timeout` elapses), then stops the local host threads. Returns
     /// `true` when the deployment was torn down on purpose, `false` on

@@ -1,7 +1,7 @@
 //! The skip-web structure: levels, hyperlinks, placement, queries (§2.3–2.5)
 //! and updates (§4), generic over any range-determined link structure.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,7 +15,7 @@ use crate::placement::{Blocking, Replication};
 
 /// One level-`ℓ` set `S_b` with its structure `D(S_b)`, hyperlinks, and
 /// host placement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct LevelSet<D: RangeDetermined> {
     /// The `ℓ`-bit key `b` of this set.
     pub key: u64,
@@ -34,7 +34,7 @@ pub(crate) struct LevelSet<D: RangeDetermined> {
 }
 
 /// All sets of one level.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Level<D: RangeDetermined> {
     pub sets: Vec<LevelSet<D>>,
     /// Ground item index → set index within this level.
@@ -43,6 +43,255 @@ pub(crate) struct Level<D: RangeDetermined> {
     pub local_of_item: Vec<u32>,
     /// Set key → set index.
     pub set_by_key: HashMap<u64, u32>,
+}
+
+/// Below this many stored items a full rebuild is cheaper than planning an
+/// incremental repair.
+const INCREMENTAL_MIN_N: usize = 64;
+
+/// Fall back to a full rebuild once a batch changes ≥ 1/this of the ground
+/// set: most level sets are dirty anyway at that point.
+const INCREMENTAL_DIRTY_FACTOR: usize = 4;
+
+/// The staged outcome of an incremental batch apply: the ground set and bit
+/// array are already spliced; these are the sets left to rebuild.
+#[derive(Debug)]
+struct RepairPlan {
+    /// The `(level, key)` pairs whose membership changed.
+    dirty: BTreeSet<(u32, u64)>,
+    /// One rebuild job per dirty set with surviving members, sorted by
+    /// `(level, key)`.
+    builds: Vec<BuildJob>,
+    /// Old ground index → new ground index (`u32::MAX` for removed items).
+    remap: Vec<u32>,
+}
+
+/// One dirty set to rebuild — the items are disjoint across jobs, which is
+/// what lets the rebuild stage fan out across threads.
+#[derive(Debug)]
+struct BuildJob {
+    level: u32,
+    key: u64,
+    /// New ground indices of the members, ascending — which is canonical
+    /// order, since the spliced ground set is canonically sorted.
+    members: Vec<u32>,
+}
+
+/// Runs `f` over `jobs` on up to `threads` scoped workers, preserving
+/// result order. Jobs are dealt round-robin: rebuild jobs arrive sorted
+/// bottom-up (level 0 — the whole ground set — first), so the few big
+/// low-level jobs land on distinct workers.
+fn par_map<J: Sync, T: Send>(jobs: &[J], threads: usize, f: impl Fn(&J) -> T + Sync) -> Vec<T> {
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(f).collect();
+    }
+    let workers = threads.min(jobs.len());
+    let mut out: Vec<Option<T>> = Vec::with_capacity(jobs.len());
+    out.resize_with(jobs.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    let mut part = Vec::new();
+                    let mut i = w;
+                    while i < jobs.len() {
+                        part.push((i, f(&jobs[i])));
+                        i += workers;
+                    }
+                    part
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, v) in handle.join().expect("apply worker panicked") {
+                out[i] = Some(v);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("round-robin covers every job"))
+        .collect()
+}
+
+/// Points every range's copy list at its owning item's host — the
+/// owner-hosted placement sweep of the full-rebuild path. (The repair
+/// path never runs it: rebuilt sets are born with owner primaries and
+/// kept sets have theirs remapped in place during the install.)
+/// Clear-and-push keeps each copy list's buffer across reassignments.
+fn owner_host_sweep<D: RangeDetermined>(levels: &mut [Level<D>]) {
+    for level in levels {
+        for set in &mut level.sets {
+            for r in set.structure.range_ids() {
+                let owner_local = set.structure.owner(r);
+                let owner_ground = set.ground.get(owner_local).copied().unwrap_or(0);
+                let copies = &mut set.range_host[r.index()];
+                copies.clear();
+                copies.push(HostId(owner_ground));
+            }
+        }
+    }
+}
+
+/// Moves `adjust(arr[g])` to `arr[remap[g]]` in place for an
+/// order-preserving splice remap, then sizes `arr` to `n_new`. Growing
+/// remaps copy back-to-front (every target sits at or beyond its source,
+/// and strictly beyond any smaller source's target), shrinking ones
+/// front-to-back (targets trail their sources), skipping the `u32::MAX`
+/// holes of removed entries — so every read still sees the original value.
+fn permute_by_remap(arr: &mut Vec<u32>, remap: &[u32], n_new: usize, adjust: impl Fn(u32) -> u32) {
+    let n_old = remap.len();
+    debug_assert_eq!(arr.len(), n_old);
+    if n_new >= n_old {
+        arr.resize(n_new, 0);
+        for g in (0..n_old).rev() {
+            arr[remap[g] as usize] = adjust(arr[g]);
+        }
+    } else {
+        for g in 0..n_old {
+            let target = remap[g];
+            if target != u32::MAX {
+                arr[target as usize] = adjust(arr[g]);
+            }
+        }
+        arr.truncate(n_new);
+    }
+}
+
+/// Merges one level's rebuilt sets into its tables: old sets keep their
+/// structures and hyperlinks verbatim (ground indices remapped through the
+/// splice), emptied sets are dropped, new sets land at their key-sorted
+/// position, and the level's item maps are brought back in sync. `jobs` /
+/// `built` are this level's slice of the repair plan (see
+/// `SkipWeb::split_installs`); each level's merge touches only its own
+/// tables, so the threaded apply path runs this over levels in parallel.
+fn install_level<D: RangeDetermined>(
+    level: &mut Level<D>,
+    li: u32,
+    jobs: &[BuildJob],
+    built: Vec<LevelSet<D>>,
+    plan: &RepairPlan,
+    n: usize,
+    owner_hosted: bool,
+) {
+    let (dirty, remap) = (&plan.dirty, &plan.remap[..]);
+    debug_assert!(jobs.iter().all(|j| j.level == li));
+    let mut incoming = jobs.iter().zip(built).peekable();
+    // A freshly grown top level has no maps to update in place.
+    let fresh_level = level.set_of_item.len() != remap.len();
+    let old_sets = std::mem::take(&mut level.sets);
+    let mut sets: Vec<LevelSet<D>> = Vec::with_capacity(old_sets.len() + 1);
+    // A set added or dropped mid-level shifts every later set's index by
+    // one. `breaks` records, per add/drop, the old index it happened
+    // before — turning the old→new index fix-up into a prefix count
+    // instead of a wholesale map rebuild.
+    let mut breaks: Vec<u32> = Vec::new();
+    let mut added: Vec<(u64, u32)> = Vec::new();
+    let mut dropped_keys: Vec<u64> = Vec::new();
+    let mut old_idx: u32 = 0;
+    for mut set in old_sets {
+        while incoming.peek().is_some_and(|(j, _)| j.key < set.key) {
+            let (job, built_set) = incoming.next().expect("peeked");
+            added.push((job.key, sets.len() as u32));
+            breaks.push(old_idx);
+            sets.push(built_set);
+        }
+        if dirty.contains(&(li, set.key)) {
+            // Replaced by its rebuilt version — or emptied: drop.
+            if incoming.peek().is_some_and(|(j, _)| j.key == set.key) {
+                sets.push(incoming.next().expect("peeked").1);
+            } else {
+                dropped_keys.push(set.key);
+                breaks.push(old_idx);
+            }
+        } else {
+            // Untouched sets never contain removed items (a removed item
+            // dirties its set at every level), so every entry remaps
+            // cleanly.
+            for g in &mut set.ground {
+                *g = remap[*g as usize];
+                debug_assert!(*g != u32::MAX);
+            }
+            if owner_hosted {
+                // Each range's primary copy is its owning item — a member
+                // of this clean set — so the owner-hosted placement remaps
+                // right along with the ground entries; replicas beyond the
+                // primary are ring successors of stale host ids, dropped
+                // here and regrown by `extend_replicas`.
+                for copies in &mut set.range_host {
+                    copies.truncate(1);
+                    if let Some(primary) = copies.first_mut() {
+                        primary.0 = remap[primary.0 as usize];
+                        debug_assert!(primary.0 != u32::MAX);
+                    }
+                }
+            }
+            sets.push(set);
+        }
+        old_idx += 1;
+    }
+    for (job, built_set) in incoming {
+        added.push((job.key, sets.len() as u32));
+        breaks.push(old_idx);
+        sets.push(built_set);
+    }
+    if fresh_level {
+        // Build the maps wholesale; every slot is covered because the sets
+        // partition the ground set.
+        let mut set_of_item = vec![0u32; n];
+        let mut local_of_item = vec![0u32; n];
+        level.set_by_key = sets
+            .iter()
+            .enumerate()
+            .map(|(si, s)| (s.key, si as u32))
+            .collect();
+        for (si, set) in sets.iter().enumerate() {
+            for (local, &g) in set.ground.iter().enumerate() {
+                set_of_item[g as usize] = si as u32;
+                local_of_item[g as usize] = local as u32;
+            }
+        }
+        level.set_of_item = set_of_item;
+        level.local_of_item = local_of_item;
+    } else {
+        // Untouched items keep their map entries verbatim modulo the index
+        // shifts: permute them to the spliced ground positions in place
+        // (folding the shift fix-up into the copy), then patch only the
+        // rebuilt sets' members — which include every item the batch
+        // touched. A single plan only ever adds sets (inserts never empty
+        // one) or only drops them (removes never create one), so the shift
+        // direction is uniform.
+        debug_assert!(added.is_empty() || dropped_keys.is_empty());
+        let delta: i64 = if dropped_keys.is_empty() { 1 } else { -1 };
+        let adjust = |si: u32| -> u32 {
+            if breaks.is_empty() {
+                return si;
+            }
+            let crossed = breaks.partition_point(|&b| b <= si) as i64;
+            (i64::from(si) + delta * crossed) as u32
+        };
+        for key in &dropped_keys {
+            level.set_by_key.remove(key);
+        }
+        if !breaks.is_empty() {
+            for v in level.set_by_key.values_mut() {
+                *v = adjust(*v);
+            }
+        }
+        for &(key, idx) in &added {
+            level.set_by_key.insert(key, idx);
+        }
+        permute_by_remap(&mut level.set_of_item, remap, n, adjust);
+        permute_by_remap(&mut level.local_of_item, remap, n, |local| local);
+        for job in jobs {
+            let si = level.set_by_key[&job.key];
+            for (local, &g) in job.members.iter().enumerate() {
+                level.set_of_item[g as usize] = si;
+                level.local_of_item[g as usize] = local as u32;
+            }
+        }
+    }
+    level.sets = sets;
 }
 
 /// Result of a skip-web query descent.
@@ -73,6 +322,24 @@ pub struct SkipWeb<D: RangeDetermined> {
     blocking: Blocking,
     replication: Replication,
     rng: StdRng,
+}
+
+/// Structural equality: two webs are equal when their ground sets, bit
+/// assignments, level hierarchies (sets, hyperlinks, placement) and host
+/// maps all match byte for byte. The insertion rng is deliberately
+/// excluded — it only affects *future* random draws, not the structure —
+/// so the parity tests can compare an incrementally repaired web against a
+/// fully rebuilt one.
+impl<D: RangeDetermined + PartialEq> PartialEq for SkipWeb<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ground == other.ground
+            && self.item_bits == other.item_bits
+            && self.levels == other.levels
+            && self.host_of_item == other.host_of_item
+            && self.hosts == other.hosts
+            && self.blocking == other.blocking
+            && self.replication == other.replication
+    }
 }
 
 /// Configures and builds a [`SkipWeb`].
@@ -365,7 +632,7 @@ impl<D: RangeDetermined> SkipWeb<D> {
         } else {
             Some(self.rng.gen_range(0..self.len()))
         };
-        if self.ground.contains(&item) {
+        if self.contains_item(&item) {
             // Route to the duplicate's locus (the paper's step 1) so the
             // failed insert still pays its lookup, then reject it without
             // consuming a bit string.
@@ -402,7 +669,7 @@ impl<D: RangeDetermined> SkipWeb<D> {
             let q = D::item_query(&item);
             let _ = self.query(o, &q, meter);
         }
-        if self.ground.contains(&item) {
+        if self.contains_item(&item) {
             return false;
         }
         // Charge the per-level conflict neighbourhoods that the insertion
@@ -416,7 +683,7 @@ impl<D: RangeDetermined> SkipWeb<D> {
     /// Removes `item`, charging the symmetric §4 repair messages. Returns
     /// `false` when the item was not present.
     pub fn remove(&mut self, item: &D::Item, meter: &mut MessageMeter) -> bool {
-        if !self.ground.contains(item) {
+        if !self.contains_item(item) {
             return false;
         }
         let origin = if self.len() > 1 {
@@ -442,7 +709,7 @@ impl<D: RangeDetermined> SkipWeb<D> {
         item: &D::Item,
         meter: &mut MessageMeter,
     ) -> bool {
-        let Some(pos) = self.ground.iter().position(|g| g == item) else {
+        let Ok(pos) = self.ground.binary_search_by(|g| D::canonical_cmp(g, item)) else {
             return false;
         };
         if let Some(o) = origin {
@@ -451,9 +718,8 @@ impl<D: RangeDetermined> SkipWeb<D> {
         }
         let bits = self.item_bits[pos];
         self.meter_update_neighbourhood(item, bits, meter);
-        self.ground.remove(pos);
-        self.item_bits.remove(pos);
-        self.rebuild();
+        let applied = self.apply_remove_batch(std::slice::from_ref(item));
+        debug_assert!(applied[0], "the item was just located");
         true
     }
 
@@ -466,55 +732,494 @@ impl<D: RangeDetermined> SkipWeb<D> {
     }
 
     /// Installs a batch of `(item, bits)` pairs in **one** structural
-    /// rebuild — the apply half of the engine's batched update path. The
+    /// repair — the apply half of the engine's batched update path. The
     /// final structure is identical to applying the pairs one at a time
     /// (the hierarchy is fully determined by the surviving ground set and
-    /// its bit strings), but the rebuild cost is paid once instead of once
-    /// per item. Returns the per-item applied flags in input order;
-    /// duplicates — against the stored set or earlier in the same batch —
-    /// come back `false`.
-    pub(crate) fn apply_insert_batch(&mut self, items: Vec<(D::Item, u64)>) -> Vec<bool> {
-        let mut applied = Vec::with_capacity(items.len());
-        let mut any = false;
-        for (item, bits) in items {
-            if self.ground.contains(&item) {
-                applied.push(false);
-                continue;
-            }
-            self.ground.push(item);
-            self.item_bits.push(bits);
-            applied.push(true);
-            any = true;
-        }
-        if any {
-            self.rebuild();
+    /// its bit strings), and byte-identical to a from-scratch
+    /// [`apply_insert_batch_full`](Self::apply_insert_batch_full), but only
+    /// the level sets the batch dirties are rebuilt: an item with bit
+    /// string `b` belongs at level `ℓ` to exactly the set keyed by its
+    /// `ℓ`-bit prefix, so a batch touches a bounded `(level, key)`
+    /// collection and every other set is reused verbatim. Returns the
+    /// per-item applied flags in input order; duplicates — against the
+    /// stored set or earlier in the same batch — come back `false`.
+    pub fn apply_insert_batch(&mut self, items: Vec<(D::Item, u64)>) -> Vec<bool> {
+        let (applied, plan) = self.stage_inserts(items, false);
+        if let Some(plan) = plan {
+            self.repair_serial(plan);
         }
         applied
     }
 
-    /// Removes a batch of items in **one** structural rebuild — the
+    /// [`apply_insert_batch`](Self::apply_insert_batch) through the
+    /// original full-rebuild path: every level set is rebuilt from scratch.
+    /// Kept as the reference implementation — the parity proptests assert
+    /// the incremental path matches it byte for byte, and the `rebuild`
+    /// bench experiment measures the two against each other.
+    pub fn apply_insert_batch_full(&mut self, items: Vec<(D::Item, u64)>) -> Vec<bool> {
+        self.stage_inserts(items, true).0
+    }
+
+    /// Removes a batch of items in **one** structural repair — the
     /// structural half of distributed removes, the counterpart of
-    /// [`apply_insert_batch`](Self::apply_insert_batch). Returns the
-    /// per-item applied flags in input order (`false` for absent items and
-    /// repeats within the batch).
-    pub(crate) fn apply_remove_batch(&mut self, items: &[D::Item]) -> Vec<bool> {
-        let mut applied = Vec::with_capacity(items.len());
-        let mut any = false;
-        for item in items {
-            match self.ground.iter().position(|g| g == item) {
-                Some(pos) => {
-                    self.ground.remove(pos);
-                    self.item_bits.remove(pos);
-                    applied.push(true);
-                    any = true;
-                }
-                None => applied.push(false),
-            }
-        }
-        if any {
-            self.rebuild();
+    /// [`apply_insert_batch`](Self::apply_insert_batch), with the same
+    /// dirty-set incrementality. Returns the per-item applied flags in
+    /// input order (`false` for absent items and repeats within the batch).
+    pub fn apply_remove_batch(&mut self, items: &[D::Item]) -> Vec<bool> {
+        let (applied, plan) = self.stage_removes(items, false);
+        if let Some(plan) = plan {
+            self.repair_serial(plan);
         }
         applied
+    }
+
+    /// [`apply_remove_batch`](Self::apply_remove_batch) through the
+    /// original full-rebuild path — the reference implementation for parity
+    /// tests and the rebuild benchmark.
+    pub fn apply_remove_batch_full(&mut self, items: &[D::Item]) -> Vec<bool> {
+        self.stage_removes(items, true).0
+    }
+
+    /// Whether an incremental repair is impossible or not worth planning:
+    /// the web is tiny, the batch empties it, or the batch dirties too
+    /// large a fraction of the ground set — at which point most level sets
+    /// need rebuilding anyway and the full path's simplicity wins. A
+    /// level-count change of one is handled incrementally (a new top level
+    /// is planned wholesale, a vanishing one is dropped); larger jumps
+    /// would need multiple levels rebuilt, but the dirty-fraction bound
+    /// already makes them unreachable (crossing two power-of-two
+    /// boundaries requires changing more than a quarter of the items), so
+    /// the guard is defensive.
+    fn must_rebuild_fully(&self, n_old: usize, n_new: usize, changed: usize) -> bool {
+        n_old < INCREMENTAL_MIN_N
+            || n_new == 0
+            || level_count(n_old).abs_diff(level_count(n_new)) > 1
+            || changed * INCREMENTAL_DIRTY_FACTOR >= n_old
+    }
+
+    /// Grows or shrinks the level table to match the spliced ground size —
+    /// by at most one level, per [`must_rebuild_fully`]'s guard. A grown
+    /// top level starts empty and returns `true`: the caller's repair plan
+    /// marks every item's set there dirty, so the install stage populates
+    /// it. A dropped level just vanishes — no `down` link points upward
+    /// into it.
+    fn sync_level_count(&mut self) -> bool {
+        let want = level_count(self.ground.len()) as usize + 1;
+        match want.cmp(&self.levels.len()) {
+            std::cmp::Ordering::Greater => {
+                debug_assert_eq!(want, self.levels.len() + 1);
+                self.levels.push(Level {
+                    sets: Vec::new(),
+                    set_of_item: Vec::new(),
+                    local_of_item: Vec::new(),
+                    set_by_key: HashMap::new(),
+                });
+                true
+            }
+            std::cmp::Ordering::Less => {
+                debug_assert_eq!(want, self.levels.len() - 1);
+                self.levels.pop();
+                false
+            }
+            std::cmp::Ordering::Equal => false,
+        }
+    }
+
+    /// Insert staging: dedups the batch, splices the fresh items into the
+    /// canonical ground order (one merge pass — no whole-set `D::build`
+    /// reorder), and computes the dirty-set repair plan. Returns the
+    /// per-item applied flags, plus `None` when nothing changed or the
+    /// full-rebuild fallback already ran (`force_full`, or
+    /// [`must_rebuild_fully`](Self::must_rebuild_fully)).
+    fn stage_inserts(
+        &mut self,
+        items: Vec<(D::Item, u64)>,
+        force_full: bool,
+    ) -> (Vec<bool>, Option<RepairPlan>) {
+        let mut applied = Vec::with_capacity(items.len());
+        // Membership and batch-internal dedup in one pass: `fresh` is kept
+        // sorted under the canonical order, so each candidate costs one
+        // binary search against the ground set and one against the batch —
+        // replacing the old per-item `ground.contains` linear scans.
+        let mut fresh: Vec<(D::Item, u64)> = Vec::new();
+        for (item, bits) in items {
+            if self.contains_item(&item) {
+                applied.push(false);
+                continue;
+            }
+            match fresh.binary_search_by(|(f, _)| D::canonical_cmp(f, &item)) {
+                Ok(_) => applied.push(false),
+                Err(pos) => {
+                    fresh.insert(pos, (item, bits));
+                    applied.push(true);
+                }
+            }
+        }
+        if fresh.is_empty() {
+            return (applied, None);
+        }
+        let n_old = self.ground.len();
+        let n_new = n_old + fresh.len();
+        if force_full || self.must_rebuild_fully(n_old, n_new, fresh.len()) {
+            for (item, bits) in fresh {
+                self.ground.push(item);
+                self.item_bits.push(bits);
+            }
+            self.rebuild();
+            return (applied, None);
+        }
+        // Splice: merge the sorted fresh items into the (already canonical)
+        // ground order, recording the old→new index remap as a side effect.
+        let mut ground = Vec::with_capacity(n_new);
+        let mut bits_vec = Vec::with_capacity(n_new);
+        let mut remap = Vec::with_capacity(n_old);
+        let mut dirty_bits = Vec::with_capacity(fresh.len());
+        let mut fresh_iter = fresh.into_iter().peekable();
+        let old_items = std::mem::take(&mut self.ground);
+        let old_bits = std::mem::take(&mut self.item_bits);
+        for (item, bits) in old_items.into_iter().zip(old_bits) {
+            while fresh_iter
+                .peek()
+                .is_some_and(|(f, _)| D::canonical_cmp(f, &item).is_lt())
+            {
+                let (f, fb) = fresh_iter.next().expect("peeked");
+                dirty_bits.push(fb);
+                ground.push(f);
+                bits_vec.push(fb);
+            }
+            remap.push(ground.len() as u32);
+            ground.push(item);
+            bits_vec.push(bits);
+        }
+        for (f, fb) in fresh_iter {
+            dirty_bits.push(fb);
+            ground.push(f);
+            bits_vec.push(fb);
+        }
+        self.ground = ground;
+        self.item_bits = bits_vec;
+        let grew_top = self.sync_level_count();
+        let plan = self.plan_from_dirty_bits(&dirty_bits, remap, grew_top);
+        (applied, Some(plan))
+    }
+
+    /// Remove staging: resolves the batch against the canonical order,
+    /// compacts the ground set in a single pass (replacing the old
+    /// per-item `position` scans and shifting `Vec::remove`s), and computes
+    /// the dirty-set repair plan — or runs the full-rebuild fallback.
+    fn stage_removes(
+        &mut self,
+        items: &[D::Item],
+        force_full: bool,
+    ) -> (Vec<bool>, Option<RepairPlan>) {
+        let mut applied = Vec::with_capacity(items.len());
+        let n_old = self.ground.len();
+        let mut doomed = vec![false; n_old];
+        let mut changed = 0usize;
+        for item in items {
+            match self.ground.binary_search_by(|g| D::canonical_cmp(g, item)) {
+                Ok(pos) if !doomed[pos] => {
+                    doomed[pos] = true;
+                    changed += 1;
+                    applied.push(true);
+                }
+                _ => applied.push(false),
+            }
+        }
+        if changed == 0 {
+            return (applied, None);
+        }
+        let n_new = n_old - changed;
+        let full = force_full || self.must_rebuild_fully(n_old, n_new, changed);
+        // One compaction pass either way, building the old→new remap
+        // (`u32::MAX` marks the removed slots).
+        let mut remap = vec![u32::MAX; n_old];
+        let mut dirty_bits = Vec::with_capacity(changed);
+        let mut write = 0usize;
+        for read in 0..n_old {
+            if doomed[read] {
+                dirty_bits.push(self.item_bits[read]);
+                continue;
+            }
+            if write != read {
+                self.ground.swap(write, read);
+                self.item_bits.swap(write, read);
+            }
+            remap[read] = write as u32;
+            write += 1;
+        }
+        self.ground.truncate(write);
+        self.item_bits.truncate(write);
+        if full {
+            self.rebuild();
+            return (applied, None);
+        }
+        let grew_top = self.sync_level_count();
+        debug_assert!(!grew_top, "removals cannot raise the level count");
+        let plan = self.plan_from_dirty_bits(&dirty_bits, remap, false);
+        (applied, Some(plan))
+    }
+
+    /// Collects the dirty `(level, key)` pairs selected by the changed
+    /// items' bit strings — plus, when `new_top` is set, every item's set
+    /// at the freshly grown top level — then scans the (already-spliced)
+    /// bit array once per level to compute each dirty set's surviving
+    /// membership — in ground order, which *is* the canonical order, so
+    /// the rebuild jobs need no per-set reorder.
+    fn plan_from_dirty_bits(
+        &self,
+        changed_bits: &[u64],
+        remap: Vec<u32>,
+        new_top: bool,
+    ) -> RepairPlan {
+        let k = level_count(self.ground.len());
+        debug_assert_eq!(
+            k as usize + 1,
+            self.levels.len(),
+            "sync_level_count runs before planning"
+        );
+        let mut dirty: BTreeSet<(u32, u64)> = BTreeSet::new();
+        for &bits in changed_bits {
+            for level in 0..=k {
+                dirty.insert((level, set_key(bits, level)));
+            }
+        }
+        if new_top {
+            for &bits in &self.item_bits {
+                dirty.insert((k, set_key(bits, k)));
+            }
+        }
+        // Dirty keys land in `builds` key-sorted per level (from the
+        // BTreeSet), so the membership scan resolves each item's set by
+        // binary search over a contiguous slice — much cheaper per probe
+        // than the tree-map this replaced.
+        let mut builds: Vec<BuildJob> = Vec::with_capacity(dirty.len());
+        let mut level_bounds: Vec<(usize, usize)> = Vec::with_capacity(k as usize + 1);
+        for level in 0..=k {
+            let start = builds.len();
+            builds.extend(
+                dirty
+                    .range((level, 0)..=(level, u64::MAX))
+                    .map(|&(_, key)| BuildJob {
+                        level,
+                        key,
+                        members: Vec::new(),
+                    }),
+            );
+            level_bounds.push((start, builds.len()));
+        }
+        // Content-dirtiness is downward-monotone in the level: a set is
+        // dirty iff it holds a changed item, and sharing an `ℓ`-bit prefix
+        // with that item implies sharing every shorter prefix. So each
+        // item's dirty sets occupy levels `[0, L]` — walk up and stop at
+        // the first clean level, instead of scanning every item at every
+        // level. A freshly grown top level is dirty by fiat (not by
+        // content), so it is excluded from the walk and scanned in full.
+        let walk_levels = if new_top { k } else { k + 1 };
+        for (g, &bits) in self.item_bits.iter().enumerate() {
+            for level in 0..walk_levels {
+                let (s, e) = level_bounds[level as usize];
+                let fresh = &mut builds[s..e];
+                match fresh.binary_search_by_key(&set_key(bits, level), |j| j.key) {
+                    Ok(i) => fresh[i].members.push(g as u32),
+                    Err(_) => break,
+                }
+            }
+        }
+        if new_top {
+            let (s, e) = level_bounds[k as usize];
+            let fresh = &mut builds[s..e];
+            for (g, &bits) in self.item_bits.iter().enumerate() {
+                if let Ok(i) = fresh.binary_search_by_key(&set_key(bits, k), |j| j.key) {
+                    fresh[i].members.push(g as u32);
+                }
+            }
+        }
+        // A dirty key with no surviving members is a set deletion: no build
+        // job; the install stage drops it.
+        builds.retain(|j| !j.members.is_empty());
+        RepairPlan {
+            dirty,
+            builds,
+            remap,
+        }
+    }
+
+    /// Runs a repair plan on the calling thread. The threaded variant is
+    /// [`apply_insert_batch_threads`](Self::apply_insert_batch_threads) /
+    /// [`apply_remove_batch_threads`](Self::apply_remove_batch_threads).
+    fn repair_serial(&mut self, plan: RepairPlan) {
+        let built = plan.builds.iter().map(|j| self.exec_build(j)).collect();
+        let links = self.install_sets(&plan, built);
+        let downs = links.iter().map(|&j| self.exec_link(j)).collect();
+        self.install_links(&links, downs);
+        self.finish_hosts();
+    }
+
+    /// Rebuilds one dirty set from its (already-spliced) members — the
+    /// parallelizable unit of the repair: reads the ground set immutably
+    /// and returns an owned set, with hyperlinks and placement filled in by
+    /// the later stages.
+    fn exec_build(&self, job: &BuildJob) -> LevelSet<D> {
+        let items: Vec<D::Item> = job
+            .members
+            .iter()
+            .map(|&g| self.ground[g as usize].clone())
+            .collect();
+        let structure = D::build(items);
+        debug_assert!(
+            structure.items().len() == job.members.len()
+                && structure
+                    .items()
+                    .iter()
+                    .zip(&job.members)
+                    .all(|(it, &g)| *it == self.ground[g as usize]),
+            "splice must preserve the canonical order (canonical_cmp contract)"
+        );
+        let num_ranges = structure.num_ranges();
+        // Owner-hosted primaries are fused into the (parallelizable) build:
+        // each range's copy list starts at its owning item's host, so the
+        // repair path never needs the full placement sweep. Bucketed webs
+        // get their placement wholesale from `assign_bucketed` instead.
+        let range_host = if matches!(self.blocking, Blocking::OwnerHosted) {
+            structure
+                .range_ids()
+                .map(|r| {
+                    let owner_local = structure.owner(r);
+                    let owner_ground = job.members.get(owner_local).copied().unwrap_or(0);
+                    vec![HostId(owner_ground)]
+                })
+                .collect()
+        } else {
+            vec![Vec::new(); num_ranges]
+        };
+        LevelSet {
+            key: job.key,
+            structure,
+            ground: job.members.clone(),
+            down: vec![Vec::new(); num_ranges],
+            range_host,
+        }
+    }
+
+    /// Splits the `(level, key)`-sorted build jobs and their rebuilt sets
+    /// into per-level chunks aligned with `self.levels`, so each level's
+    /// merge becomes self-contained — which is what lets the threaded
+    /// apply path fan [`install_level`] out.
+    fn split_installs(
+        plan: &RepairPlan,
+        built: Vec<LevelSet<D>>,
+        levels: usize,
+    ) -> Vec<(&[BuildJob], Vec<LevelSet<D>>)> {
+        let mut built_iter = built.into_iter();
+        let mut cursor = 0usize;
+        let parts: Vec<(&[BuildJob], Vec<LevelSet<D>>)> = (0..levels as u32)
+            .map(|li| {
+                let s = cursor;
+                while cursor < plan.builds.len() && plan.builds[cursor].level == li {
+                    cursor += 1;
+                }
+                let jobs = &plan.builds[s..cursor];
+                let sets: Vec<LevelSet<D>> = built_iter.by_ref().take(jobs.len()).collect();
+                (jobs, sets)
+            })
+            .collect();
+        debug_assert!(
+            cursor == plan.builds.len() && built_iter.next().is_none(),
+            "every rebuilt set must land on a level"
+        );
+        parts
+    }
+
+    /// Merges the rebuilt sets into the level tables — old sets keep their
+    /// structures and hyperlinks verbatim (ground indices remapped through
+    /// the splice), emptied sets are dropped, new sets land at their
+    /// key-sorted position — and recomputes the per-level item maps.
+    /// Returns the sets whose hyperlinks must be recomputed: every rebuilt
+    /// set plus the children of rebuilt parents (their `down` arrays index
+    /// into the parent's new structure).
+    fn install_sets(&mut self, plan: &RepairPlan, built: Vec<LevelSet<D>>) -> Vec<(u32, u32)> {
+        let n = self.ground.len();
+        let owner_hosted = matches!(self.blocking, Blocking::OwnerHosted);
+        let parts = Self::split_installs(plan, built, self.levels.len());
+        for ((li, level), (jobs, sets)) in (0u32..).zip(self.levels.iter_mut()).zip(parts) {
+            install_level(level, li, jobs, sets, plan, n, owner_hosted);
+        }
+        self.link_jobs(plan)
+    }
+
+    /// Host-table finisher for the repair path. Owner-hosted placement was
+    /// fused into the repair itself — rebuilt sets are born with owner
+    /// primaries ([`exec_build`](Self::exec_build)) and kept sets have
+    /// theirs remapped in place ([`install_level`]) — leaving only the host
+    /// count, the item homes, and the replica regrowth. Bucketed placement
+    /// numbers blocks sequentially over the whole web, so it reruns
+    /// [`assign_hosts`](Self::assign_hosts) wholesale.
+    fn finish_hosts(&mut self) {
+        match self.blocking {
+            Blocking::OwnerHosted => {
+                let n = self.ground.len();
+                self.hosts = n.max(1);
+                self.host_of_item.clear();
+                self.host_of_item.extend((0..n).map(|i| HostId(i as u32)));
+                self.extend_replicas();
+            }
+            Blocking::Bucketed { .. } => self.assign_hosts(),
+        }
+    }
+
+    /// The hyperlink recompute jobs a repair implies: every rebuilt set
+    /// plus the children of rebuilt parents, resolved to surviving
+    /// `(level, set_index)` pairs.
+    fn link_jobs(&self, plan: &RepairPlan) -> Vec<(u32, u32)> {
+        let mut link_keys: BTreeSet<(u32, u64)> = BTreeSet::new();
+        let top = (self.levels.len() - 1) as u32;
+        for &(level, key) in &plan.dirty {
+            if level >= 1 {
+                link_keys.insert((level, key));
+            }
+            if level < top {
+                // Children of a level-`ℓ` set extend its key by bit `ℓ`.
+                link_keys.insert((level + 1, key));
+                link_keys.insert((level + 1, key | (1u64 << level)));
+            }
+        }
+        link_keys
+            .into_iter()
+            .filter_map(|(level, key)| {
+                self.levels[level as usize]
+                    .set_by_key
+                    .get(&key)
+                    .map(|&si| (level, si))
+            })
+            .collect()
+    }
+
+    /// Recomputes one set's hyperlinks into its parent (§2.3) — the second
+    /// parallelizable unit: reads the installed levels immutably.
+    fn exec_link(&self, (level, set_idx): (u32, u32)) -> Vec<Vec<RangeId>> {
+        let set = &self.levels[level as usize].sets[set_idx as usize];
+        let pkey = parent_key(set.key, level);
+        let parent_level = &self.levels[level as usize - 1];
+        let parent = &parent_level.sets[parent_level.set_by_key[&pkey] as usize];
+        set.structure
+            .range_ids()
+            .map(|r| parent.structure.conflicts(&set.structure.range(r)))
+            .collect()
+    }
+
+    fn install_links(&mut self, jobs: &[(u32, u32)], downs: Vec<Vec<Vec<RangeId>>>) {
+        for (&(level, set_idx), down) in jobs.iter().zip(downs) {
+            self.levels[level as usize].sets[set_idx as usize].down = down;
+        }
+    }
+
+    /// Whether `item` is stored — a binary search against the canonical
+    /// ground order.
+    fn contains_item(&self, item: &D::Item) -> bool {
+        self.ground
+            .binary_search_by(|g| D::canonical_cmp(g, item))
+            .is_ok()
     }
 
     /// Per-item level bit strings, aligned with [`ground`](Self::ground).
@@ -651,16 +1356,9 @@ impl<D: RangeDetermined> SkipWeb<D> {
         match self.blocking {
             Blocking::OwnerHosted => {
                 self.hosts = n.max(1);
-                self.host_of_item = (0..n).map(|i| HostId(i as u32)).collect();
-                for level in &mut self.levels {
-                    for set in &mut level.sets {
-                        for r in set.structure.range_ids() {
-                            let owner_local = set.structure.owner(r);
-                            let owner_ground = set.ground.get(owner_local).copied().unwrap_or(0);
-                            set.range_host[r.index()] = vec![HostId(owner_ground)];
-                        }
-                    }
-                }
+                self.host_of_item.clear();
+                self.host_of_item.extend((0..n).map(|i| HostId(i as u32)));
+                owner_host_sweep(&mut self.levels);
                 if n == 0 {
                     self.host_of_item.clear();
                 }
@@ -866,6 +1564,94 @@ impl<D: RangeDetermined> SkipWeb<D> {
         &self.levels
     }
 }
+
+/// The threaded apply variants. Dirty sets hold disjoint item groups and
+/// each rebuild reads the spliced ground set immutably, so the repair's two
+/// heavy stages — set rebuilds and hyperlink recomputes — fan out across a
+/// [`std::thread::scope`] worker pool. Exposed to deployments as
+/// [`FabricBuilder::apply_threads`](crate::engine::FabricBuilder::apply_threads).
+impl<D> SkipWeb<D>
+where
+    D: RangeDetermined + Send + Sync,
+    D::Item: Send + Sync,
+{
+    /// [`apply_insert_batch`](Self::apply_insert_batch) with the dirty-set
+    /// rebuilds fanned out over `threads` scoped workers. `threads <= 1`
+    /// runs on the calling thread. The result is byte-identical either way
+    /// (jobs are deterministic and installed in plan order).
+    pub fn apply_insert_batch_threads(
+        &mut self,
+        items: Vec<(D::Item, u64)>,
+        threads: usize,
+    ) -> Vec<bool> {
+        let (applied, plan) = self.stage_inserts(items, false);
+        if let Some(plan) = plan {
+            self.repair_threads(plan, threads);
+        }
+        applied
+    }
+
+    /// [`apply_remove_batch`](Self::apply_remove_batch) with the dirty-set
+    /// rebuilds fanned out over `threads` scoped workers.
+    pub fn apply_remove_batch_threads(&mut self, items: &[D::Item], threads: usize) -> Vec<bool> {
+        let (applied, plan) = self.stage_removes(items, false);
+        if let Some(plan) = plan {
+            self.repair_threads(plan, threads);
+        }
+        applied
+    }
+
+    fn repair_threads(&mut self, plan: RepairPlan, threads: usize) {
+        if threads <= 1 {
+            return self.repair_serial(plan);
+        }
+        let built = par_map(&plan.builds, threads, |j| self.exec_build(j));
+        let links = self.install_sets_threads(&plan, built, threads);
+        let downs = par_map(&links, threads, |&j| self.exec_link(j));
+        self.install_links(&links, downs);
+        self.finish_hosts();
+    }
+
+    /// [`install_sets`](Self::install_sets) with the per-level merges
+    /// chunked across `threads` scoped workers. Once the build jobs are
+    /// sliced per level, each merge touches only its own level's tables —
+    /// and every level costs roughly `O(n)` (the item-map permutes), so
+    /// the chunks balance. The link-job enumeration stays serial: it is a
+    /// cheap scan of the dirty key set.
+    fn install_sets_threads(
+        &mut self,
+        plan: &RepairPlan,
+        built: Vec<LevelSet<D>>,
+        threads: usize,
+    ) -> Vec<(u32, u32)> {
+        let n = self.ground.len();
+        let owner_hosted = matches!(self.blocking, Blocking::OwnerHosted);
+        let parts = Self::split_installs(plan, built, self.levels.len());
+        let mut work: Vec<InstallWork<'_, D>> = (0u32..)
+            .zip(self.levels.iter_mut())
+            .zip(parts)
+            .map(|((li, level), (jobs, sets))| (li, level, jobs, sets))
+            .collect();
+        let chunk = work.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for batch in work.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for (li, level, jobs, sets) in batch.iter_mut() {
+                        let sets = std::mem::take(sets);
+                        install_level(level, *li, jobs, sets, plan, n, owner_hosted);
+                    }
+                });
+            }
+        });
+        drop(work);
+        self.link_jobs(plan)
+    }
+}
+
+/// One level's unit of parallel install work: the level index, the level
+/// itself, and its slice of the repair plan's build jobs with their
+/// rebuilt sets (see `SkipWeb::install_sets_threads`).
+type InstallWork<'a, D> = (u32, &'a mut Level<D>, &'a [BuildJob], Vec<LevelSet<D>>);
 
 /// The single §4 repair walk both cost models drive: enumerates, bottom-up,
 /// one host per range conflicting with the update's probe at every level

@@ -244,6 +244,12 @@ impl<const D: usize> RangeDetermined for CompressedQuadtree<D> {
     type Query = GridPoint<D>;
     type Range = Cell<D>;
 
+    /// Canonical order is the Morton (Z-order) curve, not `GridPoint`'s
+    /// derived lexicographic `Ord` — see [`build`](Self::build).
+    fn canonical_cmp(a: &GridPoint<D>, b: &GridPoint<D>) -> std::cmp::Ordering {
+        a.morton().cmp(&b.morton())
+    }
+
     fn build(mut items: Vec<GridPoint<D>>) -> Self {
         items.sort_by_key(GridPoint::morton);
         items.dedup();

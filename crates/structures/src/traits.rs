@@ -53,6 +53,21 @@ pub trait RangeDetermined: Clone + fmt::Debug {
     /// items are put in canonical order.
     fn build(items: Vec<Self::Item>) -> Self;
 
+    /// The total order [`build`](Self::build) sorts items into — the
+    /// canonical order of §2.1 made comparable one pair at a time, so that
+    /// callers maintaining an already-canonical ground set can splice new
+    /// items in (and binary-search for membership) without re-running
+    /// `build` over the whole set.
+    ///
+    /// Contract: `canonical_cmp(a, b) == Ordering::Equal` iff `a == b`, and
+    /// for any item set, `build`'s item order is sorted under this
+    /// comparator. The default is the `Ord` order; structures whose builder
+    /// sorts by a derived key (e.g. a space-filling curve) must override it
+    /// to match.
+    fn canonical_cmp(a: &Self::Item, b: &Self::Item) -> std::cmp::Ordering {
+        a.cmp(b)
+    }
+
     /// The ground set in canonical order.
     fn items(&self) -> &[Self::Item];
 
