@@ -1054,6 +1054,210 @@ impl<D: RangeDetermined> SkipWeb<D> {
         let downs = links.iter().map(|&j| self.exec_link(j)).collect();
         self.install_links(&links, downs);
         self.finish_hosts();
+        self.debug_check_invariants();
+    }
+
+    /// Debug-build-only invariant sweep after an incremental repair: a
+    /// repair bug panics at the apply that corrupted the web instead of
+    /// surfacing as a rebuild-parity failure many batches later.
+    #[inline]
+    fn debug_check_invariants(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(violation) = self.check_invariants() {
+            panic!("skip-web invariant violated after apply: {violation}");
+        }
+    }
+
+    /// Checks every structural invariant the paper's framework guarantees
+    /// (§2.1–§2.4), returning the first violation as a description.
+    ///
+    /// * **Shape** — `item_bits` matches the ground set; the level table has
+    ///   exactly `level_count(n) + 1` levels.
+    /// * **Membership** — at every level, each item sits in exactly the set
+    ///   keyed by its bit prefix (`set_key(bits, ℓ)`), which makes level
+    ///   membership monotone in level (a level-`ℓ` set key extends the
+    ///   level-`ℓ-1` key); `set_of_item` / `local_of_item` form a
+    ///   permutation consistent with each set's `ground`, and `set_by_key`
+    ///   indexes the sets bijectively.
+    /// * **Hyperlinks** — at level 0 all `down` lists are empty; above it,
+    ///   each range's `down` list equals its conflict list in the parent
+    ///   set one level down (§2.3).
+    /// * **Placement** — every range of every set is hosted somewhere, the
+    ///   copies are distinct, and all host ids (including `host_of_item`)
+    ///   are in range.
+    ///
+    /// Intended for `debug_assert!` after incremental applies and for tests;
+    /// the sweep recomputes every conflict list, so it is far too slow for
+    /// release hot paths.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.ground.len();
+        if self.item_bits.len() != n {
+            return Err(format!(
+                "item_bits has {} entries for {} ground items",
+                self.item_bits.len(),
+                n
+            ));
+        }
+        let want_levels = level_count(n) as usize + 1;
+        if self.levels.len() != want_levels {
+            return Err(format!(
+                "{} levels for {} items (want {})",
+                self.levels.len(),
+                n,
+                want_levels
+            ));
+        }
+        if self.host_of_item.len() != n {
+            return Err(format!(
+                "host_of_item has {} entries for {} ground items",
+                self.host_of_item.len(),
+                n
+            ));
+        }
+        let hosts = self.hosts as u32;
+        for (g, host) in self.host_of_item.iter().enumerate() {
+            if host.0 >= hosts {
+                return Err(format!(
+                    "item {g} homed on host {} of {} hosts",
+                    host.0, hosts
+                ));
+            }
+        }
+
+        for (li, level) in self.levels.iter().enumerate() {
+            let li = li as u32;
+            if level.set_of_item.len() != n || level.local_of_item.len() != n {
+                return Err(format!("level {li}: item maps not sized to the ground set"));
+            }
+            if level.set_by_key.len() != level.sets.len() {
+                return Err(format!(
+                    "level {li}: {} keys index {} sets",
+                    level.set_by_key.len(),
+                    level.sets.len()
+                ));
+            }
+            let mut claimed = vec![false; n];
+            for (si, set) in level.sets.iter().enumerate() {
+                let si = si as u32;
+                if level.set_by_key.get(&set.key) != Some(&si) {
+                    return Err(format!(
+                        "level {li}: set {si} (key {:#x}) not indexed by its key",
+                        set.key
+                    ));
+                }
+                if set.structure.len() != set.ground.len() {
+                    return Err(format!(
+                        "level {li} set {si}: structure holds {} items, ground map {}",
+                        set.structure.len(),
+                        set.ground.len()
+                    ));
+                }
+                let num_ranges = set.structure.num_ranges();
+                if set.down.len() != num_ranges || set.range_host.len() != num_ranges {
+                    return Err(format!(
+                        "level {li} set {si}: down/range_host not sized to {num_ranges} ranges"
+                    ));
+                }
+                for (local, &g) in set.ground.iter().enumerate() {
+                    let g = g as usize;
+                    if g >= n {
+                        return Err(format!(
+                            "level {li} set {si}: ground index {g} out of bounds"
+                        ));
+                    }
+                    if claimed[g] {
+                        return Err(format!(
+                            "level {li}: item {g} belongs to two sets (second: {si})"
+                        ));
+                    }
+                    claimed[g] = true;
+                    // Bit-prefix membership; keys nest across levels, so
+                    // passing here at every level is exactly the "membership
+                    // monotone in level" property.
+                    let want_key = set_key(self.item_bits[g], li);
+                    if set.key != want_key {
+                        return Err(format!(
+                            "level {li} set {si}: item {g} has prefix {want_key:#x} but sits in set keyed {:#x}",
+                            set.key
+                        ));
+                    }
+                    if set.structure.items()[local] != self.ground[g] {
+                        return Err(format!(
+                            "level {li} set {si}: structure item {local} diverges from ground item {g}"
+                        ));
+                    }
+                    if level.set_of_item[g] != si || level.local_of_item[g] as usize != local {
+                        return Err(format!(
+                            "level {li}: item map points item {g} at ({}, {}), set says ({si}, {local})",
+                            level.set_of_item[g], level.local_of_item[g]
+                        ));
+                    }
+                }
+            }
+            // With per-item claims unique and the maps agreeing, any
+            // unclaimed item means some level fails to cover the ground set.
+            if let Some(g) = claimed.iter().position(|&c| !c) {
+                return Err(format!("level {li}: item {g} belongs to no set"));
+            }
+
+            for (si, set) in level.sets.iter().enumerate() {
+                let parent = (li > 0)
+                    .then(|| {
+                        let below = &self.levels[li as usize - 1];
+                        let pkey = parent_key(set.key, li);
+                        below
+                            .set_by_key
+                            .get(&pkey)
+                            .map(|&pi| &below.sets[pi as usize])
+                            .ok_or_else(|| {
+                                format!(
+                                    "level {li} set {si}: no parent set keyed {pkey:#x} one level down"
+                                )
+                            })
+                    })
+                    .transpose()?;
+                for r in set.structure.range_ids() {
+                    let down = &set.down[r.index()];
+                    match parent {
+                        None => {
+                            if !down.is_empty() {
+                                return Err(format!(
+                                    "level 0 set {si}: {r} carries {} down links",
+                                    down.len()
+                                ));
+                            }
+                        }
+                        Some(parent) => {
+                            let want = parent.structure.conflicts(&set.structure.range(r));
+                            if *down != want {
+                                return Err(format!(
+                                    "level {li} set {si}: {r} down links diverge from the parent conflict list ({down:?} vs {want:?})"
+                                ));
+                            }
+                        }
+                    }
+                    let copies = &set.range_host[r.index()];
+                    if copies.is_empty() {
+                        return Err(format!("level {li} set {si}: {r} is hosted nowhere"));
+                    }
+                    for (i, host) in copies.iter().enumerate() {
+                        if host.0 >= hosts {
+                            return Err(format!(
+                                "level {li} set {si}: {r} copy on host {} of {} hosts",
+                                host.0, hosts
+                            ));
+                        }
+                        if copies[..i].contains(host) {
+                            return Err(format!(
+                                "level {li} set {si}: {r} lists host {} twice",
+                                host.0
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Rebuilds one dirty set from its (already-spliced) members — the
@@ -1610,6 +1814,7 @@ where
         let downs = par_map(&links, threads, |&j| self.exec_link(j));
         self.install_links(&links, downs);
         self.finish_hosts();
+        self.debug_check_invariants();
     }
 
     /// [`install_sets`](Self::install_sets) with the per-level merges

@@ -1,0 +1,12 @@
+// Fixture for the `deprecated-api` rule, used as TWO synthetic files by the
+// self-test: one declaring a deprecated item, one calling it. The call must
+// trip the rule; the declaration itself must not.
+
+#[deprecated(note = "use new_route instead")]
+pub fn old_route(x: u32) -> u32 {
+    x
+}
+
+pub fn new_route(x: u32) -> u32 {
+    x + 1
+}

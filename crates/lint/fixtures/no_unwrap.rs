@@ -1,0 +1,16 @@
+// Fixture for the `no-unwrap` rule: the two calls in `hot_path` must trip
+// it; the test module below must NOT (test code may panic freely).
+
+pub fn hot_path(input: Option<u32>) -> u32 {
+    let a = input.unwrap();
+    let b = input.expect("fixture");
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

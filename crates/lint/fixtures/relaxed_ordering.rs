@@ -1,0 +1,12 @@
+// Fixture for the `relaxed-ordering` rule: the Relaxed store publishing a
+// flag must trip it; the Release store must not.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed);
+}
+
+pub fn publish_correctly(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}

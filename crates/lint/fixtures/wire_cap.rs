@@ -1,0 +1,21 @@
+// Fixture for the `wire-cap` rule: `decode_unguarded` allocates from a
+// wire-read length with no MAX_FRAME check and must trip it;
+// `decode_guarded` checks the cap just above the allocation and must not.
+// MAX_FRAME is deliberately declared BELOW the unguarded decoder — the rule
+// only searches the preceding lines, so the const itself must not count as
+// a guard there.
+
+pub fn decode_unguarded(bytes: &[u8]) -> Vec<u8> {
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    vec![0u8; len as usize]
+}
+
+pub const MAX_FRAME: u32 = 64 << 20;
+
+pub fn decode_guarded(bytes: &[u8]) -> Option<Vec<u8>> {
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if len > MAX_FRAME {
+        return None;
+    }
+    Some(vec![0u8; len as usize])
+}

@@ -357,16 +357,18 @@ impl<M, R> Fabric<M, R> {
     /// Tombstones `host` (crash semantics) and wakes the host thread so it
     /// drains and exits. Idempotent.
     fn mark_dead(&self, host: HostId) {
-        {
+        let tx = {
             let slots = self.slots.read();
             let Some(slot) = slots.get(host.index()) else {
                 return;
             };
             slot.state.store(STATE_DEAD, Ordering::Release);
-            // Wake the thread (it may be blocked on an empty mailbox) so it
-            // observes the tombstone, discards its queue, and exits.
-            let _ = slot.tx.send(Envelope::Stop);
-        }
+            slot.tx.clone()
+        };
+        // Wake the thread (it may be blocked on an empty mailbox) so it
+        // observes the tombstone, discards its queue, and exits. Sent after
+        // the slots guard is released: never block a channel under a lock.
+        let _ = tx.send(Envelope::Stop);
         self.rebuild_membership();
     }
 }
@@ -405,21 +407,26 @@ impl<M, R> Delivery<M, R> {
     /// at a dead host are dropped (and counted in
     /// [`crate::HostTraffic::dropped`]), like packets to a crashed machine.
     pub fn deliver(self, msg: M) -> CarryStatus {
-        let slots = self.net.slots.read();
-        let Some(dest) = slots.get(self.to.index()) else {
-            return CarryStatus::Closed;
-        };
-        if dest.state.load(Ordering::Acquire) == STATE_DEAD {
-            dest.dropped.fetch_add(1, Ordering::Relaxed);
-            return CarryStatus::InFlight;
-        }
-        if matches!(self.from, Sender::Host(_)) {
-            dest.received.fetch_add(1, Ordering::Relaxed);
-            if self.class == TrafficClass::Update {
-                dest.update_received.fetch_add(1, Ordering::Relaxed);
+        // Bookkeeping under the slots lock, the mailbox send after it is
+        // released: never block a channel under a lock.
+        let tx = {
+            let slots = self.net.slots.read();
+            let Some(dest) = slots.get(self.to.index()) else {
+                return CarryStatus::Closed;
+            };
+            if dest.state.load(Ordering::Acquire) == STATE_DEAD {
+                dest.dropped.fetch_add(1, Ordering::Relaxed);
+                return CarryStatus::InFlight;
             }
-        }
-        match dest.tx.send(Envelope::User {
+            if matches!(self.from, Sender::Host(_)) {
+                dest.received.fetch_add(1, Ordering::Relaxed);
+                if self.class == TrafficClass::Update {
+                    dest.update_received.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            dest.tx.clone()
+        };
+        match tx.send(Envelope::User {
             from: self.from,
             msg,
         }) {
@@ -451,7 +458,10 @@ impl<M, R> ReplyDelivery<M, R> {
     /// Hands the reply to the client's channel. Replies to unknown clients
     /// (e.g. one that lives in another process) are dropped silently.
     pub fn deliver(self, reply: R) {
-        if let Some(tx) = self.net.clients.read().get(&self.client) {
+        // Clone the sender out of the map so the clients lock is released
+        // before the send: never block a channel under a lock.
+        let tx = self.net.clients.read().get(&self.client).cloned();
+        if let Some(tx) = tx {
             let _ = tx.send(reply);
         }
     }
@@ -494,7 +504,9 @@ impl<M, R> Inbound<M, R> {
 
     /// Delivers a reply that arrived from a remote peer to a local client.
     pub fn deliver_reply(&self, client: ClientId, reply: R) {
-        if let Some(tx) = self.net.clients.read().get(&client) {
+        // As in `ReplyDelivery::deliver`: release the clients lock first.
+        let tx = self.net.clients.read().get(&client).cloned();
+        if let Some(tx) = tx {
             let _ = tx.send(reply);
         }
     }
@@ -589,10 +601,14 @@ impl<M: Send + 'static, R: Send + 'static> Context<'_, M, R> {
         if to == self.host {
             // Intra-host work is free and never exposed to the transport's
             // fault model: deliver straight to our own mailbox (unbounded,
-            // so this cannot block inside a handler).
-            let slots = self.net.slots.read();
-            if let Some(dest) = slots.get(to.index()) {
-                let _ = dest.tx.send(Envelope::User {
+            // so this cannot block inside a handler). The send happens after
+            // the slots guard drops: never block a channel under a lock.
+            let tx = {
+                let slots = self.net.slots.read();
+                slots.get(to.index()).map(|dest| dest.tx.clone())
+            };
+            if let Some(tx) = tx {
+                let _ = tx.send(Envelope::User {
                     from: Sender::Host(self.host),
                     msg,
                 });
@@ -1066,11 +1082,11 @@ impl<A: Actor> Runtime<A> {
     /// straight to the mailboxes — a lossy or wedged transport cannot block
     /// shutdown.
     pub fn shutdown(self) {
-        {
-            let slots = self.net.slots.read();
-            for slot in slots.iter() {
-                let _ = slot.tx.send(Envelope::Stop);
-            }
+        // Snapshot the mailbox senders, then send with the slots lock
+        // released: never block a channel under a lock.
+        let txs: Vec<_> = self.net.slots.read().iter().map(|s| s.tx.clone()).collect();
+        for tx in txs {
+            let _ = tx.send(Envelope::Stop);
         }
         for handle in self.handles.into_inner() {
             let _ = handle.join();

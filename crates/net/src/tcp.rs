@@ -197,7 +197,11 @@ impl<M: Send + 'static, R: Send + 'static> TcpTransport<M, R> {
     /// purpose, `false` on timeout.
     pub fn wait_closed(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut bye = self.inner.bye.lock().expect("tcp bye poisoned");
+        let mut bye = self
+            .inner
+            .bye
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while !*bye {
             let now = Instant::now();
             if now >= deadline {
@@ -207,7 +211,7 @@ impl<M: Send + 'static, R: Send + 'static> TcpTransport<M, R> {
                 .inner
                 .bye_cv
                 .wait_timeout(bye, deadline - now)
-                .expect("tcp bye poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             bye = b;
         }
         true
@@ -218,7 +222,9 @@ impl<M: Send + 'static, R: Send + 'static> Inner<M, R> {
     /// Writes one frame to endpoint `ep`, opening the connection on first
     /// use. The per-peer lock keeps frames atomic on the stream.
     fn send_to(inner: &Arc<Self>, ep: usize, payload: &[u8]) -> io::Result<()> {
-        let mut slot = inner.peers[ep].lock().expect("tcp peer poisoned");
+        let mut slot = inner.peers[ep]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if slot.is_none() {
             *slot = Some(Self::connect(inner, ep)?);
         }
@@ -276,7 +282,7 @@ impl<M: Send + 'static, R: Send + 'static> Inner<M, R> {
                 inner
                     .accepted
                     .lock()
-                    .expect("tcp accepted poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push(clone);
             }
             let inner = Arc::clone(&inner);
@@ -302,7 +308,10 @@ impl<M: Send + 'static, R: Send + 'static> Inner<M, R> {
                     // EOF or stream error. Expected during a BYE teardown or
                     // local shutdown; otherwise the wire is gone.
                     let expected = inner.closing.load(Ordering::Acquire)
-                        || *inner.bye.lock().expect("tcp bye poisoned");
+                        || *inner
+                            .bye
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                     if !expected {
                         if let Some(inbound) = inner.inbound.get() {
                             inbound.note_transport_closed();
@@ -363,7 +372,10 @@ impl<M: Send + 'static, R: Send + 'static> Inner<M, R> {
                 true
             }
             FRAME_BYE => {
-                *inner.bye.lock().expect("tcp bye poisoned") = true;
+                *inner
+                    .bye
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
                 inner.bye_cv.notify_all();
                 true
             }
@@ -431,7 +443,11 @@ impl<M: Send + 'static, R: Send + 'static> Transport<M, R> for TcpTransport<M, R
             .name("tcp-acceptor".into())
             .spawn(move || Inner::run_acceptor(inner))
             .expect("spawn tcp acceptor thread");
-        *self.inner.acceptor.lock().expect("tcp acceptor poisoned") = Some(handle);
+        *self
+            .inner
+            .acceptor
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(handle);
     }
 
     fn stats(&self) -> TransportStats {
@@ -452,26 +468,38 @@ impl<M: Send + 'static, R: Send + 'static> Transport<M, R> for TcpTransport<M, R
             return;
         }
         // Unblock wait_closed() callers on this process.
-        *inner.bye.lock().expect("tcp bye poisoned") = true;
+        *inner
+            .bye
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
         inner.bye_cv.notify_all();
         // Unblock the acceptor with a throwaway connection to ourselves.
         if let Ok(addr) = inner.listener.local_addr() {
             let _ = TcpStream::connect(addr);
         }
         for slot in &inner.peers {
-            if let Some(stream) = slot.lock().expect("tcp peer poisoned").take() {
+            if let Some(stream) = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+            {
                 let _ = stream.shutdown(std::net::Shutdown::Both);
             }
         }
         for stream in inner
             .accepted
             .lock()
-            .expect("tcp accepted poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .drain(..)
         {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
-        if let Some(handle) = inner.acceptor.lock().expect("tcp acceptor poisoned").take() {
+        if let Some(handle) = inner
+            .acceptor
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
             let _ = handle.join();
         }
     }

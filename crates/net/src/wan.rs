@@ -194,7 +194,10 @@ impl SimWanTransport {
     }
 
     fn run_timer(shared: &Shared) {
-        let mut wheel = shared.wheel.lock().expect("simwan wheel poisoned");
+        let mut wheel = shared
+            .wheel
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             let now = Instant::now();
             match wheel.heap.peek() {
@@ -202,20 +205,26 @@ impl SimWanTransport {
                     if wheel.closed {
                         return;
                     }
-                    wheel = shared.cv.wait(wheel).expect("simwan wheel poisoned");
+                    wheel = shared
+                        .cv
+                        .wait(wheel)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
                 Some(head) if head.due <= now => {
                     let job = wheel.heap.pop().expect("peeked entry vanished").job;
                     drop(wheel);
                     job();
-                    wheel = shared.wheel.lock().expect("simwan wheel poisoned");
+                    wheel = shared
+                        .wheel
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
                 Some(head) => {
                     let wait = head.due - now;
                     let (w, _) = shared
                         .cv
                         .wait_timeout(wheel, wait)
-                        .expect("simwan wheel poisoned");
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     wheel = w;
                 }
             }
@@ -227,7 +236,11 @@ impl SimWanTransport {
     /// lands before an already-scheduled delivery on the same link).
     fn schedule_roll(&self, from: u64, to: u64) -> Option<Instant> {
         let cfg = self.shared.cfg;
-        let mut links = self.shared.links.lock().expect("simwan links poisoned");
+        let mut links = self
+            .shared
+            .links
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let link = links.entry((from, to)).or_insert_with(|| Link {
             rng: StdRng::seed_from_u64(mix(cfg.seed, from, to)),
             last_due: None,
@@ -262,7 +275,11 @@ impl SimWanTransport {
 
     fn enqueue(&self, due: Instant, job: Box<dyn FnOnce() + Send>) {
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
-        let mut wheel = self.shared.wheel.lock().expect("simwan wheel poisoned");
+        let mut wheel = self
+            .shared
+            .wheel
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if wheel.closed {
             return;
         }
@@ -329,14 +346,23 @@ impl<M: Send + 'static, R: Send + 'static> Transport<M, R> for SimWanTransport {
             return;
         }
         {
-            let mut wheel = self.shared.wheel.lock().expect("simwan wheel poisoned");
+            let mut wheel = self
+                .shared
+                .wheel
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             wheel.closed = true;
             // In-flight deliveries target mailboxes that are already closed
             // at shutdown; discard them rather than draining.
             wheel.heap.clear();
         }
         self.shared.cv.notify_all();
-        if let Some(handle) = self.timer.lock().expect("simwan timer poisoned").take() {
+        if let Some(handle) = self
+            .timer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
             let _ = handle.join();
         }
     }

@@ -269,6 +269,30 @@ pub struct WalScan {
     pub tail: WalTail,
 }
 
+/// Reads a little-endian `u32` at `at`. The caller has already
+/// length-checked `bytes`; going through a fixed array keeps the recovery
+/// parser free of unwraps on slice conversions.
+///
+/// # Panics
+///
+/// Panics if fewer than 4 bytes remain at `at`.
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(buf)
+}
+
+/// [`le_u32`]'s `u64` counterpart.
+///
+/// # Panics
+///
+/// Panics if fewer than 8 bytes remain at `at`.
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(buf)
+}
+
 /// Reads and decodes one WAL file, tolerating a torn tail (records before
 /// the tear are kept, everything from it on is dropped). A missing file is
 /// an empty clean log.
@@ -298,7 +322,7 @@ pub fn read_wal(path: &Path) -> io::Result<WalScan> {
         if bytes.len() - at < 4 {
             break torn(TornReason::TruncatedFrame);
         }
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let len = le_u32(&bytes, at) as usize;
         if len > MAX_FRAME as usize {
             break torn(TornReason::Oversized);
         }
@@ -306,7 +330,7 @@ pub fn read_wal(path: &Path) -> io::Result<WalScan> {
             break torn(TornReason::TruncatedFrame);
         }
         let payload = &bytes[at + 4..at + 4 + len];
-        let stored = u32::from_le_bytes(bytes[at + 4 + len..at + 8 + len].try_into().unwrap());
+        let stored = le_u32(&bytes, at + 4 + len);
         if crc32(payload) != stored {
             break torn(TornReason::CrcMismatch);
         }
@@ -441,12 +465,12 @@ pub fn read_checkpoint(path: &Path) -> io::Result<Option<Checkpoint>> {
     if bytes.len() < 4 + 8 + 4 || bytes[..4] != CHECKPOINT_MAGIC {
         return Ok(None);
     }
-    let len = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+    let len = le_u64(&bytes, 4) as usize;
     if bytes.len() != 4 + 8 + len + 4 {
         return Ok(None);
     }
     let body = &bytes[12..12 + len];
-    let stored = u32::from_le_bytes(bytes[12 + len..].try_into().unwrap());
+    let stored = le_u32(&bytes, 12 + len);
     if crc32(body) != stored {
         return Ok(None);
     }

@@ -6,6 +6,13 @@
 //! runtime's tests share client handles across scoped threads. Disconnect
 //! behaviour matches crossbeam: senders fail once the receiver side is gone,
 //! receivers drain the queue before reporting disconnection.
+//!
+//! With the `lockdep` cargo feature, the blocking entry points (`send`,
+//! `recv`, `recv_timeout`) report to `parking_lot::lockdep` when called with
+//! instrumented locks held — a full-mailbox send under a lock is the classic
+//! actor-fabric wedge, and even this unbounded stand-in flags the pattern so
+//! the discipline holds if a bounded channel ever replaces it — and consult
+//! `parking_lot::chaos` for seeded schedule perturbation.
 
 #![warn(missing_docs)]
 
@@ -84,7 +91,16 @@ impl<T> Sender<T> {
     /// # Errors
     ///
     /// Returns [`SendError`] holding `msg` if every receiver was dropped.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        #[cfg(feature = "lockdep")]
+        {
+            parking_lot::chaos::perturb(parking_lot::chaos::Point::Send);
+            parking_lot::lockdep::note_channel_op(
+                parking_lot::lockdep::ChannelOp::Send,
+                std::panic::Location::caller(),
+            );
+        }
         let mut inner = lock(&self.0);
         if inner.receivers == 0 {
             return Err(SendError(msg));
@@ -120,7 +136,16 @@ impl<T> Receiver<T> {
     /// # Errors
     ///
     /// Returns [`RecvError`] once the channel is drained and disconnected.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn recv(&self) -> Result<T, RecvError> {
+        #[cfg(feature = "lockdep")]
+        {
+            parking_lot::chaos::perturb(parking_lot::chaos::Point::Recv);
+            parking_lot::lockdep::note_channel_op(
+                parking_lot::lockdep::ChannelOp::Recv,
+                std::panic::Location::caller(),
+            );
+        }
         let mut inner = lock(&self.0);
         loop {
             if let Some(msg) = inner.queue.pop_front() {
@@ -143,7 +168,16 @@ impl<T> Receiver<T> {
     ///
     /// [`RecvTimeoutError::Timeout`] on deadline expiry,
     /// [`RecvTimeoutError::Disconnected`] once drained and disconnected.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        #[cfg(feature = "lockdep")]
+        {
+            parking_lot::chaos::perturb(parking_lot::chaos::Point::Recv);
+            parking_lot::lockdep::note_channel_op(
+                parking_lot::lockdep::ChannelOp::Recv,
+                std::panic::Location::caller(),
+            );
+        }
         let deadline = Instant::now() + timeout;
         let mut inner = lock(&self.0);
         loop {

@@ -1,0 +1,164 @@
+//! Seeded chaos scheduling, compiled in behind the `lockdep` cargo feature.
+//!
+//! Every instrumented synchronization point (lock acquisition in this crate,
+//! channel send/recv in the vendored `crossbeam-channel`) consults this
+//! module and, when a chaos seed is set, injects a perturbation — usually
+//! nothing, sometimes `yield_now`, occasionally a microsecond-scale sleep.
+//! Sweeping a test binary across N seeds explores N different interleavings
+//! of the same code, shaking out ordering-dependent bugs that a quiet
+//! scheduler never exhibits.
+//!
+//! Determinism: each thread draws its decisions from a private SplitMix64
+//! stream keyed by `(seed, thread ordinal)`, where the ordinal is the order
+//! in which threads first hit an instrumented point. The decision *sequence*
+//! per thread is therefore a pure function of the seed — rerunning with the
+//! same seed replays the same per-thread perturbation schedule (the OS may
+//! still interleave differently, but the injected noise is identical, which
+//! is what makes failures replayable in practice). [`thread_digest`] exposes
+//! an FNV-1a digest of the current thread's decisions so tests can assert
+//! this.
+//!
+//! Enable by setting `SKIPWEB_CHAOS_SEED=<u64>` in the environment (what the
+//! CI sweep does) or by calling [`set_seed`] from a test. With no seed the
+//! hooks are a single relaxed atomic load.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which instrumented point is consulting the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Point {
+    /// A `Mutex`/`RwLock` acquisition.
+    Lock,
+    /// A channel send.
+    Send,
+    /// A channel recv.
+    Recv,
+}
+
+/// 0 = uninitialized, 1 = disabled (no seed), 2 = enabled.
+static MODE: AtomicU8 = AtomicU8::new(0);
+static SEED: AtomicU64 = AtomicU64::new(0);
+/// Bumped on every (re)seed so threads notice and reset their streams.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static NEXT_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+struct ThreadStream {
+    epoch: u64,
+    ordinal: u64,
+    state: u64,
+    events: u64,
+    digest: u64,
+}
+
+thread_local! {
+    static STREAM: RefCell<Option<ThreadStream>> = const { RefCell::new(None) };
+}
+
+fn init_from_env() {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        if let Some(seed) = std::env::var("SKIPWEB_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            SEED.store(seed, Ordering::Relaxed);
+            EPOCH.fetch_add(1, Ordering::Relaxed);
+            MODE.store(2, Ordering::Release);
+        } else {
+            MODE.store(1, Ordering::Release);
+        }
+    });
+}
+
+/// Enables chaos injection with the given seed (overriding the
+/// `SKIPWEB_CHAOS_SEED` environment variable). Threads reset their decision
+/// streams and ordinals are handed out afresh, so calling this at the top of
+/// a test gives that test a reproducible schedule regardless of what ran
+/// before it.
+pub fn set_seed(seed: u64) {
+    init_from_env();
+    SEED.store(seed, Ordering::Relaxed);
+    NEXT_ORDINAL.store(0, Ordering::Relaxed);
+    EPOCH.fetch_add(1, Ordering::Relaxed);
+    MODE.store(2, Ordering::Release);
+}
+
+/// Disables chaos injection for the rest of the process (tests that need a
+/// quiet scheduler after a seeded section).
+pub fn clear_seed() {
+    init_from_env();
+    MODE.store(1, Ordering::Release);
+}
+
+/// The active seed, if chaos injection is enabled.
+pub fn current_seed() -> Option<u64> {
+    init_from_env();
+    (MODE.load(Ordering::Acquire) == 2).then(|| SEED.load(Ordering::Relaxed))
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Called from every instrumented synchronization point. No-op unless a
+/// seed is active.
+pub fn perturb(point: Point) {
+    match MODE.load(Ordering::Acquire) {
+        1 => return,
+        2 => {}
+        _ => {
+            init_from_env();
+            if MODE.load(Ordering::Acquire) != 2 {
+                return;
+            }
+        }
+    }
+    let epoch = EPOCH.load(Ordering::Relaxed);
+    let decision = STREAM.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let stream = match slot.as_mut() {
+            Some(s) if s.epoch == epoch => s,
+            _ => {
+                let ordinal = NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed);
+                let seed = SEED.load(Ordering::Relaxed);
+                *slot = Some(ThreadStream {
+                    epoch,
+                    ordinal,
+                    state: seed ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    events: 0,
+                    digest: 0xCBF2_9CE4_8422_2325, // FNV-1a offset basis
+                });
+                slot.as_mut().unwrap()
+            }
+        };
+        let r = splitmix64(&mut stream.state);
+        // Fold the point kind in so re-ordering of lock vs channel events
+        // within a thread changes the digest.
+        let event = r ^ (point as u64).wrapping_mul(0x0100_0000_01B3);
+        stream.digest = (stream.digest ^ event).wrapping_mul(0x0100_0000_01B3);
+        stream.events += 1;
+        r
+    });
+    match decision % 97 {
+        0..=9 => std::thread::yield_now(),
+        10 => std::thread::sleep(std::time::Duration::from_micros(decision >> 57)),
+        _ => {}
+    }
+}
+
+/// The current thread's chaos ordinal and decision count/digest, for
+/// determinism tests: with the same seed, a thread performing the same
+/// sequence of instrumented operations ends with the same digest.
+pub fn thread_digest() -> Option<(u64, u64, u64)> {
+    STREAM.with(|cell| {
+        cell.borrow()
+            .as_ref()
+            .map(|s| (s.ordinal, s.events, s.digest))
+    })
+}

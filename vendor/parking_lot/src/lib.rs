@@ -4,29 +4,79 @@
 //! / `lock()` return guards directly (no poisoning `Result`). Poison from a
 //! panicked holder is deliberately ignored — parking_lot has no poisoning,
 //! so neither does this shim.
+//!
+//! With the `lockdep` cargo feature, every lock carries instrumentation
+//! metadata and every acquisition funnels through the [`lockdep`] lock-order
+//! deadlock detector and the [`chaos`] seeded schedule perturber. Without the
+//! feature both modules are compiled out and the guards are plain type
+//! aliases for the `std::sync` guards — zero overhead.
 
 #![warn(missing_docs)]
 
 use std::sync;
 
+#[cfg(feature = "lockdep")]
+pub mod chaos;
+#[cfg(feature = "lockdep")]
+pub mod lockdep;
+
 /// A reader-writer lock whose guards are returned without a poisoning layer.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    meta: lockdep::LockMeta,
+    inner: sync::RwLock<T>,
+}
 
+#[cfg(not(feature = "lockdep"))]
 /// Shared read guard for [`RwLock`].
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+#[cfg(not(feature = "lockdep"))]
 /// Exclusive write guard for [`RwLock`].
 pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+#[cfg(feature = "lockdep")]
+/// Shared read guard for [`RwLock`], carrying a lockdep held-lock token.
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    _held: lockdep::HeldToken,
+}
+
+#[cfg(feature = "lockdep")]
+/// Exclusive write guard for [`RwLock`], carrying a lockdep held-lock token.
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    _held: lockdep::HeldToken,
+}
 
 impl<T> RwLock<T> {
     /// Creates the lock holding `value`.
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "lockdep")]
+            meta: lockdep::LockMeta::new(None),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates the lock holding `value`, with an explicit lockdep class
+    /// label (the label is ignored — but still accepted — without the
+    /// `lockdep` feature, so call sites need no cfg).
+    pub const fn new_labeled(label: &'static str, value: T) -> Self {
+        #[cfg(not(feature = "lockdep"))]
+        let _ = label;
+        RwLock {
+            #[cfg(feature = "lockdep")]
+            meta: lockdep::LockMeta::new(Some(label)),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0
+        self.inner
             .into_inner()
             .unwrap_or_else(sync::PoisonError::into_inner)
     }
@@ -34,32 +84,100 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard, blocking until available.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+        #[cfg(feature = "lockdep")]
+        {
+            chaos::perturb(chaos::Point::Lock);
+            let held = self.meta.on_acquire(
+                lockdep::LockKind::RwLockRead,
+                std::panic::Location::caller(),
+            );
+            RwLockReadGuard {
+                inner: self
+                    .inner
+                    .read()
+                    .unwrap_or_else(sync::PoisonError::into_inner),
+                _held: held,
+            }
+        }
+        #[cfg(not(feature = "lockdep"))]
+        self.inner
+            .read()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Acquires an exclusive write guard, blocking until available.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+        #[cfg(feature = "lockdep")]
+        {
+            chaos::perturb(chaos::Point::Lock);
+            let held = self.meta.on_acquire(
+                lockdep::LockKind::RwLockWrite,
+                std::panic::Location::caller(),
+            );
+            RwLockWriteGuard {
+                inner: self
+                    .inner
+                    .write()
+                    .unwrap_or_else(sync::PoisonError::into_inner),
+                _held: held,
+            }
+        }
+        #[cfg(not(feature = "lockdep"))]
+        self.inner
+            .write()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
 /// A mutual-exclusion lock whose guard is returned without a poisoning layer.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    meta: lockdep::LockMeta,
+    inner: sync::Mutex<T>,
+}
 
+#[cfg(not(feature = "lockdep"))]
 /// Guard for [`Mutex`].
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+#[cfg(feature = "lockdep")]
+/// Guard for [`Mutex`], carrying a lockdep held-lock token.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    _held: lockdep::HeldToken,
+}
 
 impl<T> Mutex<T> {
     /// Creates the mutex holding `value`.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "lockdep")]
+            meta: lockdep::LockMeta::new(None),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates the mutex holding `value`, with an explicit lockdep class
+    /// label (the label is ignored — but still accepted — without the
+    /// `lockdep` feature, so call sites need no cfg).
+    pub const fn new_labeled(label: &'static str, value: T) -> Self {
+        #[cfg(not(feature = "lockdep"))]
+        let _ = label;
+        Mutex {
+            #[cfg(feature = "lockdep")]
+            meta: lockdep::LockMeta::new(Some(label)),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0
+        self.inner
             .into_inner()
             .unwrap_or_else(sync::PoisonError::into_inner)
     }
@@ -67,8 +185,61 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+        #[cfg(feature = "lockdep")]
+        {
+            chaos::perturb(chaos::Point::Lock);
+            let held = self
+                .meta
+                .on_acquire(lockdep::LockKind::Mutex, std::panic::Location::caller());
+            MutexGuard {
+                inner: self
+                    .inner
+                    .lock()
+                    .unwrap_or_else(sync::PoisonError::into_inner),
+                _held: held,
+            }
+        }
+        #[cfg(not(feature = "lockdep"))]
+        self.inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(feature = "lockdep")]
+mod guard_impls {
+    use super::*;
+    use std::ops::{Deref, DerefMut};
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
     }
 }
 
@@ -79,11 +250,17 @@ mod tests {
 
     #[test]
     fn rwlock_allows_many_readers_then_writer() {
-        let lock = RwLock::new(5);
+        // The second reader runs on its own thread: same-thread read
+        // recursion is exactly what lockdep flags (a queued writer between
+        // the two reads deadlocks), so the test must not model it.
+        let lock = Arc::new(RwLock::new(5));
         {
             let a = lock.read();
-            let b = lock.read();
-            assert_eq!(*a + *b, 10);
+            let concurrent = {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || *lock.read()).join().unwrap()
+            };
+            assert_eq!(*a + concurrent, 10);
         }
         *lock.write() += 1;
         assert_eq!(*lock.read(), 6);

@@ -1,0 +1,506 @@
+//! Lock-order deadlock detection (this workspace's `lockdep`), compiled in
+//! behind the `lockdep` cargo feature.
+//!
+//! Every [`Mutex`](crate::Mutex) / [`RwLock`](crate::RwLock) acquisition in
+//! the workspace funnels through this module, which maintains:
+//!
+//! * a **per-thread held-lock set** — which lock classes the current thread
+//!   holds right now, each with the source location that acquired it;
+//! * a **global lock-acquisition-order graph** — an edge `A → B` is recorded
+//!   the first time any thread acquires a lock of class `B` while holding a
+//!   lock of class `A`, together with both acquisition sites (and, for the
+//!   newly closing edge, a captured backtrace).
+//!
+//! On each acquisition that adds a new edge, the graph is searched for a
+//! cycle through that edge. A cycle means two threads *can* acquire the same
+//! lock classes in opposite orders — a potential deadlock — and is reported
+//! even if the interleaving that would actually deadlock never ran. Locks
+//! are identified by **class**, not instance: an explicit creation-site
+//! label ([`Mutex::new_labeled`](crate::Mutex::new_labeled)) when given,
+//! otherwise the source location of the lock's first acquisition. Two locks
+//! created at the same site share a class, so an ABBA inversion between two
+//! instances of the same pair of classes is caught no matter which instances
+//! participated.
+//!
+//! The vendored `crossbeam-channel` additionally calls
+//! [`note_channel_op`] from its blocking entry points, so a **channel send
+//! or recv executed while holding any lock** is reported: a full-mailbox
+//! send under the engine's apply lock is the classic way an actor fabric
+//! wedges, and even our unbounded stand-in flags it so the discipline holds
+//! when a bounded channel replaces it.
+//!
+//! Reports are recorded in a process-global buffer ([`take_reports`],
+//! [`total_reports`]) and printed to stderr; set `SKIPWEB_LOCKDEP_DIR` to
+//! also append them to `<dir>/lockdep-<pid>.log` (what CI uploads as an
+//! artifact), `SKIPWEB_LOCKDEP_PANIC=1` to panic at the detection site, and
+//! `SKIPWEB_LOCKDEP_BACKTRACE=0` to skip backtrace capture on new edges.
+//! Intentional-violation fixtures call [`set_quiet`] to keep recording
+//! without spamming the sinks.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io::Write as _;
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// How a lock is being acquired, for report texts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `Mutex::lock()`.
+    Mutex,
+    /// `RwLock::read()`.
+    RwLockRead,
+    /// `RwLock::write()`.
+    RwLockWrite,
+}
+
+impl fmt::Display for LockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockKind::Mutex => write!(f, "lock()"),
+            LockKind::RwLockRead => write!(f, "read()"),
+            LockKind::RwLockWrite => write!(f, "write()"),
+        }
+    }
+}
+
+/// A blocking channel operation, for [`note_channel_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelOp {
+    /// `Sender::send` — never blocks on the unbounded stand-in, but would on
+    /// any bounded channel, so it is flagged under a lock all the same.
+    Send,
+    /// `Receiver::recv` / `recv_timeout` — blocks until a message arrives.
+    Recv,
+}
+
+impl fmt::Display for ChannelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelOp::Send => write!(f, "send"),
+            ChannelOp::Recv => write!(f, "recv"),
+        }
+    }
+}
+
+/// What a [`Report`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// A cycle in the lock-acquisition-order graph: a potential deadlock.
+    OrderCycle,
+    /// A blocking channel operation performed while holding a lock.
+    ChannelUnderLock,
+}
+
+/// One detected violation.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Which detector fired.
+    pub kind: ReportKind,
+    /// The lock-class labels involved: the cycle in order (first class
+    /// repeated at the end) for [`ReportKind::OrderCycle`], the held classes
+    /// for [`ReportKind::ChannelUnderLock`].
+    pub classes: Vec<String>,
+    /// Full human-readable description with acquisition sites and (for the
+    /// edge that closed a cycle) a captured backtrace.
+    pub message: String,
+}
+
+/// Per-lock instrumentation state embedded in every
+/// [`Mutex`](crate::Mutex) / [`RwLock`](crate::RwLock).
+#[derive(Debug)]
+pub struct LockMeta {
+    /// Interned class id, assigned lazily on first acquisition (0 = unset).
+    class: AtomicUsize,
+    /// Explicit creation-site label, if the lock was built with
+    /// `new_labeled`.
+    label: Option<&'static str>,
+}
+
+impl Default for LockMeta {
+    fn default() -> Self {
+        LockMeta::new(None)
+    }
+}
+
+/// An entry in the current thread's held-lock set. Dropping it (from the
+/// guard) removes the entry.
+#[derive(Debug)]
+pub struct HeldToken {
+    seq: u64,
+}
+
+#[derive(Clone)]
+struct Held {
+    seq: u64,
+    class: usize,
+    kind: LockKind,
+    site: &'static Location<'static>,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    static NEXT_SEQ: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// First-seen acquisition context of one order-graph edge `from → to`.
+struct EdgeInfo {
+    hold_kind: LockKind,
+    hold_site: &'static Location<'static>,
+    acquire_kind: LockKind,
+    acquire_site: &'static Location<'static>,
+    /// Captured only for the edge that is being inserted (cheap: once per
+    /// unique edge, not per acquisition).
+    backtrace: Option<String>,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Class label by id − 1.
+    names: Vec<String>,
+    ids: HashMap<String, usize>,
+    /// `from → (to → first-seen context)`.
+    edges: HashMap<usize, HashMap<usize, EdgeInfo>>,
+    /// Cycles already reported, canonicalized to their minimal rotation.
+    reported_cycles: HashSet<Vec<usize>>,
+    /// Channel-under-lock sites already reported: `(call site, held set)`.
+    reported_chan: HashSet<(String, Vec<usize>)>,
+    reports: Vec<Report>,
+}
+
+fn registry() -> &'static StdMutex<Registry> {
+    static REGISTRY: OnceLock<StdMutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| StdMutex::new(Registry::default()))
+}
+
+static TOTAL_REPORTS: AtomicUsize = AtomicUsize::new(0);
+static QUIET: AtomicBool = AtomicBool::new(false);
+/// 0 = follow `SKIPWEB_LOCKDEP_PANIC`, 1 = off, 2 = on.
+static PANIC_MODE: AtomicUsize = AtomicUsize::new(0);
+
+fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
+    registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl LockMeta {
+    /// Creates unassigned metadata, optionally with an explicit class label.
+    pub const fn new(label: Option<&'static str>) -> Self {
+        LockMeta {
+            class: AtomicUsize::new(0),
+            label,
+        }
+    }
+
+    /// The lock's interned class id, assigning it from the label (or from
+    /// `site`, the first acquisition's location) on first use.
+    fn class_of(&self, site: &'static Location<'static>) -> usize {
+        let c = self.class.load(Ordering::Relaxed);
+        if c != 0 {
+            return c;
+        }
+        let name = match self.label {
+            Some(label) => label.to_string(),
+            None => format!("{}:{}", site.file(), site.line()),
+        };
+        let id = {
+            let mut reg = lock_registry();
+            match reg.ids.get(&name) {
+                Some(&id) => id,
+                None => {
+                    reg.names.push(name.clone());
+                    let id = reg.names.len();
+                    reg.ids.insert(name, id);
+                    id
+                }
+            }
+        };
+        // A racing first acquisition interned the same name, so both sides
+        // computed the same id; the exchange can never disagree.
+        let _ = self
+            .class
+            .compare_exchange(0, id, Ordering::Relaxed, Ordering::Relaxed);
+        id
+    }
+
+    /// Records an acquisition attempt: assigns the class, records new
+    /// order-graph edges from every currently-held class, reports any cycle
+    /// the new edge closes, and marks the lock held. Called *before*
+    /// blocking on the underlying primitive, so the edge exists even if the
+    /// acquisition then deadlocks for real.
+    pub fn on_acquire(&self, kind: LockKind, site: &'static Location<'static>) -> HeldToken {
+        let class = self.class_of(site);
+        let held_snapshot: Vec<Held> = HELD.with(|h| h.borrow().clone());
+        if !held_snapshot.is_empty() {
+            let mut seen: HashSet<usize> = HashSet::new();
+            for held in &held_snapshot {
+                if seen.insert(held.class) {
+                    add_edge(held, class, kind, site);
+                }
+            }
+        }
+        let seq = NEXT_SEQ.with(|s| {
+            let mut s = s.borrow_mut();
+            *s += 1;
+            *s
+        });
+        HELD.with(|h| {
+            h.borrow_mut().push(Held {
+                seq,
+                class,
+                kind,
+                site,
+            })
+        });
+        HeldToken { seq }
+    }
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            // Guards can drop out of acquisition order; search from the end
+            // (the common LIFO case hits immediately).
+            if let Some(i) = held.iter().rposition(|e| e.seq == self.seq) {
+                held.remove(i);
+            }
+        });
+    }
+}
+
+/// Whether to capture a backtrace on each new order-graph edge (default
+/// yes; set `SKIPWEB_LOCKDEP_BACKTRACE=0` to disable).
+fn capture_backtraces() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var("SKIPWEB_LOCKDEP_BACKTRACE").as_deref() != Ok("0"))
+}
+
+fn add_edge(held: &Held, to: usize, kind: LockKind, site: &'static Location<'static>) {
+    let from = held.class;
+    let report = {
+        let mut reg = lock_registry();
+        if reg
+            .edges
+            .get(&from)
+            .is_some_and(|outs| outs.contains_key(&to))
+        {
+            return; // seen before: any cycle through it was already checked
+        }
+        let backtrace =
+            capture_backtraces().then(|| std::backtrace::Backtrace::force_capture().to_string());
+        reg.edges.entry(from).or_default().insert(
+            to,
+            EdgeInfo {
+                hold_kind: held.kind,
+                hold_site: held.site,
+                acquire_kind: kind,
+                acquire_site: site,
+                backtrace,
+            },
+        );
+        check_cycle(&mut reg, from, to)
+    };
+    if let Some(report) = report {
+        emit(report);
+    }
+}
+
+/// Looks for a path `to ⇝ from` (which, with the new edge `from → to`,
+/// closes a cycle) and builds the report if one exists and was not reported
+/// before.
+fn check_cycle(reg: &mut Registry, from: usize, to: usize) -> Option<Report> {
+    // Iterative DFS from `to`, collecting the path when `from` is reached.
+    let path = {
+        let mut stack: Vec<(usize, Vec<usize>)> = vec![(to, vec![to])];
+        let mut visited: HashSet<usize> = HashSet::new();
+        let mut found: Option<Vec<usize>> = None;
+        while let Some((node, path)) = stack.pop() {
+            if node == from {
+                found = Some(path);
+                break;
+            }
+            if !visited.insert(node) {
+                continue;
+            }
+            if let Some(outs) = reg.edges.get(&node) {
+                for &next in outs.keys() {
+                    if !visited.contains(&next) {
+                        let mut p = path.clone();
+                        p.push(next);
+                        stack.push((next, p));
+                    }
+                }
+            }
+        }
+        found?
+    };
+    // `path` is to → … → from; the full cycle is from → to → … → from.
+    let mut cycle: Vec<usize> = Vec::with_capacity(path.len() + 1);
+    cycle.push(from);
+    cycle.extend(path);
+    // Canonicalize (rotate so the smallest class leads) to dedup reports of
+    // the same cycle discovered through different closing edges.
+    let mut canon: Vec<usize> = cycle[..cycle.len() - 1].to_vec();
+    if let Some(min_pos) = canon
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, c)| **c)
+        .map(|(i, _)| i)
+    {
+        canon.rotate_left(min_pos);
+    }
+    if !reg.reported_cycles.insert(canon) {
+        return None;
+    }
+    let name = |c: usize| reg.names[c - 1].clone();
+    let classes: Vec<String> = cycle.iter().map(|&c| name(c)).collect();
+    let mut message = format!(
+        "lockdep: potential deadlock — lock-order cycle {}\n",
+        classes.join(" -> ")
+    );
+    for pair in cycle.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let info = &reg.edges[&a][&b];
+        message.push_str(&format!(
+            "  edge {} -> {}: first seen holding {} via {} at {}, acquiring {} via {} at {}\n",
+            name(a),
+            name(b),
+            name(a),
+            info.hold_kind,
+            info.hold_site,
+            name(b),
+            info.acquire_kind,
+            info.acquire_site,
+        ));
+        if let Some(bt) = &info.backtrace {
+            message.push_str("  acquisition backtrace:\n");
+            for line in bt.lines() {
+                message.push_str("    ");
+                message.push_str(line);
+                message.push('\n');
+            }
+        }
+    }
+    Some(Report {
+        kind: ReportKind::OrderCycle,
+        classes,
+        message,
+    })
+}
+
+/// Called by the vendored `crossbeam-channel` from its blocking entry
+/// points: reports when the current thread performs a blocking channel
+/// operation while holding any instrumented lock.
+pub fn note_channel_op(op: ChannelOp, site: &'static Location<'static>) {
+    let held_snapshot: Vec<Held> = HELD.with(|h| h.borrow().clone());
+    if held_snapshot.is_empty() {
+        return;
+    }
+    let site_str = format!("{site}");
+    let report = {
+        let mut reg = lock_registry();
+        let held_classes: Vec<usize> = held_snapshot.iter().map(|h| h.class).collect();
+        if !reg
+            .reported_chan
+            .insert((site_str.clone(), held_classes.clone()))
+        {
+            return;
+        }
+        let classes: Vec<String> = held_classes
+            .iter()
+            .map(|&c| reg.names[c - 1].clone())
+            .collect();
+        let mut message = format!(
+            "lockdep: blocking channel {op} at {site_str} while holding {} lock(s)\n",
+            held_snapshot.len()
+        );
+        for (held, class) in held_snapshot.iter().zip(&classes) {
+            message.push_str(&format!(
+                "  holding {} (acquired via {} at {})\n",
+                class, held.kind, held.site
+            ));
+        }
+        if let Some(bt) =
+            capture_backtraces().then(|| std::backtrace::Backtrace::force_capture().to_string())
+        {
+            message.push_str("  channel-op backtrace:\n");
+            for line in bt.lines() {
+                message.push_str("    ");
+                message.push_str(line);
+                message.push('\n');
+            }
+        }
+        Report {
+            kind: ReportKind::ChannelUnderLock,
+            classes,
+            message,
+        }
+    };
+    emit(report);
+}
+
+fn panic_on_report() -> bool {
+    match PANIC_MODE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            static ENV: OnceLock<bool> = OnceLock::new();
+            *ENV.get_or_init(|| std::env::var("SKIPWEB_LOCKDEP_PANIC").as_deref() == Ok("1"))
+        }
+    }
+}
+
+fn emit(report: Report) {
+    TOTAL_REPORTS.fetch_add(1, Ordering::Relaxed);
+    let message = report.message.clone();
+    lock_registry().reports.push(report);
+    if !QUIET.load(Ordering::Relaxed) {
+        eprintln!("{message}");
+        if let Ok(dir) = std::env::var("SKIPWEB_LOCKDEP_DIR") {
+            let _ = std::fs::create_dir_all(&dir);
+            let path = format!("{dir}/lockdep-{}.log", std::process::id());
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(f, "{message}");
+            }
+        }
+    }
+    if panic_on_report() {
+        panic!("{message}");
+    }
+}
+
+/// Drains and returns every report recorded so far (process-global).
+pub fn take_reports() -> Vec<Report> {
+    std::mem::take(&mut lock_registry().reports)
+}
+
+/// Total reports ever recorded in this process (monotone — unaffected by
+/// [`take_reports`]).
+pub fn total_reports() -> usize {
+    TOTAL_REPORTS.load(Ordering::Relaxed)
+}
+
+/// Number of instrumented locks the current thread holds right now.
+pub fn held_locks() -> usize {
+    HELD.with(|h| h.borrow().len())
+}
+
+/// Suppresses (or re-enables) the stderr / file sinks. Reports are still
+/// recorded for [`take_reports`]; intentional-violation fixtures use this.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// Overrides `SKIPWEB_LOCKDEP_PANIC`: whether a detection panics at the
+/// acquisition site instead of just recording the report.
+pub fn set_panic_on_report(panic: bool) {
+    PANIC_MODE.store(if panic { 2 } else { 1 }, Ordering::Relaxed);
+}
